@@ -1,0 +1,101 @@
+package wflocks_test
+
+import (
+	"runtime"
+	"testing"
+
+	"wflocks"
+	"wflocks/internal/bench"
+)
+
+// One benchmark per experiment: each regenerates the table reproducing
+// a quantitative claim of the paper (DESIGN.md §6, EXPERIMENTS.md).
+// Run a single experiment's bench with e.g.:
+//
+//	go test -bench=BenchmarkE3 -benchtime=1x
+//
+// The full tables for EXPERIMENTS.md come from `go run ./cmd/wfbench
+// -scale=full`.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp := bench.Lookup(id)
+	if exp == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(bench.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1StepBound(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkE2Fairness(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3Philosophers(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4RetrySteps(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5Unknown(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6ActiveSet(b *testing.B)     { benchExperiment(b, "E6") }
+func BenchmarkE7Idempotence(b *testing.B)   { benchExperiment(b, "E7") }
+func BenchmarkE8Baselines(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9DelayAblation(b *testing.B) { benchExperiment(b, "E9") }
+func BenchmarkE10Native(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Adaptivity(b *testing.B)   { benchExperiment(b, "E11") }
+
+// Public-API micro-benchmarks.
+
+func BenchmarkTryLockUncontended(b *testing.B) {
+	m, err := wflocks.New(wflocks.WithKappa(2), wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := m.NewLock()
+	c := wflocks.NewCell(0)
+	p := m.NewProcess()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.TryLock(p, []*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
+			v := tx.Read(c)
+			tx.Write(c, v+1)
+		}) {
+			b.Fatal("uncontended TryLock failed")
+		}
+	}
+}
+
+func BenchmarkLockContended(b *testing.B) {
+	// RunParallel launches GOMAXPROCS goroutines; κ must cover them.
+	m, err := wflocks.New(wflocks.WithKappa(2*runtime.GOMAXPROCS(0)),
+		wflocks.WithMaxLocks(1), wflocks.WithMaxCriticalSteps(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := m.NewLock()
+	c := wflocks.NewCell(0)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		p := m.NewProcess()
+		for pb.Next() {
+			m.Lock(p, []*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
+				v := tx.Read(c)
+				tx.Write(c, v+1)
+			})
+		}
+	})
+}
+
+func BenchmarkCellReadWrite(b *testing.B) {
+	m, err := wflocks.New(wflocks.WithKappa(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := m.NewProcess()
+	c := wflocks.NewCell(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Set(p, c.Get(p)+1)
+	}
+}

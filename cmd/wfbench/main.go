@@ -1,0 +1,72 @@
+// Command wfbench runs the experiments that reproduce the paper's
+// quantitative claims and prints their tables.
+//
+// Usage:
+//
+//	wfbench -list
+//	wfbench -exp E3                # one experiment, quick scale
+//	wfbench -scale full            # everything, full scale (slow)
+//	wfbench -exp E1 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wflocks/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expID = flag.String("exp", "", "experiment id (E1..E10); empty = all")
+		scale = flag.String("scale", "quick", "quick or full")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return 0
+	}
+
+	var s bench.Scale
+	switch *scale {
+	case "quick":
+		s = bench.Quick
+	case "full":
+		s = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "wfbench: unknown scale %q (want quick or full)\n", *scale)
+		return 2
+	}
+
+	exps := bench.Experiments()
+	if *expID != "" {
+		e := bench.Lookup(*expID)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "wfbench: unknown experiment %q (try -list)\n", *expID)
+			return 2
+		}
+		exps = []bench.Experiment{*e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		table, err := e.Run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %s failed: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Println(table)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,53 @@
+// Package wflocks provides fast and fair randomized wait-free locks —
+// a Go implementation of Ben-David and Blelloch, "Fast and Fair
+// Randomized Wait-Free Locks", PODC 2022 (arXiv:2108.04520).
+//
+// # What it gives you
+//
+// A TryLock operation takes a set of locks and a critical section. If
+// the attempt wins, the critical section has been executed (atomically
+// with respect to every other critical section sharing a lock) by the
+// time TryLock returns true; if it fails, the critical section has not
+// run and never will. The guarantees, with κ the maximum number of
+// simultaneous attempts on any lock, L the maximum locks per attempt,
+// and T the maximum critical-section length:
+//
+//   - Wait-freedom with a step bound: every attempt finishes within
+//     O(κ²L²T) of the caller's own steps, no matter how the scheduler
+//     delays anyone else. Stalled winners are helped: their critical
+//     sections are executed by competitors, exactly once, thanks to an
+//     idempotent-execution layer.
+//   - Fairness: every attempt wins with probability at least 1/(κL),
+//     even against an adversary that decides when to start attempts
+//     knowing the entire history. Retrying therefore succeeds in
+//     O(κL) expected attempts.
+//
+// # Quick start
+//
+//	m, err := wflocks.New(wflocks.WithKappa(2), wflocks.WithMaxLocks(2),
+//		wflocks.WithMaxCriticalSteps(64))
+//	if err != nil { ... }
+//	a, b := m.NewLock(), m.NewLock()
+//	balanceA, balanceB := wflocks.NewCell(100), wflocks.NewCell(0)
+//
+//	p := m.NewProcess() // one per goroutine
+//	ok := m.TryLock(p, []*wflocks.Lock{a, b}, 8, func(tx *wflocks.Tx) {
+//		v := tx.Read(balanceA)
+//		tx.Write(balanceA, v-10)
+//		w := tx.Read(balanceB)
+//		tx.Write(balanceB, w+10)
+//	})
+//
+// Critical sections access shared state only through Cells and the Tx
+// operations (Read, Write, CAS); this is what makes them idempotent so
+// that helpers can safely re-execute them. They must be deterministic
+// given those operations' results, must not nest TryLock, and must
+// perform at most the declared number of operations.
+//
+// # Choosing the bounds
+//
+// If κ and L are hard to bound a priori, construct the manager with
+// WithUnknownBounds(P) (P = number of processes): the algorithm then
+// needs no κ/L knowledge, at the cost of a log(κLT) factor in the
+// success probability (paper Theorem 6.10).
+package wflocks

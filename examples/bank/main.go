@@ -1,0 +1,106 @@
+// Bank: random transfers over many accounts using the *unknown-bounds*
+// variant (paper Section 6.2, Theorem 6.10).
+//
+// With 64 accounts and 8 workers picking random transfer pairs, the
+// per-lock contention bound κ is awkward to state a priori — any subset
+// of workers might collide on one account. The unknown-bounds manager
+// needs no κ or L: it only needs P, the number of processes, and pays a
+// log(κLT) factor in success probability. The conservation invariant
+// (total money constant) checks that critical sections were atomic and
+// executed exactly once.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"wflocks"
+)
+
+const (
+	numAccounts        = 64
+	numWorkers         = 8
+	transfersPerWorker = 300
+	initialBalance     = 1000
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	m, err := wflocks.New(
+		wflocks.WithUnknownBounds(numWorkers), // no κ/L needed — just P
+		wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(8),
+		wflocks.WithSeed(2022),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bank:", err)
+		return 1
+	}
+
+	accounts := make([]*wflocks.Lock, numAccounts)
+	balance := make([]*wflocks.Cell, numAccounts)
+	for i := range accounts {
+		accounts[i] = m.NewLock()
+		balance[i] = wflocks.NewCell(initialBalance)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < numWorkers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewProcess()
+			rng := uint64(w)*2654435761 + 1
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for k := 0; k < transfersPerWorker; k++ {
+				from := next(numAccounts)
+				to := next(numAccounts)
+				if from == to {
+					to = (to + 1) % numAccounts
+				}
+				amount := uint64(next(20) + 1)
+				m.Lock(p, []*wflocks.Lock{accounts[from], accounts[to]}, 4,
+					func(tx *wflocks.Tx) {
+						f := tx.Read(balance[from])
+						if f < amount {
+							return
+						}
+						tx.Write(balance[from], f-amount)
+						t := tx.Read(balance[to])
+						tx.Write(balance[to], t+amount)
+					})
+			}
+		}()
+	}
+	wg.Wait()
+
+	p := m.NewProcess()
+	var total uint64
+	for _, b := range balance {
+		total += b.Get(p)
+	}
+	want := uint64(numAccounts * initialBalance)
+	fmt.Printf("%d workers × %d random transfers over %d accounts (unknown-bounds mode)\n",
+		numWorkers, transfersPerWorker, numAccounts)
+	fmt.Printf("total money: %d (expected %d)\n", total, want)
+	if total != want {
+		fmt.Fprintln(os.Stderr, "bank: conservation violated!")
+		return 1
+	}
+	attempts, wins := m.Stats()
+	fmt.Printf("attempts: %d, wins: %d (success rate %.2f)\n",
+		attempts, wins, float64(wins)/float64(attempts))
+	return 0
+}

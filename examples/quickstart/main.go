@@ -1,0 +1,84 @@
+// Quickstart: atomic multi-lock transfers with wait-free tryLocks.
+//
+// Two goroutines move money between three accounts. Every transfer
+// locks the two accounts it touches and runs its critical section
+// atomically; failed attempts are simply retried (each attempt
+// succeeds with probability at least 1/(κL), so retries are short).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"wflocks"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	m, err := wflocks.New(
+		wflocks.WithKappa(2),    // at most 2 concurrent attempts per account
+		wflocks.WithMaxLocks(2), // a transfer locks 2 accounts
+		wflocks.WithMaxCriticalSteps(8),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		return 1
+	}
+
+	const initial = 1000
+	accounts := []*wflocks.Lock{m.NewLock(), m.NewLock(), m.NewLock()}
+	balances := []*wflocks.Cell{
+		wflocks.NewCell(initial), wflocks.NewCell(initial), wflocks.NewCell(initial),
+	}
+
+	transfer := func(p *wflocks.Process, from, to int, amount uint64) {
+		m.Lock(p, []*wflocks.Lock{accounts[from], accounts[to]}, 4, func(tx *wflocks.Tx) {
+			f := tx.Read(balances[from])
+			if f < amount {
+				return // insufficient funds; the critical section still "ran"
+			}
+			tx.Write(balances[from], f-amount)
+			t := tx.Read(balances[to])
+			tx.Write(balances[to], t+amount)
+		})
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewProcess()
+			for i := 0; i < 500; i++ {
+				from := (g + i) % 3
+				to := (from + 1) % 3
+				transfer(p, from, to, 1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	p := m.NewProcess()
+	var total uint64
+	for i, b := range balances {
+		v := b.Get(p)
+		total += v
+		fmt.Printf("account %d: %d\n", i, v)
+	}
+	fmt.Printf("total: %d (expected %d)\n", total, 3*initial)
+	if total != 3*initial {
+		fmt.Fprintln(os.Stderr, "quickstart: money was created or destroyed!")
+		return 1
+	}
+	attempts, wins := m.Stats()
+	fmt.Printf("attempts: %d, wins: %d (success rate %.2f)\n",
+		attempts, wins, float64(wins)/float64(attempts))
+	return 0
+}

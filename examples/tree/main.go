@@ -1,0 +1,171 @@
+// Concurrent binary search tree with fine-grained wait-free locking —
+// the second data-structure family the paper's introduction cites
+// (concurrent BSTs [15, 21, 32]).
+//
+// Workers insert interleaved key ranges concurrently. An insert
+// traverses optimistically without locks, then tryLocks just the
+// attachment-point node and re-validates the child slot inside the
+// critical section before linking — if a concurrent insert got there
+// first, validation fails and the traversal resumes from the stale
+// node. One lock per update (L = 1), so this also shows the locks in
+// their cheapest configuration.
+//
+// Run with: go run ./examples/tree
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"wflocks"
+)
+
+const (
+	numWorkers    = 4
+	keysPerWorker = 60
+	maxNodes      = 1 + numWorkers*keysPerWorker // slot 0 is the root
+)
+
+// tree is a node arena: value, left child index, right child index.
+// Index 0 is the root (pre-seeded); 0 also means "no child" for the
+// child cells, which is unambiguous because the root is never a child.
+type tree struct {
+	m     *wflocks.Manager
+	locks []*wflocks.Lock
+	value []*wflocks.Cell
+	left  []*wflocks.Cell
+	right []*wflocks.Cell
+}
+
+func newTree(m *wflocks.Manager, rootKey uint64) *tree {
+	t := &tree{m: m}
+	for i := 0; i < maxNodes; i++ {
+		t.locks = append(t.locks, m.NewLock())
+		t.value = append(t.value, wflocks.NewCell(0))
+		t.left = append(t.left, wflocks.NewCell(0))
+		t.right = append(t.right, wflocks.NewCell(0))
+	}
+	p := m.NewProcess()
+	t.value[0].Set(p, rootKey)
+	return t
+}
+
+// insert links key into the tree using node slot idx, retrying the
+// lock-and-validate step until it wins.
+func (t *tree) insert(p *wflocks.Process, key uint64, idx int) {
+	cur := 0
+	for {
+		// Optimistic descent from cur to the attachment point.
+		for {
+			v := t.value[cur].Get(p)
+			var childCell *wflocks.Cell
+			if key < v {
+				childCell = t.left[cur]
+			} else {
+				childCell = t.right[cur]
+			}
+			child := int(childCell.Get(p))
+			if child == 0 {
+				break // cur is the attachment point (for now)
+			}
+			cur = child
+		}
+		// Lock the attachment node; re-validate the slot inside.
+		attached := wflocks.NewCell(0)
+		won := t.m.TryLock(p, []*wflocks.Lock{t.locks[cur]}, 8, func(tx *wflocks.Tx) {
+			v := tx.Read(t.value[cur])
+			var childCell *wflocks.Cell
+			if key < v {
+				childCell = t.left[cur]
+			} else {
+				childCell = t.right[cur]
+			}
+			if tx.Read(childCell) != 0 {
+				return // someone attached here first; re-descend
+			}
+			tx.Write(t.value[idx], key)
+			tx.Write(childCell, uint64(idx))
+			tx.Write(attached, 1)
+		})
+		if won && attached.Get(p) == 1 {
+			return
+		}
+		// Lost or failed validation: resume descent from cur, whose
+		// subtree now contains the new attachment point.
+	}
+}
+
+// walk checks BST order and counts nodes.
+func (t *tree) walk(p *wflocks.Process, node int, lo, hi uint64) (int, bool) {
+	if node == 0 {
+		return 0, true
+	}
+	v := t.value[node].Get(p)
+	if v < lo || v >= hi {
+		return 0, false
+	}
+	nl, okl := t.walkChild(p, t.left[node], lo, v)
+	nr, okr := t.walkChild(p, t.right[node], v, hi)
+	return 1 + nl + nr, okl && okr
+}
+
+func (t *tree) walkChild(p *wflocks.Process, cell *wflocks.Cell, lo, hi uint64) (int, bool) {
+	return t.walk(p, int(cell.Get(p)), lo, hi)
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	m, err := wflocks.New(
+		wflocks.WithKappa(numWorkers),
+		wflocks.WithMaxLocks(1),
+		wflocks.WithMaxCriticalSteps(16),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tree:", err)
+		return 1
+	}
+	const rootKey = 1 << 20
+	t := newTree(m, rootKey)
+
+	var wg sync.WaitGroup
+	for w := 0; w < numWorkers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewProcess()
+			for k := 0; k < keysPerWorker; k++ {
+				// Interleaved ranges straddling the root so both
+				// subtrees grow and workers collide on hot leaves.
+				key := uint64(w + 1 + k*numWorkers)
+				if k%2 == 1 {
+					key += 2 * rootKey
+				}
+				idx := 1 + w*keysPerWorker + k
+				t.insert(p, key, idx)
+			}
+		}()
+	}
+	wg.Wait()
+
+	p := m.NewProcess()
+	// Index 0 doubles as "no child", so enter the root explicitly.
+	rootV := t.value[0].Get(p)
+	nl, okl := t.walkChild(p, t.left[0], 0, rootV)
+	nr, okr := t.walkChild(p, t.right[0], rootV, ^uint64(0))
+	count, ordered := 1+nl+nr, okl && okr
+	want := 1 + numWorkers*keysPerWorker
+	fmt.Printf("tree holds %d nodes (want %d), BST order: %v\n", count, want, ordered)
+	if count != want || !ordered {
+		fmt.Fprintln(os.Stderr, "tree: structure corrupted!")
+		return 1
+	}
+	attempts, wins := m.Stats()
+	fmt.Printf("attempts: %d, wins: %d (success rate %.2f)\n",
+		attempts, wins, float64(wins)/float64(attempts))
+	return 0
+}

@@ -1,0 +1,173 @@
+package wflocks_test
+
+import (
+	"sync"
+	"testing"
+
+	"wflocks"
+)
+
+// Integration tests drive the public API end-to-end on real goroutines
+// in shapes the examples and experiments care about. Run with -race.
+
+func TestIntegrationStarContention(t *testing.T) {
+	// Hub-and-spokes: every worker locks {hub, own spoke}; the hub sees
+	// κ = workers contention. Conservation across the hub must hold.
+	const workers = 6
+	const rounds = 100
+	m, err := wflocks.New(
+		wflocks.WithKappa(workers),
+		wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := m.NewLock()
+	hubCell := wflocks.NewCell(0)
+	spokes := make([]*wflocks.Lock, workers)
+	spokeCells := make([]*wflocks.Cell, workers)
+	for i := range spokes {
+		spokes[i] = m.NewLock()
+		spokeCells[i] = wflocks.NewCell(0)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewProcess()
+			for k := 0; k < rounds; k++ {
+				m.Lock(p, []*wflocks.Lock{hub, spokes[i]}, 8, func(tx *wflocks.Tx) {
+					h := tx.Read(hubCell)
+					tx.Write(hubCell, h+1)
+					s := tx.Read(spokeCells[i])
+					tx.Write(spokeCells[i], s+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	p := m.NewProcess()
+	if got := hubCell.Get(p); got != workers*rounds {
+		t.Fatalf("hub counter = %d, want %d", got, workers*rounds)
+	}
+	for i := range spokeCells {
+		if got := spokeCells[i].Get(p); got != rounds {
+			t.Fatalf("spoke %d counter = %d, want %d", i, got, rounds)
+		}
+	}
+}
+
+func TestIntegrationUnknownBoundsStress(t *testing.T) {
+	// Many goroutines, random pairs, unknown-bounds mode, -race.
+	const workers = 8
+	const rounds = 60
+	const locks = 16
+	m, err := wflocks.New(
+		wflocks.WithUnknownBounds(workers),
+		wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(16),
+		wflocks.WithSeed(99),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := make([]*wflocks.Lock, locks)
+	cs := make([]*wflocks.Cell, locks)
+	for i := range ls {
+		ls[i] = m.NewLock()
+		cs[i] = wflocks.NewCell(0)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	winsPerLock := make([]uint64, locks)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewProcess()
+			state := uint64(w + 1)
+			next := func(n int) int {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				return int(state % uint64(n))
+			}
+			local := make([]uint64, locks)
+			for k := 0; k < rounds; k++ {
+				a := next(locks)
+				b := next(locks)
+				if a == b {
+					b = (b + 1) % locks
+				}
+				m.Lock(p, []*wflocks.Lock{ls[a], ls[b]}, 8, func(tx *wflocks.Tx) {
+					va := tx.Read(cs[a])
+					tx.Write(cs[a], va+1)
+					vb := tx.Read(cs[b])
+					tx.Write(cs[b], vb+1)
+				})
+				local[a]++
+				local[b]++
+			}
+			mu.Lock()
+			for i, n := range local {
+				winsPerLock[i] += n
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	p := m.NewProcess()
+	for i := range cs {
+		if got := cs[i].Get(p); got != winsPerLock[i] {
+			t.Fatalf("lock %d counter = %d, want %d (lost or duplicated)", i, got, winsPerLock[i])
+		}
+	}
+}
+
+func TestIntegrationTryLockIndependence(t *testing.T) {
+	// Attempts must be retry-friendly: over many attempts under steady
+	// contention, a worker's success rate must clear the 1/(κL) floor.
+	const workers = 3
+	m, err := wflocks.New(
+		wflocks.WithKappa(workers),
+		wflocks.WithMaxLocks(1),
+		wflocks.WithMaxCriticalSteps(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m.NewLock()
+	c := wflocks.NewCell(0)
+	var wg sync.WaitGroup
+	rates := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewProcess()
+			wins := 0
+			const attempts = 300
+			for k := 0; k < attempts; k++ {
+				if m.TryLock(p, []*wflocks.Lock{l}, 4, func(tx *wflocks.Tx) {
+					v := tx.Read(c)
+					tx.Write(c, v+1)
+				}) {
+					wins++
+				}
+			}
+			rates[w] = float64(wins) / float64(attempts)
+		}()
+	}
+	wg.Wait()
+	floor := 1.0 / float64(workers)
+	for w, r := range rates {
+		if r < floor {
+			t.Fatalf("worker %d success rate %.3f below floor %.3f", w, r, floor)
+		}
+	}
+}

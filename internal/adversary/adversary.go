@@ -1,0 +1,99 @@
+// Package adversary implements the two adversaries of the paper's
+// model (Section 2, Section 4) as reusable pieces for experiments:
+//
+//   - the adaptive *player* adversary, which sees the entire history
+//     (including other attempts' revealed priorities, which live in
+//     shared memory) and decides when each process starts a tryLock and
+//     on which locks — modeled by Tracker (publish a running attempt's
+//     descriptor for observation) and the Await* strategies;
+//   - the oblivious *scheduler* adversary, which fixes the interleaving
+//     before the execution — modeled by sched.Schedule builders
+//     (PeriodicStalls and the sched package's primitives).
+package adversary
+
+import (
+	"sync/atomic"
+
+	"wflocks/internal/core"
+	"wflocks/internal/env"
+	"wflocks/internal/sched"
+)
+
+// Tracker publishes the descriptor of a process's current attempt so
+// that an adaptive player adversary can observe it. Descriptor state
+// (status, priority) is ordinary shared memory, so observing it is
+// within the player adversary's power; the paper's fairness theorem
+// must (and does) hold despite such observation.
+type Tracker struct {
+	cur atomic.Pointer[core.Descriptor]
+}
+
+// Publish makes d the currently observable attempt.
+func (t *Tracker) Publish(d *core.Descriptor) { t.cur.Store(d) }
+
+// Clear removes the published attempt.
+func (t *Tracker) Clear() { t.cur.Store(nil) }
+
+// Current returns the currently published descriptor, or nil.
+func (t *Tracker) Current() *core.Descriptor { return t.cur.Load() }
+
+// AwaitStrongRival stalls the calling process until the tracked rival
+// has a revealed, still-active attempt whose priority is at least
+// threshold — the moment the paper's Section 2 "ambush" narrative wants
+// the victim to enter the game ("wait for other strong players to be in
+// shared competitions, then start the player"). It gives up after
+// maxStall steps and reports whether an ambush point was found.
+func AwaitStrongRival(e env.Env, t *Tracker, threshold int64, maxStall uint64) bool {
+	deadline := e.Steps() + maxStall
+	for e.Steps() < deadline {
+		e.Step()
+		d := t.Current()
+		if d == nil {
+			continue
+		}
+		if d.Status() == core.StatusActive && d.Priority() >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// AwaitPending stalls until the tracked process has an attempt that is
+// published but not yet revealed (pending) — the window in which the
+// Section 2 "overtaker" attack launches competitors that will overtake
+// the victim. Gives up after maxStall steps.
+func AwaitPending(e env.Env, t *Tracker, maxStall uint64) bool {
+	deadline := e.Steps() + maxStall
+	for e.Steps() < deadline {
+		e.Step()
+		d := t.Current()
+		if d != nil && d.Status() == core.StatusActive && d.Priority() <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PeriodicStalls builds scheduler-adversary stall windows that freeze
+// process pid for stallLen steps every period steps — the "stalled lock
+// holder" pattern of experiment E8. The windows are fixed up front, so
+// the schedule remains oblivious.
+func PeriodicStalls(pid int, period, stallLen, horizon uint64, redirect int) []sched.StallWindow {
+	var ws []sched.StallWindow
+	for start := period; start < horizon; start += period + stallLen {
+		ws = append(ws, sched.StallWindow{
+			Pid:        pid,
+			From:       start,
+			To:         start + stallLen,
+			Redirected: redirect,
+		})
+	}
+	return ws
+}
+
+// ForeverFrom builds a single stall window freezing pid from step
+// `from` onward — a crash failure in all but name (the paper's model
+// allows arbitrary delay, so algorithms must tolerate it).
+func ForeverFrom(pid int, from uint64, redirect int) []sched.StallWindow {
+	return []sched.StallWindow{{Pid: pid, From: from, To: ^uint64(0), Redirected: redirect}}
+}

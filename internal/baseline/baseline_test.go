@@ -1,0 +1,303 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"wflocks/internal/env"
+	"wflocks/internal/idem"
+	"wflocks/internal/sched"
+)
+
+// counterThunk returns a fresh idempotent thunk incrementing ctr, plus
+// the critical-section overlap detector used across algorithms.
+func counterThunk(held, ctr, violation *idem.Cell) *idem.Exec {
+	return idem.NewExec(func(r *idem.Run) {
+		if r.Read(held) != 0 {
+			r.Write(violation, 1)
+		} else {
+			r.Write(held, 1)
+		}
+		v := r.Read(ctr)
+		r.Write(ctr, v+1)
+		r.Write(held, 0)
+	}, 8)
+}
+
+func TestTASSequential(t *testing.T) {
+	e := env.NewNative(0, 1)
+	tas := NewTAS(3)
+	held, ctr, viol := idem.NewCell(0), idem.NewCell(0), idem.NewCell(0)
+	for k := 0; k < 5; k++ {
+		if !tas.TryLocks(e, []int{0, 2}, counterThunk(held, ctr, viol)) {
+			t.Fatalf("uncontended TAS attempt %d failed", k)
+		}
+	}
+	if got := ctr.Load(e); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	for i := 0; i < 3; i++ {
+		if tas.Holder(i) != -1 {
+			t.Fatalf("lock %d still held after release", i)
+		}
+	}
+}
+
+func TestTASFailFastReleasesPrefix(t *testing.T) {
+	e := env.NewNative(0, 1)
+	tas := NewTAS(3)
+	// Hold lock 2 out-of-band: pid 7.
+	tas.locks[2].word.Store(8)
+	held, ctr, viol := idem.NewCell(0), idem.NewCell(0), idem.NewCell(0)
+	if tas.TryLocks(e, []int{0, 1, 2}, counterThunk(held, ctr, viol)) {
+		t.Fatal("attempt succeeded despite held lock")
+	}
+	if tas.Holder(0) != -1 || tas.Holder(1) != -1 {
+		t.Fatal("failed attempt leaked acquired prefix")
+	}
+	if got := ctr.Load(e); got != 0 {
+		t.Fatal("failed attempt ran its thunk")
+	}
+}
+
+func TestTASConcurrentMutex(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		tas := NewTAS(4)
+		held := make([]*idem.Cell, 4)
+		ctr := make([]*idem.Cell, 4)
+		for i := range held {
+			held[i], ctr[i] = idem.NewCell(0), idem.NewCell(0)
+		}
+		viol := idem.NewCell(0)
+		sim := sched.New(sched.NewRandom(4, seed), seed)
+		wins := make([]int, 4)
+		for i := 0; i < 4; i++ {
+			i := i
+			locks := []int{i, (i + 1) % 4}
+			sim.Spawn(func(e env.Env) {
+				for k := 0; k < 10; k++ {
+					th := idem.NewExec(func(r *idem.Run) {
+						for _, li := range locks {
+							if r.Read(held[li]) != 0 {
+								r.Write(viol, 1)
+							} else {
+								r.Write(held[li], 1)
+							}
+						}
+						for _, li := range locks {
+							v := r.Read(ctr[li])
+							r.Write(ctr[li], v+1)
+						}
+						for _, li := range locks {
+							r.Write(held[li], 0)
+						}
+					}, 24)
+					if tas.TryLocks(e, locks, th) {
+						wins[i]++
+					}
+				}
+			})
+		}
+		if err := sim.Run(10_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e := env.NewNative(99, 1)
+		if viol.Load(e) != 0 {
+			t.Fatalf("seed %d: TAS mutual exclusion violated", seed)
+		}
+		for li := 0; li < 4; li++ {
+			want := uint64(wins[li] + wins[(li+3)%4]) // owners of lock li
+			if got := ctr[li].Load(e); got != want {
+				t.Fatalf("seed %d: lock %d counter = %d, want %d", seed, li, got, want)
+			}
+		}
+	}
+}
+
+func TestTSPAlwaysSucceeds(t *testing.T) {
+	e := env.NewNative(0, 1)
+	tsp := NewTSP(3)
+	held, ctr, viol := idem.NewCell(0), idem.NewCell(0), idem.NewCell(0)
+	for k := 0; k < 5; k++ {
+		if !tsp.TryLocks(e, []int{2, 0}, counterThunk(held, ctr, viol)) {
+			t.Fatal("TSP reported failure")
+		}
+	}
+	if got := ctr.Load(e); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	for i := 0; i < 3; i++ {
+		if tsp.Held(i) {
+			t.Fatalf("lock %d leaked", i)
+		}
+	}
+}
+
+func TestTSPConcurrentSerializesThunks(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		const procs = 4
+		tsp := NewTSP(procs)
+		held := make([]*idem.Cell, procs)
+		ctr := make([]*idem.Cell, procs)
+		for i := range held {
+			held[i], ctr[i] = idem.NewCell(0), idem.NewCell(0)
+		}
+		viol := idem.NewCell(0)
+		sim := sched.New(sched.NewRandom(procs, seed), seed)
+		rounds := 6
+		for i := 0; i < procs; i++ {
+			i := i
+			locks := []int{i, (i + 1) % procs}
+			sim.Spawn(func(e env.Env) {
+				for k := 0; k < rounds; k++ {
+					th := idem.NewExec(func(r *idem.Run) {
+						for _, li := range locks {
+							if r.Read(held[li]) != 0 {
+								r.Write(viol, 1)
+							} else {
+								r.Write(held[li], 1)
+							}
+						}
+						for _, li := range locks {
+							v := r.Read(ctr[li])
+							r.Write(ctr[li], v+1)
+						}
+						for _, li := range locks {
+							r.Write(held[li], 0)
+						}
+					}, 24)
+					tsp.TryLocks(e, locks, th)
+				}
+			})
+		}
+		if err := sim.Run(50_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e := env.NewNative(99, 1)
+		if viol.Load(e) != 0 {
+			t.Fatalf("seed %d: TSP critical sections overlapped", seed)
+		}
+		for li := 0; li < procs; li++ {
+			// Lock li is used by processes li and (li-1+procs)%procs;
+			// TSP always succeeds, so each ran `rounds` thunks.
+			want := uint64(2 * rounds)
+			if got := ctr[li].Load(e); got != want {
+				t.Fatalf("seed %d: lock %d counter = %d, want %d", seed, li, got, want)
+			}
+		}
+		for i := 0; i < procs; i++ {
+			if tsp.Held(i) {
+				t.Fatalf("seed %d: lock %d leaked", seed, i)
+			}
+		}
+	}
+}
+
+func TestTSPHelpsStalledHolder(t *testing.T) {
+	// Process 0 acquires and then stalls forever; process 1 must
+	// complete 0's transaction and its own (lock-freedom via helping).
+	for seed := uint64(1); seed <= 10; seed++ {
+		tsp := NewTSP(1)
+		ctr := idem.NewCell(0)
+		schedule := &sched.Stalling{
+			Base:    sched.NewRandom(2, seed),
+			Windows: []sched.StallWindow{{Pid: 0, From: 40, To: ^uint64(0), Redirected: 1}},
+		}
+		sim := sched.New(schedule, seed)
+		done1 := false
+		sim.Spawn(func(e env.Env) {
+			th := idem.NewExec(func(r *idem.Run) {
+				v := r.Read(ctr)
+				r.Write(ctr, v+1)
+			}, 4)
+			tsp.TryLocks(e, []int{0}, th)
+		})
+		sim.Spawn(func(e env.Env) {
+			th := idem.NewExec(func(r *idem.Run) {
+				v := r.Read(ctr)
+				r.Write(ctr, v+10)
+			}, 4)
+			tsp.TryLocks(e, []int{0}, th)
+			done1 = true
+		})
+		err := sim.Run(1_000_000)
+		if err != nil && !errors.Is(err, sched.ErrStepLimit) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !done1 {
+			t.Fatalf("seed %d: helper blocked by stalled holder", seed)
+		}
+	}
+}
+
+func TestSpinOrderedNoDeadlock(t *testing.T) {
+	// Reversed lock orders would deadlock naive blocking acquisition;
+	// ordered two-phase locking must not.
+	for seed := uint64(1); seed <= 20; seed++ {
+		sp := NewSpin(2)
+		ctr := idem.NewCell(0)
+		sim := sched.New(sched.NewRandom(2, seed), seed)
+		orders := [][]int{{0, 1}, {1, 0}}
+		for i := 0; i < 2; i++ {
+			i := i
+			sim.Spawn(func(e env.Env) {
+				for k := 0; k < 10; k++ {
+					th := idem.NewExec(func(r *idem.Run) {
+						v := r.Read(ctr)
+						r.Write(ctr, v+1)
+					}, 4)
+					sp.TryLocks(e, orders[i], th)
+				}
+			})
+		}
+		if err := sim.Run(10_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e := env.NewNative(99, 1)
+		if got := ctr.Load(e); got != 20 {
+			t.Fatalf("seed %d: counter = %d, want 20", seed, got)
+		}
+	}
+}
+
+func TestSpinBlocksOnStalledHolder(t *testing.T) {
+	// The blocking baseline must demonstrate the pathology the paper
+	// motivates against: a stalled holder starves everyone.
+	sp := NewSpin(1)
+	ctr := idem.NewCell(0)
+	schedule := &sched.Stalling{
+		Base:    sched.RoundRobin{N: 2},
+		Windows: []sched.StallWindow{{Pid: 0, From: 10, To: ^uint64(0), Redirected: 1}},
+	}
+	sim := sched.New(schedule, 1)
+	done1 := false
+	sim.Spawn(func(e env.Env) {
+		th := idem.NewExec(func(r *idem.Run) {
+			v := r.Read(ctr)
+			env.StallSteps(r.Env(), 100) // long critical section
+			r.Write(ctr, v+1)
+		}, 4)
+		sp.TryLocks(e, []int{0}, th)
+	})
+	sim.Spawn(func(e env.Env) {
+		th := idem.NewExec(func(r *idem.Run) {
+			v := r.Read(ctr)
+			r.Write(ctr, v+1)
+		}, 4)
+		sp.TryLocks(e, []int{0}, th)
+		done1 = true
+	})
+	err := sim.Run(100_000)
+	if !errors.Is(err, sched.ErrStepLimit) {
+		t.Fatalf("expected step-limit starvation, got %v", err)
+	}
+	if done1 {
+		t.Fatal("spin lock contender succeeded past a stalled holder — not blocking?")
+	}
+}
+
+func TestNumLocks(t *testing.T) {
+	if NewTAS(5).NumLocks() != 5 || NewTSP(7).NumLocks() != 7 || NewSpin(3).NumLocks() != 3 {
+		t.Fatal("NumLocks wrong")
+	}
+}

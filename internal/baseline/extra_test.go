@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"wflocks/internal/env"
+	"wflocks/internal/idem"
+	"wflocks/internal/sched"
+)
+
+func TestHerlihySequential(t *testing.T) {
+	e := env.NewNative(0, 1)
+	h := NewHerlihy(3)
+	ctr := idem.NewCell(0)
+	for k := 0; k < 5; k++ {
+		h.Do(e, idem.NewExec(func(r *idem.Run) {
+			v := r.Read(ctr)
+			r.Write(ctr, v+1)
+		}, 4))
+	}
+	if got := ctr.Load(e); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if h.NumProcs() != 3 {
+		t.Fatal("NumProcs wrong")
+	}
+}
+
+func TestHerlihyConcurrentExactlyOnce(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		const procs = 4
+		const rounds = 5
+		h := NewHerlihy(procs)
+		ctr := idem.NewCell(0)
+		held := idem.NewCell(0)
+		viol := idem.NewCell(0)
+		sim := sched.New(sched.NewRandom(procs, seed), seed)
+		for i := 0; i < procs; i++ {
+			sim.Spawn(func(e env.Env) {
+				for k := 0; k < rounds; k++ {
+					h.Do(e, idem.NewExec(func(r *idem.Run) {
+						if r.Read(held) != 0 {
+							r.Write(viol, 1)
+						} else {
+							r.Write(held, 1)
+						}
+						v := r.Read(ctr)
+						r.Write(ctr, v+1)
+						r.Write(held, 0)
+					}, 8))
+				}
+			})
+		}
+		if err := sim.Run(50_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e := env.NewNative(99, 1)
+		if viol.Load(e) != 0 {
+			t.Fatalf("seed %d: herlihy critical sections overlapped", seed)
+		}
+		if got := ctr.Load(e); got != procs*rounds {
+			t.Fatalf("seed %d: counter = %d, want %d", seed, got, procs*rounds)
+		}
+	}
+}
+
+func TestHerlihySurvivesStalledProcess(t *testing.T) {
+	// The construction is wait-free: a stalled gate occupant is helped.
+	for seed := uint64(1); seed <= 10; seed++ {
+		h := NewHerlihy(2)
+		ctr := idem.NewCell(0)
+		schedule := &sched.Stalling{
+			Base:    sched.NewRandom(2, seed),
+			Windows: []sched.StallWindow{{Pid: 0, From: 30, To: ^uint64(0), Redirected: 1}},
+		}
+		sim := sched.New(schedule, seed)
+		done1 := false
+		for i := 0; i < 2; i++ {
+			i := i
+			sim.Spawn(func(e env.Env) {
+				h.Do(e, idem.NewExec(func(r *idem.Run) {
+					v := r.Read(ctr)
+					r.Write(ctr, v+1)
+				}, 4))
+				if i == 1 {
+					done1 = true
+				}
+			})
+		}
+		err := sim.Run(1_000_000)
+		if err != nil && !errors.Is(err, sched.ErrStepLimit) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !done1 {
+			t.Fatalf("seed %d: live process blocked", seed)
+		}
+	}
+}
+
+func TestHerlihyStepsGrowWithP(t *testing.T) {
+	// The motivating gap (Section 3): per-op steps scale with the total
+	// number of processes P, even when actual contention is zero.
+	measure := func(p int) uint64 {
+		e := env.NewNative(0, 1)
+		h := NewHerlihy(p)
+		ctr := idem.NewCell(0)
+		before := e.Steps()
+		h.Do(e, idem.NewExec(func(r *idem.Run) {
+			v := r.Read(ctr)
+			r.Write(ctr, v+1)
+		}, 4))
+		return e.Steps() - before
+	}
+	small, large := measure(2), measure(64)
+	// The scan reads every announcement slot, so going from P=2 to
+	// P=64 must add at least one step per extra slot.
+	if large < small+62 {
+		t.Fatalf("steps did not grow with P: P=2 → %d, P=64 → %d", small, large)
+	}
+}
+
+func TestSTSequential(t *testing.T) {
+	e := env.NewNative(0, 1)
+	st := NewST(3)
+	ctr := idem.NewCell(0)
+	for k := 0; k < 5; k++ {
+		if !st.TryLocks(e, []int{2, 0}, idem.NewExec(func(r *idem.Run) {
+			v := r.Read(ctr)
+			r.Write(ctr, v+1)
+		}, 4)) {
+			t.Fatal("ST reported failure")
+		}
+	}
+	if got := ctr.Load(e); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	for i := 0; i < 3; i++ {
+		if st.Held(i) {
+			t.Fatalf("lock %d leaked", i)
+		}
+	}
+}
+
+func TestSTConcurrentSerializes(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		const procs = 4
+		st := NewST(procs)
+		held := make([]*idem.Cell, procs)
+		ctr := make([]*idem.Cell, procs)
+		for i := range held {
+			held[i], ctr[i] = idem.NewCell(0), idem.NewCell(0)
+		}
+		viol := idem.NewCell(0)
+		sim := sched.New(sched.NewRandom(procs, seed), seed)
+		const rounds = 5
+		for i := 0; i < procs; i++ {
+			i := i
+			locks := []int{i, (i + 1) % procs}
+			sim.Spawn(func(e env.Env) {
+				for k := 0; k < rounds; k++ {
+					st.TryLocks(e, locks, idem.NewExec(func(r *idem.Run) {
+						for _, li := range locks {
+							if r.Read(held[li]) != 0 {
+								r.Write(viol, 1)
+							} else {
+								r.Write(held[li], 1)
+							}
+						}
+						for _, li := range locks {
+							v := r.Read(ctr[li])
+							r.Write(ctr[li], v+1)
+						}
+						for _, li := range locks {
+							r.Write(held[li], 0)
+						}
+					}, 24))
+				}
+			})
+		}
+		if err := sim.Run(100_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e := env.NewNative(99, 1)
+		if viol.Load(e) != 0 {
+			t.Fatalf("seed %d: ST critical sections overlapped", seed)
+		}
+		for li := 0; li < procs; li++ {
+			if got := ctr[li].Load(e); got != 2*rounds {
+				t.Fatalf("seed %d: lock %d counter = %d, want %d", seed, li, got, 2*rounds)
+			}
+		}
+		for i := 0; i < procs; i++ {
+			if st.Held(i) {
+				t.Fatalf("seed %d: lock %d leaked", seed, i)
+			}
+		}
+	}
+}
+
+func TestSTSurvivesStalledHolder(t *testing.T) {
+	// A stalled transaction still acquiring gets aborted; a stalled
+	// winner gets finished by helpers. Either way the others proceed.
+	for seed := uint64(1); seed <= 15; seed++ {
+		st := NewST(2)
+		ctr := idem.NewCell(0)
+		schedule := &sched.Stalling{
+			Base:    sched.NewRandom(2, seed),
+			Windows: []sched.StallWindow{{Pid: 0, From: 50, To: ^uint64(0), Redirected: 1}},
+		}
+		sim := sched.New(schedule, seed)
+		done1 := false
+		sim.Spawn(func(e env.Env) {
+			st.TryLocks(e, []int{0, 1}, idem.NewExec(func(r *idem.Run) {
+				v := r.Read(ctr)
+				r.Write(ctr, v+1)
+			}, 4))
+		})
+		sim.Spawn(func(e env.Env) {
+			st.TryLocks(e, []int{0, 1}, idem.NewExec(func(r *idem.Run) {
+				v := r.Read(ctr)
+				r.Write(ctr, v+1)
+			}, 4))
+			done1 = true
+		})
+		err := sim.Run(2_000_000)
+		if err != nil && !errors.Is(err, sched.ErrStepLimit) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !done1 {
+			t.Fatalf("seed %d: live process blocked by stalled ST holder", seed)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"sync/atomic"
+
+	"wflocks/internal/env"
+	"wflocks/internal/idem"
+)
+
+// Herlihy is a simplified Herlihy-style wait-free universal
+// construction for a single lock (Section 3: "every philosopher can
+// announce when they are hungry and then try to help all others in a
+// round robin manner"). Each process announces its pending critical
+// section in a P-slot array; everyone helps the announced sections
+// through a single execution gate, preferring the slot named by a
+// rotating turn counter so every announcement is eventually chosen.
+//
+// It is wait-free and deterministic, but its step complexity is O(P·T)
+// per operation — proportional to the total number of processes, not
+// the point contention. That gap is exactly the paper's motivation for
+// the randomized construction (and for Afek et al.'s adaptive one), and
+// experiment E8/E11 measures it.
+type Herlihy struct {
+	announce []atomic.Pointer[herlihyDesc]
+	gate     atomic.Pointer[herlihyDesc]
+	turn     atomic.Uint64
+}
+
+type herlihyDesc struct {
+	thunk *idem.Exec
+	done  atomic.Bool
+}
+
+// NewHerlihy creates the construction for p processes. Process ids must
+// be in [0, p).
+func NewHerlihy(p int) *Herlihy {
+	return &Herlihy{announce: make([]atomic.Pointer[herlihyDesc], p)}
+}
+
+// NumProcs reports the announcement capacity.
+func (h *Herlihy) NumProcs() int { return len(h.announce) }
+
+// Do executes the thunk atomically with respect to all other Do calls
+// (single global lock semantics). It always succeeds; the thunk must be
+// a fresh idem.Exec.
+func (h *Herlihy) Do(e env.Env, thunk *idem.Exec) {
+	d := &herlihyDesc{thunk: thunk}
+	pid := e.Pid() % len(h.announce)
+	e.Step()
+	h.announce[pid].Store(d)
+
+	for !d.done.Load() {
+		// One full round-robin pass over all P announcement slots,
+		// helping every pending descriptor — the construction's cost is
+		// inherently Θ(P) per operation even with no contention, which
+		// is the gap the paper's adaptive bounds close.
+		t := int(h.turn.Load()) % len(h.announce)
+		for i := 0; i < len(h.announce); i++ {
+			if q := h.pending(e, (t+i)%len(h.announce)); q != nil {
+				h.driveGate(e, q)
+			}
+		}
+	}
+	e.Step()
+	h.announce[pid].CompareAndSwap(d, nil)
+}
+
+// pending returns the announced, unfinished descriptor in slot i.
+func (h *Herlihy) pending(e env.Env, i int) *herlihyDesc {
+	e.Step()
+	q := h.announce[i].Load()
+	if q == nil {
+		return nil
+	}
+	e.Step()
+	if q.done.Load() {
+		return nil
+	}
+	return q
+}
+
+// driveGate pushes target through the execution gate, helping whatever
+// currently occupies it first.
+func (h *Herlihy) driveGate(e env.Env, target *herlihyDesc) {
+	e.Step()
+	cur := h.gate.Load()
+	if cur == nil {
+		e.Step()
+		if !h.gate.CompareAndSwap(nil, target) {
+			return // somebody else installed; retry from the top
+		}
+		cur = target
+	}
+	// Execute and retire the gate occupant (idempotent, so concurrent
+	// helpers are harmless).
+	cur.thunk.Execute(e)
+	e.Step()
+	cur.done.Store(true)
+	e.Step()
+	h.turn.Add(1)
+	e.Step()
+	h.gate.CompareAndSwap(cur, nil)
+}

@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"wflocks/internal/env"
+	"wflocks/internal/idem"
+)
+
+// Spin is classic blocking two-phase locking: acquire every lock in
+// index order by spinning on a CAS, run the critical section, release
+// in reverse order. Deadlock-free (ordered acquisition) but blocking:
+// if a holder is stalled by the scheduler, every contender spins
+// forever. It is the throughput baseline for E10 and the starvation
+// victim in E8.
+type Spin struct {
+	locks []spinLock
+}
+
+type spinLock struct {
+	word atomic.Uint64
+}
+
+// NewSpin creates n spin locks.
+func NewSpin(n int) *Spin {
+	return &Spin{locks: make([]spinLock, n)}
+}
+
+// NumLocks reports the number of locks.
+func (s *Spin) NumLocks() int { return len(s.locks) }
+
+// TryLocks acquires the locks at the given indices (blocking), runs the
+// thunk, releases, and returns true.
+func (s *Spin) TryLocks(e env.Env, lockIdx []int, thunk *idem.Exec) bool {
+	idx := append([]int(nil), lockIdx...)
+	sort.Ints(idx)
+	me := uint64(e.Pid()) + 1
+	for _, i := range idx {
+		for {
+			e.Step()
+			if s.locks[i].word.CompareAndSwap(0, me) {
+				break
+			}
+		}
+	}
+	thunk.Execute(e)
+	for k := len(idx) - 1; k >= 0; k-- {
+		e.Step()
+		s.locks[idx[k]].word.Store(0)
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"wflocks/internal/env"
+	"wflocks/internal/idem"
+)
+
+// ST implements Shavit and Touitou-style "selfish helping" locks
+// (Section 3): static transactions acquire locks in a fixed order; a
+// process that finds a lock taken helps the holder only if the holder
+// already has everything it needs — if, while helping, it finds the
+// holder blocked on a further lock, it *aborts* the holder instead of
+// helping recursively. Aborted transactions release their locks and
+// retry from scratch.
+//
+// The scheme is non-blocking (a stalled holder is either finished by
+// helpers or aborted) but not wait-free, and the paper notes its worst
+// case admits long chains of aborts; experiment E8 runs it next to the
+// wait-free locks.
+type ST struct {
+	locks []stLock
+}
+
+type stLock struct {
+	holder atomic.Pointer[stDesc]
+}
+
+// stDesc states.
+const (
+	stAcquiring int32 = iota + 1
+	stWinning
+	stAborted
+	stDone
+)
+
+type stDesc struct {
+	lockIdx []int // sorted
+	thunk   *idem.Exec
+	next    atomic.Int32
+	state   atomic.Int32
+}
+
+// NewST creates n selfish-helping locks.
+func NewST(n int) *ST {
+	return &ST{locks: make([]stLock, n)}
+}
+
+// NumLocks reports the number of locks.
+func (t *ST) NumLocks() int { return len(t.locks) }
+
+// TryLocks acquires the locks at the given indices, runs the thunk
+// exactly once, releases, and returns true. Internally the transaction
+// may be aborted and restarted any number of times; the idempotent
+// thunk runs once regardless.
+func (t *ST) TryLocks(e env.Env, lockIdx []int, thunk *idem.Exec) bool {
+	idx := append([]int(nil), lockIdx...)
+	sort.Ints(idx)
+	for {
+		d := &stDesc{lockIdx: idx, thunk: thunk}
+		d.state.Store(stAcquiring)
+		if t.drive(e, d) {
+			return true
+		}
+		// Aborted: retry with a fresh descriptor (same thunk).
+	}
+}
+
+// drive attempts to push d to completion; it reports false if d was
+// aborted.
+func (t *ST) drive(e env.Env, d *stDesc) bool {
+	for {
+		e.Step()
+		switch d.state.Load() {
+		case stDone:
+			return true
+		case stAborted:
+			t.releaseUpTo(e, d)
+			return false
+		case stWinning:
+			// A helper promoted us (or our commit CAS won) but the
+			// finish is not done yet; complete it ourselves.
+			t.finish(e, d)
+			return true
+		}
+		i := d.next.Load()
+		if int(i) >= len(d.lockIdx) {
+			// All locks held: commit. The winning state blocks late
+			// aborts so the critical section runs under full ownership.
+			e.Step()
+			if d.state.CompareAndSwap(stAcquiring, stWinning) {
+				t.finish(e, d)
+				return true
+			}
+			continue // raced with an abort; loop re-reads the state
+		}
+		l := &t.locks[d.lockIdx[i]]
+		e.Step()
+		cur := l.holder.Load()
+		switch {
+		case cur == d:
+			e.Step()
+			d.next.CompareAndSwap(i, i+1)
+		case cur == nil:
+			e.Step()
+			if l.holder.CompareAndSwap(nil, d) {
+				e.Step()
+				if d.state.Load() != stAcquiring {
+					// Stale acquisition after an abort or completion:
+					// undo. (A winning transaction holds all its locks,
+					// so a successful install from nil cannot race the
+					// commit.)
+					e.Step()
+					l.holder.CompareAndSwap(d, nil)
+					continue
+				}
+				e.Step()
+				d.next.CompareAndSwap(i, i+1)
+			}
+		default:
+			t.meddle(e, cur, l)
+		}
+	}
+}
+
+// meddle is the selfish-helping rule applied to the holder of a wanted
+// lock: finish it if it is already winning or done; abort it if it is
+// still acquiring (blocked on some further lock).
+func (t *ST) meddle(e env.Env, cur *stDesc, l *stLock) {
+	e.Step()
+	switch cur.state.Load() {
+	case stDone:
+		e.Step()
+		l.holder.CompareAndSwap(cur, nil)
+	case stWinning:
+		t.finish(e, cur) // the holder has everything; help it commit
+	case stAcquiring:
+		if int(cur.next.Load()) >= len(cur.lockIdx) {
+			// It only needs the commit CAS; give it a chance rather
+			// than aborting a complete acquisition.
+			e.Step()
+			if cur.state.CompareAndSwap(stAcquiring, stWinning) {
+				t.finish(e, cur)
+			}
+			return
+		}
+		e.Step()
+		if cur.state.CompareAndSwap(stAcquiring, stAborted) {
+			t.releaseUpTo(e, cur)
+		}
+	case stAborted:
+		t.releaseUpTo(e, cur)
+	}
+}
+
+// finish executes the winning transaction's thunk and releases its
+// locks. Any process may call it (helping a winner is always safe).
+func (t *ST) finish(e env.Env, d *stDesc) {
+	d.thunk.Execute(e)
+	e.Step()
+	d.state.Store(stDone)
+	t.releaseUpTo(e, d)
+}
+
+// releaseUpTo releases every lock d may hold.
+func (t *ST) releaseUpTo(e env.Env, d *stDesc) {
+	for _, li := range d.lockIdx {
+		e.Step()
+		t.locks[li].holder.CompareAndSwap(d, nil)
+	}
+}
+
+// Held reports whether lock i is currently held. For tests.
+func (t *ST) Held(i int) bool { return t.locks[i].holder.Load() != nil }

@@ -1,0 +1,74 @@
+// Package baseline implements the comparison algorithms the paper's
+// related-work section positions against (Section 3): a fail-fast
+// test-and-set tryLock with no helping, Turek–Shasha–Prakash-style
+// lock-free locks with helping (lock-free but not wait-free), and
+// ordered blocking acquisition (two-phase locking). The experiment
+// harness runs them on the same workloads as the wait-free locks to
+// reproduce the paper's qualitative claims: without helping a stalled
+// lock holder starves everyone, and with only lock-free helping the
+// per-attempt step bound is unbounded.
+package baseline
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"wflocks/internal/env"
+	"wflocks/internal/idem"
+)
+
+// TAS is a family of test-and-set locks with a fail-fast multi-lock
+// tryLock: acquire each lock by CAS in index order, and on the first
+// conflict release everything and fail. There is no helping, so a
+// stalled holder blocks all success (the motivation for wait-free
+// locks in Section 1).
+type TAS struct {
+	locks []tasLock
+}
+
+type tasLock struct {
+	// word is 0 when free, owner pid + 1 when held.
+	word atomic.Uint64
+}
+
+// NewTAS creates n test-and-set locks.
+func NewTAS(n int) *TAS {
+	return &TAS{locks: make([]tasLock, n)}
+}
+
+// NumLocks reports the number of locks.
+func (t *TAS) NumLocks() int { return len(t.locks) }
+
+// TryLocks attempts to acquire the locks at the given indices and run
+// the thunk. It fails fast on any conflict. The thunk must be a fresh
+// idem.Exec; it is executed at most once, by the winner itself.
+func (t *TAS) TryLocks(e env.Env, lockIdx []int, thunk *idem.Exec) bool {
+	idx := append([]int(nil), lockIdx...)
+	sort.Ints(idx)
+	me := uint64(e.Pid()) + 1
+	for k, i := range idx {
+		e.Step()
+		if !t.locks[i].word.CompareAndSwap(0, me) {
+			for _, j := range idx[:k] {
+				e.Step()
+				t.locks[j].word.Store(0)
+			}
+			return false
+		}
+	}
+	thunk.Execute(e)
+	for _, i := range idx {
+		e.Step()
+		t.locks[i].word.Store(0)
+	}
+	return true
+}
+
+// Holder reports the pid holding lock i, or -1 if free. For tests.
+func (t *TAS) Holder(i int) int {
+	w := t.locks[i].word.Load()
+	if w == 0 {
+		return -1
+	}
+	return int(w - 1)
+}

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"wflocks/internal/env"
+	"wflocks/internal/idem"
+)
+
+// TSP implements lock-free locks in the style of Turek, Shasha and
+// Prakash [48] (and Barnes [9]): each lock stores a pointer to the
+// descriptor of its current holder; a process that finds a lock taken
+// helps the holder finish its whole transaction (recursively, if the
+// holder is itself blocked on a further lock) and then releases the
+// lock on the holder's behalf. Locks are acquired in a fixed global
+// order (two-phase locking), so helping chains follow increasing lock
+// indices and cannot cycle.
+//
+// Acquisition always eventually succeeds — these are blocking-semantics
+// locks made lock-free, not tryLocks — so TryLocks always returns true.
+// The system is lock-free but not wait-free: a single attempt can be
+// overtaken arbitrarily often, and the paper's Section 3 estimates the
+// amortized cost at O(p·T) per transaction, with no per-attempt bound.
+// Experiment E8 measures exactly that contrast.
+type TSP struct {
+	locks []tspLock
+	// helpDepthLimit bounds recursive helping; beyond it the helper
+	// retries from scratch (the chain it was following has usually
+	// collapsed by then).
+	helpDepthLimit int
+}
+
+type tspLock struct {
+	holder atomic.Pointer[tspDesc]
+}
+
+// tspDesc is a transaction descriptor: the sorted lock set, the
+// idempotent thunk, acquisition progress, and a done flag.
+type tspDesc struct {
+	lockIdx []int // sorted
+	sys     *TSP
+	thunk   *idem.Exec
+	next    atomic.Int32
+	done    atomic.Bool
+}
+
+// NewTSP creates n lock-free locks.
+func NewTSP(n int) *TSP {
+	return &TSP{locks: make([]tspLock, n), helpDepthLimit: 64}
+}
+
+// NumLocks reports the number of locks.
+func (t *TSP) NumLocks() int { return len(t.locks) }
+
+// TryLocks acquires the locks at the given indices (helping as needed),
+// runs the thunk exactly once, releases, and returns true. The thunk
+// must be a fresh idem.Exec.
+func (t *TSP) TryLocks(e env.Env, lockIdx []int, thunk *idem.Exec) bool {
+	idx := append([]int(nil), lockIdx...)
+	sort.Ints(idx)
+	d := &tspDesc{lockIdx: idx, sys: t, thunk: thunk}
+	t.complete(e, d, 0)
+	return true
+}
+
+// complete drives d to done: acquire remaining locks in order, execute
+// the thunk, release. Any process may run it (that is the helping).
+func (t *TSP) complete(e env.Env, d *tspDesc, depth int) {
+	for {
+		e.Step()
+		if d.done.Load() {
+			return
+		}
+		i := d.next.Load()
+		if int(i) >= len(d.lockIdx) {
+			// All locks held by d: run the critical section, mark done,
+			// then release. The idempotent thunk makes concurrent
+			// completions by several helpers behave as one run, and
+			// no lock is released before done is set, so no other
+			// transaction can hold a shared lock during the thunk.
+			d.thunk.Execute(e)
+			e.Step()
+			d.done.Store(true)
+			for _, li := range d.lockIdx {
+				e.Step()
+				t.locks[li].holder.CompareAndSwap(d, nil)
+			}
+			return
+		}
+		l := &t.locks[d.lockIdx[i]]
+		e.Step()
+		cur := l.holder.Load()
+		switch {
+		case cur == d:
+			e.Step()
+			d.next.CompareAndSwap(i, i+1)
+		case cur == nil:
+			e.Step()
+			if l.holder.CompareAndSwap(nil, d) {
+				// A stale helper may install d after d finished; undo
+				// so the lock is not leaked to a dead transaction.
+				e.Step()
+				if d.done.Load() {
+					e.Step()
+					l.holder.CompareAndSwap(d, nil)
+					return
+				}
+				e.Step()
+				d.next.CompareAndSwap(i, i+1)
+			}
+		case cur.done.Load():
+			// The holder finished but its release is lagging: release
+			// on its behalf.
+			e.Step()
+			l.holder.CompareAndSwap(cur, nil)
+		default:
+			if depth < t.helpDepthLimit {
+				t.complete(e, cur, depth+1)
+			}
+			// else: retry; the chain will have moved.
+		}
+	}
+}
+
+// Holder reports whether lock i is currently held. For tests.
+func (t *TSP) Held(i int) bool { return t.locks[i].holder.Load() != nil }

@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wflocks/internal/env"
+	"wflocks/internal/sched"
+	"wflocks/internal/workload"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("xyz", true)
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "2.500") || !strings.Contains(s, "xyz") {
+		t.Fatalf("rendering broken:\n%s", s)
+	}
+}
+
+func TestScalePick(t *testing.T) {
+	if Quick.pick(1, 2) != 1 || Full.pick(1, 2) != 2 {
+		t.Fatal("Scale.pick broken")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(exps))
+	}
+	for i, e := range exps {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Fatalf("experiment %d has id %s, want %s", i, e.ID, want)
+		}
+		if e.Run == nil || e.Claim == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if Lookup("E3") == nil || Lookup("nope") != nil {
+		t.Fatal("Lookup broken")
+	}
+}
+
+func TestRunSimBasics(t *testing.T) {
+	w := workload.Philosophers(4)
+	alg := WFForWorkload(w, ThunkSteps(2, 0), false)
+	m, err := RunSim(alg, RunConfig{Workload: w, Seed: 1, Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Attempts() != 12 {
+		t.Fatalf("attempts = %d, want 12", m.Attempts())
+	}
+	if m.Wins() == 0 || m.Wins() > 12 {
+		t.Fatalf("wins = %d out of range", m.Wins())
+	}
+	if len(m.AttemptSteps) != 12 {
+		t.Fatalf("attempt steps count = %d", len(m.AttemptSteps))
+	}
+	if m.FinishedProcs != 4 || m.Starved {
+		t.Fatal("run did not complete cleanly")
+	}
+	if m.SuccessRate() <= 0 || m.SuccessRate() > 1 {
+		t.Fatalf("rate = %v", m.SuccessRate())
+	}
+}
+
+func TestRunSimRetryMode(t *testing.T) {
+	w := workload.HotLock(2)
+	alg := WFForWorkload(w, ThunkSteps(1, 0), false)
+	m, err := RunSim(alg, RunConfig{Workload: w, Seed: 1, Rounds: 3, Retry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.RoundSteps) != 6 || len(m.RoundAttempts) != 6 {
+		t.Fatalf("rounds recorded = %d/%d, want 6/6", len(m.RoundSteps), len(m.RoundAttempts))
+	}
+	if m.Wins() != 6 {
+		t.Fatalf("retry mode wins = %d, want 6", m.Wins())
+	}
+	for _, a := range m.RoundAttempts {
+		if a < 1 {
+			t.Fatal("round with zero attempts")
+		}
+	}
+}
+
+func TestRunSimBaselines(t *testing.T) {
+	w := workload.Philosophers(4)
+	for _, alg := range []Algorithm{NewTAS(w.NumLocks), NewTSP(w.NumLocks), NewSpin(w.NumLocks)} {
+		m, err := RunSim(alg, RunConfig{Workload: w, Seed: 2, Rounds: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if m.Attempts() != 12 {
+			t.Fatalf("%s: attempts = %d", alg.Name(), m.Attempts())
+		}
+	}
+}
+
+func TestRunSimRejectsBadWorkload(t *testing.T) {
+	w := &workload.Workload{Name: "bad", NumLocks: 1, Kappa: 1, MaxLocksPerSet: 1,
+		Sets: [][]int{{0}, {0}}}
+	alg := NewTAS(1)
+	if _, err := RunSim(alg, RunConfig{Workload: w, Seed: 1, Rounds: 1}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestThunkOpsAndSteps(t *testing.T) {
+	if ThunkOps(2, 3) != 14 {
+		t.Fatalf("ThunkOps = %d", ThunkOps(2, 3))
+	}
+	if ThunkSteps(2, 3) != 8*14 {
+		t.Fatalf("ThunkSteps = %d", ThunkSteps(2, 3))
+	}
+}
+
+// The experiment smoke tests run each experiment at Quick scale and
+// assert the paper's claimed shape, so a regression in any module shows
+// up as a failed claim, not just a changed number.
+
+func TestE1QuickShape(t *testing.T) {
+	tab, err := E1StepBound(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio > 16 {
+			t.Fatalf("step bound ratio %v too large:\n%s", ratio, tab)
+		}
+	}
+}
+
+func TestE2QuickShape(t *testing.T) {
+	tab, err := E2Fairness(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("fairness floor violated:\n%s", tab)
+		}
+	}
+}
+
+func TestE3QuickShape(t *testing.T) {
+	tab, err := E3Philosophers(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var means []float64
+	for _, row := range tab.Rows {
+		rate, _ := strconv.ParseFloat(row[2], 64)
+		if rate < 0.25 {
+			t.Fatalf("philosopher success rate %v < 1/4:\n%s", rate, tab)
+		}
+		mean, _ := strconv.ParseFloat(row[3], 64)
+		means = append(means, mean)
+	}
+	// O(1) in n: cost at the largest table within 2x of the smallest.
+	if means[len(means)-1] > 2*means[0] {
+		t.Fatalf("per-attempt steps grew with n: %v", means)
+	}
+}
+
+func TestE5QuickShape(t *testing.T) {
+	tab, err := E5Unknown(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		ratio, _ := strconv.ParseFloat(row[3], 64)
+		logKLT, _ := strconv.ParseFloat(row[4], 64)
+		if ratio > logKLT {
+			t.Fatalf("unknown-bounds degradation %v exceeds log2(κLT)=%v:\n%s", ratio, logKLT, tab)
+		}
+	}
+}
+
+func TestE6QuickShape(t *testing.T) {
+	tab, err := E6ActiveSet(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	getset, _ := strconv.Atoi(last[4])
+	if getset != 1 {
+		t.Fatalf("getSet not constant: %s", last[4])
+	}
+}
+
+func TestE7QuickShape(t *testing.T) {
+	tab, err := E7Idempotence(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		perOp, _ := strconv.ParseFloat(row[2], 64)
+		if perOp > 8 {
+			t.Fatalf("caller steps per op %v exceeds the constant bound:\n%s", perOp, tab)
+		}
+		if row[4] != "true" {
+			t.Fatalf("appears-once violated:\n%s", tab)
+		}
+	}
+}
+
+func TestE9QuickShape(t *testing.T) {
+	tab, err := E9DelayAblation(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: attempt-length stddev — exactly 0 with delays on, > 0 off.
+	on, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	off, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	if on != 0 {
+		t.Fatalf("attempt-length stddev with delays on = %v, want 0:\n%s", on, tab)
+	}
+	if off == 0 {
+		t.Fatalf("attempt-length stddev with delays off = 0; ablation shows nothing:\n%s", tab)
+	}
+}
+
+func TestE8QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E8 sweeps stall points; skip in -short")
+	}
+	tab, err := E8Baselines(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	if row := byName["wflocks"]; row[2] != "2/2" || row[5] != "false" {
+		t.Fatalf("wait-free locks did not survive stalls:\n%s", tab)
+	}
+	if row := byName["tsp-lockfree"]; row[2] != "2/2" {
+		t.Fatalf("tsp helping did not survive stalls:\n%s", tab)
+	}
+	if row := byName["spin-2pl"]; row[5] != "true" {
+		t.Fatalf("blocking baseline unexpectedly survived every stall:\n%s", tab)
+	}
+}
+
+func TestE11QuickShape(t *testing.T) {
+	tab, err := E11Adaptivity(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	pFirst, _ := strconv.Atoi(first[0])
+	pLast, _ := strconv.Atoi(last[0])
+	herlihyFirst, _ := strconv.ParseFloat(first[1], 64)
+	herlihyLast, _ := strconv.ParseFloat(last[1], 64)
+	wfFirst, _ := strconv.ParseFloat(first[2], 64)
+	wfLast, _ := strconv.ParseFloat(last[2], 64)
+	// The scan touches every announcement slot: at least one step per
+	// extra slot when P grows, while wflocks stays flat.
+	if herlihyLast-herlihyFirst < float64(pLast-pFirst) {
+		t.Fatalf("herlihy cost did not grow with P:\n%s", tab)
+	}
+	if wfLast > 1.1*wfFirst {
+		t.Fatalf("wflocks cost grew with P despite fixed contention:\n%s", tab)
+	}
+}
+
+// TestPropertyRandomWorkloads drives the full stack (core + idem +
+// activeset + multiset) over randomly shaped workloads and schedules;
+// RunSim's built-in invariant checks (mutual exclusion, exactly-once
+// critical sections) turn any violation into an error.
+func TestPropertyRandomWorkloads(t *testing.T) {
+	f := func(seed uint64, procsRaw, lRaw uint8, unknown bool) bool {
+		procs := 2 + int(procsRaw%4) // 2..5
+		l := 1 + int(lRaw%2)         // 1..2
+		rng := env.NewRNG(seed)
+		w := workload.RandomSets(rng, procs, 2*procs*l, l, procs)
+		alg := WFForWorkload(w, ThunkSteps(l, 0), unknown)
+		m, err := RunSim(alg, RunConfig{Workload: w, Seed: seed, Rounds: 2})
+		if err != nil {
+			t.Logf("seed %d procs %d l %d unknown %v: %v", seed, procs, l, unknown, err)
+			return false
+		}
+		return m.FinishedProcs == procs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBaselinesRandomWorkloads repeats the property check for
+// every baseline that supports multi-lock tryLocks.
+func TestPropertyBaselinesRandomWorkloads(t *testing.T) {
+	builders := map[string]func(int) Algorithm{
+		"tas": NewTAS, "tsp": NewTSP, "st": NewST, "spin": NewSpin,
+	}
+	for name, build := range builders {
+		name, build := name, build
+		f := func(seed uint64, procsRaw uint8) bool {
+			procs := 2 + int(procsRaw%3)
+			rng := env.NewRNG(seed)
+			w := workload.RandomSets(rng, procs, 4*procs, 2, procs)
+			m, err := RunSim(build(w.NumLocks), RunConfig{
+				Workload: w, Seed: seed, Rounds: 2, MaxSteps: 50_000_000,
+			})
+			if err != nil {
+				t.Logf("%s seed %d: %v", name, seed, err)
+				return false
+			}
+			return m.FinishedProcs == procs
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestStallingScheduleInE8Deterministic(t *testing.T) {
+	// Regression guard: the E8 schedule must be oblivious — identical
+	// across constructions with the same parameters.
+	a := &sched.Stalling{Base: sched.NewRandom(3, 7), Windows: nil}
+	b := &sched.Stalling{Base: sched.NewRandom(3, 7), Windows: nil}
+	for i := uint64(0); i < 1000; i++ {
+		if a.Next(i) != b.Next(i) {
+			t.Fatal("schedule not deterministic")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"wflocks/internal/core"
+	"wflocks/internal/env"
+	"wflocks/internal/workload"
+)
+
+// E10Native measures real-hardware throughput (goroutines + atomics):
+// the paper's discussion (Section 7) asks how the construction does in
+// practice, so we compare the wait-free locks against the helping
+// lock-free baseline and blocking two-phase locking on fine-grained
+// workloads. Each process retries until success (Lock semantics);
+// throughput is successful critical sections per second.
+func E10Native(scale Scale) (*Table, error) {
+	t := &Table{
+		Title:  "E10 — Native throughput: critical sections per second (Section 7)",
+		Header: []string{"workload", "algorithm", "goroutines", "ops", "ops/sec"},
+	}
+	perProc := scale.pick(200, 2000)
+	workloads := []*workload.Workload{
+		workload.Philosophers(4),
+		workload.Philosophers(8),
+		workload.Disjoint(4, 2),
+	}
+	for _, w := range workloads {
+		builders := []func() Algorithm{
+			func() Algorithm {
+				return NewWF(core.Config{
+					Kappa: w.Kappa, MaxLocks: w.MaxLocksPerSet,
+					MaxThunkSteps: ThunkSteps(w.MaxLocksPerSet, 0),
+					DelayC:        4, DelayC1: 8,
+				}, w.NumLocks)
+			},
+			func() Algorithm { return NewTSP(w.NumLocks) },
+			func() Algorithm { return NewSpin(w.NumLocks) },
+		}
+		for _, build := range builders {
+			alg := build()
+			ops, elapsed, err := runNative(alg, w, perProc)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(w.Name, alg.Name(), w.NumProcs(), ops,
+				float64(ops)/elapsed.Seconds())
+		}
+	}
+	t.Notes = append(t.Notes,
+		"shape to check: the wait-free locks pay a constant-factor delay overhead at low contention",
+		"but their throughput does not collapse as contention rises, and no process can be starved")
+	return t, nil
+}
+
+// runNative runs the workload on real goroutines, each process
+// completing perProc successful critical sections, and returns the
+// total successes and the wall-clock time.
+func runNative(alg Algorithm, w *workload.Workload, perProc int) (int, time.Duration, error) {
+	ins := newInstrumentation(w.NumLocks)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < w.NumProcs(); i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := env.NewNative(i, uint64(i)+1)
+			set := w.Sets[i]
+			for k := 0; k < perProc; k++ {
+				for !alg.TryLocks(e, set, ins.thunk(set, 0)) {
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Verify the invariants before reporting numbers.
+	e := env.NewNative(w.NumProcs(), 1)
+	if ins.violation.Load(e) != 0 {
+		return 0, 0, errViolation(alg.Name(), w.Name)
+	}
+	total := w.NumProcs() * perProc
+	var wantPerLock = make([]uint64, w.NumLocks)
+	for _, set := range w.Sets {
+		for _, li := range set {
+			wantPerLock[li] += uint64(perProc)
+		}
+	}
+	for li := range wantPerLock {
+		if got := ins.ctr[li].Load(e); got != wantPerLock[li] {
+			return 0, 0, errCounter(alg.Name(), w.Name, li)
+		}
+	}
+	return total, elapsed, nil
+}
+
+type benchError string
+
+func (b benchError) Error() string { return string(b) }
+
+func errViolation(alg, wl string) error {
+	return benchError("bench: " + alg + " violated mutual exclusion on " + wl + " (native)")
+}
+
+func errCounter(alg, wl string, lock int) error {
+	return benchError("bench: " + alg + " lost or duplicated critical sections on " + wl + " (native)")
+}

@@ -1,0 +1,378 @@
+// Package core implements the paper's primary contribution: the
+// randomized wait-free lock algorithm of Section 6 (Algorithm 3), in
+// both the known-bounds variant (Theorems 6.1 and 6.9) and the
+// unknown-bounds variant of Section 6.2 (Theorem 6.10).
+//
+// Each lock is an active set object (Algorithm 1); the system of locks
+// forms a multi active set (Algorithm 2). A tryLock attempt creates a
+// descriptor carrying its lock set, its critical-section thunk (made
+// idempotent by internal/idem), a priority, and a status. The attempt:
+//
+//  1. helps every revealed descriptor currently on any of its locks run
+//     to a decision, so that no descriptor whose priority the player
+//     adversary has already seen can compete with this attempt;
+//  2. stalls until exactly T0 = c·κ²·L²·T of its own steps have passed
+//     since the attempt began, then inserts itself into its locks'
+//     active sets and reveals a uniformly random priority (the reveal
+//     step) — the fixed delay makes the reveal time a function of the
+//     start time alone, so the adversary gains nothing by racing it;
+//  3. competes: scans its locks' sets, eliminating the lower-priority
+//     descriptor of every active pair, then tries to move itself from
+//     active to won; any encountered winner's thunk is executed to
+//     completion before this attempt's own, which yields mutual
+//     exclusion with idempotence (Definition 4.3);
+//  4. removes itself and stalls until T1 = c′·κ·L·T further steps have
+//     passed, fixing the attempt's total length.
+//
+// The attempt succeeds (and its thunk has run) if and only if its
+// status ended as won; it succeeds with probability at least 1/C_p
+// against an adaptive player adversary and an oblivious scheduler.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"wflocks/internal/activeset"
+	"wflocks/internal/env"
+	"wflocks/internal/idem"
+	"wflocks/internal/multiset"
+)
+
+// Status of a descriptor. A descriptor starts active and changes
+// status at most once, to won or lost (Algorithm 3).
+const (
+	StatusActive int32 = iota + 1
+	StatusWon
+	StatusLost
+)
+
+// StatusName renders a status value for diagnostics.
+func StatusName(s int32) string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusWon:
+		return "won"
+	case StatusLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("status(%d)", s)
+	}
+}
+
+// Priority sentinels. A pending descriptor has priority -1 (its multi
+// active set flag is false). In the unknown-bounds variant, priorityTBD
+// marks the participation-reveal step of Section 6.2: the descriptor is
+// competing but its priority is not yet drawn.
+const (
+	priorityPending int64 = -1
+	priorityTBD     int64 = 0
+)
+
+// Config parameterizes a lock System.
+type Config struct {
+	// Kappa is κ, the upper bound on the point contention of any single
+	// lock. Required in known-bounds mode; in unknown-bounds mode it is
+	// ignored by the algorithm (but may be used by workloads).
+	Kappa int
+
+	// MaxLocks is L, the upper bound on the number of locks in any
+	// tryLock attempt's lock set.
+	MaxLocks int
+
+	// MaxThunkSteps is T, the upper bound on the number of steps of any
+	// critical-section thunk.
+	MaxThunkSteps int
+
+	// NumProcs is P, the total number of processes. Unknown-bounds mode
+	// sizes announcement arrays with P instead of κ.
+	NumProcs int
+
+	// DelayC and DelayC1 are the paper's "sufficiently large" constants
+	// c and c′ in T0 = c·κ²·L²·T and T1 = c′·κ·L·T. Zero selects the
+	// defaults.
+	DelayC  int
+	DelayC1 int
+
+	// DisableDelays turns off the fixed delays. Unsafe for fairness —
+	// provided only for the E9 ablation experiment.
+	DisableDelays bool
+
+	// UnknownBounds selects the Section 6.2 variant: announcement
+	// arrays sized P, split participation/priority reveal, local set
+	// copies for comparisons, and delay-to-power-of-two instead of
+	// fixed delays.
+	UnknownBounds bool
+}
+
+// Default delay constants. They are calibrated so that the help phase
+// and competition phase of an attempt always finish within the delay
+// targets for the workloads in this repository (verified by test and
+// tracked by the DelayOverruns counter).
+const (
+	defaultDelayC  = 8
+	defaultDelayC1 = 16
+)
+
+// System is a family of locks sharing one configuration. Locks from
+// different Systems must not be mixed in one tryLock.
+type System struct {
+	cfg Config
+
+	// Counters for experiments and tests (atomic).
+	attempts      atomic.Uint64
+	wins          atomic.Uint64
+	delayOverruns atomic.Uint64
+}
+
+// NewSystem validates cfg and creates a System.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.MaxLocks <= 0 {
+		return nil, errors.New("core: MaxLocks must be positive")
+	}
+	if cfg.MaxThunkSteps <= 0 {
+		return nil, errors.New("core: MaxThunkSteps must be positive")
+	}
+	if cfg.UnknownBounds {
+		if cfg.NumProcs <= 0 {
+			return nil, errors.New("core: NumProcs must be positive in unknown-bounds mode")
+		}
+	} else if cfg.Kappa <= 0 {
+		return nil, errors.New("core: Kappa must be positive in known-bounds mode")
+	}
+	if cfg.DelayC == 0 {
+		cfg.DelayC = defaultDelayC
+	}
+	if cfg.DelayC1 == 0 {
+		cfg.DelayC1 = defaultDelayC1
+	}
+	if cfg.DelayC < 0 || cfg.DelayC1 < 0 {
+		return nil, errors.New("core: delay constants must be non-negative")
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// t0 is the fixed pre-reveal delay T0 = c·κ²·L²·T.
+func (s *System) t0() uint64 {
+	k, l, t := uint64(s.cfg.Kappa), uint64(s.cfg.MaxLocks), uint64(s.cfg.MaxThunkSteps)
+	return uint64(s.cfg.DelayC) * k * k * l * l * t
+}
+
+// t1 is the fixed post-run delay T1 = c′·κ·L·T.
+func (s *System) t1() uint64 {
+	k, l, t := uint64(s.cfg.Kappa), uint64(s.cfg.MaxLocks), uint64(s.cfg.MaxThunkSteps)
+	return uint64(s.cfg.DelayC1) * k * l * t
+}
+
+// Attempts reports the number of TryLocks calls so far.
+func (s *System) Attempts() uint64 { return s.attempts.Load() }
+
+// Wins reports the number of successful TryLocks calls so far.
+func (s *System) Wins() uint64 { return s.wins.Load() }
+
+// DelayOverruns reports how many times an attempt reached a delay point
+// having already exceeded the delay target — i.e. how often the
+// configured delay constants were too small to enforce Observation 6.7.
+// Experiments assert this stays zero.
+func (s *System) DelayOverruns() uint64 { return s.delayOverruns.Load() }
+
+// Lock is a single fine-grained lock: an active set of descriptors.
+type Lock struct {
+	sys *System
+	set *activeset.Set[Descriptor]
+	id  int
+}
+
+var lockCounter atomic.Int64
+
+// NewLock creates a lock belonging to this system. The announcement
+// array has κ slots in known-bounds mode and P slots in unknown-bounds
+// mode (Section 6.2).
+func (s *System) NewLock() *Lock {
+	capacity := s.cfg.Kappa
+	if s.cfg.UnknownBounds {
+		capacity = s.cfg.NumProcs
+	}
+	return &Lock{
+		sys: s,
+		set: activeset.New[Descriptor](capacity),
+		id:  int(lockCounter.Add(1)),
+	}
+}
+
+// ID returns a process-wide unique identifier for the lock (useful for
+// deterministic ordering in baselines and diagnostics).
+func (l *Lock) ID() int { return l.id }
+
+// Descriptor is a tryLock attempt's shared record (Algorithm 3): the
+// lock set, the thunk, the priority (doubling as the multi-active-set
+// flag) and the status.
+type Descriptor struct {
+	sys      *System
+	locks    []*Lock
+	thunk    *idem.Exec
+	priority atomic.Int64
+	status   atomic.Int32
+
+	// startStep is the owner's step count when the attempt began; the
+	// fixed delays are measured against it (owner-only).
+	startStep uint64
+	// revealStep is the owner's step count at the reveal step.
+	revealStep uint64
+
+	// localSets holds per-lock set copies taken between the
+	// participation reveal and the priority reveal (unknown-bounds
+	// mode, Section 6.2). Written by the owner before the priority
+	// reveal; the atomic priority store publishes it.
+	localSets [][]*Descriptor
+}
+
+// Status returns the descriptor's current status.
+func (p *Descriptor) Status() int32 { return p.status.Load() }
+
+// Priority returns the descriptor's current priority value.
+func (p *Descriptor) Priority() int64 { return p.priority.Load() }
+
+// Flagged implementation: the priority field doubles as the flag
+// (Algorithm 3 lines 7-13). GetFlag is true once the priority is
+// revealed; SetFlag performs the T0 delay and the reveal step; and
+// ClearFlag resets the priority to pending.
+
+// GetFlag reports whether the descriptor's priority is revealed.
+func (p *Descriptor) GetFlag(e env.Env) bool {
+	e.Step()
+	return p.priority.Load() > 0
+}
+
+// SetFlag delays until T0 total steps have been taken since the attempt
+// started, then draws and reveals the priority (the reveal step). Only
+// the owner calls SetFlag (tryLocks is never helped; only run is).
+func (p *Descriptor) SetFlag(e env.Env) {
+	if !p.sys.cfg.DisableDelays {
+		target := p.startStep + p.sys.t0()
+		if e.Steps() > target {
+			p.sys.delayOverruns.Add(1)
+		}
+		env.StallUntil(e, target)
+	}
+	pr := env.RandPriority(e)
+	e.Step()
+	p.priority.Store(pr) // reveal step
+	p.revealStep = e.Steps()
+}
+
+// ClearFlag resets the priority to pending.
+func (p *Descriptor) ClearFlag(e env.Env) {
+	e.Step()
+	p.priority.Store(priorityPending)
+}
+
+var _ multiset.Flagged = (*Descriptor)(nil)
+
+// TryLocks performs one tryLock attempt (Algorithm 3, tryLocks): it
+// tries to acquire every lock in locks and, on success, the thunk has
+// been executed (possibly by a helper) before TryLocks returns true.
+// On failure the thunk has not run and will never run.
+//
+// The thunk must be a fresh idem.Exec per attempt and must perform at
+// most MaxThunkSteps simulated steps. locks must contain at most
+// MaxLocks locks, all created by this System, with no duplicates.
+func (s *System) TryLocks(e env.Env, locks []*Lock, thunk *idem.Exec) bool {
+	return s.NewAttempt(locks, thunk).Run(e)
+}
+
+// Attempt is a prepared tryLock attempt whose descriptor can be
+// observed while it runs. The adversary experiments use this to model
+// the adaptive player adversary, which sees the whole history —
+// including other attempts' revealed priorities — when deciding when to
+// start an attempt.
+type Attempt struct {
+	s   *System
+	p   *Descriptor
+	ran bool
+}
+
+// NewAttempt prepares (but does not start) a tryLock attempt.
+func (s *System) NewAttempt(locks []*Lock, thunk *idem.Exec) *Attempt {
+	if len(locks) == 0 || len(locks) > s.cfg.MaxLocks {
+		panic(fmt.Sprintf("core: lock set size %d outside [1, %d]", len(locks), s.cfg.MaxLocks))
+	}
+	p := &Descriptor{
+		sys:   s,
+		locks: append([]*Lock(nil), locks...), // copy at the boundary
+		thunk: thunk,
+	}
+	p.priority.Store(priorityPending)
+	p.status.Store(StatusActive)
+	return &Attempt{s: s, p: p}
+}
+
+// Descriptor exposes the attempt's descriptor for observation.
+func (a *Attempt) Descriptor() *Descriptor { return a.p }
+
+// Run executes the attempt on the calling process. It must be called
+// exactly once.
+func (a *Attempt) Run(e env.Env) bool {
+	if a.ran {
+		panic("core: Attempt.Run called twice")
+	}
+	a.ran = true
+	a.s.attempts.Add(1)
+	a.p.startStep = e.Steps()
+	if a.s.cfg.UnknownBounds {
+		return a.s.tryLocksUnknown(e, a.p)
+	}
+	return a.s.tryLocksKnown(e, a.p)
+}
+
+// tryLocksKnown is the Algorithm 3 body for the known-bounds variant.
+func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
+	// Helping phase (lines 17-20): run every revealed descriptor on any
+	// of our locks to its decision, clearing the playing field of
+	// descriptors whose priorities the adversary may already know.
+	for _, l := range p.locks {
+		for _, q := range multiset.GetSet[Descriptor, *Descriptor](e, l.set) {
+			s.run(e, q)
+		}
+	}
+
+	// Insert into every lock's active set; SetFlag inside performs the
+	// T0 delay and the reveal step (line 21).
+	slots := multiset.MultiInsert(e, p, s.lockSets(p))
+	checkSlots(s, slots)
+
+	// Compete (line 22).
+	s.run(e, p)
+
+	// Clean up (line 23).
+	multiset.MultiRemove(e, p, s.lockSets(p), slots)
+
+	// Fixed post-run delay (line 24): T1 steps since the reveal step.
+	if !s.cfg.DisableDelays {
+		target := p.revealStep + s.t1()
+		if e.Steps() > target {
+			s.delayOverruns.Add(1)
+		}
+		env.StallUntil(e, target)
+	}
+
+	won := p.status.Load() == StatusWon
+	if won {
+		s.wins.Add(1)
+	}
+	return won
+}
+
+// lockSets projects the descriptor's locks to their active sets.
+func (s *System) lockSets(p *Descriptor) []*activeset.Set[Descriptor] {
+	sets := make([]*activeset.Set[Descriptor], len(p.locks))
+	for i, l := range p.locks {
+		sets[i] = l.set
+	}
+	return sets
+}

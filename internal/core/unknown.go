@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/bits"
+
+	"wflocks/internal/env"
+)
+
+// tryLocksUnknown is the Section 6.2 variant of the tryLock attempt for
+// when κ and L are unknown to the algorithm (Theorem 6.10). The
+// differences from the known-bounds body:
+//
+//   - announcement arrays are sized P (handled by NewLock);
+//   - the reveal step is split into a participation reveal (priority
+//     becomes TBD: the descriptor is competing, but its priority is not
+//     drawn) and a priority reveal;
+//   - between the two reveals the attempt snapshots the active sets of
+//     all its locks; after the priority reveal those local copies — and
+//     never the live sets — feed the priority comparisons, so the
+//     adversary learns the priority only after it can no longer shape
+//     the set of potential threateners;
+//   - instead of fixed delays derived from κ, L and T, the attempt pads
+//     its step count to the next power of two at each phase boundary
+//     (the guess-and-double trick), so the adversary can steer the
+//     attempt's phase lengths to only one of log(κ·L·T) many values —
+//     which is exactly the log factor lost in Theorem 6.10's success
+//     probability.
+func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
+	// Helping phase: help every descriptor with a *revealed* priority.
+	// TBD descriptors must not be helped: running them would drive them
+	// to a decision before they have drawn a priority.
+	for _, l := range p.locks {
+		for _, q := range s.revealedMembers(e, l) {
+			s.run(e, q)
+		}
+	}
+
+	// Insert into every lock's announcement array.
+	p.ClearFlag(e)
+	slots := make([]int, len(p.locks))
+	for i, l := range p.locks {
+		slots[i] = l.set.Insert(e, p)
+	}
+	checkSlots(s, slots)
+
+	// Pad to a power of two, then the participation reveal.
+	s.stallToPowerOfTwo(e, p.startStep)
+	e.Step()
+	p.priority.Store(priorityTBD)
+
+	// Snapshot the membership of every lock (participating descriptors
+	// only: those at or past their participation reveal).
+	p.localSets = make([][]*Descriptor, len(p.locks))
+	for i, l := range p.locks {
+		p.localSets[i] = s.participatingMembers(e, l)
+	}
+
+	// Pad again so the snapshot phase's length is also quantized, then
+	// the priority reveal. The atomic priority store publishes the
+	// local sets to helpers.
+	s.stallToPowerOfTwo(e, p.startStep)
+	pr := env.RandPriority(e)
+	e.Step()
+	p.priority.Store(pr)
+	p.revealStep = e.Steps()
+
+	// Compete, clean up, and pad the attempt's total length.
+	s.run(e, p)
+
+	p.ClearFlag(e)
+	for i, l := range p.locks {
+		l.set.Remove(e, slots[i])
+	}
+	s.stallToPowerOfTwo(e, p.startStep)
+
+	won := p.status.Load() == StatusWon
+	if won {
+		s.wins.Add(1)
+	}
+	return won
+}
+
+// revealedMembers returns the lock's members whose priority is revealed
+// (strictly positive).
+func (s *System) revealedMembers(e env.Env, l *Lock) []*Descriptor {
+	snapshot := l.set.GetSet(e)
+	out := make([]*Descriptor, 0, len(snapshot))
+	for _, q := range snapshot {
+		e.Step()
+		if q.priority.Load() > 0 {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// participatingMembers returns the lock's members at or past their
+// participation reveal (priority TBD or revealed).
+func (s *System) participatingMembers(e env.Env, l *Lock) []*Descriptor {
+	snapshot := l.set.GetSet(e)
+	out := make([]*Descriptor, 0, len(snapshot))
+	for _, q := range snapshot {
+		e.Step()
+		if q.priority.Load() >= priorityTBD {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// stallToPowerOfTwo pads the attempt's step count (measured from its
+// start) up to the next power of two.
+func (s *System) stallToPowerOfTwo(e env.Env, start uint64) {
+	if s.cfg.DisableDelays {
+		return
+	}
+	elapsed := e.Steps() - start
+	if elapsed == 0 {
+		elapsed = 1
+	}
+	target := nextPowerOfTwo(elapsed)
+	env.StallUntil(e, start+target)
+}
+
+// nextPowerOfTwo returns the smallest power of two >= n (n > 0).
+func nextPowerOfTwo(n uint64) uint64 {
+	if n&(n-1) == 0 {
+		return n
+	}
+	return 1 << bits.Len64(n)
+}

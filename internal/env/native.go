@@ -1,0 +1,33 @@
+package env
+
+// Native is the hardware execution environment: steps are counted in a
+// plain per-process counter while the process runs as an ordinary
+// goroutine using sync/atomic for shared memory. Used by the examples
+// and the native throughput experiments (E10).
+//
+// A Native value must be used by a single goroutine.
+type Native struct {
+	id    int
+	steps uint64
+	rng   RNG
+}
+
+var _ Env = (*Native)(nil)
+
+// NewNative returns a native environment for process id with the given
+// random seed.
+func NewNative(id int, seed uint64) *Native {
+	return &Native{id: id, rng: RNG{state: Mix(seed, uint64(id)+1)}}
+}
+
+// Step accounts one step.
+func (n *Native) Step() { n.steps++ }
+
+// Steps reports the number of steps taken.
+func (n *Native) Steps() uint64 { return n.steps }
+
+// Rand returns the next per-process pseudo-random value.
+func (n *Native) Rand() uint64 { return n.rng.Next() }
+
+// Pid returns the process id.
+func (n *Native) Pid() int { return n.id }

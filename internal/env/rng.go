@@ -1,0 +1,43 @@
+package env
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64). Each simulated or native process owns one, seeded from
+// the run seed and the process id, so executions replay bit-for-bit.
+//
+// The zero value is a valid generator (seed 0).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Next returns the next 64-bit pseudo-random value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// IntN returns a uniform value in [0, n). n must be positive.
+func (r *RNG) IntN(n int) int {
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Mix derives a new seed from two values. Used to give each process an
+// independent stream from (runSeed, pid).
+func Mix(a, b uint64) uint64 {
+	z := a ^ (b * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

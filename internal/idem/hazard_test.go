@@ -1,0 +1,197 @@
+package idem
+
+import (
+	"errors"
+	"testing"
+
+	"wflocks/internal/env"
+	"wflocks/internal/sched"
+)
+
+// These tests pin down the specific interleaving hazards the
+// descriptor-install protocol exists to defeat (see the package
+// comment's construction notes). They complement the randomized
+// appears-once tests with adversarially shaped schedules.
+
+// TestLateHelperDoesNotReapply: a helper frozen mid-operation must not
+// re-apply the operation's effect after the thunk finished and the
+// cell moved on — the classic stale-write hazard.
+func TestLateHelperDoesNotReapply(t *testing.T) {
+	for _, freezeAt := range []uint64{1, 2, 3, 4, 5, 6, 8, 10, 15, 20} {
+		c := NewCell(0)
+		x := NewExec(func(r *Run) {
+			r.CAS(c, 0, 1)
+		}, 1)
+		// Process 0: helper that gets frozen mid-protocol at freezeAt of
+		// its own steps, waking only much later.
+		// Process 1: completes the thunk normally.
+		// Process 2: after the thunk finishes, resets the cell to 0
+		// (an ABA the protocol must tolerate), then idles.
+		schedule := &sched.Stalling{
+			Base: sched.RoundRobin{N: 3},
+			// Freeze pid 0 between global steps; round-robin means its
+			// k-th own step is global step 3k, approximately.
+			Windows: []sched.StallWindow{{Pid: 0, From: 3 * freezeAt, To: 3000, Redirected: 1}},
+		}
+		sim := sched.New(schedule, 7)
+		sim.Spawn(func(e env.Env) { x.Execute(e) })
+		sim.Spawn(func(e env.Env) { x.Execute(e) })
+		resetDone := false
+		sim.Spawn(func(e env.Env) {
+			for !x.Finished() {
+				e.Step()
+			}
+			c.Store(e, 0)
+			resetDone = true
+		})
+		err := sim.Run(100_000)
+		if err != nil && !errors.Is(err, sched.ErrStepLimit) {
+			t.Fatalf("freeze@%d: %v", freezeAt, err)
+		}
+		if !resetDone {
+			t.Fatalf("freeze@%d: resetter never ran", freezeAt)
+		}
+		e := env.NewNative(99, 1)
+		if got := c.Load(e); got != 0 {
+			t.Fatalf("freeze@%d: cell = %d after reset — a late helper re-applied the CAS", freezeAt, got)
+		}
+	}
+}
+
+// TestFrozenInstallerResolvedByOthers: if the process that installed an
+// operation descriptor freezes before resolving it, any other process
+// touching the cell must complete the resolution (non-blocking
+// helping), so the cell never stays wedged on a descriptor.
+func TestFrozenInstallerResolvedByOthers(t *testing.T) {
+	for freezeAt := uint64(1); freezeAt <= 12; freezeAt++ {
+		c := NewCell(5)
+		x := NewExec(func(r *Run) {
+			r.Write(c, 9)
+		}, 1)
+		schedule := &sched.Stalling{
+			Base:    sched.RoundRobin{N: 2},
+			Windows: []sched.StallWindow{{Pid: 0, From: 2 * freezeAt, To: ^uint64(0), Redirected: 1}},
+		}
+		sim := sched.New(schedule, 3)
+		sim.Spawn(func(e env.Env) { x.Execute(e) }) // may freeze mid-install
+		var observed uint64
+		sim.Spawn(func(e env.Env) {
+			// A plain reader: must always get a value, never hang on an
+			// unresolved descriptor, and the value must be 5 or 9.
+			for k := 0; k < 50; k++ {
+				observed = c.Load(e)
+				if observed != 5 && observed != 9 {
+					t.Errorf("freeze@%d: impossible value %d", freezeAt, observed)
+				}
+			}
+		})
+		err := sim.Run(100_000)
+		if err != nil && !errors.Is(err, sched.ErrStepLimit) {
+			t.Fatalf("freeze@%d: %v", freezeAt, err)
+		}
+	}
+}
+
+// TestTwoThunksCASSameOld: two distinct thunks CASing from the same
+// expected value — exactly one may succeed (the linearizability hazard
+// that breaks naive log-then-apply designs).
+func TestTwoThunksCASSameOld(t *testing.T) {
+	for seed := uint64(1); seed <= 100; seed++ {
+		c := NewCell(5)
+		mk := func(newVal uint64, out *uint64) *Exec {
+			return NewExec(func(r *Run) {
+				if r.CAS(c, 5, newVal) {
+					*out = 1
+				} else {
+					*out = 0
+				}
+			}, 1)
+		}
+		var ok1, ok2 uint64
+		x1 := mk(7, &ok1)
+		x2 := mk(9, &ok2)
+		sim := sched.New(sched.NewRandom(2, seed), seed)
+		sim.Spawn(func(e env.Env) { x1.Execute(e) })
+		sim.Spawn(func(e env.Env) { x2.Execute(e) })
+		if err := sim.Run(100_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ok1+ok2 != 1 {
+			t.Fatalf("seed %d: %d CASes from the same old succeeded, want exactly 1", seed, ok1+ok2)
+		}
+		e := env.NewNative(99, 1)
+		want := uint64(7)
+		if ok2 == 1 {
+			want = 9
+		}
+		if got := c.Load(e); got != want {
+			t.Fatalf("seed %d: cell = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+// TestHelpersObserveFailedCASConsistently: when the canonical outcome
+// of a CAS is failure, every run must report failure, even runs that
+// observed the cell holding the expected value at some instant.
+func TestHelpersObserveFailedCASConsistently(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		c := NewCell(1)
+		results := make([]uint64, 3) // 2 = unset
+		for i := range results {
+			results[i] = 2
+		}
+		x := NewExec(func(r *Run) {
+			ok := r.CAS(c, 0, 8) // fails: cell holds 1
+			pid := r.Env().Pid()
+			if ok {
+				results[pid] = 1
+			} else {
+				results[pid] = 0
+			}
+		}, 1)
+		sim := sched.New(sched.NewRandom(3, seed), seed)
+		for i := 0; i < 3; i++ {
+			sim.Spawn(func(e env.Env) { x.Execute(e) })
+		}
+		if err := sim.Run(100_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for pid, r := range results {
+			if r != 0 {
+				t.Fatalf("seed %d: run on pid %d reported %d, want failure(0)", seed, pid, r)
+			}
+		}
+		e := env.NewNative(99, 1)
+		if got := c.Load(e); got != 1 {
+			t.Fatalf("seed %d: failed CAS changed the cell to %d", seed, got)
+		}
+	}
+}
+
+// TestInterleavedThunksOnDisjointCells: thunks on disjoint cells cannot
+// interfere at all — a sanity floor for the descriptor protocol.
+func TestInterleavedThunksOnDisjointCells(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		cells := []*Cell{NewCell(0), NewCell(0), NewCell(0), NewCell(0)}
+		sim := sched.New(sched.NewRandom(4, seed), seed)
+		for i := 0; i < 4; i++ {
+			i := i
+			x := NewExec(func(r *Run) {
+				for k := 0; k < 10; k++ {
+					v := r.Read(cells[i])
+					r.Write(cells[i], v+1)
+				}
+			}, 20)
+			sim.Spawn(func(e env.Env) { x.Execute(e) })
+		}
+		if err := sim.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e := env.NewNative(99, 1)
+		for i, c := range cells {
+			if got := c.Load(e); got != 10 {
+				t.Fatalf("seed %d: cell %d = %d, want 10", seed, i, got)
+			}
+		}
+	}
+}

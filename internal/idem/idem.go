@@ -1,0 +1,354 @@
+// Package idem implements the paper's idempotence construction
+// (Section 4.1, Theorem 4.2): any thunk using only Read, Write and CAS
+// on shared memory is simulated — with constant overhead per operation
+// — so that it becomes idempotent (Definition 4.1) and linearizable.
+//
+// Idempotence means that in any execution consisting of interleaved
+// runs of the thunk (one process executing it plus any number of
+// helpers re-executing it), the combined effect on shared memory is
+// that of exactly one run, ending at the response of the first run to
+// finish. This is what lets Algorithm 3's helpers execute a winner's
+// critical section on its behalf without double-applying its effects.
+//
+// # Construction
+//
+// A thunk's code is deterministic given the responses of its shared
+// memory operations, so every run issues the same operation sequence;
+// the i-th operation of any run is "operation i". Each Exec (one
+// logical thunk execution, possibly run by many helpers) carries a
+// response log with one slot per operation. The log slot is the
+// canonical outcome of the operation: the first run to fill it decides,
+// and every other run adopts the logged response instead of its own.
+//
+// Shared cells always hold immutable boxed values. Effectful
+// operations (Write, CAS) never mutate a cell directly; they install a
+// unique operation descriptor into the cell by CAS and then resolve it:
+//
+//  1. if the log slot is already filled, the operation is done — adopt
+//     the logged response and apply no effect;
+//  2. otherwise read the cell; if it holds another descriptor, help
+//     resolve it first (so operations cannot be blocked — the
+//     construction is itself non-blocking);
+//  3. install this run's descriptor over the observed box by CAS;
+//  4. resolve: race to CAS the response into the log slot; if this
+//     descriptor's installation is the one recorded in the log, replace
+//     the descriptor with the operation's result value — otherwise the
+//     operation already took effect through an earlier installation, so
+//     undo by restoring the displaced box, a net no-op on memory.
+//
+// Boxes are freshly allocated pointers, so an install CAS can never
+// succeed against a stale snapshot via ABA, which is what makes step 4
+// sound: at most one installation per operation is ever recorded, so
+// the operation's effect is applied exactly once, at the moment of that
+// installation (its linearization point).
+//
+// Reads adopt the first logged value; failed CASes are logged at the
+// moment a helper observes a conflicting value.
+//
+// # Cost
+//
+// Every operation takes O(1) steps plus O(1) per interfering cell
+// update during the operation. Helpers of the same Exec interfere at
+// most a constant number of times per operation (install + resolve),
+// so in race-free critical sections the overhead is a constant factor,
+// matching Theorem 4.2; concurrent races from other thunks (which the
+// paper explicitly permits, footnote 1) are charged to the interferer.
+package idem
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wflocks/internal/env"
+)
+
+// opKind identifies the kind of a simulated shared-memory operation.
+type opKind int32
+
+const (
+	opRead opKind = iota + 1
+	opWrite
+	opCAS
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opRead:
+		return "Read"
+	case opWrite:
+		return "Write"
+	case opCAS:
+		return "CAS"
+	default:
+		return fmt.Sprintf("opKind(%d)", int32(k))
+	}
+}
+
+// box is an immutable cell state: either a plain value (desc == nil) or
+// an installed operation descriptor. Boxes are never mutated after
+// publication; freshness of the pointer rules out ABA on install.
+type box struct {
+	val  uint64
+	desc *opDesc
+}
+
+// opDesc is an installed effectful operation (Write or CAS success
+// path) of one Exec.
+type opDesc struct {
+	exec   *Exec
+	op     int
+	kind   opKind
+	newVal uint64
+	prev   *box // box displaced by the installation, for undo
+}
+
+// response is the canonical logged outcome of one operation.
+type response struct {
+	kind opKind
+	cell *Cell
+	val  uint64 // Read: value read; CAS: 1 = success, 0 = failure
+	by   *opDesc
+}
+
+// Cell is a shared memory location usable inside idempotent thunks.
+// Construct with NewCell.
+type Cell struct {
+	p atomic.Pointer[box]
+}
+
+// NewCell returns a cell holding v.
+func NewCell(v uint64) *Cell {
+	c := &Cell{}
+	c.p.Store(&box{val: v})
+	return c
+}
+
+// Load reads the cell from outside any thunk, helping resolve any
+// installed descriptor first.
+func (c *Cell) Load(e env.Env) uint64 {
+	for {
+		e.Step()
+		b := c.p.Load()
+		if b.desc == nil {
+			return b.val
+		}
+		resolve(e, c, b)
+	}
+}
+
+// Store writes the cell from outside any thunk. It helps resolve any
+// installed descriptor first so the write cannot bury one.
+func (c *Cell) Store(e env.Env, v uint64) {
+	nb := &box{val: v}
+	for {
+		e.Step()
+		b := c.p.Load()
+		if b.desc != nil {
+			resolve(e, c, b)
+			continue
+		}
+		e.Step()
+		if c.p.CompareAndSwap(b, nb) {
+			return
+		}
+	}
+}
+
+// CompareAndSwap performs a CAS from outside any thunk.
+func (c *Cell) CompareAndSwap(e env.Env, old, new uint64) bool {
+	for {
+		e.Step()
+		b := c.p.Load()
+		if b.desc != nil {
+			resolve(e, c, b)
+			continue
+		}
+		if b.val != old {
+			return false
+		}
+		e.Step()
+		if c.p.CompareAndSwap(b, &box{val: new}) {
+			return true
+		}
+	}
+}
+
+// Body is the code of a thunk. It must be deterministic: all decisions
+// must derive from the responses of the Run's shared-memory operations
+// (plus values captured at construction). It must not perform any other
+// shared-memory access, must not block, and must not start nested
+// tryLocks (the paper forbids lock nesting).
+type Body func(r *Run)
+
+// Exec is one logical execution of a thunk, shared by its initiating
+// process and any helpers. All of them call Execute; the combined
+// effect equals exactly one run of the body.
+type Exec struct {
+	body     Body
+	log      []atomic.Pointer[response]
+	finished atomic.Bool
+}
+
+// NewExec creates an execution of body that performs at most maxOps
+// shared-memory operations (the paper's T bound).
+func NewExec(body Body, maxOps int) *Exec {
+	if maxOps < 0 {
+		panic("idem: negative maxOps")
+	}
+	return &Exec{body: body, log: make([]atomic.Pointer[response], maxOps)}
+}
+
+// Execute runs or helps the thunk to completion. It may be called any
+// number of times by any number of processes; memory effects apply as
+// if the body ran exactly once (Definition 4.1).
+func (x *Exec) Execute(e env.Env) {
+	r := &Run{e: e, x: x}
+	x.body(r)
+	x.finished.Store(true)
+}
+
+// Finished reports whether some run of the thunk has completed.
+func (x *Exec) Finished() bool { return x.finished.Load() }
+
+// Run is one process's run of an Exec; it carries the op cursor. It is
+// created by Execute and passed to the Body.
+type Run struct {
+	e    env.Env
+	x    *Exec
+	next int
+}
+
+// Env exposes the environment, e.g. for step accounting of private
+// work inside the body.
+func (r *Run) Env() env.Env { return r.e }
+
+// logged returns the canonical response for op i if decided.
+func (r *Run) logged(i int) *response {
+	r.e.Step()
+	return r.x.log[i].Load()
+}
+
+// slot bounds-checks and claims the next op index.
+func (r *Run) slot() int {
+	i := r.next
+	if i >= len(r.x.log) {
+		panic(fmt.Sprintf("idem: thunk exceeded maxOps=%d", len(r.x.log)))
+	}
+	r.next++
+	return i
+}
+
+// validate panics if a replayed response disagrees with the op being
+// issued — which means the body is not deterministic.
+func validate(resp *response, kind opKind, c *Cell, i int) {
+	if resp.kind != kind || resp.cell != c {
+		panic(fmt.Sprintf(
+			"idem: non-deterministic thunk: op %d replayed as %v on %p, logged %v on %p",
+			i, kind, c, resp.kind, resp.cell))
+	}
+}
+
+// Read performs an idempotent read of c: all runs of the thunk observe
+// the same (first-logged) value.
+func (r *Run) Read(c *Cell) uint64 {
+	i := r.slot()
+	for {
+		if resp := r.logged(i); resp != nil {
+			validate(resp, opRead, c, i)
+			return resp.val
+		}
+		r.e.Step()
+		b := c.p.Load()
+		if b.desc != nil {
+			resolve(r.e, c, b)
+			continue
+		}
+		r.e.Step()
+		r.x.log[i].CompareAndSwap(nil, &response{kind: opRead, cell: c, val: b.val})
+		resp := r.logged(i)
+		validate(resp, opRead, c, i)
+		return resp.val
+	}
+}
+
+// Write performs an idempotent write of v to c: the write takes effect
+// exactly once no matter how many runs execute it.
+func (r *Run) Write(c *Cell, v uint64) {
+	i := r.slot()
+	for {
+		if resp := r.logged(i); resp != nil {
+			validate(resp, opWrite, c, i)
+			return
+		}
+		r.e.Step()
+		b := c.p.Load()
+		if b.desc != nil {
+			resolve(r.e, c, b)
+			continue
+		}
+		d := &opDesc{exec: r.x, op: i, kind: opWrite, newVal: v, prev: b}
+		db := &box{desc: d}
+		r.e.Step()
+		if c.p.CompareAndSwap(b, db) {
+			resolve(r.e, c, db)
+			return
+		}
+	}
+}
+
+// CAS performs an idempotent compare-and-swap on c: its success or
+// failure is decided once (by the canonical log) and its effect applies
+// at most once.
+func (r *Run) CAS(c *Cell, old, new uint64) bool {
+	i := r.slot()
+	for {
+		if resp := r.logged(i); resp != nil {
+			validate(resp, opCAS, c, i)
+			return resp.val == 1
+		}
+		r.e.Step()
+		b := c.p.Load()
+		if b.desc != nil {
+			resolve(r.e, c, b)
+			continue
+		}
+		if b.val != old {
+			// Observed a conflicting value: the op fails, linearized at
+			// this load — unless another run already decided otherwise.
+			r.e.Step()
+			r.x.log[i].CompareAndSwap(nil, &response{kind: opCAS, cell: c, val: 0})
+			resp := r.logged(i)
+			validate(resp, opCAS, c, i)
+			return resp.val == 1
+		}
+		d := &opDesc{exec: r.x, op: i, kind: opCAS, newVal: new, prev: b}
+		db := &box{desc: d}
+		r.e.Step()
+		if c.p.CompareAndSwap(b, db) {
+			resolve(r.e, c, db)
+			resp := r.logged(i)
+			validate(resp, opCAS, c, i)
+			return resp.val == 1
+		}
+	}
+}
+
+// resolve completes an installed descriptor found in cell c inside box
+// db. Any process may (and must, to make progress) resolve descriptors
+// it encounters. The descriptor's effect is committed if and only if
+// its installation is the one recorded in its op's log slot; otherwise
+// the displaced box is restored, making the installation a no-op.
+func resolve(e env.Env, c *Cell, db *box) {
+	d := db.desc
+	slot := &d.exec.log[d.op]
+	e.Step()
+	slot.CompareAndSwap(nil, &response{kind: d.kind, cell: c, val: 1, by: d})
+	e.Step()
+	resp := slot.Load()
+	e.Step()
+	if resp.by == d {
+		c.p.CompareAndSwap(db, &box{val: d.newVal})
+	} else {
+		c.p.CompareAndSwap(db, d.prev)
+	}
+}

@@ -1,0 +1,119 @@
+package idem
+
+import (
+	"fmt"
+	"testing"
+
+	"wflocks/internal/env"
+	"wflocks/internal/linearize"
+	"wflocks/internal/sched"
+)
+
+// TestSimulatedOpsLinearizable checks Theorem 4.2(3): the simulated
+// memory operations of idempotent thunks are linearizable. Two thunks
+// (each run by its own process) and a direct observer race on one
+// cell; the recorded history must admit a linearization under the
+// sequential register specification.
+func TestSimulatedOpsLinearizable(t *testing.T) {
+	pack := func(old, new uint64) uint64 { return old<<32 | new }
+	for seed := uint64(1); seed <= 120; seed++ {
+		c := NewCell(0)
+		clock := new(uint64)
+		tick := func() uint64 { *clock++; return *clock }
+		var history []linearize.Op
+		record := func(op linearize.Op) { history = append(history, op) }
+
+		sim := sched.New(sched.NewRandom(3, seed), seed)
+
+		// Thunk 1: read, write, read.
+		sim.Spawn(func(e env.Env) {
+			x := NewExec(func(r *Run) {
+				start := tick()
+				v := r.Read(c)
+				record(linearize.Op{Proc: 0, Name: "read", Ret: fmt.Sprint(v),
+					Start: start, End: tick()})
+				start = tick()
+				r.Write(c, 10)
+				record(linearize.Op{Proc: 0, Name: "write", Arg: 10, Ret: "ok",
+					Start: start, End: tick()})
+				start = tick()
+				v = r.Read(c)
+				record(linearize.Op{Proc: 0, Name: "read", Ret: fmt.Sprint(v),
+					Start: start, End: tick()})
+			}, 3)
+			x.Execute(e)
+		})
+
+		// Thunk 2: two CASes.
+		sim.Spawn(func(e env.Env) {
+			x := NewExec(func(r *Run) {
+				start := tick()
+				ok := r.CAS(c, 0, 20)
+				record(linearize.Op{Proc: 1, Name: "cas", Arg: pack(0, 20),
+					Ret: fmt.Sprint(ok), Start: start, End: tick()})
+				start = tick()
+				ok = r.CAS(c, 10, 30)
+				record(linearize.Op{Proc: 1, Name: "cas", Arg: pack(10, 30),
+					Ret: fmt.Sprint(ok), Start: start, End: tick()})
+			}, 2)
+			x.Execute(e)
+		})
+
+		// Direct observer using the out-of-thunk Cell API.
+		sim.Spawn(func(e env.Env) {
+			for k := 0; k < 2; k++ {
+				start := tick()
+				v := c.Load(e)
+				record(linearize.Op{Proc: 2, Name: "read", Ret: fmt.Sprint(v),
+					Start: start, End: tick()})
+				env.StallSteps(e, 3)
+			}
+		})
+
+		if err := sim.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ok, why := linearize.Check(linearize.RegisterSpec(0), history)
+		if !ok {
+			t.Fatalf("seed %d: simulated ops not linearizable:\n%s", seed, why)
+		}
+	}
+}
+
+// TestStoreCASMixLinearizable exercises the out-of-thunk Cell API under
+// concurrency: Stores and CASes from three processes.
+func TestStoreCASMixLinearizable(t *testing.T) {
+	pack := func(old, new uint64) uint64 { return old<<32 | new }
+	for seed := uint64(1); seed <= 80; seed++ {
+		c := NewCell(1)
+		clock := new(uint64)
+		tick := func() uint64 { *clock++; return *clock }
+		var history []linearize.Op
+		sim := sched.New(sched.NewRandom(3, seed), seed)
+		sim.Spawn(func(e env.Env) {
+			start := tick()
+			c.Store(e, 2)
+			history = append(history, linearize.Op{Proc: 0, Name: "write", Arg: 2,
+				Ret: "ok", Start: start, End: tick()})
+		})
+		sim.Spawn(func(e env.Env) {
+			start := tick()
+			ok := c.CompareAndSwap(e, 1, 3)
+			history = append(history, linearize.Op{Proc: 1, Name: "cas",
+				Arg: pack(1, 3), Ret: fmt.Sprint(ok), Start: start, End: tick()})
+		})
+		sim.Spawn(func(e env.Env) {
+			start := tick()
+			v := c.Load(e)
+			history = append(history, linearize.Op{Proc: 2, Name: "read",
+				Ret: fmt.Sprint(v), Start: start, End: tick()})
+		})
+		if err := sim.Run(100_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ok, why := linearize.Check(linearize.RegisterSpec(1), history)
+		if !ok {
+			t.Fatalf("seed %d: cell API not linearizable:\n%s", seed, why)
+		}
+	}
+}

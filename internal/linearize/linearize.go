@@ -1,0 +1,207 @@
+// Package linearize implements a Wing–Gong-style linearizability
+// checker: given a concurrent history of completed operations (with
+// invocation/response timestamps) and a sequential specification, it
+// searches for a linearization — a total order consistent with the
+// history's real-time partial order under which the specification
+// produces exactly the observed return values.
+//
+// The active set of Algorithm 1 claims linearizability (Section 5.1),
+// and the idempotence construction claims its simulated operations are
+// linearizable (Theorem 4.2(3)); the tests of those packages use this
+// checker on small seeded histories, complementing the larger
+// invariant-based tests.
+//
+// The search is exponential in the worst case; keep histories small
+// (≲ 14 operations). Memoization on (linearized-set, state-key) keeps
+// typical histories fast.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is one completed operation of a concurrent history.
+type Op struct {
+	// Proc identifies the calling process (diagnostics only).
+	Proc int
+	// Name and Arg describe the operation.
+	Name string
+	Arg  uint64
+	// Ret is the observed return value, encoded by the caller.
+	Ret string
+	// Start and End are the invocation and response timestamps. Start
+	// must be strictly less than End, and timestamps must be drawn
+	// from one global clock.
+	Start, End uint64
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("p%d.%s(%d)=%s@[%d,%d]", o.Proc, o.Name, o.Arg, o.Ret, o.Start, o.End)
+}
+
+// Spec is a sequential specification over an opaque state.
+type Spec struct {
+	// Init returns the initial state.
+	Init func() any
+	// Apply runs op on state, returning the new state and the return
+	// value the sequential object would produce.
+	Apply func(state any, op Op) (any, string)
+	// Key renders a state as a comparable memoization key.
+	Key func(state any) string
+}
+
+// Check reports whether the history is linearizable with respect to the
+// specification. If it is not, it returns a human-readable explanation.
+func Check(spec Spec, history []Op) (bool, string) {
+	for _, op := range history {
+		if op.Start >= op.End {
+			return false, fmt.Sprintf("malformed op %v: Start >= End", op)
+		}
+	}
+	ops := append([]Op(nil), history...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+
+	taken := make([]bool, len(ops))
+	memo := map[string]bool{} // states already proven dead ends
+	var search func(state any, remaining int) bool
+	search = func(state any, remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		key := memoKey(spec, state, taken)
+		if memo[key] {
+			return false
+		}
+		// An op may be linearized next iff no other remaining op
+		// responded before it was invoked.
+		minEnd := ^uint64(0)
+		for i, op := range ops {
+			if !taken[i] && op.End < minEnd {
+				minEnd = op.End
+			}
+		}
+		for i, op := range ops {
+			if taken[i] || op.Start > minEnd {
+				continue
+			}
+			next, ret := spec.Apply(state, op)
+			if ret != op.Ret {
+				continue
+			}
+			taken[i] = true
+			if search(next, remaining-1) {
+				return true
+			}
+			taken[i] = false
+		}
+		memo[key] = true
+		return false
+	}
+	if search(spec.Init(), len(ops)) {
+		return true, ""
+	}
+	return false, fmt.Sprintf("no linearization exists for history:\n%s", render(ops))
+}
+
+func memoKey(spec Spec, state any, taken []bool) string {
+	var b strings.Builder
+	b.WriteString(spec.Key(state))
+	b.WriteByte('|')
+	for _, t := range taken {
+		if t {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func render(ops []Op) string {
+	lines := make([]string, len(ops))
+	for i, op := range ops {
+		lines[i] = "  " + op.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// RegisterSpec returns the sequential specification of a single uint64
+// register supporting read/write/cas — the model for idem.Cell
+// histories. Return encoding: read → value as decimal; write → "ok";
+// cas → "true"/"false" (Arg packs old<<32|new for 32-bit test values).
+func RegisterSpec(initial uint64) Spec {
+	return Spec{
+		Init: func() any { return initial },
+		Apply: func(state any, op Op) (any, string) {
+			v := state.(uint64)
+			switch op.Name {
+			case "read":
+				return v, fmt.Sprint(v)
+			case "write":
+				return op.Arg, "ok"
+			case "cas":
+				old, new := op.Arg>>32, op.Arg&0xffffffff
+				if v == old {
+					return new, "true"
+				}
+				return v, "false"
+			default:
+				return v, "?unknown-op"
+			}
+		},
+		Key: func(state any) string { return fmt.Sprint(state.(uint64)) },
+	}
+}
+
+// SetSpec returns the sequential specification of a set of uint64
+// elements — the model for active set histories. Operations: insert,
+// remove (ret "ok"), getset (ret comma-joined sorted members).
+func SetSpec() Spec {
+	type set = string // canonical "1,4,9" encoding
+	encode := func(members map[uint64]bool) set {
+		ids := make([]uint64, 0, len(members))
+		for id := range members {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = fmt.Sprint(id)
+		}
+		return strings.Join(parts, ",")
+	}
+	decode := func(s set) map[uint64]bool {
+		members := map[uint64]bool{}
+		if s == "" {
+			return members
+		}
+		for _, part := range strings.Split(s, ",") {
+			var id uint64
+			fmt.Sscan(part, &id)
+			members[id] = true
+		}
+		return members
+	}
+	return Spec{
+		Init: func() any { return set("") },
+		Apply: func(state any, op Op) (any, string) {
+			members := decode(state.(set))
+			switch op.Name {
+			case "insert":
+				members[op.Arg] = true
+				return encode(members), "ok"
+			case "remove":
+				delete(members, op.Arg)
+				return encode(members), "ok"
+			case "getset":
+				s := encode(members)
+				return s, s
+			default:
+				return state, "?unknown-op"
+			}
+		},
+		Key: func(state any) string { return state.(set) },
+	}
+}

@@ -1,0 +1,158 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSequentialHistoryAccepted(t *testing.T) {
+	spec := RegisterSpec(0)
+	ok, why := Check(spec, []Op{
+		{Proc: 0, Name: "write", Arg: 5, Ret: "ok", Start: 1, End: 2},
+		{Proc: 0, Name: "read", Ret: "5", Start: 3, End: 4},
+	})
+	if !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	spec := RegisterSpec(0)
+	ok, _ := Check(spec, []Op{
+		{Proc: 0, Name: "write", Arg: 5, Ret: "ok", Start: 1, End: 2},
+		{Proc: 1, Name: "read", Ret: "0", Start: 3, End: 4}, // must see 5
+	})
+	if ok {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestOverlappingOpsMayReorder(t *testing.T) {
+	spec := RegisterSpec(0)
+	// The read overlaps the write, so either value is linearizable.
+	for _, ret := range []string{"0", "5"} {
+		ok, why := Check(spec, []Op{
+			{Proc: 0, Name: "write", Arg: 5, Ret: "ok", Start: 1, End: 10},
+			{Proc: 1, Name: "read", Ret: ret, Start: 2, End: 9},
+		})
+		if !ok {
+			t.Fatalf("overlapping read=%s rejected: %s", ret, why)
+		}
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	spec := RegisterSpec(1)
+	pack := func(old, new uint64) uint64 { return old<<32 | new }
+	ok, why := Check(spec, []Op{
+		{Proc: 0, Name: "cas", Arg: pack(1, 2), Ret: "true", Start: 1, End: 2},
+		{Proc: 1, Name: "cas", Arg: pack(1, 3), Ret: "false", Start: 3, End: 4},
+		{Proc: 0, Name: "read", Ret: "2", Start: 5, End: 6},
+	})
+	if !ok {
+		t.Fatal(why)
+	}
+	// Two sequential CASes from the same old value cannot both succeed.
+	ok, _ = Check(spec, []Op{
+		{Proc: 0, Name: "cas", Arg: pack(1, 2), Ret: "true", Start: 1, End: 2},
+		{Proc: 1, Name: "cas", Arg: pack(1, 3), Ret: "true", Start: 3, End: 4},
+	})
+	if ok {
+		t.Fatal("double CAS-from-same-old accepted")
+	}
+}
+
+func TestDoubleCASOverlappingStillRejected(t *testing.T) {
+	spec := RegisterSpec(1)
+	pack := func(old, new uint64) uint64 { return old<<32 | new }
+	// Even fully overlapping, both cannot succeed from old=1 with no
+	// other writes restoring 1.
+	ok, _ := Check(spec, []Op{
+		{Proc: 0, Name: "cas", Arg: pack(1, 2), Ret: "true", Start: 1, End: 10},
+		{Proc: 1, Name: "cas", Arg: pack(1, 3), Ret: "true", Start: 2, End: 9},
+	})
+	if ok {
+		t.Fatal("two successful CASes from the same value accepted")
+	}
+}
+
+func TestSetSpecHistories(t *testing.T) {
+	spec := SetSpec()
+	ok, why := Check(spec, []Op{
+		{Proc: 0, Name: "insert", Arg: 3, Ret: "ok", Start: 1, End: 2},
+		{Proc: 1, Name: "insert", Arg: 7, Ret: "ok", Start: 3, End: 4},
+		{Proc: 2, Name: "getset", Ret: "3,7", Start: 5, End: 6},
+		{Proc: 0, Name: "remove", Arg: 3, Ret: "ok", Start: 7, End: 8},
+		{Proc: 2, Name: "getset", Ret: "7", Start: 9, End: 10},
+	})
+	if !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestSetSpecRejectsGhostMember(t *testing.T) {
+	spec := SetSpec()
+	ok, _ := Check(spec, []Op{
+		{Proc: 0, Name: "insert", Arg: 3, Ret: "ok", Start: 1, End: 2},
+		{Proc: 2, Name: "getset", Ret: "3,9", Start: 3, End: 4}, // 9 never inserted
+	})
+	if ok {
+		t.Fatal("ghost member accepted")
+	}
+}
+
+func TestSetSpecRejectsMissingMember(t *testing.T) {
+	spec := SetSpec()
+	ok, _ := Check(spec, []Op{
+		{Proc: 0, Name: "insert", Arg: 3, Ret: "ok", Start: 1, End: 2},
+		{Proc: 2, Name: "getset", Ret: "", Start: 3, End: 4}, // must contain 3
+	})
+	if ok {
+		t.Fatal("missing member accepted")
+	}
+}
+
+func TestOverlappingInsertGetset(t *testing.T) {
+	spec := SetSpec()
+	// getset overlaps the insert: both outcomes fine.
+	for _, ret := range []string{"", "4"} {
+		ok, why := Check(spec, []Op{
+			{Proc: 0, Name: "insert", Arg: 4, Ret: "ok", Start: 1, End: 10},
+			{Proc: 1, Name: "getset", Ret: ret, Start: 2, End: 9},
+		})
+		if !ok {
+			t.Fatalf("ret=%q rejected: %s", ret, why)
+		}
+	}
+}
+
+func TestMalformedOpRejected(t *testing.T) {
+	spec := RegisterSpec(0)
+	ok, why := Check(spec, []Op{{Name: "read", Ret: "0", Start: 5, End: 5}})
+	if ok || !strings.Contains(why, "malformed") {
+		t.Fatalf("malformed op accepted: %v %q", ok, why)
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	ok, _ := Check(RegisterSpec(0), nil)
+	if !ok {
+		t.Fatal("empty history rejected")
+	}
+}
+
+func TestMediumHistoryPerformance(t *testing.T) {
+	// 12 ops with heavy overlap must finish fast (memoization).
+	spec := RegisterSpec(0)
+	var ops []Op
+	for i := uint64(0); i < 6; i++ {
+		ops = append(ops,
+			Op{Proc: int(i), Name: "write", Arg: i, Ret: "ok", Start: 1, End: 100},
+			Op{Proc: int(i) + 6, Name: "read", Ret: "0", Start: 1, End: 100})
+	}
+	// All reads returning 0 is linearizable: linearize all reads first.
+	ok, why := Check(spec, ops)
+	if !ok {
+		t.Fatal(why)
+	}
+}

@@ -1,0 +1,93 @@
+// Package multiset implements the set-regular multi active set of
+// Section 5.2 (Algorithm 2) on top of the linearizable active set of
+// Algorithm 1.
+//
+// A multi active set generalizes the active set to several sets at
+// once: MultiInsert inserts an item into a collection of sets
+// "atomically", MultiRemove undoes the previous MultiInsert, and
+// GetSet returns the members of one set.
+//
+// The object is deliberately *not* linearizable; it satisfies the
+// weaker set regularity property (Theorem 5.1): every MultiInsert and
+// MultiRemove appears to take effect atomically at some point between
+// invocation and response — any GetSet invoked after that point sees
+// the effect, any GetSet that responds before it does not, and a
+// GetSet overlapping the point may or may not. The atomic point is the
+// flag write: MultiInsert first inserts the item into every set, then
+// sets the item's flag; MultiRemove clears the flag, then removes.
+// GetSet filters the underlying active-set snapshot by flag.
+//
+// In Algorithm 3 the descriptor's priority field doubles as the flag
+// (priority > 0 ⇒ flag set), so the flag write is the descriptor's
+// "reveal step".
+package multiset
+
+import (
+	"wflocks/internal/activeset"
+	"wflocks/internal/env"
+)
+
+// Flagged is the interface items must implement (Algorithm 2's type T):
+// a single writable boolean flag. The flag write is the operation's
+// atomic point, so implementations must make GetFlag/SetFlag/ClearFlag
+// individually atomic.
+type Flagged interface {
+	// SetFlag sets the flag. This is the atomic point of MultiInsert
+	// (the descriptor's reveal step in Algorithm 3).
+	SetFlag(e env.Env)
+	// ClearFlag clears the flag. This is the atomic point of
+	// MultiRemove.
+	ClearFlag(e env.Env)
+	// GetFlag reads the flag.
+	GetFlag(e env.Env) bool
+}
+
+// MultiInsert inserts item into every set in collection, then sets its
+// flag (Algorithm 2, multiInsert). It returns the slot index claimed in
+// each set, which must be passed to the matching MultiRemove.
+//
+// Step complexity: O(κ) per set (Theorem 5.2).
+func MultiInsert[T any, PT interface {
+	Flagged
+	*T
+}](e env.Env, item PT, collection []*activeset.Set[T]) []int {
+	item.ClearFlag(e)
+	slots := make([]int, len(collection))
+	for i, set := range collection {
+		slots[i] = set.Insert(e, (*T)(item))
+	}
+	item.SetFlag(e)
+	return slots
+}
+
+// MultiRemove clears the item's flag, then removes it from every set it
+// was inserted into (Algorithm 2, multiRemove). slots must be the value
+// returned by the matching MultiInsert.
+func MultiRemove[T any, PT interface {
+	Flagged
+	*T
+}](e env.Env, item PT, collection []*activeset.Set[T], slots []int) {
+	item.ClearFlag(e)
+	for i, set := range collection {
+		set.Remove(e, slots[i])
+	}
+}
+
+// GetSet returns the members of one set whose flags are set
+// (Algorithm 2, getSet). The result is freshly allocated.
+//
+// Step complexity: O(κ) — one active-set GetSet plus one flag read per
+// member.
+func GetSet[T any, PT interface {
+	Flagged
+	*T
+}](e env.Env, set *activeset.Set[T]) []*T {
+	snapshot := set.GetSet(e)
+	out := make([]*T, 0, len(snapshot))
+	for _, item := range snapshot {
+		if PT(item).GetFlag(e) {
+			out = append(out, item)
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package multiset
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"wflocks/internal/activeset"
+	"wflocks/internal/env"
+	"wflocks/internal/sched"
+)
+
+// item is a minimal Flagged implementation for tests.
+type item struct {
+	id   int
+	flag atomic.Bool
+}
+
+func (it *item) SetFlag(e env.Env)      { e.Step(); it.flag.Store(true) }
+func (it *item) ClearFlag(e env.Env)    { e.Step(); it.flag.Store(false) }
+func (it *item) GetFlag(e env.Env) bool { e.Step(); return it.flag.Load() }
+
+var _ Flagged = (*item)(nil)
+
+func newSets(n, capacity int) []*activeset.Set[item] {
+	sets := make([]*activeset.Set[item], n)
+	for i := range sets {
+		sets[i] = activeset.New[item](capacity)
+	}
+	return sets
+}
+
+func memberIDs(e env.Env, set *activeset.Set[item]) map[int]bool {
+	out := map[int]bool{}
+	for _, it := range GetSet[item, *item](e, set) {
+		out[it.id] = true
+	}
+	return out
+}
+
+func TestSequentialMultiInsertRemove(t *testing.T) {
+	e := env.NewNative(0, 1)
+	sets := newSets(3, 4)
+	a := &item{id: 1}
+
+	slots := MultiInsert(e, a, sets)
+	if len(slots) != 3 {
+		t.Fatalf("got %d slots, want 3", len(slots))
+	}
+	for i, set := range sets {
+		if !memberIDs(e, set)[1] {
+			t.Fatalf("set %d missing item after MultiInsert", i)
+		}
+	}
+
+	MultiRemove(e, a, sets, slots)
+	for i, set := range sets {
+		if memberIDs(e, set)[1] {
+			t.Fatalf("set %d still has item after MultiRemove", i)
+		}
+	}
+}
+
+func TestFlagGatesVisibility(t *testing.T) {
+	// An item inserted into the underlying active set but with a clear
+	// flag must be invisible to the multiset GetSet.
+	e := env.NewNative(0, 1)
+	sets := newSets(1, 4)
+	a := &item{id: 1}
+	a.ClearFlag(e)
+	sets[0].Insert(e, a)
+	if memberIDs(e, sets[0])[1] {
+		t.Fatal("unflagged item visible")
+	}
+	a.SetFlag(e)
+	if !memberIDs(e, sets[0])[1] {
+		t.Fatal("flagged item invisible")
+	}
+}
+
+func TestMultiInsertIntoSubsetOfSets(t *testing.T) {
+	e := env.NewNative(0, 1)
+	sets := newSets(4, 4)
+	a := &item{id: 7}
+	slots := MultiInsert(e, a, sets[1:3])
+	if memberIDs(e, sets[0])[7] || memberIDs(e, sets[3])[7] {
+		t.Fatal("item leaked into sets outside the collection")
+	}
+	if !memberIDs(e, sets[1])[7] || !memberIDs(e, sets[2])[7] {
+		t.Fatal("item missing from its collection")
+	}
+	MultiRemove(e, a, sets[1:3], slots)
+}
+
+// TestSetRegularityAfterPoint: a GetSet invoked entirely after a
+// MultiInsert's response must see the item; one invoked entirely after
+// a MultiRemove's response must not (Theorem 5.1).
+func TestSetRegularityAfterPoint(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		const inserters = 4
+		const numSets = 3
+		sets := newSets(numSets, inserters)
+		sim := sched.New(sched.NewRandom(inserters+1, seed), seed)
+		items := make([]*item, inserters)
+		insertedMark := make([]bool, inserters) // true once MultiInsert returned
+		removeStarted := make([]bool, inserters)
+		for i := 0; i < inserters; i++ {
+			i := i
+			items[i] = &item{id: i}
+			sim.Spawn(func(e env.Env) {
+				slots := MultiInsert(e, items[i], sets)
+				insertedMark[i] = true
+				env.StallSteps(e, uint64(5*(i+1)))
+				removeStarted[i] = true
+				MultiRemove(e, items[i], sets, slots)
+			})
+		}
+		var violation string
+		sim.Spawn(func(e env.Env) {
+			for k := 0; k < 60 && violation == ""; k++ {
+				for si := 0; si < numSets; si++ {
+					var mustHave []int
+					for i := 0; i < inserters; i++ {
+						if insertedMark[i] && !removeStarted[i] {
+							mustHave = append(mustHave, i)
+						}
+					}
+					got := memberIDs(e, sets[si])
+					for _, id := range mustHave {
+						if !got[id] && !removeStarted[id] {
+							violation = "set-regularity: missing item whose MultiInsert completed"
+						}
+					}
+				}
+			}
+		})
+		if err := sim.Run(2_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if violation != "" {
+			t.Fatalf("seed %d: %s", seed, violation)
+		}
+		// After everything finished, all sets must be empty.
+		e := env.NewNative(99, 1)
+		for si := 0; si < numSets; si++ {
+			if got := memberIDs(e, sets[si]); len(got) != 0 {
+				t.Fatalf("seed %d: set %d not empty at quiescence: %v", seed, si, got)
+			}
+		}
+	}
+}
+
+// TestRemovedInvisibleAfterResponse: once MultiRemove returns, no later
+// GetSet may see the item.
+func TestRemovedInvisibleAfterResponse(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		const numSets = 2
+		sets := newSets(numSets, 4)
+		sim := sched.New(sched.NewRandom(2, seed), seed)
+		a := &item{id: 1}
+		removedMark := false
+		sim.Spawn(func(e env.Env) {
+			slots := MultiInsert(e, a, sets)
+			MultiRemove(e, a, sets, slots)
+			removedMark = true
+		})
+		var violation bool
+		sim.Spawn(func(e env.Env) {
+			for k := 0; k < 50; k++ {
+				wasRemoved := removedMark
+				for si := 0; si < numSets; si++ {
+					if memberIDs(e, sets[si])[1] && wasRemoved {
+						violation = true
+					}
+				}
+			}
+		})
+		if err := sim.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if violation {
+			t.Fatalf("seed %d: item visible after MultiRemove response", seed)
+		}
+	}
+}
+
+// TestOverlappingGetSetMayDisagree documents the paper's point that the
+// multiset is set-regular, not linearizable: two GetSets overlapping
+// two MultiInserts may see {a} and {b} respectively. We only assert
+// that the harness tolerates either outcome (no invariant violation),
+// exercising the overlap path.
+func TestOverlappingGetSetTolerated(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		sets := newSets(1, 4)
+		sim := sched.New(sched.NewRandom(4, seed), seed)
+		a, b := &item{id: 1}, &item{id: 2}
+		sim.Spawn(func(e env.Env) { MultiInsert(e, a, sets) })
+		sim.Spawn(func(e env.Env) { MultiInsert(e, b, sets) })
+		for r := 0; r < 2; r++ {
+			sim.Spawn(func(e env.Env) {
+				for k := 0; k < 10; k++ {
+					got := memberIDs(e, sets[0])
+					if len(got) > 2 {
+						t.Errorf("seed %d: snapshot larger than membership: %v", seed, got)
+					}
+				}
+			})
+		}
+		if err := sim.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Quiescent check: both inserts completed, flags set ⇒ both visible.
+		e := env.NewNative(99, 1)
+		got := memberIDs(e, sets[0])
+		if !got[1] || !got[2] {
+			t.Fatalf("seed %d: quiescent snapshot missing items: %v", seed, got)
+		}
+	}
+}
+
+func TestGetSetAllocatesFreshSlice(t *testing.T) {
+	e := env.NewNative(0, 1)
+	sets := newSets(1, 4)
+	a := &item{id: 1}
+	MultiInsert(e, a, sets)
+	g1 := GetSet[item, *item](e, sets[0])
+	g2 := GetSet[item, *item](e, sets[0])
+	if len(g1) != 1 || len(g2) != 1 {
+		t.Fatalf("snapshots = %d, %d items", len(g1), len(g2))
+	}
+	g1[0] = nil
+	if g2[0] == nil {
+		t.Fatal("snapshots alias the same backing array")
+	}
+}

@@ -1,0 +1,97 @@
+package multiset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wflocks/internal/env"
+	"wflocks/internal/sched"
+)
+
+// TestPropertyQuiescentConsistency: for random shapes (sets, items,
+// schedules), after all MultiInserts complete and before any
+// MultiRemove, every set contains exactly the items inserted into it;
+// after all MultiRemoves, every set is empty.
+func TestPropertyQuiescentConsistency(t *testing.T) {
+	f := func(seed uint64, numSetsRaw, itemsRaw uint8) bool {
+		numSets := 1 + int(numSetsRaw%3)  // 1..3
+		inserters := 2 + int(itemsRaw%4)  // 2..5
+		sets := newSets(numSets, inserters)
+		items := make([]*item, inserters)
+		slots := make([][]int, inserters)
+
+		// Phase 1: concurrent inserts.
+		sim := sched.New(sched.NewRandom(inserters, seed), seed)
+		for i := 0; i < inserters; i++ {
+			i := i
+			items[i] = &item{id: i}
+			sim.Spawn(func(e env.Env) {
+				slots[i] = MultiInsert(e, items[i], sets)
+			})
+		}
+		if err := sim.Run(5_000_000); err != nil {
+			return false
+		}
+		e := env.NewNative(99, 1)
+		for si := range sets {
+			got := memberIDs(e, sets[si])
+			if len(got) != inserters {
+				return false
+			}
+			for i := 0; i < inserters; i++ {
+				if !got[i] {
+					return false
+				}
+			}
+		}
+
+		// Phase 2: concurrent removes.
+		sim2 := sched.New(sched.NewRandom(inserters, seed+1), seed+1)
+		for i := 0; i < inserters; i++ {
+			i := i
+			sim2.Spawn(func(e env.Env) {
+				MultiRemove(e, items[i], sets, slots[i])
+			})
+		}
+		if err := sim2.Run(5_000_000); err != nil {
+			return false
+		}
+		for si := range sets {
+			if len(memberIDs(e, sets[si])) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReinsertionCycles: items repeatedly inserted and removed must
+// never leak stale membership.
+func TestReinsertionCycles(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		sets := newSets(2, 3)
+		sim := sched.New(sched.NewRandom(3, seed), seed)
+		for i := 0; i < 3; i++ {
+			i := i
+			sim.Spawn(func(e env.Env) {
+				for cycle := 0; cycle < 6; cycle++ {
+					it := &item{id: 10*i + cycle}
+					slots := MultiInsert(e, it, sets)
+					MultiRemove(e, it, sets, slots)
+				}
+			})
+		}
+		if err := sim.Run(5_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e := env.NewNative(99, 1)
+		for si := range sets {
+			if got := memberIDs(e, sets[si]); len(got) != 0 {
+				t.Fatalf("seed %d: stale members after cycles: %v", seed, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"wflocks/internal/env"
+)
+
+// ErrStepLimit is returned by Run when the step budget is exhausted
+// before every process finishes.
+var ErrStepLimit = errors.New("sched: step limit reached before all processes finished")
+
+// abortSignal is panicked inside a process goroutine when the simulation
+// is torn down early; the process wrapper recovers it.
+type abortSignal struct{}
+
+// Sim is a deterministic simulator of the paper's asynchronous
+// shared-memory model. Each registered process runs as a coroutine;
+// a single step token circulates according to the (oblivious) Schedule.
+type Sim struct {
+	schedule Schedule
+	seed     uint64
+	procs    []*proc
+	total    uint64 // total granted steps across all processes
+	burnt    uint64 // schedule slots pointing at finished/absent procs
+	started  bool
+}
+
+// proc is one simulated process.
+type proc struct {
+	id       int
+	body     func(env.Env)
+	grant    chan struct{}
+	yield    chan struct{}
+	abort    chan struct{}
+	steps    uint64
+	rng      env.RNG
+	finished bool
+	err      error
+}
+
+var _ env.Env = (*proc)(nil)
+
+// New creates a simulator with the given oblivious schedule and seed.
+// Processes are registered with Spawn before calling Run.
+func New(schedule Schedule, seed uint64) *Sim {
+	return &Sim{schedule: schedule, seed: seed}
+}
+
+// Spawn registers a process body. The process's id is its registration
+// order. The body receives an env.Env that must only be used from the
+// body's goroutine.
+func (s *Sim) Spawn(body func(env.Env)) int {
+	if s.started {
+		panic("sched: Spawn after Run")
+	}
+	id := len(s.procs)
+	s.procs = append(s.procs, &proc{
+		id:    id,
+		body:  body,
+		grant: make(chan struct{}),
+		yield: make(chan struct{}),
+		abort: make(chan struct{}),
+		rng:   *env.NewRNG(env.Mix(s.seed, uint64(id)+1)),
+	})
+	return id
+}
+
+// NumProcs reports the number of registered processes.
+func (s *Sim) NumProcs() int { return len(s.procs) }
+
+// Run executes the simulation until every process finishes or maxSteps
+// total steps have been granted. It returns ErrStepLimit if the budget
+// ran out first. Run must be called exactly once.
+func (s *Sim) Run(maxSteps uint64) error {
+	if s.started {
+		panic("sched: Run called twice")
+	}
+	s.started = true
+
+	var wg sync.WaitGroup
+	for _, p := range s.procs {
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			aborted := func() (aborted bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(abortSignal); ok {
+							aborted = true
+							return
+						}
+						// The body panicked while holding the token;
+						// record the failure and fall through to the
+						// yield below so the scheduler is released.
+						p.err = fmt.Errorf("sched: process %d panicked: %v", p.id, r)
+					}
+				}()
+				// Wait for the first grant before taking any action, so
+				// that no process runs before the schedule says so.
+				select {
+				case <-p.grant:
+				case <-p.abort:
+					return true
+				}
+				p.steps++
+				p.body(p)
+				return false
+			}()
+			if aborted {
+				return // torn down by the scheduler; nobody awaits a yield
+			}
+			p.finished = true
+			p.yield <- struct{}{}
+		}(p)
+	}
+
+	running := len(s.procs)
+	var err error
+	for running > 0 {
+		// Burnt slots (schedule entries naming finished or absent
+		// processes) count against the budget too: otherwise a schedule
+		// that permanently stalls the only unfinished process would
+		// spin forever.
+		if s.total+s.burnt >= maxSteps {
+			err = fmt.Errorf("%w (granted %d steps, burnt %d, %d processes unfinished)",
+				ErrStepLimit, s.total, s.burnt, running)
+			break
+		}
+		pid := s.schedule.Next(s.total + s.burnt)
+		if pid < 0 || pid >= len(s.procs) || s.procs[pid].finished {
+			s.burnt++
+			continue
+		}
+		p := s.procs[pid]
+		s.total++
+		p.grant <- struct{}{}
+		<-p.yield
+		if p.finished {
+			running--
+		}
+	}
+
+	// Tear down any still-blocked processes.
+	for _, p := range s.procs {
+		if !p.finished {
+			close(p.abort)
+		}
+	}
+	wg.Wait()
+
+	for _, p := range s.procs {
+		if p.err != nil {
+			return p.err
+		}
+	}
+	return err
+}
+
+// TotalSteps reports the total number of steps granted across all
+// processes.
+func (s *Sim) TotalSteps() uint64 { return s.total }
+
+// ProcSteps reports the number of steps taken by process id.
+func (s *Sim) ProcSteps(id int) uint64 { return s.procs[id].steps }
+
+// Finished reports whether process id ran to completion.
+func (s *Sim) Finished(id int) bool { return s.procs[id].finished }
+
+// Step implements env.Env: the process returns the token and blocks
+// until the scheduler grants its next step.
+func (p *proc) Step() {
+	p.yield <- struct{}{}
+	select {
+	case <-p.grant:
+	case <-p.abort:
+		panic(abortSignal{})
+	}
+	p.steps++
+}
+
+// Steps implements env.Env.
+func (p *proc) Steps() uint64 { return p.steps }
+
+// Rand implements env.Env.
+func (p *proc) Rand() uint64 { return p.rng.Next() }
+
+// Pid implements env.Env.
+func (p *proc) Pid() int { return p.id }

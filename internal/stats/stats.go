@@ -1,0 +1,194 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summaries, percentiles, histograms, success-rate
+// estimation, and Jain's fairness index.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum, sq float64
+	for _, x := range sorted {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Percentile(sorted, 0.5),
+		P90:    Percentile(sorted, 0.9),
+		P99:    Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending
+// sorted sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SummarizeUint64 converts and summarizes an integer sample.
+func SummarizeUint64(xs []uint64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Rate holds a Bernoulli success-rate estimate with a normal-
+// approximation 95% confidence half-width.
+type Rate struct {
+	Successes int
+	Trials    int
+	P         float64
+	CI95      float64
+}
+
+// NewRate estimates a success probability from counts.
+func NewRate(successes, trials int) Rate {
+	if trials == 0 {
+		return Rate{}
+	}
+	p := float64(successes) / float64(trials)
+	ci := 1.96 * math.Sqrt(p*(1-p)/float64(trials))
+	return Rate{Successes: successes, Trials: trials, P: p, CI95: ci}
+}
+
+// String renders the rate as "0.512 ±0.010 (n=10000)".
+func (r Rate) String() string {
+	return fmt.Sprintf("%.4f ±%.4f (n=%d)", r.P, r.CI95, r.Trials)
+}
+
+// JainIndex computes Jain's fairness index of a non-negative allocation
+// vector: (Σx)² / (n·Σx²). It is 1 for perfectly equal allocations and
+// approaches 1/n under maximal skew.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi) with uniform
+// bucket widths plus overflow/underflow buckets.
+type Histogram struct {
+	Lo, Hi    float64
+	Buckets   []int
+	Underflow int
+	Overflow  int
+}
+
+// NewHistogram creates a histogram with n uniform buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total reports the number of observations recorded, including
+// overflow and underflow.
+func (h *Histogram) Total() int {
+	n := h.Underflow + h.Overflow
+	for _, b := range h.Buckets {
+		n += b
+	}
+	return n
+}
+
+// Mean of a float64 slice; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MaxUint64 returns the maximum of xs, or 0 for an empty slice.
+func MaxUint64(xs []uint64) uint64 {
+	var m uint64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

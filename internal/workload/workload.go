@@ -1,0 +1,248 @@
+// Package workload generates the lock-set workloads used by the tests
+// and experiments: the dining-philosophers ring that motivates the
+// paper (Section 1), random bounded-contention lock sets, hotspots, and
+// the fine-grained data-structure access patterns (list and graph
+// neighborhoods) the introduction cites as applications.
+package workload
+
+import (
+	"fmt"
+
+	"wflocks/internal/env"
+)
+
+// Workload assigns each process a sequence of lock sets to attempt.
+type Workload struct {
+	// Name describes the workload in experiment tables.
+	Name string
+	// NumLocks is the total number of locks.
+	NumLocks int
+	// Sets[i] is the lock set process i uses for every attempt (static
+	// conflict graph workloads). For dynamic workloads use NextSet.
+	Sets [][]int
+	// Kappa is the maximum point contention any lock can experience
+	// under this workload (used to configure the algorithm and to
+	// normalize fairness results).
+	Kappa int
+	// MaxLocksPerSet is the L bound of the workload.
+	MaxLocksPerSet int
+}
+
+// NumProcs reports the number of processes in the workload.
+func (w *Workload) NumProcs() int { return len(w.Sets) }
+
+// Validate checks internal consistency (every set within bounds, κ
+// consistent with the conflict structure).
+func (w *Workload) Validate() error {
+	counts := make([]int, w.NumLocks)
+	for i, set := range w.Sets {
+		if len(set) == 0 || len(set) > w.MaxLocksPerSet {
+			return fmt.Errorf("workload %q: process %d has %d locks, bound %d",
+				w.Name, i, len(set), w.MaxLocksPerSet)
+		}
+		seen := map[int]bool{}
+		for _, li := range set {
+			if li < 0 || li >= w.NumLocks {
+				return fmt.Errorf("workload %q: lock index %d out of range", w.Name, li)
+			}
+			if seen[li] {
+				return fmt.Errorf("workload %q: duplicate lock %d in process %d's set", w.Name, li, i)
+			}
+			seen[li] = true
+			counts[li]++
+		}
+	}
+	for li, c := range counts {
+		if c > w.Kappa {
+			return fmt.Errorf("workload %q: lock %d contended by %d processes, κ=%d",
+				w.Name, li, c, w.Kappa)
+		}
+	}
+	return nil
+}
+
+// Philosophers builds the dining-philosophers ring: n philosophers, n
+// chopsticks, philosopher i uses chopsticks {i, (i+1) mod n}. κ = L = 2
+// (Section 1: "here, κ = L = 2").
+func Philosophers(n int) *Workload {
+	if n < 3 {
+		panic("workload: need at least 3 philosophers")
+	}
+	sets := make([][]int, n)
+	for i := 0; i < n; i++ {
+		sets[i] = []int{i, (i + 1) % n}
+	}
+	return &Workload{
+		Name:           fmt.Sprintf("philosophers(n=%d)", n),
+		NumLocks:       n,
+		Sets:           sets,
+		Kappa:          2,
+		MaxLocksPerSet: 2,
+	}
+}
+
+// HotLock builds the single-lock contention workload: n processes all
+// competing on one lock. κ = n, L = 1.
+func HotLock(n int) *Workload {
+	sets := make([][]int, n)
+	for i := range sets {
+		sets[i] = []int{0}
+	}
+	return &Workload{
+		Name:           fmt.Sprintf("hotlock(n=%d)", n),
+		NumLocks:       1,
+		Sets:           sets,
+		Kappa:          n,
+		MaxLocksPerSet: 1,
+	}
+}
+
+// RandomSets builds a workload of procs processes each holding a random
+// L-subset of numLocks locks, resampled (rejection) until every lock's
+// contention is at most kappa. Panics if the parameters make that
+// impossible (procs*L > numLocks*kappa).
+func RandomSets(rng *env.RNG, procs, numLocks, l, kappa int) *Workload {
+	if procs*l > numLocks*kappa {
+		panic(fmt.Sprintf("workload: cannot fit %d processes × %d locks with κ=%d over %d locks",
+			procs, l, kappa, numLocks))
+	}
+	counts := make([]int, numLocks)
+	sets := make([][]int, procs)
+	for i := range sets {
+		for {
+			set := sampleSubset(rng, numLocks, l)
+			ok := true
+			for _, li := range set {
+				if counts[li]+1 > kappa {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, li := range set {
+					counts[li]++
+				}
+				sets[i] = set
+				break
+			}
+		}
+	}
+	return &Workload{
+		Name:           fmt.Sprintf("random(p=%d,m=%d,L=%d,κ=%d)", procs, numLocks, l, kappa),
+		NumLocks:       numLocks,
+		Sets:           sets,
+		Kappa:          kappa,
+		MaxLocksPerSet: l,
+	}
+}
+
+// Chain builds overlapping windows over a line of locks: process i uses
+// locks {i, i+1, ..., i+l-1}. κ = min(l, procs), L = l. This is the
+// linked-list "lock a node and its neighbors" pattern from Section 1.
+func Chain(procs, l int) *Workload {
+	if procs < 1 || l < 1 {
+		panic("workload: invalid chain shape")
+	}
+	numLocks := procs + l - 1
+	sets := make([][]int, procs)
+	for i := range sets {
+		set := make([]int, l)
+		for j := 0; j < l; j++ {
+			set[j] = i + j
+		}
+		sets[i] = set
+	}
+	kappa := l
+	if procs < l {
+		kappa = procs
+	}
+	return &Workload{
+		Name:           fmt.Sprintf("chain(p=%d,L=%d)", procs, l),
+		NumLocks:       numLocks,
+		Sets:           sets,
+		Kappa:          kappa,
+		MaxLocksPerSet: l,
+	}
+}
+
+// Disjoint builds a contention-free workload: process i uses its own l
+// private locks. κ = 1.
+func Disjoint(procs, l int) *Workload {
+	sets := make([][]int, procs)
+	for i := range sets {
+		set := make([]int, l)
+		for j := 0; j < l; j++ {
+			set[j] = i*l + j
+		}
+		sets[i] = set
+	}
+	return &Workload{
+		Name:           fmt.Sprintf("disjoint(p=%d,L=%d)", procs, l),
+		NumLocks:       procs * l,
+		Sets:           sets,
+		Kappa:          1,
+		MaxLocksPerSet: l,
+	}
+}
+
+// Clusters builds numClusters independent groups: each group has kappa
+// processes, all contending on the same private set of l locks. This
+// gives exact, uniform κ and L, which the step-bound sweeps (E1, E4)
+// need to measure scaling shapes.
+func Clusters(numClusters, kappa, l int) *Workload {
+	if numClusters < 1 || kappa < 1 || l < 1 {
+		panic("workload: invalid cluster shape")
+	}
+	sets := make([][]int, 0, numClusters*kappa)
+	for c := 0; c < numClusters; c++ {
+		base := c * l
+		set := make([]int, l)
+		for j := 0; j < l; j++ {
+			set[j] = base + j
+		}
+		for k := 0; k < kappa; k++ {
+			sets = append(sets, append([]int(nil), set...))
+		}
+	}
+	return &Workload{
+		Name:           fmt.Sprintf("clusters(c=%d,κ=%d,L=%d)", numClusters, kappa, l),
+		NumLocks:       numClusters * l,
+		Sets:           sets,
+		Kappa:          kappa,
+		MaxLocksPerSet: l,
+	}
+}
+
+// Star builds a hub-and-spokes workload: every process i uses {hub,
+// spoke_i}, so the hub lock sees κ = n contention while each spoke
+// sees 1 — the maximally skewed contention profile. L = 2.
+func Star(n int) *Workload {
+	if n < 1 {
+		panic("workload: star needs at least 1 process")
+	}
+	sets := make([][]int, n)
+	for i := range sets {
+		sets[i] = []int{0, i + 1}
+	}
+	return &Workload{
+		Name:           fmt.Sprintf("star(n=%d)", n),
+		NumLocks:       n + 1,
+		Sets:           sets,
+		Kappa:          n,
+		MaxLocksPerSet: 2,
+	}
+}
+
+// sampleSubset draws a uniform l-subset of [0, n).
+func sampleSubset(rng *env.RNG, n, l int) []int {
+	seen := map[int]bool{}
+	out := make([]int, 0, l)
+	for len(out) < l {
+		v := rng.IntN(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wflocks/internal/env"
+)
+
+func TestPhilosophersShape(t *testing.T) {
+	w := Philosophers(5)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumProcs() != 5 || w.NumLocks != 5 || w.Kappa != 2 || w.MaxLocksPerSet != 2 {
+		t.Fatalf("unexpected shape %+v", w)
+	}
+	if w.Sets[4][0] != 4 || w.Sets[4][1] != 0 {
+		t.Fatalf("ring wraparound wrong: %v", w.Sets[4])
+	}
+}
+
+func TestPhilosophersPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=2")
+		}
+	}()
+	Philosophers(2)
+}
+
+func TestHotLock(t *testing.T) {
+	w := HotLock(7)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Kappa != 7 || w.NumLocks != 1 || w.MaxLocksPerSet != 1 {
+		t.Fatalf("unexpected shape %+v", w)
+	}
+}
+
+func TestChain(t *testing.T) {
+	w := Chain(4, 3)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumLocks != 6 {
+		t.Fatalf("numLocks = %d, want 6", w.NumLocks)
+	}
+	if got := w.Sets[3]; got[0] != 3 || got[2] != 5 {
+		t.Fatalf("last window = %v", got)
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	w := Disjoint(3, 2)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Kappa != 1 {
+		t.Fatalf("κ = %d, want 1", w.Kappa)
+	}
+	seen := map[int]bool{}
+	for _, set := range w.Sets {
+		for _, li := range set {
+			if seen[li] {
+				t.Fatalf("lock %d shared in disjoint workload", li)
+			}
+			seen[li] = true
+		}
+	}
+}
+
+func TestRandomSetsRespectsBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := env.NewRNG(seed)
+		w := RandomSets(rng, 6, 12, 2, 3)
+		return w.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomSetsPanicsOnImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomSets(env.NewRNG(1), 10, 2, 2, 1) // 20 slots needed, 2 available
+}
+
+func TestValidateCatchesBadSets(t *testing.T) {
+	w := &Workload{Name: "bad", NumLocks: 2, Kappa: 1, MaxLocksPerSet: 2,
+		Sets: [][]int{{0, 0}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("duplicate lock not caught")
+	}
+	w = &Workload{Name: "bad", NumLocks: 2, Kappa: 1, MaxLocksPerSet: 1,
+		Sets: [][]int{{0, 1}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("oversized set not caught")
+	}
+	w = &Workload{Name: "bad", NumLocks: 2, Kappa: 1, MaxLocksPerSet: 1,
+		Sets: [][]int{{0}, {0}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("κ violation not caught")
+	}
+	w = &Workload{Name: "bad", NumLocks: 1, Kappa: 1, MaxLocksPerSet: 1,
+		Sets: [][]int{{3}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("out-of-range lock not caught")
+	}
+	w = &Workload{Name: "bad", NumLocks: 1, Kappa: 1, MaxLocksPerSet: 1,
+		Sets: [][]int{{}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("empty set not caught")
+	}
+}
+
+func TestStar(t *testing.T) {
+	w := Star(4)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Kappa != 4 || w.NumLocks != 5 || w.MaxLocksPerSet != 2 {
+		t.Fatalf("unexpected shape %+v", w)
+	}
+	for i, set := range w.Sets {
+		if set[0] != 0 || set[1] != i+1 {
+			t.Fatalf("process %d set = %v", i, set)
+		}
+	}
+}
+
+func TestStarPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Star(0)
+}
+
+func TestClusters(t *testing.T) {
+	w := Clusters(3, 2, 2)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumProcs() != 6 || w.NumLocks != 6 {
+		t.Fatalf("unexpected shape %+v", w)
+	}
+	// Processes in the same cluster share the same set.
+	if w.Sets[0][0] != w.Sets[1][0] || w.Sets[0][1] != w.Sets[1][1] {
+		t.Fatal("cluster members do not share a set")
+	}
+	// Different clusters are disjoint.
+	if w.Sets[0][0] == w.Sets[2][0] {
+		t.Fatal("clusters overlap")
+	}
+}
+
+func TestClustersPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Clusters(0, 1, 1)
+}
+
+func TestChainPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Chain(0, 1)
+}

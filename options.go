@@ -1,0 +1,67 @@
+package wflocks
+
+// config collects the Manager options before validation.
+type config struct {
+	kappa         int
+	maxLocks      int
+	maxCritical   int
+	numProcs      int
+	delayC        int
+	delayC1       int
+	unknownBounds bool
+	seed          uint64
+}
+
+// Option configures a Manager.
+type Option func(*config)
+
+// WithKappa sets κ, the maximum number of simultaneous attempts that
+// will ever contend on a single lock. Required unless WithUnknownBounds
+// is used. The fairness guarantee (success probability ≥ 1/(κL)) and
+// the step bound O(κ²L²T) are stated in terms of it.
+func WithKappa(kappa int) Option {
+	return func(c *config) { c.kappa = kappa }
+}
+
+// WithMaxLocks sets L, the maximum number of locks in any single
+// TryLock call. Default 2 (the dining-philosophers shape).
+func WithMaxLocks(l int) Option {
+	return func(c *config) { c.maxLocks = l }
+}
+
+// WithMaxCriticalSteps sets T, the maximum number of Tx operations any
+// critical section performs. Default 64.
+func WithMaxCriticalSteps(t int) Option {
+	return func(c *config) { c.maxCritical = t }
+}
+
+// WithUnknownBounds selects the variant that needs no κ/L knowledge
+// (paper Section 6.2, Theorem 6.10). numProcs is P, the total number of
+// processes that will ever run attempts concurrently; it sizes the
+// per-lock announcement arrays. The success probability loses a
+// log(κLT) factor compared to the known-bounds variant.
+func WithUnknownBounds(numProcs int) Option {
+	return func(c *config) {
+		c.unknownBounds = true
+		c.numProcs = numProcs
+	}
+}
+
+// WithDelayConstants overrides the paper's "sufficiently large"
+// constants c and c′ in the fixed delays T0 = c·κ²L²T and T1 = c′·κLT.
+// Smaller constants shorten every attempt but risk breaking the
+// fixed-timing property the fairness proof needs; the defaults are
+// calibrated with comfortable margin.
+func WithDelayConstants(c0, c1 int) Option {
+	return func(c *config) {
+		c.delayC = c0
+		c.delayC1 = c1
+	}
+}
+
+// WithSeed seeds the per-process random priority streams. Runs with the
+// same seed and deterministic scheduling draw the same priorities;
+// the default seed of zero is fine for production use.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}

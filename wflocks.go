@@ -1,0 +1,152 @@
+package wflocks
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wflocks/internal/core"
+	"wflocks/internal/env"
+	"wflocks/internal/idem"
+)
+
+// Manager is a family of locks sharing one configuration. Create one
+// with New; it is safe for concurrent use.
+type Manager struct {
+	sys      *core.System
+	seed     uint64
+	nextPid  atomic.Int64
+	attempts atomic.Uint64
+	wins     atomic.Uint64
+}
+
+// New creates a Manager. See the Option constructors for configuration;
+// either WithKappa or WithUnknownBounds is required.
+func New(opts ...Option) (*Manager, error) {
+	cfg := config{
+		maxLocks:    2,
+		maxCritical: 64,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Kappa:         cfg.kappa,
+		MaxLocks:      cfg.maxLocks,
+		MaxThunkSteps: cfg.maxCritical * idemStepsPerOp,
+		NumProcs:      cfg.numProcs,
+		DelayC:        cfg.delayC,
+		DelayC1:       cfg.delayC1,
+		UnknownBounds: cfg.unknownBounds,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wflocks: %w", err)
+	}
+	return &Manager{sys: sys, seed: cfg.seed}, nil
+}
+
+// idemStepsPerOp is the worst-case simulated steps per critical-section
+// operation under the idempotence layer; the manager converts the
+// user-facing "operations" bound into the algorithm's step bound T.
+const idemStepsPerOp = 8
+
+// Lock is a single fine-grained lock.
+type Lock struct {
+	inner *core.Lock
+}
+
+// NewLock creates a lock.
+func (m *Manager) NewLock() *Lock {
+	return &Lock{inner: m.sys.NewLock()}
+}
+
+// Process is a per-goroutine handle carrying step accounting and a
+// private random stream. Each goroutine that calls TryLock needs its
+// own Process; a Process must not be shared.
+type Process struct {
+	env *env.Native
+}
+
+// NewProcess creates a process handle.
+func (m *Manager) NewProcess() *Process {
+	pid := m.nextPid.Add(1) - 1
+	return &Process{env: env.NewNative(int(pid), env.Mix(m.seed, uint64(pid)+0x9e37))}
+}
+
+// Pid returns the process id.
+func (p *Process) Pid() int { return p.env.Pid() }
+
+// Steps reports the total algorithm steps this process has taken.
+func (p *Process) Steps() uint64 { return p.env.Steps() }
+
+// Cell is a shared memory location accessible from critical sections.
+type Cell struct {
+	inner *idem.Cell
+}
+
+// NewCell creates a cell holding v.
+func NewCell(v uint64) *Cell {
+	return &Cell{inner: idem.NewCell(v)}
+}
+
+// Get reads the cell outside any critical section.
+func (c *Cell) Get(p *Process) uint64 { return c.inner.Load(p.env) }
+
+// Set writes the cell outside any critical section. Prefer doing writes
+// inside critical sections; Set is for initialization and inspection.
+func (c *Cell) Set(p *Process, v uint64) { c.inner.Store(p.env, v) }
+
+// Tx is the handle critical sections use for shared-memory access. All
+// shared reads and writes inside a critical section must go through it.
+type Tx struct {
+	run *idem.Run
+}
+
+// Read reads a cell.
+func (t *Tx) Read(c *Cell) uint64 { return t.run.Read(c.inner) }
+
+// Write writes a cell.
+func (t *Tx) Write(c *Cell, v uint64) { t.run.Write(c.inner, v) }
+
+// CAS performs a compare-and-swap on a cell, reporting success.
+func (t *Tx) CAS(c *Cell, old, new uint64) bool { return t.run.CAS(c.inner, old, new) }
+
+// TryLock attempts to acquire all locks and run body atomically. maxOps
+// bounds the number of Tx operations body performs (it must also be at
+// most the manager's WithMaxCriticalSteps bound). It returns true if
+// the attempt won, in which case body has executed exactly once; on
+// false, body has not run at all.
+//
+// Attempts are independent: each succeeds with probability at least
+// 1/(κL) regardless of past attempts, so retrying wins quickly.
+func (m *Manager) TryLock(p *Process, locks []*Lock, maxOps int, body func(*Tx)) bool {
+	thunk := idem.NewExec(func(r *idem.Run) {
+		body(&Tx{run: r})
+	}, maxOps)
+	inner := make([]*core.Lock, len(locks))
+	for i, l := range locks {
+		inner[i] = l.inner
+	}
+	m.attempts.Add(1)
+	ok := m.sys.TryLocks(p.env, inner, thunk)
+	if ok {
+		m.wins.Add(1)
+	}
+	return ok
+}
+
+// Lock acquires the locks by retrying TryLock until it succeeds and
+// returns the number of attempts used. Expected attempts are O(κL).
+func (m *Manager) Lock(p *Process, locks []*Lock, maxOps int, body func(*Tx)) int {
+	attempts := 0
+	for {
+		attempts++
+		if m.TryLock(p, locks, maxOps, body) {
+			return attempts
+		}
+	}
+}
+
+// Stats reports the manager-wide attempt and win counts.
+func (m *Manager) Stats() (attempts, wins uint64) {
+	return m.attempts.Load(), m.wins.Load()
+}

@@ -1,0 +1,233 @@
+package wflocks
+
+import (
+	"sync"
+	"testing"
+)
+
+func newManager(t *testing.T, opts ...Option) *Manager {
+	t.Helper()
+	m, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRequiresBounds(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("managerless of κ accepted")
+	}
+	if _, err := New(WithKappa(2)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := New(WithUnknownBounds(4)); err != nil {
+		t.Fatalf("unknown-bounds config rejected: %v", err)
+	}
+	if _, err := New(WithKappa(2), WithMaxLocks(0)); err == nil {
+		t.Fatal("zero MaxLocks accepted")
+	}
+}
+
+func TestSingleProcessTransfer(t *testing.T) {
+	m := newManager(t, WithKappa(2), WithMaxLocks(2), WithMaxCriticalSteps(16))
+	a, b := m.NewLock(), m.NewLock()
+	accA, accB := NewCell(100), NewCell(0)
+	p := m.NewProcess()
+	ok := m.TryLock(p, []*Lock{a, b}, 8, func(tx *Tx) {
+		v := tx.Read(accA)
+		tx.Write(accA, v-30)
+		w := tx.Read(accB)
+		tx.Write(accB, w+30)
+	})
+	if !ok {
+		t.Fatal("uncontended TryLock failed")
+	}
+	if got := accA.Get(p); got != 70 {
+		t.Fatalf("accA = %d, want 70", got)
+	}
+	if got := accB.Get(p); got != 30 {
+		t.Fatalf("accB = %d, want 30", got)
+	}
+}
+
+func TestFailedTryLockDoesNotRunBody(t *testing.T) {
+	m := newManager(t, WithKappa(4), WithMaxLocks(1), WithMaxCriticalSteps(16))
+	l := m.NewLock()
+	c := NewCell(0)
+	var wg sync.WaitGroup
+	var wins, losses, bodyRuns atomicCounter
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewProcess()
+			for k := 0; k < 200; k++ {
+				ok := m.TryLock(p, []*Lock{l}, 4, func(tx *Tx) {
+					bodyRuns.inc()
+					v := tx.Read(c)
+					tx.Write(c, v+1)
+				})
+				if ok {
+					wins.inc()
+				} else {
+					losses.inc()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p := m.NewProcess()
+	got := c.Get(p)
+	if got != wins.get() {
+		t.Fatalf("counter = %d, wins = %d: lost or duplicated critical sections", got, wins.get())
+	}
+	// bodyRuns can exceed wins (helpers re-enter the body; effects are
+	// idempotent) but must be zero if wins is zero.
+	if wins.get() == 0 && bodyRuns.get() != 0 {
+		t.Fatal("body ran despite zero wins")
+	}
+	a, w := m.Stats()
+	if a != 800 || w != wins.get() {
+		t.Fatalf("stats = (%d, %d), want (800, %d)", a, w, wins.get())
+	}
+}
+
+func TestLockRetriesUntilSuccess(t *testing.T) {
+	m := newManager(t, WithKappa(2), WithMaxLocks(2), WithMaxCriticalSteps(16))
+	a, b := m.NewLock(), m.NewLock()
+	c := NewCell(0)
+	var wg sync.WaitGroup
+	const perGoroutine = 50
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewProcess()
+			for k := 0; k < perGoroutine; k++ {
+				attempts := m.Lock(p, []*Lock{a, b}, 4, func(tx *Tx) {
+					v := tx.Read(c)
+					tx.Write(c, v+1)
+				})
+				if attempts < 1 {
+					t.Error("Lock reported zero attempts")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p := m.NewProcess()
+	if got := c.Get(p); got != 2*perGoroutine {
+		t.Fatalf("counter = %d, want %d", got, 2*perGoroutine)
+	}
+}
+
+func TestUnknownBoundsMode(t *testing.T) {
+	m := newManager(t, WithUnknownBounds(3), WithMaxLocks(2), WithMaxCriticalSteps(16))
+	a, b := m.NewLock(), m.NewLock()
+	c := NewCell(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewProcess()
+			for k := 0; k < 30; k++ {
+				m.Lock(p, []*Lock{a, b}, 4, func(tx *Tx) {
+					v := tx.Read(c)
+					tx.Write(c, v+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	p := m.NewProcess()
+	if got := c.Get(p); got != 90 {
+		t.Fatalf("counter = %d, want 90", got)
+	}
+}
+
+func TestCASInCriticalSection(t *testing.T) {
+	m := newManager(t, WithKappa(2), WithMaxLocks(1), WithMaxCriticalSteps(16))
+	l := m.NewLock()
+	c := NewCell(5)
+	p := m.NewProcess()
+	var okInner, failInner bool
+	if !m.TryLock(p, []*Lock{l}, 4, func(tx *Tx) {
+		okInner = tx.CAS(c, 5, 6)
+		failInner = tx.CAS(c, 5, 7)
+	}) {
+		t.Fatal("TryLock failed")
+	}
+	if !okInner || failInner {
+		t.Fatalf("CAS results = %v, %v; want true, false", okInner, failInner)
+	}
+	if got := c.Get(p); got != 6 {
+		t.Fatalf("cell = %d, want 6", got)
+	}
+}
+
+func TestProcessIdentity(t *testing.T) {
+	m := newManager(t, WithKappa(2))
+	p0, p1 := m.NewProcess(), m.NewProcess()
+	if p0.Pid() == p1.Pid() {
+		t.Fatal("process ids collide")
+	}
+	if p0.Steps() != 0 {
+		t.Fatal("fresh process has steps")
+	}
+}
+
+func TestCellGetSet(t *testing.T) {
+	m := newManager(t, WithKappa(2))
+	p := m.NewProcess()
+	c := NewCell(9)
+	if c.Get(p) != 9 {
+		t.Fatal("initial value wrong")
+	}
+	c.Set(p, 11)
+	if c.Get(p) != 11 {
+		t.Fatal("Set not visible")
+	}
+}
+
+func TestDelayConstantOverride(t *testing.T) {
+	m := newManager(t, WithKappa(2), WithDelayConstants(2, 4), WithSeed(42))
+	p := m.NewProcess()
+	l := m.NewLock()
+	before := p.Steps()
+	if !m.TryLock(p, []*Lock{l}, 2, func(tx *Tx) {}) {
+		t.Fatal("TryLock failed")
+	}
+	small := p.Steps() - before
+
+	m2 := newManager(t, WithKappa(2), WithDelayConstants(16, 32), WithSeed(42))
+	p2 := m2.NewProcess()
+	l2 := m2.NewLock()
+	before2 := p2.Steps()
+	if !m2.TryLock(p2, []*Lock{l2}, 2, func(tx *Tx) {}) {
+		t.Fatal("TryLock failed")
+	}
+	large := p2.Steps() - before2
+	if large <= small {
+		t.Fatalf("larger delay constants did not lengthen the attempt: %d vs %d", small, large)
+	}
+}
+
+// atomicCounter is a tiny test helper.
+type atomicCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (a *atomicCounter) inc() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+func (a *atomicCounter) get() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
