@@ -42,7 +42,12 @@ func BenchmarkE9DelayAblation(b *testing.B) { benchExperiment(b, "E9") }
 func BenchmarkE10Native(b *testing.B)       { benchExperiment(b, "E10") }
 func BenchmarkE11Adaptivity(b *testing.B)   { benchExperiment(b, "E11") }
 
-// Public-API micro-benchmarks.
+// Public-API micro-benchmarks. The TryLock/Do pair quantifies the
+// ergonomic path's overhead: Do adds call validation, a pooled handle
+// acquire/release, and the retry-policy indirection on top of the same
+// single attempt. Compare with:
+//
+//	go test -bench='Uncontended$' -benchtime=10000x
 
 func BenchmarkTryLockUncontended(b *testing.B) {
 	m, err := wflocks.New(wflocks.WithKappa(2), wflocks.WithMaxLocks(2),
@@ -51,16 +56,37 @@ func BenchmarkTryLockUncontended(b *testing.B) {
 		b.Fatal(err)
 	}
 	l := m.NewLock()
-	c := wflocks.NewCell(0)
+	c := wflocks.NewCell(uint64(0))
 	p := m.NewProcess()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !m.TryLock(p, []*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
-			v := tx.Read(c)
-			tx.Write(c, v+1)
-		}) {
+		ok, err := m.TryLock(p, []*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
+			v := wflocks.Get(tx, c)
+			wflocks.Put(tx, c, v+1)
+		})
+		if err != nil || !ok {
 			b.Fatal("uncontended TryLock failed")
+		}
+	}
+}
+
+func BenchmarkDoUncontended(b *testing.B) {
+	m, err := wflocks.New(wflocks.WithKappa(2), wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := m.NewLock()
+	c := wflocks.NewCell(uint64(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Do([]*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
+			v := wflocks.Get(tx, c)
+			wflocks.Put(tx, c, v+1)
+		}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -73,15 +99,40 @@ func BenchmarkLockContended(b *testing.B) {
 		b.Fatal(err)
 	}
 	l := m.NewLock()
-	c := wflocks.NewCell(0)
+	c := wflocks.NewCell(uint64(0))
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		p := m.NewProcess()
 		for pb.Next() {
-			m.Lock(p, []*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
-				v := tx.Read(c)
-				tx.Write(c, v+1)
-			})
+			if _, err := m.Lock(p, []*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
+				v := wflocks.Get(tx, c)
+				wflocks.Put(tx, c, v+1)
+			}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkDoContended(b *testing.B) {
+	m, err := wflocks.New(wflocks.WithKappa(2*runtime.GOMAXPROCS(0)),
+		wflocks.WithMaxLocks(1), wflocks.WithMaxCriticalSteps(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := m.NewLock()
+	c := wflocks.NewCell(uint64(0))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := m.Do([]*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
+				v := wflocks.Get(tx, c)
+				wflocks.Put(tx, c, v+1)
+			}); err != nil {
+				b.Error(err)
+				return
+			}
 		}
 	})
 }
@@ -92,10 +143,31 @@ func BenchmarkCellReadWrite(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := m.NewProcess()
-	c := wflocks.NewCell(0)
+	c := wflocks.NewCell(uint64(0))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Set(p, c.Get(p)+1)
+	}
+}
+
+func BenchmarkStructCellReadWrite(b *testing.B) {
+	type pair struct{ A, B uint64 }
+	codec := wflocks.CodecFunc(2,
+		func(v pair, dst []uint64) { dst[0], dst[1] = v.A, v.B },
+		func(src []uint64) pair { return pair{src[0], src[1]} })
+	m, err := wflocks.New(wflocks.WithKappa(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := m.NewProcess()
+	c := wflocks.NewCellOf(codec, pair{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := c.Get(p)
+		v.A++
+		v.B++
+		c.Set(p, v)
 	}
 }

@@ -1,0 +1,157 @@
+package wflocks
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIntegerCellRoundTrip(t *testing.T) {
+	m := newManager(t, WithKappa(2))
+	p := m.NewProcess()
+
+	ci := NewCell(-42)
+	if got := ci.Get(p); got != -42 {
+		t.Fatalf("int cell = %d, want -42", got)
+	}
+	ci.Set(p, -1<<40)
+	if got := ci.Get(p); got != -1<<40 {
+		t.Fatalf("int cell = %d, want %d", got, -1<<40)
+	}
+
+	c8 := NewCell(int8(-7))
+	if got := c8.Get(p); got != -7 {
+		t.Fatalf("int8 cell = %d, want -7", got)
+	}
+
+	cu := NewCell(^uint64(0))
+	if got := cu.Get(p); got != ^uint64(0) {
+		t.Fatalf("uint64 cell = %d, want max", got)
+	}
+}
+
+func TestBoolAndFloatCells(t *testing.T) {
+	m := newManager(t, WithKappa(2))
+	p := m.NewProcess()
+	cb := NewBoolCell(true)
+	if !cb.Get(p) {
+		t.Fatal("bool cell lost true")
+	}
+	cb.Set(p, false)
+	if cb.Get(p) {
+		t.Fatal("bool cell lost false")
+	}
+	cf := NewFloat64Cell(3.25)
+	if got := cf.Get(p); got != 3.25 {
+		t.Fatalf("float cell = %v, want 3.25", got)
+	}
+}
+
+// point is the multi-word struct the codec tests round-trip.
+type point struct {
+	X, Y int64
+	Tag  uint64
+}
+
+func pointCodec() Codec[point] {
+	return CodecFunc(3,
+		func(v point, dst []uint64) {
+			dst[0] = uint64(v.X)
+			dst[1] = uint64(v.Y)
+			dst[2] = v.Tag
+		},
+		func(src []uint64) point {
+			return point{X: int64(src[0]), Y: int64(src[1]), Tag: src[2]}
+		})
+}
+
+func TestStructCellRoundTrip(t *testing.T) {
+	m := newManager(t, WithKappa(2), WithMaxLocks(1), WithMaxCriticalSteps(16))
+	l := m.NewLock()
+	c := NewCellOf(pointCodec(), point{X: -1, Y: 2, Tag: 3})
+	if c.Words() != 3 {
+		t.Fatalf("words = %d, want 3", c.Words())
+	}
+	if got := Load(m, c); got != (point{X: -1, Y: 2, Tag: 3}) {
+		t.Fatalf("initial struct = %+v", got)
+	}
+	if err := m.Do([]*Lock{l}, 6, func(tx *Tx) {
+		v := Get(tx, c)
+		v.X, v.Y = v.Y, v.X
+		v.Tag++
+		Put(tx, c, v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Load(m, c); got != (point{X: 2, Y: -1, Tag: 4}) {
+		t.Fatalf("struct after swap = %+v", got)
+	}
+}
+
+// TestTypedCellsConcurrent round-trips typed values through concurrent
+// critical sections; run with -race. The struct cell's two halves must
+// always move together — any torn write breaks the X == -Y invariant.
+func TestTypedCellsConcurrent(t *testing.T) {
+	const workers = 4
+	const rounds = 100
+	m := newManager(t, WithKappa(workers), WithMaxLocks(1), WithMaxCriticalSteps(16))
+	l := m.NewLock()
+	pairCodec := CodecFunc(2,
+		func(v [2]int64, dst []uint64) { dst[0], dst[1] = uint64(v[0]), uint64(v[1]) },
+		func(src []uint64) [2]int64 { return [2]int64{int64(src[0]), int64(src[1])} })
+	pair := NewCellOf(pairCodec, [2]int64{0, 0})
+	count := NewCell(int64(0))
+	flag := NewBoolCell(false)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < rounds; k++ {
+				if err := m.Do([]*Lock{l}, 8, func(tx *Tx) {
+					v := Get(tx, pair)
+					if v[0] != -v[1] {
+						Put(tx, flag, true)
+					}
+					v[0]++
+					v[1]--
+					Put(tx, pair, v)
+					Put(tx, count, Get(tx, count)+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if Load(m, flag) {
+		t.Fatal("torn multi-word value observed inside a critical section")
+	}
+	total := int64(workers * rounds)
+	if got := Load(m, pair); got != [2]int64{total, -total} {
+		t.Fatalf("pair = %v, want [%d %d]", got, total, -total)
+	}
+	if got := Load(m, count); got != total {
+		t.Fatalf("count = %d, want %d", got, total)
+	}
+}
+
+func TestCompareSwapMultiWord(t *testing.T) {
+	m := newManager(t, WithKappa(2), WithMaxLocks(1), WithMaxCriticalSteps(32))
+	l := m.NewLock()
+	c := NewCellOf(pointCodec(), point{X: 1, Y: 2, Tag: 3})
+	var first, second bool
+	if err := m.Do([]*Lock{l}, 16, func(tx *Tx) {
+		first = CompareSwap(tx, c, point{X: 1, Y: 2, Tag: 3}, point{X: 9, Y: 9, Tag: 9})
+		second = CompareSwap(tx, c, point{X: 1, Y: 2, Tag: 3}, point{X: 0, Y: 0, Tag: 0})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !first || second {
+		t.Fatalf("CompareSwap = %v, %v; want true, false", first, second)
+	}
+	if got := Load(m, c); got != (point{X: 9, Y: 9, Tag: 9}) {
+		t.Fatalf("struct = %+v after CAS", got)
+	}
+}

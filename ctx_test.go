@@ -1,0 +1,137 @@
+package wflocks
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDoCtxAlreadyCanceled(t *testing.T) {
+	m := newManager(t, WithKappa(2))
+	l := m.NewLock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := m.DoCtx(ctx, []*Lock{l}, 2, func(*Tx) {
+		t.Error("body ran under a canceled context")
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestDoCtxCancelMidRetry cancels while several workers are contending
+// (and hence retrying with a sleeping backoff) and checks every DoCtx
+// loop tears down promptly with ErrCanceled.
+func TestDoCtxCancelMidRetry(t *testing.T) {
+	m := newManager(t, WithKappa(4), WithMaxLocks(1), WithMaxCriticalSteps(16),
+		WithRetryPolicy(RetryBackoff(time.Millisecond, 4*time.Millisecond)))
+	l := m.NewLock()
+	c := NewCell(uint64(0))
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				err := m.DoCtx(ctx, []*Lock{l}, 4, func(tx *Tx) {
+					Put(tx, c, Get(tx, c)+1)
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("DoCtx did not return promptly after cancel")
+	}
+	for w, err := range errs {
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("worker %d err = %v, want ErrCanceled", w, err)
+		}
+	}
+}
+
+func TestDoCtxDeadline(t *testing.T) {
+	m := newManager(t, WithKappa(2))
+	l := m.NewLock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	// Keep acquiring until the deadline hits; the final call must report
+	// ErrCanceled rather than spinning past the deadline.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		err := m.DoCtx(ctx, []*Lock{l}, 2, func(*Tx) {})
+		if err != nil {
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("err = %v, want ErrCanceled", err)
+			}
+			return
+		}
+	}
+	t.Fatal("DoCtx kept succeeding past its deadline")
+}
+
+func TestRetryPolicies(t *testing.T) {
+	// Each policy must let an uncontended Do complete.
+	for _, tc := range []struct {
+		name   string
+		policy RetryPolicy
+	}{
+		{"immediate", RetryImmediate()},
+		{"gosched", RetryGosched()},
+		{"backoff", RetryBackoff(time.Microsecond, time.Millisecond)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newManager(t, WithKappa(2), WithRetryPolicy(tc.policy))
+			l := m.NewLock()
+			c := NewCell(uint64(0))
+			if err := m.Do([]*Lock{l}, 2, func(tx *Tx) {
+				Put(tx, c, Get(tx, c)+1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if Load(m, c) != 1 {
+				t.Fatal("critical section did not run")
+			}
+		})
+	}
+}
+
+func TestBackoffWaitRespectsContext(t *testing.T) {
+	p := RetryBackoff(time.Hour, time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		p.Wait(ctx, 1)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("backoff slept through cancellation")
+	}
+}
+
+func TestBackoffCapsDelay(t *testing.T) {
+	p := RetryBackoff(time.Microsecond, 2*time.Millisecond).(*backoffPolicy)
+	start := time.Now()
+	// Attempt 60 would shift into absurdity without the cap.
+	p.Wait(context.Background(), 60)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("capped backoff slept %v", elapsed)
+	}
+}

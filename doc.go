@@ -1,13 +1,15 @@
 // Package wflocks provides fast and fair randomized wait-free locks —
 // a Go implementation of Ben-David and Blelloch, "Fast and Fair
-// Randomized Wait-Free Locks", PODC 2022 (arXiv:2108.04520).
+// Randomized Wait-Free Locks", PODC 2022 (arXiv:2108.04520) — behind an
+// idiomatic API: typed generic cells, implicit per-goroutine process
+// handles, and context-aware acquisition.
 //
 // # What it gives you
 //
-// A TryLock operation takes a set of locks and a critical section. If
-// the attempt wins, the critical section has been executed (atomically
+// An acquisition takes a set of locks and a critical section. If the
+// attempt wins, the critical section has been executed (atomically
 // with respect to every other critical section sharing a lock) by the
-// time TryLock returns true; if it fails, the critical section has not
+// time the call returns; if it fails, the critical section has not
 // run and never will. The guarantees, with κ the maximum number of
 // simultaneous attempts on any lock, L the maximum locks per attempt,
 // and T the maximum critical-section length:
@@ -30,19 +32,52 @@
 //	a, b := m.NewLock(), m.NewLock()
 //	balanceA, balanceB := wflocks.NewCell(100), wflocks.NewCell(0)
 //
-//	p := m.NewProcess() // one per goroutine
-//	ok := m.TryLock(p, []*wflocks.Lock{a, b}, 8, func(tx *wflocks.Tx) {
-//		v := tx.Read(balanceA)
-//		tx.Write(balanceA, v-10)
-//		w := tx.Read(balanceB)
-//		tx.Write(balanceB, w+10)
+//	err = m.Do([]*wflocks.Lock{a, b}, 4, func(tx *wflocks.Tx) {
+//		v := wflocks.Get(tx, balanceA)
+//		wflocks.Put(tx, balanceA, v-10)
+//		w := wflocks.Get(tx, balanceB)
+//		wflocks.Put(tx, balanceB, w+10)
 //	})
 //
-// Critical sections access shared state only through Cells and the Tx
-// operations (Read, Write, CAS); this is what makes them idempotent so
-// that helpers can safely re-execute them. They must be deterministic
-// given those operations' results, must not nest TryLock, and must
-// perform at most the declared number of operations.
+// Do retries wait-free attempts under the manager's RetryPolicy
+// (default: yield between attempts) until one wins, managing the
+// per-goroutine process handle implicitly. DoCtx is the same with
+// cancellation: it stops retrying and returns ErrCanceled when its
+// context is done. For single-attempt semantics — "run this atomically
+// if I win the locks, tell me if I didn't" — use TryLock with an
+// explicit Process handle, which also carries per-process step
+// accounting.
+//
+// # Typed cells
+//
+// Critical sections access shared state only through Cells and the
+// typed accessors (Get, Put, CompareSwap); this is what makes them
+// idempotent so that helpers can safely re-execute them. Cells are
+// generic: NewCell covers any integer type in one machine word,
+// NewBoolCell and NewFloat64Cell cover bool and float64, and NewCellOf
+// with a CodecFunc codec stores small structs across multiple words:
+//
+//	type account struct{ Balance, Version uint64 }
+//	codec := wflocks.CodecFunc(2,
+//		func(a account, dst []uint64) { dst[0], dst[1] = a.Balance, a.Version },
+//		func(src []uint64) account { return account{src[0], src[1]} })
+//	acct := wflocks.NewCellOf(codec, account{Balance: 100})
+//
+// Each machine word costs one operation of the call's maxOps budget.
+// Critical sections must be deterministic given the accessors'
+// results, must not nest acquisitions, and must perform at most the
+// declared number of operations. Outside critical sections, read and
+// write cells with Load and Store (implicit pooled handle) or
+// Cell.Get and Cell.Set (explicit handle).
+//
+// # Errors and observability
+//
+// Acquisitions validate their arguments and return typed sentinel
+// errors: ErrNoLocks, ErrTooManyLocks (lock set beyond L),
+// ErrMaxOpsExceeded (ops budget beyond T) and ErrCanceled (DoCtx
+// context done). New audits its Options the same way. Manager.Stats
+// returns a StatsSnapshot with manager-wide and per-lock
+// attempt/win/help counters.
 //
 // # Choosing the bounds
 //

@@ -1,0 +1,24 @@
+package wflocks
+
+import "errors"
+
+// Sentinel errors returned by the public API. Match with errors.Is;
+// returned errors may wrap these with call-specific detail.
+var (
+	// ErrNoLocks is returned when an acquisition is given an empty lock
+	// set.
+	ErrNoLocks = errors.New("wflocks: empty lock set")
+
+	// ErrTooManyLocks is returned when an acquisition names more locks
+	// than the manager's WithMaxLocks bound L.
+	ErrTooManyLocks = errors.New("wflocks: lock set exceeds the configured MaxLocks bound")
+
+	// ErrMaxOpsExceeded is returned when a call declares a maxOps budget
+	// that is non-positive or larger than the manager's
+	// WithMaxCriticalSteps bound T.
+	ErrMaxOpsExceeded = errors.New("wflocks: maxOps outside the configured MaxCriticalSteps bound")
+
+	// ErrCanceled is returned by DoCtx when its context is canceled or
+	// times out before an attempt wins.
+	ErrCanceled = errors.New("wflocks: acquisition canceled")
+)

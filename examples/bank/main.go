@@ -1,13 +1,18 @@
 // Bank: random transfers over many accounts using the *unknown-bounds*
-// variant (paper Section 6.2, Theorem 6.10).
+// variant (paper Section 6.2, Theorem 6.10) and typed multi-word cells.
 //
 // With 64 accounts and 8 workers picking random transfer pairs, the
 // per-lock contention bound κ is awkward to state a priori — any subset
 // of workers might collide on one account. The unknown-bounds manager
 // needs no κ or L: it only needs P, the number of processes, and pays a
-// log(κLT) factor in success probability. The conservation invariant
-// (total money constant) checks that critical sections were atomic and
-// executed exactly once.
+// log(κLT) factor in success probability.
+//
+// Each account is a two-word struct cell (balance + transfer count)
+// encoded through a CodecFunc codec, so the critical sections move real
+// values, not raw words. The conservation invariant (total money
+// constant) checks that critical sections were atomic and executed
+// exactly once; the per-account transfer counts must sum to twice the
+// number of transfers (each touches two accounts).
 //
 // Run with: go run ./examples/bank
 package main
@@ -27,6 +32,18 @@ const (
 	initialBalance     = 1000
 )
 
+// account is the typed value each cell stores: two machine words.
+type account struct {
+	Balance   uint64
+	Transfers uint64
+}
+
+func accountCodec() wflocks.Codec[account] {
+	return wflocks.CodecFunc(2,
+		func(a account, dst []uint64) { dst[0], dst[1] = a.Balance, a.Transfers },
+		func(src []uint64) account { return account{Balance: src[0], Transfers: src[1]} })
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -35,7 +52,7 @@ func run() int {
 	m, err := wflocks.New(
 		wflocks.WithUnknownBounds(numWorkers), // no κ/L needed — just P
 		wflocks.WithMaxLocks(2),
-		wflocks.WithMaxCriticalSteps(8),
+		wflocks.WithMaxCriticalSteps(16),
 		wflocks.WithSeed(2022),
 	)
 	if err != nil {
@@ -43,11 +60,12 @@ func run() int {
 		return 1
 	}
 
-	accounts := make([]*wflocks.Lock, numAccounts)
-	balance := make([]*wflocks.Cell, numAccounts)
-	for i := range accounts {
-		accounts[i] = m.NewLock()
-		balance[i] = wflocks.NewCell(initialBalance)
+	codec := accountCodec()
+	locks := make([]*wflocks.Lock, numAccounts)
+	accounts := make([]*wflocks.Cell[account], numAccounts)
+	for i := range locks {
+		locks[i] = m.NewLock()
+		accounts[i] = wflocks.NewCellOf(codec, account{Balance: initialBalance})
 	}
 
 	var wg sync.WaitGroup
@@ -56,7 +74,6 @@ func run() int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := m.NewProcess()
 			rng := uint64(w)*2654435761 + 1
 			next := func(n int) int {
 				rng ^= rng << 13
@@ -71,25 +88,35 @@ func run() int {
 					to = (to + 1) % numAccounts
 				}
 				amount := uint64(next(20) + 1)
-				m.Lock(p, []*wflocks.Lock{accounts[from], accounts[to]}, 4,
+				// Each 2-word account costs 2 ops per Get/Put: 8 total.
+				err := m.Do([]*wflocks.Lock{locks[from], locks[to]}, 8,
 					func(tx *wflocks.Tx) {
-						f := tx.Read(balance[from])
-						if f < amount {
+						f := wflocks.Get(tx, accounts[from])
+						if f.Balance < amount {
 							return
 						}
-						tx.Write(balance[from], f-amount)
-						t := tx.Read(balance[to])
-						tx.Write(balance[to], t+amount)
+						f.Balance -= amount
+						f.Transfers++
+						wflocks.Put(tx, accounts[from], f)
+						t := wflocks.Get(tx, accounts[to])
+						t.Balance += amount
+						t.Transfers++
+						wflocks.Put(tx, accounts[to], t)
 					})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bank:", err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	p := m.NewProcess()
-	var total uint64
-	for _, b := range balance {
-		total += b.Get(p)
+	var total, moves uint64
+	for _, c := range accounts {
+		a := wflocks.Load(m, c)
+		total += a.Balance
+		moves += a.Transfers
 	}
 	want := uint64(numAccounts * initialBalance)
 	fmt.Printf("%d workers × %d random transfers over %d accounts (unknown-bounds mode)\n",
@@ -99,8 +126,13 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "bank: conservation violated!")
 		return 1
 	}
-	attempts, wins := m.Stats()
+	if moves%2 != 0 {
+		fmt.Fprintln(os.Stderr, "bank: a transfer touched only one account!")
+		return 1
+	}
+	fmt.Printf("account touches: %d (each executed transfer touches 2)\n", moves)
+	s := m.Stats()
 	fmt.Printf("attempts: %d, wins: %d (success rate %.2f)\n",
-		attempts, wins, float64(wins)/float64(attempts))
+		s.Attempts, s.Wins, s.SuccessRate())
 	return 0
 }

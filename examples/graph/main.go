@@ -40,7 +40,7 @@ func run() int {
 	}
 
 	locks := make([]*wflocks.Lock, numVertices)
-	color := make([]*wflocks.Cell, numVertices)
+	color := make([]*wflocks.Cell[int], numVertices)
 	for i := range locks {
 		locks[i] = m.NewLock()
 		color[i] = wflocks.NewCell(0) // monochromatic start: every edge clashes
@@ -52,36 +52,38 @@ func run() int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := m.NewProcess()
 			left := (i + numVertices - 1) % numVertices
 			right := (i + 1) % numVertices
 			for {
-				c := color[i].Get(p)
-				if c != color[left].Get(p) && c != color[right].Get(p) {
+				c := wflocks.Load(m, color[i])
+				if c != wflocks.Load(m, color[left]) && c != wflocks.Load(m, color[right]) {
 					return // locally proper; can never be broken again
 				}
-				m.Lock(p, []*wflocks.Lock{locks[left], locks[i], locks[right]}, 8,
+				err := m.Do([]*wflocks.Lock{locks[left], locks[i], locks[right]}, 8,
 					func(tx *wflocks.Tx) {
-						cl := tx.Read(color[left])
-						cr := tx.Read(color[right])
-						var pick uint64
+						cl := wflocks.Get(tx, color[left])
+						cr := wflocks.Get(tx, color[right])
+						pick := 0
 						for pick == cl || pick == cr {
 							pick++
 						}
-						tx.Write(color[i], pick)
+						wflocks.Put(tx, color[i], pick)
 					})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "graph:", err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	p := m.NewProcess()
 	fmt.Print("coloring:")
 	bad := false
 	for i := 0; i < numVertices; i++ {
-		c := color[i].Get(p)
+		c := wflocks.Load(m, color[i])
 		fmt.Printf(" %d", c)
-		if c == color[(i+1)%numVertices].Get(p) {
+		if c == wflocks.Load(m, color[(i+1)%numVertices]) {
 			bad = true
 		}
 		if c > 2 {

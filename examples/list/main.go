@@ -9,7 +9,9 @@
 // (predecessor, successor) pair and re-validates inside the critical
 // section before splicing — the classic hand-over-hand validation
 // pattern, made wait-free: a stalled worker can never block the others,
-// because competitors help any winner's splice complete.
+// because competitors help any winner's splice complete. TryLock (not
+// Do) is the right tool here: a failed validation must re-traverse, not
+// blindly re-run the same critical section.
 //
 // Run with: go run ./examples/list
 package main
@@ -40,57 +42,59 @@ const tailValue = ^uint64(0)
 type list struct {
 	m     *wflocks.Manager
 	locks []*wflocks.Lock
-	value []*wflocks.Cell
-	next  []*wflocks.Cell
+	value []*wflocks.Cell[uint64]
+	next  []*wflocks.Cell[int]
 }
 
 func newList(m *wflocks.Manager) *list {
 	l := &list{m: m}
 	for i := 0; i < maxNodes; i++ {
 		l.locks = append(l.locks, m.NewLock())
-		l.value = append(l.value, wflocks.NewCell(0))
+		l.value = append(l.value, wflocks.NewCell(uint64(0)))
 		l.next = append(l.next, wflocks.NewCell(0))
 	}
-	p := m.NewProcess()
-	l.value[head].Set(p, 0)
-	l.next[head].Set(p, tail)
-	l.value[tail].Set(p, tailValue)
-	l.next[tail].Set(p, tail)
+	wflocks.Store(m, l.value[head], 0)
+	wflocks.Store(m, l.next[head], tail)
+	wflocks.Store(m, l.value[tail], tailValue)
+	wflocks.Store(m, l.next[tail], tail)
 	return l
 }
 
 // insert splices key (strictly between the sentinels' values) into the
 // list using node slot idx. It retries until the validated splice wins.
-func (l *list) insert(p *wflocks.Process, key uint64, idx int) {
+func (l *list) insert(p *wflocks.Process, key uint64, idx int) error {
 	for {
 		// Optimistic lock-free traversal.
 		pred := head
-		curr := int(l.next[pred].Get(p))
+		curr := l.next[pred].Get(p)
 		for l.value[curr].Get(p) < key {
 			pred = curr
-			curr = int(l.next[curr].Get(p))
+			curr = l.next[curr].Get(p)
 		}
 		// Lock the neighborhood and re-validate inside the critical
 		// section; a stale traversal simply fails validation. The
 		// critical section may be executed by helpers too, so it
 		// reports validation success through a cell, not a captured
 		// variable.
-		spliced := wflocks.NewCell(0)
-		won := l.m.TryLock(p, []*wflocks.Lock{l.locks[pred], l.locks[curr]}, 8,
+		spliced := wflocks.NewBoolCell(false)
+		won, err := l.m.TryLock(p, []*wflocks.Lock{l.locks[pred], l.locks[curr]}, 8,
 			func(tx *wflocks.Tx) {
-				if tx.Read(l.next[pred]) != uint64(curr) {
+				if wflocks.Get(tx, l.next[pred]) != curr {
 					return // pred no longer points at curr
 				}
-				if tx.Read(l.value[curr]) < key {
+				if wflocks.Get(tx, l.value[curr]) < key {
 					return // a concurrent insert moved the window
 				}
-				tx.Write(l.value[idx], key)
-				tx.Write(l.next[idx], uint64(curr))
-				tx.Write(l.next[pred], uint64(idx))
-				tx.Write(spliced, 1)
+				wflocks.Put(tx, l.value[idx], key)
+				wflocks.Put(tx, l.next[idx], curr)
+				wflocks.Put(tx, l.next[pred], idx)
+				wflocks.Put(tx, spliced, true)
 			})
-		if won && spliced.Get(p) == 1 {
-			return
+		if err != nil {
+			return err
+		}
+		if won && spliced.Get(p) {
+			return nil
 		}
 	}
 }
@@ -117,13 +121,17 @@ func run() int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := m.NewProcess()
+			p := m.Acquire()
+			defer m.Release(p)
 			for k := 0; k < keysPerWorker; k++ {
 				// Interleaved key ranges force neighboring inserts to
 				// conflict: worker w inserts w+1, w+1+numWorkers, ...
 				key := uint64(w + 1 + k*numWorkers)
 				idx := firstIdx + w*keysPerWorker + k
-				l.insert(p, key, idx)
+				if err := l.insert(p, key, idx); err != nil {
+					fmt.Fprintln(os.Stderr, "list:", err)
+					return
+				}
 			}
 		}()
 	}
@@ -131,11 +139,10 @@ func run() int {
 
 	// Verify: walk the list; it must be strictly sorted and contain
 	// exactly all inserted keys.
-	p := m.NewProcess()
 	count := 0
 	prev := uint64(0)
-	for curr := int(l.next[head].Get(p)); curr != tail; curr = int(l.next[curr].Get(p)) {
-		v := l.value[curr].Get(p)
+	for curr := wflocks.Load(m, l.next[head]); curr != tail; curr = wflocks.Load(m, l.next[curr]) {
+		v := wflocks.Load(m, l.value[curr])
 		if v <= prev {
 			fmt.Fprintf(os.Stderr, "list: out of order: %d after %d\n", v, prev)
 			return 1
@@ -149,8 +156,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "list: lost inserts!")
 		return 1
 	}
-	attempts, wins := m.Stats()
+	s := m.Stats()
 	fmt.Printf("attempts: %d, wins: %d (success rate %.2f)\n",
-		attempts, wins, float64(wins)/float64(attempts))
+		s.Attempts, s.Wins, s.SuccessRate())
 	return 0
 }

@@ -8,6 +8,10 @@
 // philosopher keeps eating no matter how the scheduler behaves, with
 // no deadlock, no livelock and no starvation.
 //
+// This example uses the explicit Process API because it counts
+// attempts per philosopher; per-lock attempt counts also come for free
+// from the manager's StatsSnapshot.
+//
 // Run with: go run ./examples/philosophers
 package main
 
@@ -40,7 +44,7 @@ func run() int {
 	}
 
 	chopsticks := make([]*wflocks.Lock, numPhilosophers)
-	meals := make([]*wflocks.Cell, numPhilosophers)
+	meals := make([]*wflocks.Cell[int], numPhilosophers)
 	for i := range chopsticks {
 		chopsticks[i] = m.NewLock()
 		meals[i] = wflocks.NewCell(0)
@@ -57,10 +61,15 @@ func run() int {
 			sticks := []*wflocks.Lock{chopsticks[i], chopsticks[(i+1)%numPhilosophers]}
 			for eaten := 0; eaten < mealsEach; {
 				attempts[i]++
-				if m.TryLock(p, sticks, 4, func(tx *wflocks.Tx) {
-					v := tx.Read(meals[i])
-					tx.Write(meals[i], v+1) // om nom nom
-				}) {
+				ok, err := m.TryLock(p, sticks, 4, func(tx *wflocks.Tx) {
+					v := wflocks.Get(tx, meals[i])
+					wflocks.Put(tx, meals[i], v+1) // om nom nom
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "philosophers:", err)
+					return
+				}
+				if ok {
 					eaten++
 				}
 			}
@@ -68,10 +77,9 @@ func run() int {
 	}
 	wg.Wait()
 
-	p := m.NewProcess()
 	fmt.Printf("%-4s %-8s %-10s %-12s\n", "phil", "meals", "attempts", "success rate")
 	for i := 0; i < numPhilosophers; i++ {
-		got := meals[i].Get(p)
+		got := wflocks.Load(m, meals[i])
 		if got != mealsEach {
 			fmt.Fprintf(os.Stderr, "philosophers: %d ate %d meals, want %d\n", i, got, mealsEach)
 			return 1

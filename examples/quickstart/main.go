@@ -2,7 +2,8 @@
 //
 // Two goroutines move money between three accounts. Every transfer
 // locks the two accounts it touches and runs its critical section
-// atomically; failed attempts are simply retried (each attempt
+// atomically through m.Do — no per-goroutine process plumbing; failed
+// attempts are retried under the manager's RetryPolicy (each attempt
 // succeeds with probability at least 1/(κL), so retries are short).
 //
 // Run with: go run ./examples/quickstart
@@ -33,19 +34,19 @@ func run() int {
 
 	const initial = 1000
 	accounts := []*wflocks.Lock{m.NewLock(), m.NewLock(), m.NewLock()}
-	balances := []*wflocks.Cell{
+	balances := []*wflocks.Cell[int]{
 		wflocks.NewCell(initial), wflocks.NewCell(initial), wflocks.NewCell(initial),
 	}
 
-	transfer := func(p *wflocks.Process, from, to int, amount uint64) {
-		m.Lock(p, []*wflocks.Lock{accounts[from], accounts[to]}, 4, func(tx *wflocks.Tx) {
-			f := tx.Read(balances[from])
+	transfer := func(from, to, amount int) error {
+		return m.Do([]*wflocks.Lock{accounts[from], accounts[to]}, 4, func(tx *wflocks.Tx) {
+			f := wflocks.Get(tx, balances[from])
 			if f < amount {
 				return // insufficient funds; the critical section still "ran"
 			}
-			tx.Write(balances[from], f-amount)
-			t := tx.Read(balances[to])
-			tx.Write(balances[to], t+amount)
+			wflocks.Put(tx, balances[from], f-amount)
+			t := wflocks.Get(tx, balances[to])
+			wflocks.Put(tx, balances[to], t+amount)
 		})
 	}
 
@@ -55,20 +56,21 @@ func run() int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := m.NewProcess()
 			for i := 0; i < 500; i++ {
 				from := (g + i) % 3
 				to := (from + 1) % 3
-				transfer(p, from, to, 1)
+				if err := transfer(from, to, 1); err != nil {
+					fmt.Fprintln(os.Stderr, "quickstart:", err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	p := m.NewProcess()
-	var total uint64
+	var total int
 	for i, b := range balances {
-		v := b.Get(p)
+		v := wflocks.Load(m, b)
 		total += v
 		fmt.Printf("account %d: %d\n", i, v)
 	}
@@ -77,8 +79,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "quickstart: money was created or destroyed!")
 		return 1
 	}
-	attempts, wins := m.Stats()
+	s := m.Stats()
 	fmt.Printf("attempts: %d, wins: %d (success rate %.2f)\n",
-		attempts, wins, float64(wins)/float64(attempts))
+		s.Attempts, s.Wins, s.SuccessRate())
 	return 0
 }

@@ -33,63 +33,65 @@ const (
 type tree struct {
 	m     *wflocks.Manager
 	locks []*wflocks.Lock
-	value []*wflocks.Cell
-	left  []*wflocks.Cell
-	right []*wflocks.Cell
+	value []*wflocks.Cell[uint64]
+	left  []*wflocks.Cell[int]
+	right []*wflocks.Cell[int]
 }
 
 func newTree(m *wflocks.Manager, rootKey uint64) *tree {
 	t := &tree{m: m}
 	for i := 0; i < maxNodes; i++ {
 		t.locks = append(t.locks, m.NewLock())
-		t.value = append(t.value, wflocks.NewCell(0))
+		t.value = append(t.value, wflocks.NewCell(uint64(0)))
 		t.left = append(t.left, wflocks.NewCell(0))
 		t.right = append(t.right, wflocks.NewCell(0))
 	}
-	p := m.NewProcess()
-	t.value[0].Set(p, rootKey)
+	wflocks.Store(m, t.value[0], rootKey)
 	return t
 }
 
 // insert links key into the tree using node slot idx, retrying the
 // lock-and-validate step until it wins.
-func (t *tree) insert(p *wflocks.Process, key uint64, idx int) {
+func (t *tree) insert(p *wflocks.Process, key uint64, idx int) error {
 	cur := 0
 	for {
 		// Optimistic descent from cur to the attachment point.
 		for {
 			v := t.value[cur].Get(p)
-			var childCell *wflocks.Cell
+			var childCell *wflocks.Cell[int]
 			if key < v {
 				childCell = t.left[cur]
 			} else {
 				childCell = t.right[cur]
 			}
-			child := int(childCell.Get(p))
+			child := childCell.Get(p)
 			if child == 0 {
 				break // cur is the attachment point (for now)
 			}
 			cur = child
 		}
 		// Lock the attachment node; re-validate the slot inside.
-		attached := wflocks.NewCell(0)
-		won := t.m.TryLock(p, []*wflocks.Lock{t.locks[cur]}, 8, func(tx *wflocks.Tx) {
-			v := tx.Read(t.value[cur])
-			var childCell *wflocks.Cell
+		attached := wflocks.NewBoolCell(false)
+		won, err := t.m.TryLock(p, []*wflocks.Lock{t.locks[cur]}, 8, func(tx *wflocks.Tx) {
+			v := wflocks.Get(tx, t.value[cur])
+			var childCell *wflocks.Cell[int]
 			if key < v {
 				childCell = t.left[cur]
 			} else {
 				childCell = t.right[cur]
 			}
-			if tx.Read(childCell) != 0 {
+			if wflocks.Get(tx, childCell) != 0 {
 				return // someone attached here first; re-descend
 			}
-			tx.Write(t.value[idx], key)
-			tx.Write(childCell, uint64(idx))
-			tx.Write(attached, 1)
+			wflocks.Put(tx, t.value[idx], key)
+			wflocks.Put(tx, childCell, idx)
+			wflocks.Put(tx, attached, true)
 		})
-		if won && attached.Get(p) == 1 {
-			return
+		if err != nil {
+			return err
+		}
+		if won && attached.Get(p) {
+			return nil
 		}
 		// Lost or failed validation: resume descent from cur, whose
 		// subtree now contains the new attachment point.
@@ -110,8 +112,8 @@ func (t *tree) walk(p *wflocks.Process, node int, lo, hi uint64) (int, bool) {
 	return 1 + nl + nr, okl && okr
 }
 
-func (t *tree) walkChild(p *wflocks.Process, cell *wflocks.Cell, lo, hi uint64) (int, bool) {
-	return t.walk(p, int(cell.Get(p)), lo, hi)
+func (t *tree) walkChild(p *wflocks.Process, cell *wflocks.Cell[int], lo, hi uint64) (int, bool) {
+	return t.walk(p, cell.Get(p), lo, hi)
 }
 
 func main() {
@@ -137,7 +139,8 @@ func run() int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := m.NewProcess()
+			p := m.Acquire()
+			defer m.Release(p)
 			for k := 0; k < keysPerWorker; k++ {
 				// Interleaved ranges straddling the root so both
 				// subtrees grow and workers collide on hot leaves.
@@ -146,13 +149,17 @@ func run() int {
 					key += 2 * rootKey
 				}
 				idx := 1 + w*keysPerWorker + k
-				t.insert(p, key, idx)
+				if err := t.insert(p, key, idx); err != nil {
+					fmt.Fprintln(os.Stderr, "tree:", err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	p := m.NewProcess()
+	p := m.Acquire()
+	defer m.Release(p)
 	// Index 0 doubles as "no child", so enter the root explicitly.
 	rootV := t.value[0].Get(p)
 	nl, okl := t.walkChild(p, t.left[0], 0, rootV)
@@ -164,8 +171,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tree: structure corrupted!")
 		return 1
 	}
-	attempts, wins := m.Stats()
+	s := m.Stats()
 	fmt.Printf("attempts: %d, wins: %d (success rate %.2f)\n",
-		attempts, wins, float64(wins)/float64(attempts))
+		s.Attempts, s.Wins, s.SuccessRate())
 	return 0
 }

@@ -1,0 +1,3 @@
+module wflocks
+
+go 1.24

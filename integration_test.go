@@ -24,12 +24,12 @@ func TestIntegrationStarContention(t *testing.T) {
 		t.Fatal(err)
 	}
 	hub := m.NewLock()
-	hubCell := wflocks.NewCell(0)
+	hubCell := wflocks.NewCell(uint64(0))
 	spokes := make([]*wflocks.Lock, workers)
-	spokeCells := make([]*wflocks.Cell, workers)
+	spokeCells := make([]*wflocks.Cell[uint64], workers)
 	for i := range spokes {
 		spokes[i] = m.NewLock()
-		spokeCells[i] = wflocks.NewCell(0)
+		spokeCells[i] = wflocks.NewCell(uint64(0))
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -37,26 +37,32 @@ func TestIntegrationStarContention(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := m.NewProcess()
 			for k := 0; k < rounds; k++ {
-				m.Lock(p, []*wflocks.Lock{hub, spokes[i]}, 8, func(tx *wflocks.Tx) {
-					h := tx.Read(hubCell)
-					tx.Write(hubCell, h+1)
-					s := tx.Read(spokeCells[i])
-					tx.Write(spokeCells[i], s+1)
+				err := m.Do([]*wflocks.Lock{hub, spokes[i]}, 8, func(tx *wflocks.Tx) {
+					h := wflocks.Get(tx, hubCell)
+					wflocks.Put(tx, hubCell, h+1)
+					s := wflocks.Get(tx, spokeCells[i])
+					wflocks.Put(tx, spokeCells[i], s+1)
 				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	p := m.NewProcess()
-	if got := hubCell.Get(p); got != workers*rounds {
+	if got := wflocks.Load(m, hubCell); got != workers*rounds {
 		t.Fatalf("hub counter = %d, want %d", got, workers*rounds)
 	}
 	for i := range spokeCells {
-		if got := spokeCells[i].Get(p); got != rounds {
+		if got := wflocks.Load(m, spokeCells[i]); got != rounds {
 			t.Fatalf("spoke %d counter = %d, want %d", i, got, rounds)
 		}
+	}
+	s := m.Stats()
+	if s.Wins > s.Attempts || s.Wins != uint64(workers*rounds) {
+		t.Fatalf("stats inconsistent: %+v", s)
 	}
 }
 
@@ -75,10 +81,10 @@ func TestIntegrationUnknownBoundsStress(t *testing.T) {
 		t.Fatal(err)
 	}
 	ls := make([]*wflocks.Lock, locks)
-	cs := make([]*wflocks.Cell, locks)
+	cs := make([]*wflocks.Cell[uint64], locks)
 	for i := range ls {
 		ls[i] = m.NewLock()
-		cs[i] = wflocks.NewCell(0)
+		cs[i] = wflocks.NewCell(uint64(0))
 	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -88,7 +94,6 @@ func TestIntegrationUnknownBoundsStress(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p := m.NewProcess()
 			state := uint64(w + 1)
 			next := func(n int) int {
 				state ^= state << 13
@@ -103,12 +108,16 @@ func TestIntegrationUnknownBoundsStress(t *testing.T) {
 				if a == b {
 					b = (b + 1) % locks
 				}
-				m.Lock(p, []*wflocks.Lock{ls[a], ls[b]}, 8, func(tx *wflocks.Tx) {
-					va := tx.Read(cs[a])
-					tx.Write(cs[a], va+1)
-					vb := tx.Read(cs[b])
-					tx.Write(cs[b], vb+1)
+				err := m.Do([]*wflocks.Lock{ls[a], ls[b]}, 8, func(tx *wflocks.Tx) {
+					va := wflocks.Get(tx, cs[a])
+					wflocks.Put(tx, cs[a], va+1)
+					vb := wflocks.Get(tx, cs[b])
+					wflocks.Put(tx, cs[b], vb+1)
 				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				local[a]++
 				local[b]++
 			}
@@ -120,9 +129,8 @@ func TestIntegrationUnknownBoundsStress(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	p := m.NewProcess()
 	for i := range cs {
-		if got := cs[i].Get(p); got != winsPerLock[i] {
+		if got := wflocks.Load(m, cs[i]); got != winsPerLock[i] {
 			t.Fatalf("lock %d counter = %d, want %d (lost or duplicated)", i, got, winsPerLock[i])
 		}
 	}
@@ -141,7 +149,7 @@ func TestIntegrationTryLockIndependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	l := m.NewLock()
-	c := wflocks.NewCell(0)
+	c := wflocks.NewCell(uint64(0))
 	var wg sync.WaitGroup
 	rates := make([]float64, workers)
 	for w := 0; w < workers; w++ {
@@ -153,10 +161,15 @@ func TestIntegrationTryLockIndependence(t *testing.T) {
 			wins := 0
 			const attempts = 300
 			for k := 0; k < attempts; k++ {
-				if m.TryLock(p, []*wflocks.Lock{l}, 4, func(tx *wflocks.Tx) {
-					v := tx.Read(c)
-					tx.Write(c, v+1)
-				}) {
+				ok, err := m.TryLock(p, []*wflocks.Lock{l}, 4, func(tx *wflocks.Tx) {
+					v := wflocks.Get(tx, c)
+					wflocks.Put(tx, c, v+1)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
 					wins++
 				}
 			}

@@ -126,6 +126,9 @@ func TestThunkOpsAndSteps(t *testing.T) {
 // up as a failed claim, not just a changed number.
 
 func TestE1QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E1 sweeps workload sizes; skip in -short")
+	}
 	tab, err := E1StepBound(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -142,6 +145,9 @@ func TestE1QuickShape(t *testing.T) {
 }
 
 func TestE2QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E2 needs many trials for its rate estimates; skip in -short")
+	}
 	tab, err := E2Fairness(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -154,6 +160,9 @@ func TestE2QuickShape(t *testing.T) {
 }
 
 func TestE3QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E3 sweeps table sizes; skip in -short")
+	}
 	tab, err := E3Philosophers(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +183,9 @@ func TestE3QuickShape(t *testing.T) {
 }
 
 func TestE5QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E5 compares both variants over several shapes; skip in -short")
+	}
 	tab, err := E5Unknown(Quick)
 	if err != nil {
 		t.Fatal(err)

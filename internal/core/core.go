@@ -186,6 +186,13 @@ type Lock struct {
 	sys *System
 	set *activeset.Set[Descriptor]
 	id  int
+
+	// Per-lock observability counters (atomic): attempts whose lock set
+	// includes this lock, wins among them, and helps — descriptors on
+	// this lock run to a decision by some other attempt's helping phase.
+	attempts atomic.Uint64
+	wins     atomic.Uint64
+	helps    atomic.Uint64
 }
 
 var lockCounter atomic.Int64
@@ -208,6 +215,13 @@ func (s *System) NewLock() *Lock {
 // ID returns a process-wide unique identifier for the lock (useful for
 // deterministic ordering in baselines and diagnostics).
 func (l *Lock) ID() int { return l.id }
+
+// Counters reports the lock's observability counters: attempts whose
+// lock set includes this lock, wins among those attempts, and helps
+// performed on this lock's descriptors by other attempts.
+func (l *Lock) Counters() (attempts, wins, helps uint64) {
+	return l.attempts.Load(), l.wins.Load(), l.helps.Load()
+}
 
 // Descriptor is a tryLock attempt's shared record (Algorithm 3): the
 // lock set, the thunk, the priority (doubling as the multi-active-set
@@ -332,11 +346,15 @@ func (a *Attempt) Run(e env.Env) bool {
 
 // tryLocksKnown is the Algorithm 3 body for the known-bounds variant.
 func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
+	for _, l := range p.locks {
+		l.attempts.Add(1)
+	}
 	// Helping phase (lines 17-20): run every revealed descriptor on any
 	// of our locks to its decision, clearing the playing field of
 	// descriptors whose priorities the adversary may already know.
 	for _, l := range p.locks {
 		for _, q := range multiset.GetSet[Descriptor, *Descriptor](e, l.set) {
+			l.helps.Add(1)
 			s.run(e, q)
 		}
 	}
@@ -364,6 +382,9 @@ func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
 	won := p.status.Load() == StatusWon
 	if won {
 		s.wins.Add(1)
+		for _, l := range p.locks {
+			l.wins.Add(1)
+		}
 	}
 	return won
 }

@@ -208,10 +208,19 @@ func verifyCounters(t *testing.T, h *harness, lockSets [][]int, winCounts []int)
 	}
 }
 
+// shortSweep trims a seed sweep in -short mode (CI) while keeping the
+// full sweep for the default run.
+func shortSweep(full uint64) uint64 {
+	if testing.Short() {
+		return 3
+	}
+	return full
+}
+
 func TestMutualExclusionPhilosophers(t *testing.T) {
 	// 4 philosophers, ring of 4 chopsticks: κ = L = 2.
 	lockSets := [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
-	for seed := uint64(1); seed <= 25; seed++ {
+	for seed := uint64(1); seed <= shortSweep(25); seed++ {
 		h := newHarness(t, Config{Kappa: 2, MaxLocks: 2, MaxThunkSteps: 128, DelayC: 4, DelayC1: 8}, 4)
 		winCounts := runWorkload(t, h, seed, 6, lockSets)
 		verifyCounters(t, h, lockSets, winCounts)
@@ -225,7 +234,7 @@ func TestMutualExclusionPhilosophers(t *testing.T) {
 func TestMutualExclusionSingleHotLock(t *testing.T) {
 	// All processes fight over one lock: κ = 4, L = 1.
 	lockSets := [][]int{{0}, {0}, {0}, {0}}
-	for seed := uint64(1); seed <= 25; seed++ {
+	for seed := uint64(1); seed <= shortSweep(25); seed++ {
 		h := newHarness(t, Config{Kappa: 4, MaxLocks: 1, MaxThunkSteps: 128, DelayC: 4, DelayC1: 8}, 1)
 		winCounts := runWorkload(t, h, seed, 5, lockSets)
 		verifyCounters(t, h, lockSets, winCounts)
@@ -235,7 +244,7 @@ func TestMutualExclusionSingleHotLock(t *testing.T) {
 func TestMutualExclusionOverlappingTriples(t *testing.T) {
 	// L = 3 with entangled lock sets over 5 locks; κ = 3.
 	lockSets := [][]int{{0, 1, 2}, {1, 2, 3}, {2, 3, 4}}
-	for seed := uint64(1); seed <= 15; seed++ {
+	for seed := uint64(1); seed <= shortSweep(15); seed++ {
 		h := newHarness(t, Config{Kappa: 3, MaxLocks: 3, MaxThunkSteps: 256, DelayC: 4, DelayC1: 8}, 5)
 		winCounts := runWorkload(t, h, seed, 4, lockSets)
 		verifyCounters(t, h, lockSets, winCounts)
@@ -271,7 +280,7 @@ func TestStepBoundPerAttempt(t *testing.T) {
 	cfg := Config{Kappa: 2, MaxLocks: 2, MaxThunkSteps: 128, DelayC: 4, DelayC1: 8}
 	h := newHarness(t, cfg, 4)
 	bound := h.sys.t0() + h.sys.t1() + 64 // slack: descriptor setup + final checks
-	for seed := uint64(1); seed <= 10; seed++ {
+	for seed := uint64(1); seed <= shortSweep(10); seed++ {
 		h := newHarness(t, cfg, 4)
 		procs := len(lockSets)
 		sim := sched.New(sched.NewRandom(procs, seed), seed)
@@ -340,7 +349,7 @@ func TestFairnessPhilosophersRate(t *testing.T) {
 	// clear 1/4 comfortably; we assert the theorem's floor.
 	lockSets := [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
 	attempts, wins := 0, 0
-	for seed := uint64(1); seed <= 20; seed++ {
+	for seed := uint64(1); seed <= shortSweep(20); seed++ {
 		h := newHarness(t, Config{Kappa: 2, MaxLocks: 2, MaxThunkSteps: 128, DelayC: 4, DelayC1: 8}, 4)
 		winCounts := runWorkload(t, h, seed, 6, lockSets)
 		for _, w := range winCounts {
@@ -360,7 +369,7 @@ func TestWaitFreedomUnderStalledProcess(t *testing.T) {
 	// (wait-freedom): the others' attempts all complete, and if the
 	// stalled process had won, its thunk still runs (helping).
 	lockSets := [][]int{{0}, {0}, {0}}
-	for seed := uint64(1); seed <= 15; seed++ {
+	for seed := uint64(1); seed <= shortSweep(15); seed++ {
 		h := newHarness(t, Config{Kappa: 3, MaxLocks: 1, MaxThunkSteps: 128, DelayC: 4, DelayC1: 8}, 1)
 		base := sched.NewRandom(3, seed)
 		// Stall process 0 from step 2000 onward, forever.

@@ -26,11 +26,15 @@ import (
 //     which is exactly the log factor lost in Theorem 6.10's success
 //     probability.
 func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
+	for _, l := range p.locks {
+		l.attempts.Add(1)
+	}
 	// Helping phase: help every descriptor with a *revealed* priority.
 	// TBD descriptors must not be helped: running them would drive them
 	// to a decision before they have drawn a priority.
 	for _, l := range p.locks {
 		for _, q := range s.revealedMembers(e, l) {
+			l.helps.Add(1)
 			s.run(e, q)
 		}
 	}
@@ -76,6 +80,9 @@ func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
 	won := p.status.Load() == StatusWon
 	if won {
 		s.wins.Add(1)
+		for _, l := range p.locks {
+			l.wins.Add(1)
+		}
 	}
 	return won
 }

@@ -1,0 +1,61 @@
+package idem
+
+import "wflocks/internal/env"
+
+// Multi-word cell support. A value wider than one machine word is
+// stored as a fixed-length group of Cells; each word is individually
+// idempotent, and the group as a whole is consistent exactly when it is
+// accessed under mutual exclusion (i.e. inside critical sections whose
+// locks guard the group). Outside critical sections a multi-word read
+// is not an atomic snapshot — callers that need one must go through a
+// lock.
+//
+// Each word access is one simulated operation, so a W-word read or
+// write consumes W of the thunk's maxOps budget.
+
+// NewCells returns n cells initialized from init. Words beyond
+// len(init) start at zero; init may be nil.
+func NewCells(n int, init []uint64) []*Cell {
+	cells := make([]*Cell, n)
+	for i := range cells {
+		var v uint64
+		if i < len(init) {
+			v = init[i]
+		}
+		cells[i] = NewCell(v)
+	}
+	return cells
+}
+
+// ReadWords performs idempotent reads of each cell in order, storing
+// the values into dst. len(dst) must be at least len(cells).
+func (r *Run) ReadWords(cells []*Cell, dst []uint64) {
+	for i, c := range cells {
+		dst[i] = r.Read(c)
+	}
+}
+
+// WriteWords performs idempotent writes of src's values to the cells in
+// order. len(src) must be at least len(cells).
+func (r *Run) WriteWords(cells []*Cell, src []uint64) {
+	for i, c := range cells {
+		r.Write(c, src[i])
+	}
+}
+
+// LoadWords reads each cell from outside any thunk into dst. The words
+// are read one at a time: concurrent writers can interleave, so the
+// result is only a consistent snapshot when writers are quiescent or
+// the group is guarded by a lock the caller holds.
+func LoadWords(e env.Env, cells []*Cell, dst []uint64) {
+	for i, c := range cells {
+		dst[i] = c.Load(e)
+	}
+}
+
+// StoreWords writes src's values to the cells from outside any thunk.
+func StoreWords(e env.Env, cells []*Cell, src []uint64) {
+	for i, c := range cells {
+		c.Store(e, src[i])
+	}
+}

@@ -14,8 +14,8 @@ import (
 // after all MultiRemoves, every set is empty.
 func TestPropertyQuiescentConsistency(t *testing.T) {
 	f := func(seed uint64, numSetsRaw, itemsRaw uint8) bool {
-		numSets := 1 + int(numSetsRaw%3)  // 1..3
-		inserters := 2 + int(itemsRaw%4)  // 2..5
+		numSets := 1 + int(numSetsRaw%3) // 1..3
+		inserters := 2 + int(itemsRaw%4) // 2..5
 		sets := newSets(numSets, inserters)
 		items := make([]*item, inserters)
 		slots := make([][]int, inserters)

@@ -1,8 +1,11 @@
 package wflocks
 
+import "fmt"
+
 // config collects the Manager options before validation.
 type config struct {
 	kappa         int
+	kappaSet      bool
 	maxLocks      int
 	maxCritical   int
 	numProcs      int
@@ -10,29 +13,51 @@ type config struct {
 	delayC1       int
 	unknownBounds bool
 	seed          uint64
+	retry         RetryPolicy
 }
 
-// Option configures a Manager.
-type Option func(*config)
+// Option configures a Manager. Options validate their arguments: New
+// returns a descriptive error for any nonsense value rather than
+// building a manager whose guarantees are silently void.
+type Option func(*config) error
 
 // WithKappa sets κ, the maximum number of simultaneous attempts that
 // will ever contend on a single lock. Required unless WithUnknownBounds
 // is used. The fairness guarantee (success probability ≥ 1/(κL)) and
 // the step bound O(κ²L²T) are stated in terms of it.
 func WithKappa(kappa int) Option {
-	return func(c *config) { c.kappa = kappa }
+	return func(c *config) error {
+		if kappa <= 0 {
+			return fmt.Errorf("wflocks: WithKappa: κ must be positive, got %d", kappa)
+		}
+		c.kappa = kappa
+		c.kappaSet = true
+		return nil
+	}
 }
 
 // WithMaxLocks sets L, the maximum number of locks in any single
-// TryLock call. Default 2 (the dining-philosophers shape).
+// acquisition. Default 2 (the dining-philosophers shape).
 func WithMaxLocks(l int) Option {
-	return func(c *config) { c.maxLocks = l }
+	return func(c *config) error {
+		if l <= 0 {
+			return fmt.Errorf("wflocks: WithMaxLocks: L must be positive, got %d", l)
+		}
+		c.maxLocks = l
+		return nil
+	}
 }
 
-// WithMaxCriticalSteps sets T, the maximum number of Tx operations any
-// critical section performs. Default 64.
+// WithMaxCriticalSteps sets T, the maximum number of shared-memory
+// operations any critical section performs. Default 64.
 func WithMaxCriticalSteps(t int) Option {
-	return func(c *config) { c.maxCritical = t }
+	return func(c *config) error {
+		if t <= 0 {
+			return fmt.Errorf("wflocks: WithMaxCriticalSteps: T must be positive, got %d", t)
+		}
+		c.maxCritical = t
+		return nil
+	}
 }
 
 // WithUnknownBounds selects the variant that needs no κ/L knowledge
@@ -41,9 +66,13 @@ func WithMaxCriticalSteps(t int) Option {
 // per-lock announcement arrays. The success probability loses a
 // log(κLT) factor compared to the known-bounds variant.
 func WithUnknownBounds(numProcs int) Option {
-	return func(c *config) {
+	return func(c *config) error {
+		if numProcs <= 0 {
+			return fmt.Errorf("wflocks: WithUnknownBounds: P must be positive, got %d", numProcs)
+		}
 		c.unknownBounds = true
 		c.numProcs = numProcs
+		return nil
 	}
 }
 
@@ -53,9 +82,13 @@ func WithUnknownBounds(numProcs int) Option {
 // fixed-timing property the fairness proof needs; the defaults are
 // calibrated with comfortable margin.
 func WithDelayConstants(c0, c1 int) Option {
-	return func(c *config) {
+	return func(c *config) error {
+		if c0 <= 0 || c1 <= 0 {
+			return fmt.Errorf("wflocks: WithDelayConstants: constants must be positive, got (%d, %d)", c0, c1)
+		}
 		c.delayC = c0
 		c.delayC1 = c1
+		return nil
 	}
 }
 
@@ -63,5 +96,33 @@ func WithDelayConstants(c0, c1 int) Option {
 // same seed and deterministic scheduling draw the same priorities;
 // the default seed of zero is fine for production use.
 func WithSeed(seed uint64) Option {
-	return func(c *config) { c.seed = seed }
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithRetryPolicy sets the policy Do, DoCtx and Lock apply between
+// failed attempts. The default is RetryGosched, which yields the
+// processor between attempts. See RetryImmediate and RetryBackoff for
+// the alternatives.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *config) error {
+		if p == nil {
+			return fmt.Errorf("wflocks: WithRetryPolicy: policy must not be nil")
+		}
+		c.retry = p
+		return nil
+	}
+}
+
+// validate audits the assembled configuration for cross-option
+// consistency. Per-option range checks happen in the options
+// themselves; validate catches what only the combination reveals.
+func (c *config) validate() error {
+	if !c.kappaSet && !c.unknownBounds {
+		return fmt.Errorf("wflocks: New: one of WithKappa or WithUnknownBounds is required " +
+			"(the algorithm must either know the contention bound κ or be told the process count P)")
+	}
+	return nil
 }

@@ -1,0 +1,61 @@
+package wflocks
+
+import (
+	"strings"
+	"testing"
+)
+
+// Option validation is part of the public contract: New must refuse
+// nonsense configurations with descriptive errors instead of building a
+// manager whose fairness and wait-freedom guarantees silently no longer
+// hold.
+func TestNewOptionValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    []Option
+		wantErr string // substring of the error; "" means success
+	}{
+		{"no bounds at all", nil, "WithKappa or WithUnknownBounds"},
+		{"only seed", []Option{WithSeed(7)}, "WithKappa or WithUnknownBounds"},
+		{"valid known bounds", []Option{WithKappa(2)}, ""},
+		{"valid unknown bounds", []Option{WithUnknownBounds(4)}, ""},
+		{"zero kappa", []Option{WithKappa(0)}, "κ must be positive"},
+		{"negative kappa", []Option{WithKappa(-3)}, "κ must be positive"},
+		{"zero max locks", []Option{WithKappa(2), WithMaxLocks(0)}, "L must be positive"},
+		{"negative max locks", []Option{WithKappa(2), WithMaxLocks(-1)}, "L must be positive"},
+		{"zero critical steps", []Option{WithKappa(2), WithMaxCriticalSteps(0)}, "T must be positive"},
+		{"negative critical steps", []Option{WithKappa(2), WithMaxCriticalSteps(-8)}, "T must be positive"},
+		{"zero procs unknown mode", []Option{WithUnknownBounds(0)}, "P must be positive"},
+		{"negative procs unknown mode", []Option{WithUnknownBounds(-2)}, "P must be positive"},
+		{"zero delay constant", []Option{WithKappa(2), WithDelayConstants(0, 4)}, "constants must be positive"},
+		{"negative delay constant", []Option{WithKappa(2), WithDelayConstants(8, -1)}, "constants must be positive"},
+		{"nil retry policy", []Option{WithKappa(2), WithRetryPolicy(nil)}, "policy must not be nil"},
+		{"full valid config", []Option{
+			WithKappa(4), WithMaxLocks(3), WithMaxCriticalSteps(32),
+			WithDelayConstants(8, 16), WithSeed(1), WithRetryPolicy(RetryImmediate()),
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := New(tc.opts...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				if m == nil {
+					t.Fatal("nil manager without error")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if m != nil {
+				t.Fatal("non-nil manager alongside error")
+			}
+		})
+	}
+}

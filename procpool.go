@@ -1,0 +1,24 @@
+package wflocks
+
+// The per-goroutine handle pool. Process handles are cheap but not
+// free (each carries a private random stream and step counter), and the
+// algorithm requires that a handle never be used by two goroutines at
+// once. The pool gives the common path — Do, DoCtx, Load, Store — a
+// handle per call without the caller threading one through, while
+// keeping the number of live handles proportional to the number of
+// concurrently acquiring goroutines rather than the number of calls.
+
+// Acquire returns a process handle for the calling goroutine, reusing a
+// pooled one when available. The handle is exclusively the caller's
+// until Release. Step accounts accumulate across reuses, so a pooled
+// handle's Steps reflects all work done under it, not just the
+// caller's.
+func (m *Manager) Acquire() *Process {
+	return m.procs.Get().(*Process)
+}
+
+// Release returns a handle obtained from Acquire to the pool. The
+// caller must not use p afterwards.
+func (m *Manager) Release(p *Process) {
+	m.procs.Put(p)
+}

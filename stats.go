@@ -1,0 +1,59 @@
+package wflocks
+
+// LockStats are one lock's observability counters.
+type LockStats struct {
+	// ID is the lock's process-wide identifier (Lock.ID).
+	ID int
+	// Attempts counts acquisitions whose lock set included this lock.
+	Attempts uint64
+	// Wins counts the attempts among those that won.
+	Wins uint64
+	// Helps counts descriptors on this lock that some other attempt's
+	// helping phase ran to a decision — the wait-freedom machinery at
+	// work.
+	Helps uint64
+}
+
+// StatsSnapshot is a point-in-time view of a manager's counters.
+// Counters are read without stopping the world, so a snapshot taken
+// under live traffic can be momentarily skewed (e.g. an attempt counted
+// on one lock but not yet manager-wide); taken at quiescence it is
+// exact. Note that an attempt holding k locks contributes to k per-lock
+// Attempts counters but to the manager-wide Attempts only once.
+type StatsSnapshot struct {
+	// Attempts and Wins count acquisitions manager-wide, each attempt
+	// once regardless of its lock set size.
+	Attempts uint64
+	Wins     uint64
+	// Helps is the sum of the per-lock help counters.
+	Helps uint64
+	// Locks holds one entry per lock, in creation order.
+	Locks []LockStats
+}
+
+// SuccessRate is Wins/Attempts, or 0 before any attempt.
+func (s StatsSnapshot) SuccessRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Wins) / float64(s.Attempts)
+}
+
+// Stats snapshots the manager's attempt, win and help counters,
+// manager-wide and per lock.
+func (m *Manager) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		Attempts: m.attempts.Load(),
+		Wins:     m.wins.Load(),
+	}
+	m.mu.Lock()
+	locks := m.locks
+	m.mu.Unlock()
+	snap.Locks = make([]LockStats, len(locks))
+	for i, l := range locks {
+		a, w, h := l.inner.Counters()
+		snap.Locks[i] = LockStats{ID: l.ID(), Attempts: a, Wins: w, Helps: h}
+		snap.Helps += h
+	}
+	return snap
+}

@@ -1,0 +1,150 @@
+package wflocks
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsSnapshotConsistency checks the counter invariants on a
+// single-lock-per-attempt workload, where the per-lock sums must match
+// the manager totals exactly (an attempt holding k locks counts k times
+// across per-lock counters but once manager-wide).
+func TestStatsSnapshotConsistency(t *testing.T) {
+	const workers = 4
+	const rounds = 100
+	const numLocks = 3
+	m := newManager(t, WithKappa(workers), WithMaxLocks(1), WithMaxCriticalSteps(8))
+	locks := make([]*Lock, numLocks)
+	cells := make([]*Cell[uint64], numLocks)
+	for i := range locks {
+		locks[i] = m.NewLock()
+		cells[i] = NewCell(uint64(0))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < rounds; k++ {
+				i := (w + k) % numLocks
+				if err := m.Do([]*Lock{locks[i]}, 2, func(tx *Tx) {
+					Put(tx, cells[i], Get(tx, cells[i])+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := m.Stats()
+	if s.Wins != workers*rounds {
+		t.Fatalf("wins = %d, want %d (Do retries until success)", s.Wins, workers*rounds)
+	}
+	if s.Wins > s.Attempts {
+		t.Fatalf("wins %d > attempts %d", s.Wins, s.Attempts)
+	}
+	if s.SuccessRate() <= 0 || s.SuccessRate() > 1 {
+		t.Fatalf("success rate %v out of range", s.SuccessRate())
+	}
+	if len(s.Locks) != numLocks {
+		t.Fatalf("per-lock entries = %d, want %d", len(s.Locks), numLocks)
+	}
+	var sumAttempts, sumWins uint64
+	for _, ls := range s.Locks {
+		if ls.Wins > ls.Attempts {
+			t.Fatalf("lock %d: wins %d > attempts %d", ls.ID, ls.Wins, ls.Attempts)
+		}
+		sumAttempts += ls.Attempts
+		sumWins += ls.Wins
+	}
+	// Single-lock attempts: per-lock sums must equal manager totals.
+	if sumAttempts != s.Attempts {
+		t.Fatalf("per-lock attempts sum %d != manager attempts %d", sumAttempts, s.Attempts)
+	}
+	if sumWins != s.Wins {
+		t.Fatalf("per-lock wins sum %d != manager wins %d", sumWins, s.Wins)
+	}
+	// Work landed on every lock, so every per-lock counter must be live.
+	for _, ls := range s.Locks {
+		if ls.Attempts == 0 {
+			t.Fatalf("lock %d saw no attempts", ls.ID)
+		}
+	}
+}
+
+// TestStatsMultiLockAccounting pins down the documented k-fold rule:
+// an attempt over k locks adds k to the per-lock sums and 1 to the
+// manager totals.
+func TestStatsMultiLockAccounting(t *testing.T) {
+	m := newManager(t, WithKappa(2), WithMaxLocks(2), WithMaxCriticalSteps(8))
+	a, b := m.NewLock(), m.NewLock()
+	c := NewCell(uint64(0))
+	p := m.NewProcess()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := m.Lock(p, []*Lock{a, b}, 2, func(tx *Tx) {
+			Put(tx, c, Get(tx, c)+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	if s.Wins != n {
+		t.Fatalf("wins = %d, want %d", s.Wins, n)
+	}
+	var sumWins uint64
+	for _, ls := range s.Locks {
+		sumWins += ls.Wins
+	}
+	if sumWins != 2*s.Wins {
+		t.Fatalf("per-lock wins sum %d, want %d (2 locks per attempt)", sumWins, 2*s.Wins)
+	}
+}
+
+// TestStatsHelpCounters drives enough contention that helping occurs,
+// then checks the help counters surfaced through the snapshot.
+func TestStatsHelpCounters(t *testing.T) {
+	const workers = 4
+	m := newManager(t, WithKappa(workers), WithMaxLocks(1), WithMaxCriticalSteps(8))
+	l := m.NewLock()
+	c := NewCell(uint64(0))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				p := m.Acquire()
+				_, err := m.TryLock(p, []*Lock{l}, 2, func(tx *Tx) {
+					Put(tx, c, Get(tx, c)+1)
+				})
+				m.Release(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Stats()
+	if s.Attempts != workers*200 {
+		t.Fatalf("attempts = %d, want %d", s.Attempts, workers*200)
+	}
+	if got := Load(m, c); got != s.Wins {
+		t.Fatalf("counter = %d, wins = %d", got, s.Wins)
+	}
+	// Helps is workload-dependent; under this much contention the
+	// helping phase all but certainly fired, but zero is still legal, so
+	// only check the snapshot's internal consistency.
+	var sumHelps uint64
+	for _, ls := range s.Locks {
+		sumHelps += ls.Helps
+	}
+	if sumHelps != s.Helps {
+		t.Fatalf("per-lock helps sum %d != manager helps %d", sumHelps, s.Helps)
+	}
+}

@@ -1,7 +1,9 @@
 package wflocks
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"wflocks/internal/core"
@@ -12,22 +14,39 @@ import (
 // Manager is a family of locks sharing one configuration. Create one
 // with New; it is safe for concurrent use.
 type Manager struct {
-	sys      *core.System
-	seed     uint64
+	sys   *core.System
+	cfg   config
+	retry RetryPolicy
+
 	nextPid  atomic.Int64
 	attempts atomic.Uint64
 	wins     atomic.Uint64
+
+	// procs is the per-goroutine handle pool backing Acquire/Release
+	// and the implicit Do path.
+	procs sync.Pool
+
+	// mu guards locks, the registry feeding Stats' per-lock counters.
+	mu    sync.Mutex
+	locks []*Lock
 }
 
 // New creates a Manager. See the Option constructors for configuration;
-// either WithKappa or WithUnknownBounds is required.
+// either WithKappa or WithUnknownBounds is required. Invalid options
+// are reported as errors rather than silently voiding the guarantees.
 func New(opts ...Option) (*Manager, error) {
 	cfg := config{
 		maxLocks:    2,
 		maxCritical: 64,
+		retry:       RetryGosched(),
 	}
 	for _, o := range opts {
-		o(&cfg)
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	sys, err := core.NewSystem(core.Config{
 		Kappa:         cfg.kappa,
@@ -41,7 +60,9 @@ func New(opts ...Option) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wflocks: %w", err)
 	}
-	return &Manager{sys: sys, seed: cfg.seed}, nil
+	m := &Manager{sys: sys, cfg: cfg, retry: cfg.retry}
+	m.procs.New = func() any { return m.NewProcess() }
+	return m, nil
 }
 
 // idemStepsPerOp is the worst-case simulated steps per critical-section
@@ -56,20 +77,30 @@ type Lock struct {
 
 // NewLock creates a lock.
 func (m *Manager) NewLock() *Lock {
-	return &Lock{inner: m.sys.NewLock()}
+	l := &Lock{inner: m.sys.NewLock()}
+	m.mu.Lock()
+	m.locks = append(m.locks, l)
+	m.mu.Unlock()
+	return l
 }
 
+// ID returns a process-wide unique identifier for the lock.
+func (l *Lock) ID() int { return l.inner.ID() }
+
 // Process is a per-goroutine handle carrying step accounting and a
-// private random stream. Each goroutine that calls TryLock needs its
-// own Process; a Process must not be shared.
+// private random stream. The common path (Do, DoCtx, Load, Store)
+// manages handles implicitly through the manager's pool; create one
+// explicitly only when you need per-process step accounting, and then
+// never share it between goroutines.
 type Process struct {
 	env *env.Native
 }
 
-// NewProcess creates a process handle.
+// NewProcess creates a fresh process handle. Prefer Acquire, which
+// reuses pooled handles.
 func (m *Manager) NewProcess() *Process {
 	pid := m.nextPid.Add(1) - 1
-	return &Process{env: env.NewNative(int(pid), env.Mix(m.seed, uint64(pid)+0x9e37))}
+	return &Process{env: env.NewNative(int(pid), env.Mix(m.cfg.seed, uint64(pid)+0x9e37))}
 }
 
 // Pid returns the process id.
@@ -78,47 +109,31 @@ func (p *Process) Pid() int { return p.env.Pid() }
 // Steps reports the total algorithm steps this process has taken.
 func (p *Process) Steps() uint64 { return p.env.Steps() }
 
-// Cell is a shared memory location accessible from critical sections.
-type Cell struct {
-	inner *idem.Cell
-}
-
-// NewCell creates a cell holding v.
-func NewCell(v uint64) *Cell {
-	return &Cell{inner: idem.NewCell(v)}
-}
-
-// Get reads the cell outside any critical section.
-func (c *Cell) Get(p *Process) uint64 { return c.inner.Load(p.env) }
-
-// Set writes the cell outside any critical section. Prefer doing writes
-// inside critical sections; Set is for initialization and inspection.
-func (c *Cell) Set(p *Process, v uint64) { c.inner.Store(p.env, v) }
-
 // Tx is the handle critical sections use for shared-memory access. All
-// shared reads and writes inside a critical section must go through it.
+// shared reads and writes inside a critical section must go through it,
+// via the typed accessors Get, Put and CompareSwap.
 type Tx struct {
 	run *idem.Run
 }
 
-// Read reads a cell.
-func (t *Tx) Read(c *Cell) uint64 { return t.run.Read(c.inner) }
-
-// Write writes a cell.
-func (t *Tx) Write(c *Cell, v uint64) { t.run.Write(c.inner, v) }
-
-// CAS performs a compare-and-swap on a cell, reporting success.
-func (t *Tx) CAS(c *Cell, old, new uint64) bool { return t.run.CAS(c.inner, old, new) }
-
 // TryLock attempts to acquire all locks and run body atomically. maxOps
-// bounds the number of Tx operations body performs (it must also be at
-// most the manager's WithMaxCriticalSteps bound). It returns true if
-// the attempt won, in which case body has executed exactly once; on
-// false, body has not run at all.
+// bounds the number of shared-memory operations body performs (it must
+// be at most the manager's WithMaxCriticalSteps bound). It returns true
+// if the attempt won, in which case body has executed exactly once; on
+// false, body has not run at all. Validation failures (ErrNoLocks,
+// ErrTooManyLocks, ErrMaxOpsExceeded) are reported without attempting.
 //
 // Attempts are independent: each succeeds with probability at least
 // 1/(κL) regardless of past attempts, so retrying wins quickly.
-func (m *Manager) TryLock(p *Process, locks []*Lock, maxOps int, body func(*Tx)) bool {
+func (m *Manager) TryLock(p *Process, locks []*Lock, maxOps int, body func(*Tx)) (bool, error) {
+	if err := m.validateCall(locks, maxOps); err != nil {
+		return false, err
+	}
+	return m.tryLock(p, locks, maxOps, body), nil
+}
+
+// tryLock runs one validated attempt.
+func (m *Manager) tryLock(p *Process, locks []*Lock, maxOps int, body func(*Tx)) bool {
 	thunk := idem.NewExec(func(r *idem.Run) {
 		body(&Tx{run: r})
 	}, maxOps)
@@ -134,19 +149,33 @@ func (m *Manager) TryLock(p *Process, locks []*Lock, maxOps int, body func(*Tx))
 	return ok
 }
 
-// Lock acquires the locks by retrying TryLock until it succeeds and
-// returns the number of attempts used. Expected attempts are O(κL).
-func (m *Manager) Lock(p *Process, locks []*Lock, maxOps int, body func(*Tx)) int {
-	attempts := 0
-	for {
-		attempts++
-		if m.TryLock(p, locks, maxOps, body) {
-			return attempts
+// Lock acquires the locks with an explicit process handle, retrying
+// until an attempt wins, and returns the number of attempts used.
+// Expected attempts are O(κL). Between failed attempts it applies the
+// manager's RetryPolicy. Prefer Do unless you need p's step accounting.
+func (m *Manager) Lock(p *Process, locks []*Lock, maxOps int, body func(*Tx)) (int, error) {
+	if err := m.validateCall(locks, maxOps); err != nil {
+		return 0, err
+	}
+	for attempt := 1; ; attempt++ {
+		if m.tryLock(p, locks, maxOps, body) {
+			return attempt, nil
 		}
+		m.retry.Wait(context.Background(), attempt)
 	}
 }
 
-// Stats reports the manager-wide attempt and win counts.
-func (m *Manager) Stats() (attempts, wins uint64) {
-	return m.attempts.Load(), m.wins.Load()
+// validateCall audits an acquisition's arguments against the manager's
+// configured bounds.
+func (m *Manager) validateCall(locks []*Lock, maxOps int) error {
+	if len(locks) == 0 {
+		return ErrNoLocks
+	}
+	if len(locks) > m.cfg.maxLocks {
+		return fmt.Errorf("%w: %d locks, bound L=%d", ErrTooManyLocks, len(locks), m.cfg.maxLocks)
+	}
+	if maxOps <= 0 || maxOps > m.cfg.maxCritical {
+		return fmt.Errorf("%w: maxOps=%d, bound T=%d", ErrMaxOpsExceeded, maxOps, m.cfg.maxCritical)
+	}
+	return nil
 }
