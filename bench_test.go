@@ -1,6 +1,8 @@
 package wflocks_test
 
 import (
+	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"testing"
 
@@ -132,6 +134,93 @@ func BenchmarkDoContended(b *testing.B) {
 			}); err != nil {
 				b.Error(err)
 				return
+			}
+		}
+	})
+}
+
+// BenchmarkMap sweeps the wfmap shard count against a sync.Mutex-
+// sharded baseline under a 90/10 get/put mix. Total capacity is held
+// at 2× the keyspace while shards grow, so each doubling both halves
+// the per-lock contention and shrinks the per-shard region — and with
+// it the critical-section bound T that the attempts' fixed delays are
+// proportional to. Throughput therefore scales superlinearly for
+// wfmap (8-shard is well over 3× 1-shard at GOMAXPROCS=8); the mutex
+// baseline gives the blocking reference. Compare with:
+//
+//	go test -bench=Map -benchtime=500x -cpu 8
+const benchMapKeys = 128
+
+func BenchmarkMap(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("wfmap/shards=%d", shards), func(b *testing.B) {
+			benchWfmap(b, shards)
+		})
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("mutex/shards=%d", shards), func(b *testing.B) {
+			benchMutexMap(b, shards)
+		})
+	}
+}
+
+func benchWfmap(b *testing.B, shards int) {
+	capPerShard := 2 * benchMapKeys / shards
+	// κ covers the RunParallel goroutine count; delay constants of 1
+	// keep the fixed stalls near their minimum so the benchmark
+	// measures structure, not calibration margin.
+	m, err := wflocks.New(
+		wflocks.WithKappa(runtime.GOMAXPROCS(0)),
+		wflocks.WithMaxLocks(1),
+		wflocks.WithMaxCriticalSteps(wflocks.MapCriticalSteps(capPerShard, 1, 1)),
+		wflocks.WithDelayConstants(1, 1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, err := wflocks.NewMap[uint64, uint64](m,
+		wflocks.WithShards(shards), wflocks.WithShardCapacity(capPerShard))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := uint64(0); k < benchMapKeys; k++ {
+		if err := mp.Put(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+		for pb.Next() {
+			k := rng.Uint64N(benchMapKeys)
+			if rng.IntN(10) == 0 {
+				if err := mp.Put(k, k); err != nil {
+					b.Error(err)
+					return
+				}
+			} else {
+				mp.Get(k)
+			}
+		}
+	})
+}
+
+func benchMutexMap(b *testing.B, shards int) {
+	mm := bench.NewMutexMap(shards)
+	for k := uint64(0); k < benchMapKeys; k++ {
+		mm.Put(k, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+		for pb.Next() {
+			k := rng.Uint64N(benchMapKeys)
+			if rng.IntN(10) == 0 {
+				mm.Put(k, k)
+			} else {
+				mm.Get(k)
 			}
 		}
 	})

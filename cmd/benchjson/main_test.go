@@ -1,0 +1,77 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: wflocks
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDoUncontended-8         	   10000	      1000 ns/op	      48 B/op	       1 allocs/op
+BenchmarkDoUncontended-8         	   10000	      3000 ns/op	      48 B/op	       3 allocs/op
+BenchmarkMap/wfmap/shards=8-8    	     500	    141283 ns/op	    1763 B/op	      46 allocs/op
+BenchmarkE3Philosophers-8        	       1	 123456789 ns/op
+PASS
+ok  	wflocks	1.224s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.Pkg != "wflocks" {
+		t.Fatalf("header = %q/%q/%q", snap.Goos, snap.Goarch, snap.Pkg)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	// Repeated samples average; the GOMAXPROCS suffix is stripped so
+	// baselines from machines with different core counts still match.
+	do := snap.Benchmarks["DoUncontended"]
+	if do.Samples != 2 || math.Abs(do.NsPerOp-2000) > 1e-9 || math.Abs(do.AllocsPerOp-2) > 1e-9 {
+		t.Fatalf("DoUncontended = %+v, want mean of 2 samples", do)
+	}
+	// Subtests keep their full path, minus the proc suffix only.
+	mp := snap.Benchmarks["Map/wfmap/shards=8"]
+	if mp.Samples != 1 || mp.NsPerOp != 141283 {
+		t.Fatalf("Map = %+v", mp)
+	}
+	// Lines without allocs still parse.
+	e3 := snap.Benchmarks["E3Philosophers"]
+	if e3.NsPerOp != 123456789 || e3.AllocsPerOp != 0 {
+		t.Fatalf("E3 = %+v", e3)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok wflocks 1s\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Result{
+		"A-8": {NsPerOp: 100},
+		"B-8": {NsPerOp: 200},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Result{
+		"A-8": {NsPerOp: 150}, // +50%
+		"B-8": {NsPerOp: 100}, // -50%
+		"C-8": {NsPerOp: 10},  // new, no baseline
+	}}
+	var sb strings.Builder
+	worst := Diff(&sb, base, cur)
+	if math.Abs(worst-50) > 1e-9 {
+		t.Fatalf("worst regression = %v, want 50", worst)
+	}
+	out := sb.String()
+	for _, want := range []string{"A-8", "+50.0%", "-50.0%", "new"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out)
+		}
+	}
+}

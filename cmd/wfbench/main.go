@@ -7,15 +7,19 @@
 //	wfbench -exp E3                # one experiment, quick scale
 //	wfbench -scale full            # everything, full scale (slow)
 //	wfbench -exp E1 -scale full
+//	wfbench -workload map:read     # wfmap vs mutex-sharded baseline
+//	wfbench -workload map:zipf -scale full
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"wflocks/internal/bench"
+	"wflocks/internal/workload"
 )
 
 func main() {
@@ -24,15 +28,21 @@ func main() {
 
 func run() int {
 	var (
-		expID = flag.String("exp", "", "experiment id (E1..E10); empty = all")
-		scale = flag.String("scale", "quick", "quick or full")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		expID    = flag.String("exp", "", "experiment id (E1..E10); empty = all")
+		scale    = flag.String("scale", "quick", "quick or full")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		workName = flag.String("workload", "",
+			"data-structure workload instead of an experiment (map:read, map:write, map:zipf)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		for _, sc := range workload.MapScenarios() {
+			fmt.Printf("%-9s map workload: %d%%/%d%%/%d%% get/put/delete, skew %.1f\n",
+				sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Skew)
 		}
 		return 0
 	}
@@ -46,6 +56,28 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "wfbench: unknown scale %q (want quick or full)\n", *scale)
 		return 2
+	}
+
+	if *workName != "" {
+		sc := workload.LookupMapScenario(*workName)
+		if sc == nil {
+			names := make([]string, 0, 3)
+			for _, s := range workload.MapScenarios() {
+				names = append(names, s.Name)
+			}
+			fmt.Fprintf(os.Stderr, "wfbench: unknown workload %q (have %s)\n",
+				*workName, strings.Join(names, ", "))
+			return 2
+		}
+		start := time.Now()
+		table, err := bench.RunMapScenario(sc, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %s failed: %v\n", sc.Name, err)
+			return 1
+		}
+		fmt.Println(table)
+		fmt.Printf("(%s completed in %v)\n", sc.Name, time.Since(start).Round(time.Millisecond))
+		return 0
 	}
 
 	exps := bench.Experiments()

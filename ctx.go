@@ -92,12 +92,23 @@ func (m *Manager) DoCtx(ctx context.Context, locks []*Lock, maxOps int, body fun
 	}
 	p := m.Acquire()
 	defer m.Release(p)
+	_, err := m.retryLoop(ctx, p, locks, maxOps, body)
+	return err
+}
+
+// retryLoop is the one retry implementation behind Do, DoCtx, Lock and
+// LockCtx: tryLock under p until an attempt wins, applying the
+// manager's RetryPolicy between failures and checking ctx before each
+// attempt. It returns the number of attempts used by a win, or the
+// failed attempt count wrapped in an ErrCanceled error. The caller has
+// already validated the arguments.
+func (m *Manager) retryLoop(ctx context.Context, p *Process, locks []*Lock, maxOps int, body func(*Tx)) (int, error) {
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("%w after %d attempts: %w", ErrCanceled, attempt-1, err)
+			return attempt - 1, fmt.Errorf("%w after %d attempts: %w", ErrCanceled, attempt-1, err)
 		}
 		if m.tryLock(p, locks, maxOps, body) {
-			return nil
+			return attempt, nil
 		}
 		m.retry.Wait(ctx, attempt)
 	}

@@ -84,6 +84,45 @@ func TestDoCtxDeadline(t *testing.T) {
 	t.Fatal("DoCtx kept succeeding past its deadline")
 }
 
+// TestLockCtxCancel covers the Lock-path half of the shared retry
+// loop: LockCtx must honor cancellation exactly as DoCtx does (the two
+// are one implementation), and Lock must keep its attempt-count
+// contract on the win path.
+func TestLockCtxCancel(t *testing.T) {
+	m := newManager(t, WithKappa(2))
+	l := m.NewLock()
+	p := m.NewProcess()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts, err := m.LockCtx(ctx, p, []*Lock{l}, 2, func(*Tx) {
+		t.Error("body ran under a canceled context")
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if attempts != 0 {
+		t.Fatalf("attempts = %d, want 0 under pre-canceled context", attempts)
+	}
+
+	// The live-context path still wins and reports its attempt count.
+	c := NewCell(uint64(0))
+	attempts, err = m.LockCtx(context.Background(), p, []*Lock{l}, 2, func(tx *Tx) {
+		Put(tx, c, Get(tx, c)+1)
+	})
+	if err != nil || attempts < 1 {
+		t.Fatalf("LockCtx = (%d, %v), want (>=1, nil)", attempts, err)
+	}
+	if Load(m, c) != 1 {
+		t.Fatal("critical section did not run")
+	}
+	if n, err := m.Lock(p, []*Lock{l}, 2, func(tx *Tx) {
+		Put(tx, c, Get(tx, c)+1)
+	}); err != nil || n < 1 {
+		t.Fatalf("Lock = (%d, %v), want (>=1, nil)", n, err)
+	}
+}
+
 func TestRetryPolicies(t *testing.T) {
 	// Each policy must let an uncontended Do complete.
 	for _, tc := range []struct {

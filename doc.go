@@ -70,14 +70,36 @@
 // write cells with Load and Store (implicit pooled handle) or
 // Cell.Get and Cell.Set (explicit handle).
 //
+// # Built-in data structures: the shard layer
+//
+// Map is the first data structure served by the locks: a generic
+// lock-sharded concurrent hash map (NewMap, NewMapOf). Keys hash to
+// one of a power-of-two number of shards; each shard owns one Lock
+// guarding an open-addressed region of typed cells, so per-lock
+// contention is the per-shard κ, not the process count, and the
+// worst-case critical section T is bounded by the shard capacity
+// (MapCriticalSteps computes the WithMaxCriticalSteps bound a hosting
+// manager needs). Get, Put and Delete are single-lock critical
+// sections under Do. Swap, which atomically exchanges two keys'
+// values, is where the paper's lock-set bound L surfaces in the API:
+// a cross-shard Swap holds both shard locks in one acquisition, so
+// the manager must allow L ≥ 2 and the attempt pays the 1/(κL)
+// success probability and O(κ²L²T) step bound at L = 2. Len and
+// Range stay off the locks entirely — Range validates per-shard
+// seqlock versions to return consistent snapshots. Map.Stats exposes
+// per-shard contention counters (the same counters the shard locks
+// contribute to StatsSnapshot.Locks) plus a Jain balance index over
+// shards.
+//
 // # Errors and observability
 //
 // Acquisitions validate their arguments and return typed sentinel
 // errors: ErrNoLocks, ErrTooManyLocks (lock set beyond L),
-// ErrMaxOpsExceeded (ops budget beyond T) and ErrCanceled (DoCtx
-// context done). New audits its Options the same way. Manager.Stats
-// returns a StatsSnapshot with manager-wide and per-lock
-// attempt/win/help counters.
+// ErrMaxOpsExceeded (ops budget beyond T), ErrCanceled (DoCtx or
+// LockCtx context done) and ErrMapFull (a Map shard out of buckets).
+// New audits its Options the same way. Manager.Stats returns a
+// StatsSnapshot with manager-wide and per-lock attempt/win/help
+// counters.
 //
 // # Choosing the bounds
 //
@@ -85,4 +107,11 @@
 // WithUnknownBounds(P) (P = number of processes): the algorithm then
 // needs no κ/L knowledge, at the cost of a log(κLT) factor in the
 // success probability (paper Theorem 6.10).
+//
+// The bounds are a contract, not a throttle: neither the implicit
+// handle pool nor the acquisition paths limit how many goroutines
+// attempt concurrently, so κ must cover the peak number of goroutines
+// that can contend on any one lock (and P the total, in unknown-bounds
+// mode). Exceeding them panics once a lock's announcement capacity
+// overflows.
 package wflocks

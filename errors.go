@@ -18,7 +18,13 @@ var (
 	// WithMaxCriticalSteps bound T.
 	ErrMaxOpsExceeded = errors.New("wflocks: maxOps outside the configured MaxCriticalSteps bound")
 
-	// ErrCanceled is returned by DoCtx when its context is canceled or
-	// times out before an attempt wins.
+	// ErrCanceled is returned by DoCtx and LockCtx when the context is
+	// canceled or times out before an attempt wins.
 	ErrCanceled = errors.New("wflocks: acquisition canceled")
+
+	// ErrMapFull is returned by Map.Put when the key's shard has no free
+	// bucket. Maps have fixed capacity (no rehashing keeps the
+	// critical-section bound T valid); size them with WithShards and
+	// WithShardCapacity.
+	ErrMapFull = errors.New("wflocks: map shard full")
 )

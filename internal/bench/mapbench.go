@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wflocks"
+	"wflocks/internal/env"
+	"wflocks/internal/stats"
+	"wflocks/internal/workload"
+)
+
+// Map workload runner: drives a workload.MapScenario against the wfmap
+// subsystem and against a sync.Mutex-sharded baseline, sweeping the
+// shard count. Two effects make wfmap throughput scale with shards:
+// per-lock contention drops (higher per-attempt success probability),
+// and the per-shard bucket region shrinks, which shortens the
+// worst-case critical section T and with it the attempts' fixed
+// O(κ²L²T) delays.
+
+// mapShardCounts is the shard sweep of the map benchmarks.
+var mapShardCounts = []int{1, 2, 4, 8}
+
+// MutexMap is the blocking baseline: a sync.Mutex-sharded map with the
+// same shard-selection hash as wfmap. It makes no wait-freedom or
+// fairness promises — a stalled holder blocks its whole shard.
+type MutexMap struct {
+	shards []mutexShard
+	mask   uint64
+}
+
+type mutexShard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+	_  [40]byte // pad to a cache line so shard mutexes do not false-share
+}
+
+// NewMutexMap creates a baseline map with the given shard count
+// (rounded up to a power of two).
+func NewMutexMap(shardCount int) *MutexMap {
+	n := nextPow2(shardCount)
+	mm := &MutexMap{shards: make([]mutexShard, n), mask: uint64(n - 1)}
+	for i := range mm.shards {
+		mm.shards[i].m = make(map[uint64]uint64)
+	}
+	return mm
+}
+
+// shardIndex uses the same SplitMix64 mixing family as wfmap's hash
+// (seed 0, vs wfmap's manager-derived seed), so the two shard
+// assignments are statistically equivalent but not identical; the
+// balance columns in the scenario tables describe each
+// implementation's own observed shard traffic.
+func (mm *MutexMap) shardIndex(k uint64) uint64 {
+	return env.Mix(0, k) & mm.mask
+}
+
+func (mm *MutexMap) shard(k uint64) *mutexShard {
+	return &mm.shards[mm.shardIndex(k)]
+}
+
+// Get returns the value stored for k.
+func (mm *MutexMap) Get(k uint64) (uint64, bool) {
+	sh := mm.shard(k)
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Put stores v for k.
+func (mm *MutexMap) Put(k, v uint64) {
+	sh := mm.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// Delete removes k, reporting whether it was present.
+func (mm *MutexMap) Delete(k uint64) bool {
+	sh := mm.shard(k)
+	sh.mu.Lock()
+	_, ok := sh.m[k]
+	delete(sh.m, k)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len reports the entry count.
+func (mm *MutexMap) Len() int {
+	n := 0
+	for i := range mm.shards {
+		sh := &mm.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// mapWorkers picks the driver goroutine count: the host's parallelism,
+// but at least 4 so there is contention to measure on small machines.
+func mapWorkers() int {
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		return p
+	}
+	return 4
+}
+
+// RunMapScenario drives sc against wfmap and the mutex baseline across
+// the shard sweep and tabulates throughput, per-attempt success rate
+// and shard balance.
+func RunMapScenario(sc *workload.MapScenario, scale Scale) (*Table, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	workers := mapWorkers()
+	opsPer := 200
+	if scale == Full {
+		opsPer = 2000
+	}
+	t := &Table{
+		Title: fmt.Sprintf("%s: %d%%/%d%%/%d%% get/put/delete, %d keys, skew %.1f, %d workers × %d ops",
+			sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Keys, sc.Skew, workers, opsPer),
+		Header: []string{"impl", "shards", "ops/sec", "success", "attempts/op", "balance", "max/mean"},
+	}
+	for _, shards := range mapShardCounts {
+		row, err := runWfmapScenario(sc, shards, workers, opsPer)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, shards := range mapShardCounts {
+		t.Rows = append(t.Rows, runMutexScenario(sc, shards, workers, opsPer))
+	}
+	t.Notes = append(t.Notes,
+		"wfmap attempts pay the paper's fixed delays (c·κ²L²T own steps); sharding shrinks both κ per lock and T",
+		"balance is Jain's index over per-shard lock attempts (1.0 = even traffic)")
+	return t, nil
+}
+
+// runWfmapScenario measures one wfmap configuration.
+func runWfmapScenario(sc *workload.MapScenario, shards, workers, opsPer int) ([]string, error) {
+	// Fixed total capacity 2× the keyspace, split across shards, so the
+	// sweep holds the aggregate structure constant while the per-shard
+	// region (and hence T) shrinks as shards grow.
+	capPerShard := nextPow2(2 * sc.Keys / shards)
+	m, err := wflocks.New(
+		wflocks.WithKappa(workers),
+		wflocks.WithMaxLocks(1),
+		wflocks.WithMaxCriticalSteps(wflocks.MapCriticalSteps(capPerShard, 1, 1)),
+		wflocks.WithDelayConstants(1, 1),
+	)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := wflocks.NewMap[uint64, uint64](m,
+		wflocks.WithShards(shards), wflocks.WithShardCapacity(capPerShard))
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < sc.Keys/2; k++ {
+		if err := mp.Put(uint64(k), uint64(k)); err != nil {
+			return nil, err
+		}
+	}
+	base := m.Stats()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := workload.NewMapOpStream(sc, uint64(w)*0x9e3779b97f4a7c15+1)
+			for i := 0; i < opsPer; i++ {
+				kind, key := st.Next()
+				k := uint64(key)
+				switch kind {
+				case workload.MapGet:
+					mp.Get(k)
+				case workload.MapPut:
+					// ErrMapFull is impossible by construction (capacity
+					// 2× keyspace) short of extreme hash skew; treat it
+					// as a dropped op rather than failing the run.
+					_ = mp.Put(k, uint64(i))
+				case workload.MapDelete:
+					mp.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	snap := m.Stats()
+	totalOps := workers * opsPer
+	attempts := snap.Attempts - base.Attempts
+	wins := snap.Wins - base.Wins
+	ms := mp.Stats()
+	opsPerSec := float64(totalOps) / elapsed.Seconds()
+	success := 0.0
+	if attempts > 0 {
+		success = float64(wins) / float64(attempts)
+	}
+	return []string{
+		"wfmap",
+		fmt.Sprint(shards),
+		fmt.Sprintf("%.0f", opsPerSec),
+		fmt.Sprintf("%.3f", success),
+		fmt.Sprintf("%.2f", float64(attempts)/float64(totalOps)),
+		fmt.Sprintf("%.3f", ms.Balance),
+		fmt.Sprintf("%.2f", ms.MaxOverMean),
+	}, nil
+}
+
+// runMutexScenario measures one baseline configuration. Per-shard
+// contention counters do not exist for sync.Mutex, so balance columns
+// are blank.
+func runMutexScenario(sc *workload.MapScenario, shards, workers, opsPer int) []string {
+	mm := NewMutexMap(shards)
+	for k := 0; k < sc.Keys/2; k++ {
+		mm.Put(uint64(k), uint64(k))
+	}
+	perShardOps := make([][]uint64, workers)
+	for w := range perShardOps {
+		perShardOps[w] = make([]uint64, len(mm.shards))
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := workload.NewMapOpStream(sc, uint64(w)*0x9e3779b97f4a7c15+1)
+			for i := 0; i < opsPer; i++ {
+				kind, key := st.Next()
+				k := uint64(key)
+				perShardOps[w][mm.shardIndex(k)]++
+				switch kind {
+				case workload.MapGet:
+					mm.Get(k)
+				case workload.MapPut:
+					mm.Put(k, uint64(i))
+				case workload.MapDelete:
+					mm.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	totalOps := workers * opsPer
+	counts := make([]uint64, len(mm.shards))
+	for _, per := range perShardOps {
+		for s, c := range per {
+			counts[s] += c
+		}
+	}
+	d := stats.NewShardDist(counts)
+	return []string{
+		"mutex",
+		fmt.Sprint(shards),
+		fmt.Sprintf("%.0f", float64(totalOps)/elapsed.Seconds()),
+		"-",
+		"-",
+		fmt.Sprintf("%.3f", d.Jain),
+		fmt.Sprintf("%.2f", d.MaxOverMean),
+	}
+}
+
+// nextPow2 rounds n up to a power of two, minimum 1.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

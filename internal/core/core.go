@@ -351,10 +351,15 @@ func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
 	}
 	// Helping phase (lines 17-20): run every revealed descriptor on any
 	// of our locks to its decision, clearing the playing field of
-	// descriptors whose priorities the adversary may already know.
+	// descriptors whose priorities the adversary may already know. Only
+	// still-undecided descriptors count as helps: re-running an
+	// already-decided one is a no-op, and decided descriptors linger in
+	// the set until their owner removes them.
 	for _, l := range p.locks {
 		for _, q := range multiset.GetSet[Descriptor, *Descriptor](e, l.set) {
-			l.helps.Add(1)
+			if q.Status() == StatusActive {
+				l.helps.Add(1)
+			}
 			s.run(e, q)
 		}
 	}

@@ -34,7 +34,11 @@ func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
 	// to a decision before they have drawn a priority.
 	for _, l := range p.locks {
 		for _, q := range s.revealedMembers(e, l) {
-			l.helps.Add(1)
+			// As in the known-bounds variant, only still-undecided
+			// descriptors count toward the helps counter.
+			if q.Status() == StatusActive {
+				l.helps.Add(1)
+			}
 			s.run(e, q)
 		}
 	}

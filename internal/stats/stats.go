@@ -182,6 +182,47 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// ShardDist summarizes how a counter (attempts, ops, occupancy)
+// distributes across the shards of a partitioned structure. Sharded
+// subsystems report it so dashboards can tell "the keyspace is skewed"
+// from "the map is overloaded" at a glance.
+type ShardDist struct {
+	// N is the shard count.
+	N int
+	// Total is the summed counter.
+	Total uint64
+	// Jain is Jain's fairness index of the distribution: 1 when every
+	// shard carries the same load, approaching 1/N under maximal skew.
+	Jain float64
+	// MaxOverMean is the hottest shard's counter over the mean (1 when
+	// perfectly balanced, N when one shard carries everything). Zero
+	// total yields 0.
+	MaxOverMean float64
+}
+
+// NewShardDist computes the distribution summary of per-shard counts.
+func NewShardDist(counts []uint64) ShardDist {
+	d := ShardDist{N: len(counts)}
+	if len(counts) == 0 {
+		return d
+	}
+	fs := make([]float64, len(counts))
+	var max uint64
+	for i, c := range counts {
+		d.Total += c
+		fs[i] = float64(c)
+		if c > max {
+			max = c
+		}
+	}
+	d.Jain = JainIndex(fs)
+	if d.Total > 0 {
+		mean := float64(d.Total) / float64(len(counts))
+		d.MaxOverMean = float64(max) / mean
+	}
+	return d
+}
+
 // MaxUint64 returns the maximum of xs, or 0 for an empty slice.
 func MaxUint64(xs []uint64) uint64 {
 	var m uint64

@@ -190,3 +190,25 @@ func TestSummaryPercentilesOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestShardDist(t *testing.T) {
+	if d := NewShardDist(nil); d.N != 0 || d.Total != 0 || d.Jain != 0 || d.MaxOverMean != 0 {
+		t.Fatalf("empty dist = %+v, want zeros", d)
+	}
+	if d := NewShardDist([]uint64{0, 0, 0}); d.Total != 0 || d.MaxOverMean != 0 {
+		t.Fatalf("all-zero dist = %+v", d)
+	}
+	// Perfect balance.
+	d := NewShardDist([]uint64{10, 10, 10, 10})
+	if d.N != 4 || d.Total != 40 {
+		t.Fatalf("dist = %+v", d)
+	}
+	if math.Abs(d.Jain-1) > 1e-12 || math.Abs(d.MaxOverMean-1) > 1e-12 {
+		t.Fatalf("balanced dist: Jain=%v MaxOverMean=%v, want 1, 1", d.Jain, d.MaxOverMean)
+	}
+	// Maximal skew: Jain -> 1/N, MaxOverMean -> N.
+	d = NewShardDist([]uint64{40, 0, 0, 0})
+	if math.Abs(d.Jain-0.25) > 1e-12 || math.Abs(d.MaxOverMean-4) > 1e-12 {
+		t.Fatalf("skewed dist: Jain=%v MaxOverMean=%v, want 0.25, 4", d.Jain, d.MaxOverMean)
+	}
+}

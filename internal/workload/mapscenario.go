@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wflocks/internal/env"
+)
+
+// Map workloads. Where Workload describes static lock-set conflict
+// graphs for the lock experiments, MapScenario describes key-value
+// traffic against the wfmap subsystem: an operation mix plus a key
+// distribution. The three canonical shapes a sharded map meets in
+// service traffic are read-heavy (caches), write-heavy (ingest), and
+// zipfian-skewed (hot keys concentrating contention on few shards).
+
+// MapOpKind is one kind of map operation in a scenario's mix.
+type MapOpKind int
+
+const (
+	MapGet MapOpKind = iota
+	MapPut
+	MapDelete
+)
+
+// String names the op kind in tables.
+func (k MapOpKind) String() string {
+	switch k {
+	case MapGet:
+		return "get"
+	case MapPut:
+		return "put"
+	case MapDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// MapScenario is a map workload: an operation mix over a keyspace with
+// a chosen skew. Percentages sum to 100.
+type MapScenario struct {
+	// Name identifies the scenario (the cmd/wfbench -workload flag
+	// matches it, e.g. "map:read").
+	Name string
+	// Keys is the keyspace size; ops draw keys in [0, Keys).
+	Keys int
+	// GetPct, PutPct and DeletePct give the operation mix.
+	GetPct, PutPct, DeletePct int
+	// Skew selects the key distribution: 0 is uniform; s > 0 draws keys
+	// from a Zipf distribution with exponent s (key i with weight
+	// 1/(i+1)^s), the standard hot-key model.
+	Skew float64
+}
+
+// Validate checks the scenario's internal consistency.
+func (s *MapScenario) Validate() error {
+	if s.Keys <= 0 {
+		return fmt.Errorf("map scenario %q: keyspace must be positive, got %d", s.Name, s.Keys)
+	}
+	if s.GetPct < 0 || s.PutPct < 0 || s.DeletePct < 0 ||
+		s.GetPct+s.PutPct+s.DeletePct != 100 {
+		return fmt.Errorf("map scenario %q: op mix %d/%d/%d must be non-negative and sum to 100",
+			s.Name, s.GetPct, s.PutPct, s.DeletePct)
+	}
+	if s.Skew < 0 {
+		return fmt.Errorf("map scenario %q: skew must be non-negative, got %v", s.Name, s.Skew)
+	}
+	return nil
+}
+
+// MapScenarios lists the built-in scenario family.
+func MapScenarios() []MapScenario {
+	return []MapScenario{
+		{Name: "map:read", Keys: 256, GetPct: 90, PutPct: 10, DeletePct: 0, Skew: 0},
+		{Name: "map:write", Keys: 256, GetPct: 20, PutPct: 70, DeletePct: 10, Skew: 0},
+		{Name: "map:zipf", Keys: 256, GetPct: 90, PutPct: 10, DeletePct: 0, Skew: 1.2},
+	}
+}
+
+// LookupMapScenario finds a built-in scenario by name, or nil.
+func LookupMapScenario(name string) *MapScenario {
+	for _, s := range MapScenarios() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	return nil
+}
+
+// MapOpStream draws operations from a scenario with a private RNG, so
+// each worker goroutine owns one stream with no shared state.
+type MapOpStream struct {
+	sc   *MapScenario
+	rng  *env.RNG
+	zipf *zipfSampler
+}
+
+// NewMapOpStream creates a stream over sc seeded with seed.
+func NewMapOpStream(sc *MapScenario, seed uint64) *MapOpStream {
+	st := &MapOpStream{sc: sc, rng: env.NewRNG(seed)}
+	if sc.Skew > 0 {
+		st.zipf = newZipfSampler(sc.Keys, sc.Skew)
+	}
+	return st
+}
+
+// Next draws one operation: its kind from the scenario's mix and its
+// key from the scenario's distribution.
+func (st *MapOpStream) Next() (MapOpKind, int) {
+	roll := st.rng.IntN(100)
+	var kind MapOpKind
+	switch {
+	case roll < st.sc.GetPct:
+		kind = MapGet
+	case roll < st.sc.GetPct+st.sc.PutPct:
+		kind = MapPut
+	default:
+		kind = MapDelete
+	}
+	return kind, st.Key()
+}
+
+// Key draws a key index from the scenario's distribution.
+func (st *MapOpStream) Key() int {
+	if st.zipf != nil {
+		return st.zipf.sample(st.rng)
+	}
+	return st.rng.IntN(st.sc.Keys)
+}
+
+// zipfSampler draws from a bounded Zipf distribution by inversion on a
+// precomputed CDF: key i gets weight 1/(i+1)^s. Construction is O(n),
+// each sample a binary search.
+type zipfSampler struct {
+	cdf []float64
+}
+
+func newZipfSampler(n int, s float64) *zipfSampler {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipfSampler{cdf: cdf}
+}
+
+func (z *zipfSampler) sample(rng *env.RNG) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestMapScenariosValidate(t *testing.T) {
+	scs := MapScenarios()
+	if len(scs) != 3 {
+		t.Fatalf("built-in scenarios = %d, want 3", len(scs))
+	}
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+		if LookupMapScenario(sc.Name) == nil {
+			t.Errorf("%s not found by lookup", sc.Name)
+		}
+	}
+	if LookupMapScenario("map:nope") != nil {
+		t.Fatal("lookup invented a scenario")
+	}
+	bad := MapScenario{Name: "bad", Keys: 10, GetPct: 50, PutPct: 20, DeletePct: 20}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mix summing to 90 accepted")
+	}
+	bad = MapScenario{Name: "bad", Keys: 0, GetPct: 100}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty keyspace accepted")
+	}
+	bad = MapScenario{Name: "bad", Keys: 10, GetPct: 100, Skew: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+}
+
+func TestMapOpStreamMix(t *testing.T) {
+	sc := &MapScenario{Name: "t", Keys: 64, GetPct: 70, PutPct: 20, DeletePct: 10}
+	st := NewMapOpStream(sc, 42)
+	const n = 20000
+	counts := map[MapOpKind]int{}
+	for i := 0; i < n; i++ {
+		kind, key := st.Next()
+		if key < 0 || key >= sc.Keys {
+			t.Fatalf("key %d outside [0, %d)", key, sc.Keys)
+		}
+		counts[kind]++
+	}
+	// Within ±3% of the configured mix (binomial noise at n=20000 is
+	// well under 1%).
+	for kind, pct := range map[MapOpKind]int{MapGet: 70, MapPut: 20, MapDelete: 10} {
+		got := float64(counts[kind]) / n * 100
+		if got < float64(pct)-3 || got > float64(pct)+3 {
+			t.Errorf("%v frequency = %.1f%%, want ~%d%%", kind, got, pct)
+		}
+	}
+}
+
+// TestZipfSampler checks the skewed key distribution: samples stay in
+// range, the head key dominates a uniform draw, and frequencies are
+// monotone-ish decreasing in rank.
+func TestZipfSampler(t *testing.T) {
+	sc := &MapScenario{Name: "z", Keys: 128, GetPct: 100, Skew: 1.2}
+	st := NewMapOpStream(sc, 7)
+	const n = 50000
+	counts := make([]int, sc.Keys)
+	for i := 0; i < n; i++ {
+		k := st.Key()
+		if k < 0 || k >= sc.Keys {
+			t.Fatalf("key %d outside [0, %d)", k, sc.Keys)
+		}
+		counts[k]++
+	}
+	uniformShare := float64(n) / float64(sc.Keys)
+	if float64(counts[0]) < 5*uniformShare {
+		t.Errorf("head key drew %d of %d; skew 1.2 should concentrate far above uniform %f",
+			counts[0], n, uniformShare)
+	}
+	if counts[0] <= counts[sc.Keys/2] || counts[sc.Keys/2] < counts[sc.Keys-1]/2 {
+		t.Errorf("frequencies not decreasing in rank: head=%d mid=%d tail=%d",
+			counts[0], counts[sc.Keys/2], counts[sc.Keys-1])
+	}
+	// Skew 0 must stay uniform-ish.
+	u := NewMapOpStream(&MapScenario{Name: "u", Keys: 128, GetPct: 100}, 7)
+	uc := make([]int, 128)
+	for i := 0; i < n; i++ {
+		uc[u.Key()]++
+	}
+	if float64(uc[0]) > 2*uniformShare {
+		t.Errorf("uniform head key drew %d, want ~%f", uc[0], uniformShare)
+	}
+}

@@ -1,0 +1,517 @@
+package wflocks
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+
+	"wflocks/internal/env"
+	"wflocks/internal/stats"
+)
+
+// Map is a generic lock-sharded concurrent hash map built on the
+// manager's wait-free locks. Keys are hashed to one of a power-of-two
+// number of shards; each shard owns one Lock guarding an open-addressed
+// region of typed cells (bucket metadata, key, value), so operations on
+// different shards never contend. Get, Put, Delete and the two-shard
+// Swap run as critical sections under Manager.Do and therefore inherit
+// the locks' guarantees: a stalled writer can never block the map —
+// competitors help its critical section complete — and every operation
+// finishes within the O(κ²L²T) step bound.
+//
+// The map has fixed capacity (shards × per-shard capacity, both rounded
+// up to powers of two): Put returns ErrMapFull when a key's shard has
+// no free bucket. There is no rehashing — growing a region would make
+// the worst-case critical section unbounded, voiding the T bound — so
+// size the map for the workload with WithShards and WithShardCapacity.
+//
+// Len and Range read outside critical sections. Range takes a per-shard
+// snapshot using a seqlock-style version cell that every mutation bumps
+// (odd while a mutation's effects are being applied, even at rest): a
+// shard scan is retried until the version is stable, so the callback
+// observes each shard at one consistent instant. Construct with NewMap
+// (integer keys and values) or NewMapOf (explicit codecs).
+type Map[K comparable, V any] struct {
+	m       *Manager
+	kc      Codec[K]
+	vc      Codec[V]
+	kscalar ScalarCodec[K] // non-nil: allocation-free hash path
+
+	shards    []mapShard[K, V]
+	shardMask uint64
+	capMask   uint64
+	capacity  int // buckets per shard
+
+	seed       uint64
+	opBudget   int // maxOps of a single-shard critical section
+	swapBudget int // maxOps of Swap's (up to) two-shard critical section
+}
+
+// mapShard is one shard: a lock plus its bucket region.
+type mapShard[K comparable, V any] struct {
+	lock *Lock
+	// ver is the shard's seqlock version: mutations bump it to odd
+	// before touching buckets and back to even after, so lock-free
+	// readers (Range) can detect interference.
+	ver  *Cell[uint64]
+	size *Cell[uint64]
+	// meta[i] holds the bucket state in the low two bits (empty,
+	// full, tombstone) and, for full buckets, the key hash with those
+	// bits cleared — a cheap filter that skips decoding non-matching
+	// keys during probes.
+	meta []*Cell[uint64]
+	keys []*Cell[K]
+	vals []*Cell[V]
+}
+
+// Bucket states (low two bits of a meta word). Empty terminates a
+// probe; tombstones (left by Delete) keep probe chains intact and are
+// reused by Put.
+const (
+	bucketEmpty     uint64 = 0
+	bucketFull      uint64 = 1
+	bucketTombstone uint64 = 2
+	bucketStateMask uint64 = 3
+)
+
+// Default map shape: 8 shards × 64 buckets.
+const (
+	defaultMapShards   = 8
+	defaultMapCapacity = 64
+)
+
+// MapOption configures a Map at construction.
+type MapOption func(*mapConfig) error
+
+type mapConfig struct {
+	shards   int
+	capacity int
+}
+
+// WithShards sets the number of shards, rounded up to a power of two
+// (default 8). More shards mean fewer key collisions on any one lock —
+// per-lock contention drops toward P/shards — and smaller bucket
+// regions, which shortens the worst-case critical section T and with it
+// every attempt's fixed delays.
+func WithShards(n int) MapOption {
+	return func(c *mapConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("wflocks: WithShards: shard count must be positive, got %d", n)
+		}
+		c.shards = ceilPow2(n)
+		return nil
+	}
+}
+
+// WithShardCapacity sets the number of buckets per shard, rounded up to
+// a power of two (default 64). Capacity bounds the worst-case probe
+// length and hence the critical-section budget: see MapCriticalSteps.
+func WithShardCapacity(n int) MapOption {
+	return func(c *mapConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("wflocks: WithShardCapacity: capacity must be positive, got %d", n)
+		}
+		c.capacity = ceilPow2(n)
+		return nil
+	}
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// MapCriticalSteps returns the WithMaxCriticalSteps bound T a Manager
+// needs to host a Map with the given per-shard capacity (rounded up to
+// a power of two, as WithShardCapacity rounds) and key/value codec
+// widths in words. It covers the worst case of any single-shard
+// operation: a full-region probe (capacity × (1 + keyWords) ops) plus
+// the insert writes, the size and seqlock-version updates, and the
+// result-cell writes. Swap runs two such probes in one critical
+// section, so it needs 2× this bound; NewMapOf only requires the 1×
+// bound, and Swap reports ErrMaxOpsExceeded if the manager cannot
+// accommodate it.
+func MapCriticalSteps(shardCapacity, keyWords, valueWords int) int {
+	cap := ceilPow2(shardCapacity)
+	return cap*(1+keyWords) + keyWords + 2*valueWords + 10
+}
+
+// NewMap creates a map with integer keys and values, the common case,
+// using the built-in single-word codecs. See NewMapOf for arbitrary
+// types.
+func NewMap[K Integer, V Integer](m *Manager, opts ...MapOption) (*Map[K, V], error) {
+	return NewMapOf[K, V](m, IntegerCodec[K](), IntegerCodec[V](), opts...)
+}
+
+// NewMapOf creates a map whose keys and values are encoded by the given
+// codecs (use CodecFunc for multi-word struct keys or values). The
+// manager's WithMaxCriticalSteps bound must cover a worst-case
+// single-shard operation — MapCriticalSteps computes the requirement —
+// or NewMapOf reports it as an error.
+func NewMapOf[K comparable, V any](m *Manager, kc Codec[K], vc Codec[V], opts ...MapOption) (*Map[K, V], error) {
+	cfg := mapConfig{shards: defaultMapShards, capacity: defaultMapCapacity}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	opBudget := MapCriticalSteps(cfg.capacity, kc.Words(), vc.Words())
+	if opBudget > m.cfg.maxCritical {
+		return nil, fmt.Errorf(
+			"wflocks: NewMapOf: shard capacity %d with %d-word keys and %d-word values needs "+
+				"WithMaxCriticalSteps(%d), manager has %d (see MapCriticalSteps)",
+			cfg.capacity, kc.Words(), vc.Words(), opBudget, m.cfg.maxCritical)
+	}
+	mp := &Map[K, V]{
+		m:          m,
+		kc:         kc,
+		vc:         vc,
+		shards:     make([]mapShard[K, V], cfg.shards),
+		shardMask:  uint64(cfg.shards - 1),
+		capMask:    uint64(cfg.capacity - 1),
+		capacity:   cfg.capacity,
+		seed:       env.Mix(m.cfg.seed, 0x77666d6170), // "wfmap"
+		opBudget:   opBudget,
+		swapBudget: 2 * opBudget,
+	}
+	if sc, ok := kc.(ScalarCodec[K]); ok && kc.Words() == 1 {
+		mp.kscalar = sc
+	}
+	var zeroK K
+	var zeroV V
+	for s := range mp.shards {
+		sh := &mp.shards[s]
+		sh.lock = m.NewLock()
+		sh.ver = NewCell(uint64(0))
+		sh.size = NewCell(uint64(0))
+		sh.meta = make([]*Cell[uint64], cfg.capacity)
+		sh.keys = make([]*Cell[K], cfg.capacity)
+		sh.vals = make([]*Cell[V], cfg.capacity)
+		for i := 0; i < cfg.capacity; i++ {
+			sh.meta[i] = NewCell(bucketEmpty)
+			sh.keys[i] = NewCellOf(mp.kc, zeroK)
+			sh.vals[i] = NewCellOf(mp.vc, zeroV)
+		}
+	}
+	return mp, nil
+}
+
+// Shards reports the shard count (after power-of-two rounding).
+func (mp *Map[K, V]) Shards() int { return len(mp.shards) }
+
+// ShardCapacity reports the bucket count per shard (after rounding).
+func (mp *Map[K, V]) ShardCapacity() int { return mp.capacity }
+
+// hash computes the key's 64-bit hash by chaining each encoded word
+// through env.Mix (the SplitMix64 finalizer). Shard selection uses the
+// low bits and the home bucket the high bits, so the two are
+// independent.
+func (mp *Map[K, V]) hash(k K) uint64 {
+	if mp.kscalar != nil {
+		return env.Mix(mp.seed, mp.kscalar.EncodeWord(k))
+	}
+	buf := make([]uint64, mp.kc.Words())
+	mp.kc.Encode(k, buf)
+	h := mp.seed
+	for _, w := range buf {
+		h = env.Mix(h, w)
+	}
+	return h
+}
+
+// shardOf picks the key's shard and home bucket from its hash.
+func (mp *Map[K, V]) shardOf(h uint64) (*mapShard[K, V], int) {
+	return &mp.shards[h&mp.shardMask], int((h >> 32) & mp.capMask)
+}
+
+// find probes a shard's region for k inside a critical section. It
+// returns the key's bucket index and found=true, or found=false with
+// free the first reusable bucket (empty or tombstone; -1 if the region
+// has none). Probing is linear from the home bucket and stops at the
+// first empty bucket, which no insertion ever skips.
+func (mp *Map[K, V]) find(tx *Tx, sh *mapShard[K, V], h uint64, home int, k K) (idx int, found bool, free int) {
+	frag := h &^ bucketStateMask
+	free = -1
+	n := int(mp.capMask) + 1
+	for j := 0; j < n; j++ {
+		i := (home + j) & int(mp.capMask)
+		w := Get(tx, sh.meta[i])
+		switch w & bucketStateMask {
+		case bucketEmpty:
+			if free < 0 {
+				free = i
+			}
+			return 0, false, free
+		case bucketTombstone:
+			if free < 0 {
+				free = i
+			}
+		default: // full
+			if w&^bucketStateMask == frag && Get(tx, sh.keys[i]) == k {
+				return i, true, free
+			}
+		}
+	}
+	return 0, false, free
+}
+
+// bumpVer advances the shard's seqlock version by one (2 ops).
+func bumpVer[K comparable, V any](tx *Tx, sh *mapShard[K, V]) {
+	Put(tx, sh.ver, Get(tx, sh.ver)+1)
+}
+
+// do runs a single-shard critical section on sh's lock under the
+// caller's pooled handle (one Acquire covers the lock retries and the
+// result-cell reads that follow). Construction validated the budget
+// against the manager's bounds, so the only error Lock can report here
+// is impossible; it is surfaced as a panic rather than forcing an
+// error return on every read path.
+func (mp *Map[K, V]) do(p *Process, sh *mapShard[K, V], body func(*Tx)) {
+	if _, err := mp.m.Lock(p, []*Lock{sh.lock}, mp.opBudget, body); err != nil {
+		panic("wflocks: Map: " + err.Error())
+	}
+}
+
+// Get reports the value stored for k. It runs as a critical section on
+// k's shard lock; the result is routed through fresh cells (not
+// closure captures) because a stalled attempt's body may be re-executed
+// by helpers concurrently.
+func (mp *Map[K, V]) Get(k K) (V, bool) {
+	h := mp.hash(k)
+	sh, home := mp.shardOf(h)
+	var zero V
+	val := NewCellOf(mp.vc, zero)
+	found := NewBoolCell(false)
+	p := mp.m.Acquire()
+	defer mp.m.Release(p)
+	mp.do(p, sh, func(tx *Tx) {
+		i, ok, _ := mp.find(tx, sh, h, home, k)
+		if !ok {
+			return
+		}
+		Put(tx, val, Get(tx, sh.vals[i]))
+		Put(tx, found, true)
+	})
+	if !found.Get(p) {
+		return zero, false
+	}
+	return val.Get(p), true
+}
+
+// Put outcomes routed through the result cell.
+const (
+	putStored uint64 = iota
+	putFull
+)
+
+// Put stores v for k, inserting or overwriting. It returns ErrMapFull
+// when k's shard has no free bucket (the map never rehashes; see the
+// type comment).
+func (mp *Map[K, V]) Put(k K, v V) error {
+	h := mp.hash(k)
+	sh, home := mp.shardOf(h)
+	res := NewCell(putStored)
+	p := mp.m.Acquire()
+	defer mp.m.Release(p)
+	mp.do(p, sh, func(tx *Tx) {
+		bumpVer(tx, sh)
+		i, ok, free := mp.find(tx, sh, h, home, k)
+		switch {
+		case ok:
+			Put(tx, sh.vals[i], v)
+		case free < 0:
+			Put(tx, res, putFull)
+		default:
+			Put(tx, sh.meta[free], bucketFull|(h&^bucketStateMask))
+			Put(tx, sh.keys[free], k)
+			Put(tx, sh.vals[free], v)
+			Put(tx, sh.size, Get(tx, sh.size)+1)
+		}
+		bumpVer(tx, sh)
+	})
+	if res.Get(p) == putFull {
+		return fmt.Errorf("%w: shard %d at capacity %d", ErrMapFull, h&mp.shardMask, mp.capacity)
+	}
+	return nil
+}
+
+// Delete removes k, reporting whether it was present. The bucket
+// becomes a tombstone so longer probe chains stay reachable; Put reuses
+// tombstones.
+func (mp *Map[K, V]) Delete(k K) bool {
+	h := mp.hash(k)
+	sh, home := mp.shardOf(h)
+	removed := NewBoolCell(false)
+	p := mp.m.Acquire()
+	defer mp.m.Release(p)
+	mp.do(p, sh, func(tx *Tx) {
+		bumpVer(tx, sh)
+		if i, ok, _ := mp.find(tx, sh, h, home, k); ok {
+			Put(tx, sh.meta[i], bucketTombstone)
+			Put(tx, sh.size, Get(tx, sh.size)-1)
+			Put(tx, removed, true)
+		}
+		bumpVer(tx, sh)
+	})
+	return removed.Get(p)
+}
+
+// Len reports the number of entries. Per-shard sizes are read without
+// locking, so under live traffic the sum can be momentarily skewed the
+// same way StatsSnapshot is; at quiescence it is exact.
+func (mp *Map[K, V]) Len() int {
+	p := mp.m.Acquire()
+	defer mp.m.Release(p)
+	n := 0
+	for s := range mp.shards {
+		n += int(mp.shards[s].size.Get(p))
+	}
+	return n
+}
+
+// Swap atomically exchanges the values of k1 and k2 and reports whether
+// it did; if either key is absent nothing changes. This is the map's
+// multi-lock operation: when the keys land on different shards the
+// critical section holds both shard locks, which is where the paper's
+// lock-set bound L shows up — the manager must be configured with
+// WithMaxLocks(2) or more, and the per-attempt success probability
+// 1/(κL) and step bound O(κ²L²T) are paid at L=2. Swap also runs two
+// full-region probes in one critical section, so it needs twice the
+// single-shard budget; ErrTooManyLocks or ErrMaxOpsExceeded is
+// reported if the manager's bounds cannot accommodate it.
+func (mp *Map[K, V]) Swap(k1, k2 K) (bool, error) {
+	h1, h2 := mp.hash(k1), mp.hash(k2)
+	s1, home1 := mp.shardOf(h1)
+	s2, home2 := mp.shardOf(h2)
+	if mp.swapBudget > mp.m.cfg.maxCritical {
+		return false, fmt.Errorf("%w: Swap needs maxOps=%d (2× the single-shard budget), bound T=%d",
+			ErrMaxOpsExceeded, mp.swapBudget, mp.m.cfg.maxCritical)
+	}
+	locks := []*Lock{s1.lock}
+	if s1 != s2 {
+		locks = append(locks, s2.lock)
+	}
+	swapped := NewBoolCell(false)
+	p := mp.m.Acquire()
+	defer mp.m.Release(p)
+	_, err := mp.m.Lock(p, locks, mp.swapBudget, func(tx *Tx) {
+		bumpVer(tx, s1)
+		if s2 != s1 {
+			bumpVer(tx, s2)
+		}
+		i1, ok1, _ := mp.find(tx, s1, h1, home1, k1)
+		i2, ok2, _ := mp.find(tx, s2, h2, home2, k2)
+		if ok1 && ok2 {
+			v1 := Get(tx, s1.vals[i1])
+			v2 := Get(tx, s2.vals[i2])
+			Put(tx, s1.vals[i1], v2)
+			Put(tx, s2.vals[i2], v1)
+			Put(tx, swapped, true)
+		}
+		bumpVer(tx, s1)
+		if s2 != s1 {
+			bumpVer(tx, s2)
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	return swapped.Get(p), nil
+}
+
+// Range calls f for every entry until f returns false. Each shard is
+// captured as a consistent snapshot — buckets are read lock-free and
+// the read is retried until the shard's seqlock version is stable —
+// and f runs outside any critical section, so it may call back into
+// the map. Entries from different shards can reflect different
+// instants; mutations concurrent with Range may or may not be
+// observed.
+func (mp *Map[K, V]) Range(f func(k K, v V) bool) {
+	type entry struct {
+		k K
+		v V
+	}
+	p := mp.m.Acquire()
+	for s := range mp.shards {
+		sh := &mp.shards[s]
+		var snap []entry
+		for {
+			v0 := sh.ver.Get(p)
+			if v0&1 == 1 {
+				// A mutation is mid-application; its attempt finishes
+				// within the wait-free step bound, so yield and retry.
+				runtime.Gosched()
+				continue
+			}
+			snap = snap[:0]
+			n := int(mp.capMask) + 1
+			for i := 0; i < n; i++ {
+				if sh.meta[i].Get(p)&bucketStateMask == bucketFull {
+					snap = append(snap, entry{sh.keys[i].Get(p), sh.vals[i].Get(p)})
+				}
+			}
+			if sh.ver.Get(p) == v0 {
+				break
+			}
+		}
+		mp.m.Release(p)
+		for _, e := range snap {
+			if !f(e.k, e.v) {
+				return
+			}
+		}
+		p = mp.m.Acquire()
+	}
+	mp.m.Release(p)
+}
+
+// MapShardStats is one shard's view in MapStats.
+type MapShardStats struct {
+	// Lock carries the shard lock's contention counters (these same
+	// counters appear in the manager-wide StatsSnapshot.Locks).
+	Lock LockStats
+	// Size is the shard's entry count.
+	Size int
+}
+
+// MapStats is a point-in-time view of a map's per-shard contention and
+// occupancy, with the same weak-consistency caveat as StatsSnapshot.
+type MapStats struct {
+	// Shards holds one entry per shard, in shard order.
+	Shards []MapShardStats
+	// Len is the summed entry count.
+	Len int
+	// Balance is Jain's fairness index over per-shard attempt counts:
+	// 1.0 when traffic spreads evenly across shards, approaching
+	// 1/shards under maximal skew (one hot shard).
+	Balance float64
+	// MaxOverMean is the hottest shard's attempts over the mean — the
+	// headline "how skewed is my keyspace" number.
+	MaxOverMean float64
+}
+
+// Stats snapshots per-shard contention counters and sizes.
+func (mp *Map[K, V]) Stats() MapStats {
+	p := mp.m.Acquire()
+	defer mp.m.Release(p)
+	ms := MapStats{Shards: make([]MapShardStats, len(mp.shards))}
+	attempts := make([]uint64, len(mp.shards))
+	for s := range mp.shards {
+		sh := &mp.shards[s]
+		a, w, h := sh.lock.inner.Counters()
+		size := int(sh.size.Get(p))
+		ms.Shards[s] = MapShardStats{
+			Lock: LockStats{ID: sh.lock.ID(), Attempts: a, Wins: w, Helps: h},
+			Size: size,
+		}
+		ms.Len += size
+		attempts[s] = a
+	}
+	d := stats.NewShardDist(attempts)
+	ms.Balance = d.Jain
+	ms.MaxOverMean = d.MaxOverMean
+	return ms
+}

@@ -7,6 +7,14 @@ package wflocks
 // handle per call without the caller threading one through, while
 // keeping the number of live handles proportional to the number of
 // concurrently acquiring goroutines rather than the number of calls.
+//
+// The pool does not enforce the manager's contention bounds: κ (per
+// lock) and, in unknown-bounds mode, P (total processes) are the
+// caller's contract, exactly as with explicit NewProcess handles.
+// Running more concurrent acquisitions than the configured bounds
+// admit voids the guarantees and panics in the core algorithm once a
+// lock's announcement capacity is exceeded — configure κ (or P) for
+// the peak number of goroutines that can contend.
 
 // Acquire returns a process handle for the calling goroutine, reusing a
 // pooled one when available. The handle is exclusively the caller's

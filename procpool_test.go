@@ -1,0 +1,73 @@
+package wflocks
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestProcessPoolReuseAcrossGoroutines hammers the Acquire/Release pool
+// from many goroutines, interleaving pooled handles with implicit-Do
+// traffic on shared locks. Handles migrate between goroutines through
+// the pool; the race detector asserts that no handle is ever live on
+// two goroutines at once and that the per-handle state (step counter,
+// random stream) is only touched by its current owner. Runs in -short.
+func TestProcessPoolReuseAcrossGoroutines(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 40
+	)
+	m := newManager(t, WithKappa(workers), WithMaxLocks(2), WithMaxCriticalSteps(16),
+		WithDelayConstants(1, 1))
+	a, b := m.NewLock(), m.NewLock()
+	c := NewCell(uint64(0))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch i % 3 {
+				case 0:
+					// Explicit pooled handle through TryLock.
+					p := m.Acquire()
+					if _, err := m.TryLock(p, []*Lock{a}, 2, func(tx *Tx) {
+						Put(tx, c, Get(tx, c)+1)
+					}); err != nil {
+						t.Error(err)
+					}
+					m.Release(p)
+				case 1:
+					// Implicit handle through Do.
+					if err := m.Do([]*Lock{a, b}, 2, func(tx *Tx) {
+						Put(tx, c, Get(tx, c)+1)
+					}); err != nil {
+						t.Error(err)
+					}
+				case 2:
+					// Handle used only for unlocked reads, then pooled.
+					p := m.Acquire()
+					_ = c.Get(p)
+					_ = p.Steps()
+					m.Release(p)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every TryLock win and every Do incremented the counter exactly
+	// once; TryLock losses did not. The counter must equal the wins.
+	snap := m.Stats()
+	if got := Load(m, c); got != snap.Wins {
+		t.Fatalf("counter = %d, wins = %d; pooled handles corrupted the count", got, snap.Wins)
+	}
+	// Pooled handles must have distinct pids even after heavy churn:
+	// nextPid only grows, one id per NewProcess.
+	p1, p2 := m.Acquire(), m.Acquire()
+	if p1 == p2 || p1.Pid() == p2.Pid() {
+		t.Fatalf("pool handed the same handle out twice: pids %d, %d", p1.Pid(), p2.Pid())
+	}
+	m.Release(p1)
+	m.Release(p2)
+}

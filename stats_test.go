@@ -148,3 +148,83 @@ func TestStatsHelpCounters(t *testing.T) {
 		t.Fatalf("per-lock helps sum %d != manager helps %d", sumHelps, s.Helps)
 	}
 }
+
+// TestStatsConcurrentWithNewLock interleaves lock creation with Stats
+// snapshots and live traffic: the lock registry is append-only under
+// m.mu while Stats iterates a copied slice header, and the race
+// detector checks the two never conflict. Runs in -short.
+func TestStatsConcurrentWithNewLock(t *testing.T) {
+	const (
+		creators     = 3
+		locksPerGoro = 25
+		snapshots    = 100
+	)
+	m := newManager(t, WithKappa(8), WithMaxLocks(1), WithMaxCriticalSteps(8),
+		WithDelayConstants(1, 1))
+	seed := m.NewLock()
+	c := NewCell(uint64(0))
+
+	var wg sync.WaitGroup
+	// Creators grow the lock registry...
+	for g := 0; g < creators; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < locksPerGoro; i++ {
+				l := m.NewLock()
+				// ...and immediately use the fresh lock once, so Stats
+				// can observe counters mid-flight.
+				if err := m.Do([]*Lock{l}, 2, func(tx *Tx) {
+					Put(tx, c, Get(tx, c)+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// ...one goroutine keeps traffic on the seed lock...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := m.Do([]*Lock{seed}, 2, func(tx *Tx) {
+				Put(tx, c, Get(tx, c)+1)
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// ...while snapshots run concurrently. Each snapshot must be
+	// internally sane even when taken mid-creation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prev := 0
+		for i := 0; i < snapshots; i++ {
+			s := m.Stats()
+			if len(s.Locks) < prev {
+				t.Errorf("lock registry shrank: %d -> %d", prev, len(s.Locks))
+				return
+			}
+			prev = len(s.Locks)
+			for _, ls := range s.Locks {
+				if ls.Wins > ls.Attempts {
+					t.Errorf("lock %d: wins %d > attempts %d", ls.ID, ls.Wins, ls.Attempts)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	s := m.Stats()
+	want := 1 + creators*locksPerGoro
+	if len(s.Locks) != want {
+		t.Fatalf("registry has %d locks, want %d", len(s.Locks), want)
+	}
+	if got := Load(m, c); got != s.Wins {
+		t.Fatalf("counter = %d, wins = %d", got, s.Wins)
+	}
+}

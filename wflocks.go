@@ -154,15 +154,19 @@ func (m *Manager) tryLock(p *Process, locks []*Lock, maxOps int, body func(*Tx))
 // Expected attempts are O(κL). Between failed attempts it applies the
 // manager's RetryPolicy. Prefer Do unless you need p's step accounting.
 func (m *Manager) Lock(p *Process, locks []*Lock, maxOps int, body func(*Tx)) (int, error) {
+	return m.LockCtx(context.Background(), p, locks, maxOps, body)
+}
+
+// LockCtx is Lock with cancellation: it shares the DoCtx retry loop,
+// so a sleeping RetryPolicy wakes early and the loop returns an error
+// wrapping ErrCanceled — with the failed attempt count — once ctx is
+// done. A nil error means the returned number of attempts ended in a
+// win.
+func (m *Manager) LockCtx(ctx context.Context, p *Process, locks []*Lock, maxOps int, body func(*Tx)) (int, error) {
 	if err := m.validateCall(locks, maxOps); err != nil {
 		return 0, err
 	}
-	for attempt := 1; ; attempt++ {
-		if m.tryLock(p, locks, maxOps, body) {
-			return attempt, nil
-		}
-		m.retry.Wait(context.Background(), attempt)
-	}
+	return m.retryLoop(ctx, p, locks, maxOps, body)
 }
 
 // validateCall audits an acquisition's arguments against the manager's
