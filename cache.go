@@ -1,0 +1,579 @@
+package wflocks
+
+import (
+	"fmt"
+	"time"
+
+	"wflocks/internal/env"
+	"wflocks/internal/stats"
+)
+
+// Cache is a generic sharded LRU cache with optional TTL, built on the
+// manager's wait-free locks. Keys hash to one of a power-of-two number
+// of shards; each shard owns one Lock guarding an open-addressed bucket
+// region plus an intrusive doubly-linked LRU list stored entirely in
+// typed cells (prev/next bucket indices, head/tail anchors, expiry
+// deadlines). Because the list lives in cells and every access goes
+// through the idempotence layer, the recency reordering and eviction
+// surgery inside a critical section can be re-executed by helpers
+// without double-applying — this is the first subsystem whose critical
+// sections do real pointer surgery rather than flat bucket writes.
+//
+// Eviction happens inside the critical section: a Put into a full shard
+// unlinks the LRU tail, tombstones its bucket and reuses it, all in the
+// same atomic step as the insert, so the cache never exceeds its
+// capacity and a stalled evictor can never wedge the shard — helpers
+// finish the surgery. Each shard holds a fixed power-of-two number of
+// buckets (its capacity share); there is no rehashing, which is what
+// keeps the worst-case critical section T bounded (CacheCriticalSteps
+// computes the bound a hosting Manager needs).
+//
+// With WithTTL, every entry carries an absolute expiry deadline.
+// Expiry is lazy: a Get that finds an expired entry removes it (counted
+// as an expiration and a miss) instead of returning it. The deadline is
+// sampled once, outside the critical section, so the section body stays
+// deterministic and helpers re-executing it see the same cutoff.
+//
+// Construct with NewCache (integer keys and values) or NewCacheOf
+// (explicit codecs). All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	m       *Manager
+	kc      Codec[K]
+	vc      Codec[V]
+	kscalar ScalarCodec[K] // non-nil: allocation-free hash path
+
+	shards    []cacheShard[K, V]
+	shardMask uint64
+	capMask   uint64
+	region    int    // buckets per shard == per-shard entry capacity
+	ttl       uint64 // nanoseconds; 0 = entries never expire
+	seed      uint64
+	opBudget  int
+
+	// now is the nanosecond clock sampled outside critical sections for
+	// TTL deadlines; tests substitute a fake.
+	now func() uint64
+}
+
+// cacheShard is one shard: a lock, its bucket region, and the intrusive
+// LRU list threading the full buckets (head = most recent, tail =
+// least). lruNil terminates the list.
+type cacheShard[K comparable, V any] struct {
+	lock *Lock
+	size *Cell[uint64]
+	head *Cell[uint64]
+	tail *Cell[uint64]
+
+	// Per-shard counters, updated inside critical sections so they are
+	// exact at quiescence and idempotent under helping.
+	hits        *Cell[uint64]
+	misses      *Cell[uint64]
+	evictions   *Cell[uint64]
+	expirations *Cell[uint64]
+
+	meta []*Cell[uint64] // bucket state bits + key-hash fragment (as in Map)
+	keys []*Cell[K]
+	vals []*Cell[V]
+	prev []*Cell[uint64] // LRU links: bucket indices, lruNil-terminated
+	next []*Cell[uint64]
+	exp  []*Cell[uint64] // absolute expiry deadline in nanos; 0 = none
+}
+
+// lruNil terminates the intrusive LRU list (no valid bucket index is
+// all-ones).
+const lruNil = ^uint64(0)
+
+// Default cache shape: 8 shards, 1024 entries total.
+const (
+	defaultCacheShards   = 8
+	defaultCacheCapacity = 1024
+)
+
+// CacheOption configures a Cache at construction.
+type CacheOption func(*cacheConfig) error
+
+type cacheConfig struct {
+	shards   int
+	capacity int
+	ttl      time.Duration
+}
+
+// WithCacheShards sets the number of shards, rounded up to a power of
+// two (default 8). As with Map, sharding pays twice: per-lock
+// contention drops toward κ/shards, and the per-shard region shrinks,
+// which shortens the worst-case critical section T that every
+// attempt's fixed delays are proportional to.
+func WithCacheShards(n int) CacheOption {
+	return func(c *cacheConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("wflocks: WithCacheShards: shard count must be positive, got %d", n)
+		}
+		c.shards = ceilPow2(n)
+		return nil
+	}
+}
+
+// WithCapacity sets the total entry capacity (default 1024). It is
+// split evenly across shards and each shard's share is rounded up to a
+// power of two, so the effective capacity — reported by Capacity — may
+// exceed the request. When a shard is full, Put evicts that shard's
+// least-recently-used entry; the LRU order is per shard, the price of
+// there being no global lock.
+func WithCapacity(n int) CacheOption {
+	return func(c *cacheConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("wflocks: WithCapacity: capacity must be positive, got %d", n)
+		}
+		c.capacity = n
+		return nil
+	}
+}
+
+// WithTTL gives every entry a time-to-live (default: entries never
+// expire). Expiry is lazy — checked by reads, which remove and count
+// expired entries — so memory is reclaimed on access, not by a
+// background sweeper.
+func WithTTL(d time.Duration) CacheOption {
+	return func(c *cacheConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("wflocks: WithTTL: ttl must be positive, got %v", d)
+		}
+		c.ttl = d
+		return nil
+	}
+}
+
+// CacheCriticalSteps returns the WithMaxCriticalSteps bound T a Manager
+// needs to host a Cache whose shards hold perShard entries (rounded up
+// to a power of two, as the constructor rounds) with the given key and
+// value codec widths in words. It covers the worst case of any cache
+// operation: a full-region probe (perShard × (1 + keyWords) ops), plus
+// the LRU unlink/relink surgery, the tail eviction, the insert writes,
+// the counter updates and the result-cell writes. The LRU list adds a
+// constant number of single-word cell operations per op — pointer
+// surgery is bounded-degree, so the budget stays linear in the region
+// size exactly as MapCriticalSteps is.
+func CacheCriticalSteps(perShard, keyWords, valueWords int) int {
+	cap := ceilPow2(perShard)
+	return cap*(1+keyWords) + keyWords + 3*valueWords + 32
+}
+
+// NewCache creates a cache with integer keys and values, the common
+// case, using the built-in single-word codecs. See NewCacheOf for
+// arbitrary types.
+func NewCache[K Integer, V Integer](m *Manager, opts ...CacheOption) (*Cache[K, V], error) {
+	return NewCacheOf[K, V](m, IntegerCodec[K](), IntegerCodec[V](), opts...)
+}
+
+// NewCacheOf creates a cache whose keys and values are encoded by the
+// given codecs (use CodecFunc for multi-word struct keys or values).
+// The manager's WithMaxCriticalSteps bound must cover a worst-case
+// cache operation — CacheCriticalSteps computes the requirement — or
+// NewCacheOf reports it as an error.
+func NewCacheOf[K comparable, V any](m *Manager, kc Codec[K], vc Codec[V], opts ...CacheOption) (*Cache[K, V], error) {
+	cfg := cacheConfig{shards: defaultCacheShards, capacity: defaultCacheCapacity}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	perShard := ceilPow2((cfg.capacity + cfg.shards - 1) / cfg.shards)
+	opBudget := CacheCriticalSteps(perShard, kc.Words(), vc.Words())
+	if opBudget > m.cfg.maxCritical {
+		return nil, fmt.Errorf(
+			"wflocks: NewCacheOf: %d entries per shard with %d-word keys and %d-word values needs "+
+				"WithMaxCriticalSteps(%d), manager has %d (see CacheCriticalSteps)",
+			perShard, kc.Words(), vc.Words(), opBudget, m.cfg.maxCritical)
+	}
+	c := &Cache[K, V]{
+		m:         m,
+		kc:        kc,
+		vc:        vc,
+		shards:    make([]cacheShard[K, V], cfg.shards),
+		shardMask: uint64(cfg.shards - 1),
+		capMask:   uint64(perShard - 1),
+		region:    perShard,
+		ttl:       uint64(cfg.ttl.Nanoseconds()),
+		seed:      env.Mix(m.cfg.seed, 0x7766636163686573), // "wfcaches"
+		opBudget:  opBudget,
+		now:       func() uint64 { return uint64(time.Now().UnixNano()) },
+	}
+	if sc, ok := kc.(ScalarCodec[K]); ok && kc.Words() == 1 {
+		c.kscalar = sc
+	}
+	var zeroK K
+	var zeroV V
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.lock = m.NewLock()
+		sh.size = NewCell(uint64(0))
+		sh.head = NewCell(lruNil)
+		sh.tail = NewCell(lruNil)
+		sh.hits = NewCell(uint64(0))
+		sh.misses = NewCell(uint64(0))
+		sh.evictions = NewCell(uint64(0))
+		sh.expirations = NewCell(uint64(0))
+		sh.meta = make([]*Cell[uint64], perShard)
+		sh.keys = make([]*Cell[K], perShard)
+		sh.vals = make([]*Cell[V], perShard)
+		sh.prev = make([]*Cell[uint64], perShard)
+		sh.next = make([]*Cell[uint64], perShard)
+		sh.exp = make([]*Cell[uint64], perShard)
+		for i := 0; i < perShard; i++ {
+			sh.meta[i] = NewCell(bucketEmpty)
+			sh.keys[i] = NewCellOf(c.kc, zeroK)
+			sh.vals[i] = NewCellOf(c.vc, zeroV)
+			sh.prev[i] = NewCell(lruNil)
+			sh.next[i] = NewCell(lruNil)
+			sh.exp[i] = NewCell(uint64(0))
+		}
+	}
+	return c, nil
+}
+
+// Shards reports the shard count (after power-of-two rounding).
+func (c *Cache[K, V]) Shards() int { return len(c.shards) }
+
+// Capacity reports the total entry capacity after per-shard rounding;
+// it is at least the WithCapacity request.
+func (c *Cache[K, V]) Capacity() int { return len(c.shards) * c.region }
+
+// TTL reports the configured time-to-live (zero: entries never expire).
+func (c *Cache[K, V]) TTL() time.Duration { return time.Duration(c.ttl) }
+
+// hash computes the key's 64-bit hash; shard selection uses the low
+// bits and the home bucket the high bits, as in Map.
+func (c *Cache[K, V]) hash(k K) uint64 {
+	return hashKey(c.kc, c.kscalar, c.seed, k)
+}
+
+// shardOf picks the key's shard and home bucket from its hash.
+func (c *Cache[K, V]) shardOf(h uint64) (*cacheShard[K, V], int) {
+	return &c.shards[h&c.shardMask], int((h >> 32) & c.capMask)
+}
+
+// deadline samples the expiry deadline for an entry stored now. It is
+// called outside critical sections so that the section bodies capture
+// the result as a constant — helpers re-executing a body must see the
+// same cutoff, or the execution would not be idempotent.
+func (c *Cache[K, V]) deadline() uint64 {
+	if c.ttl == 0 {
+		return 0
+	}
+	return c.now() + c.ttl
+}
+
+// find probes a shard's region for k inside a critical section (the
+// shared probeBuckets loop: linear from the home bucket, stopping at
+// the first empty bucket, with free the first reusable bucket).
+func (c *Cache[K, V]) find(tx *Tx, sh *cacheShard[K, V], h uint64, home int, k K) (idx int, found bool, free int) {
+	return probeBuckets(tx, sh.meta, sh.keys, c.capMask, h, home, k)
+}
+
+// do runs a critical section on sh's lock. Construction validated the
+// budget against the manager's bounds, so the only errors Lock could
+// report here are impossible; surface them as panics rather than
+// forcing an error return on every cache access.
+func (c *Cache[K, V]) do(p *Process, sh *cacheShard[K, V], body func(*Tx)) {
+	if _, err := c.m.Lock(p, []*Lock{sh.lock}, c.opBudget, body); err != nil {
+		panic("wflocks: Cache: " + err.Error())
+	}
+}
+
+// moveToFront makes bucket i the most-recently-used entry of its
+// shard's LRU list. All pointer reads happen before any write, so
+// helpers re-executing the surgery replay the identical operation
+// sequence.
+func moveToFront[K comparable, V any](tx *Tx, sh *cacheShard[K, V], i int) {
+	h := Get(tx, sh.head)
+	if h == uint64(i) {
+		return
+	}
+	// i is not the head, so it has a predecessor.
+	p := Get(tx, sh.prev[i])
+	n := Get(tx, sh.next[i])
+	Put(tx, sh.next[p], n)
+	if n != lruNil {
+		Put(tx, sh.prev[n], p)
+	} else {
+		Put(tx, sh.tail, p)
+	}
+	Put(tx, sh.prev[i], lruNil)
+	Put(tx, sh.next[i], h)
+	Put(tx, sh.prev[h], uint64(i))
+	Put(tx, sh.head, uint64(i))
+}
+
+// unlink removes bucket i from its shard's LRU list (the bucket's own
+// links are left stale; insertion rewrites them).
+func unlink[K comparable, V any](tx *Tx, sh *cacheShard[K, V], i int) {
+	p := Get(tx, sh.prev[i])
+	n := Get(tx, sh.next[i])
+	if p != lruNil {
+		Put(tx, sh.next[p], n)
+	} else {
+		Put(tx, sh.head, n)
+	}
+	if n != lruNil {
+		Put(tx, sh.prev[n], p)
+	} else {
+		Put(tx, sh.tail, p)
+	}
+}
+
+// removeLocked expires or deletes bucket i: unlink, tombstone, shrink.
+func removeLocked[K comparable, V any](tx *Tx, sh *cacheShard[K, V], i int) {
+	unlink(tx, sh, i)
+	Put(tx, sh.meta[i], bucketTombstone)
+	Put(tx, sh.size, Get(tx, sh.size)-1)
+}
+
+// installLocked inserts (k, v) into the shard inside a critical
+// section, evicting the LRU tail first when the region has no reusable
+// bucket, and links the new entry at the front of the LRU list. free is
+// the probe's first reusable bucket or -1. The eviction reuses the
+// tail's bucket directly: with no empty bucket left in the region, every
+// probe chain covers the whole region, so the freed bucket is reachable
+// for any key.
+func (c *Cache[K, V]) installLocked(tx *Tx, sh *cacheShard[K, V], h uint64, k K, v V, dl uint64, free int) {
+	hd := Get(tx, sh.head)
+	if free < 0 {
+		// Region full of live entries: evict the least-recently-used.
+		t := Get(tx, sh.tail)
+		q := Get(tx, sh.prev[t])
+		if q != lruNil {
+			Put(tx, sh.next[q], lruNil)
+		}
+		Put(tx, sh.tail, q)
+		Put(tx, sh.meta[t], bucketTombstone)
+		Put(tx, sh.evictions, Get(tx, sh.evictions)+1)
+		Put(tx, sh.size, Get(tx, sh.size)-1)
+		if hd == t {
+			hd = lruNil
+		}
+		free = int(t)
+	}
+	Put(tx, sh.meta[free], bucketFull|(h&^bucketStateMask))
+	Put(tx, sh.keys[free], k)
+	Put(tx, sh.vals[free], v)
+	Put(tx, sh.exp[free], dl)
+	Put(tx, sh.prev[free], lruNil)
+	Put(tx, sh.next[free], hd)
+	if hd != lruNil {
+		Put(tx, sh.prev[hd], uint64(free))
+	} else {
+		Put(tx, sh.tail, uint64(free))
+	}
+	Put(tx, sh.head, uint64(free))
+	Put(tx, sh.size, Get(tx, sh.size)+1)
+}
+
+// Get reports the value cached for k and bumps its recency. A hit moves
+// the entry to the front of its shard's LRU list; an expired entry is
+// removed (counted as an expiration and a miss). Results are routed
+// through fresh cells, never closure captures, because a stalled
+// attempt's body may be re-executed by helpers concurrently.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	h := c.hash(k)
+	sh, home := c.shardOf(h)
+	var cutoff uint64
+	if c.ttl != 0 {
+		cutoff = c.now()
+	}
+	var zero V
+	val := newResultCell(c.vc)
+	found := NewBoolCell(false)
+	p := c.m.Acquire()
+	defer c.m.Release(p)
+	c.do(p, sh, func(tx *Tx) {
+		i, ok, _ := c.find(tx, sh, h, home, k)
+		if !ok {
+			Put(tx, sh.misses, Get(tx, sh.misses)+1)
+			return
+		}
+		if d := Get(tx, sh.exp[i]); d != 0 && d <= cutoff {
+			removeLocked(tx, sh, i)
+			Put(tx, sh.expirations, Get(tx, sh.expirations)+1)
+			Put(tx, sh.misses, Get(tx, sh.misses)+1)
+			return
+		}
+		moveToFront(tx, sh, i)
+		Put(tx, val, Get(tx, sh.vals[i]))
+		Put(tx, found, true)
+		Put(tx, sh.hits, Get(tx, sh.hits)+1)
+	})
+	if !found.Get(p) {
+		return zero, false
+	}
+	return val.Get(p), true
+}
+
+// Put stores v for k, inserting or overwriting, and makes the entry the
+// most recently used. When k's shard is at capacity the shard's LRU
+// tail is evicted in the same critical section, so Put never fails —
+// unlike Map.Put, which reports ErrMapFull rather than displace an
+// entry.
+func (c *Cache[K, V]) Put(k K, v V) {
+	h := c.hash(k)
+	sh, home := c.shardOf(h)
+	dl := c.deadline()
+	p := c.m.Acquire()
+	defer c.m.Release(p)
+	c.do(p, sh, func(tx *Tx) {
+		i, ok, free := c.find(tx, sh, h, home, k)
+		if ok {
+			Put(tx, sh.vals[i], v)
+			Put(tx, sh.exp[i], dl)
+			moveToFront(tx, sh, i)
+			return
+		}
+		c.installLocked(tx, sh, h, k, v, dl, free)
+	})
+}
+
+// Delete removes k, reporting whether it was present. The bucket
+// becomes a tombstone so longer probe chains stay reachable.
+func (c *Cache[K, V]) Delete(k K) bool {
+	h := c.hash(k)
+	sh, home := c.shardOf(h)
+	removed := NewBoolCell(false)
+	p := c.m.Acquire()
+	defer c.m.Release(p)
+	c.do(p, sh, func(tx *Tx) {
+		if i, ok, _ := c.find(tx, sh, h, home, k); ok {
+			removeLocked(tx, sh, i)
+			Put(tx, removed, true)
+		}
+	})
+	return removed.Get(p)
+}
+
+// GetOrCompute returns the cached value for k, computing and installing
+// it on a miss. compute runs outside any critical section — it may be
+// arbitrarily slow (a backing-store fetch) without ever inflating the
+// critical-section bound T — and the result is installed in a second
+// critical section that re-probes first: when several goroutines miss
+// concurrently, each computes, the first install wins, and the losers
+// observe and return the winner's value, so every concurrent caller
+// returns the same value. One hit or one miss is counted, by the
+// initial probe.
+func (c *Cache[K, V]) GetOrCompute(k K, compute func() V) V {
+	if v, ok := c.Get(k); ok {
+		return v
+	}
+	v := compute()
+	h := c.hash(k)
+	sh, home := c.shardOf(h)
+	dl := c.deadline()
+	var cutoff uint64
+	if c.ttl != 0 {
+		cutoff = c.now()
+	}
+	res := NewCellOf(c.vc, v)
+	p := c.m.Acquire()
+	defer c.m.Release(p)
+	c.do(p, sh, func(tx *Tx) {
+		i, ok, free := c.find(tx, sh, h, home, k)
+		if ok {
+			if d := Get(tx, sh.exp[i]); d == 0 || d > cutoff {
+				// Raced: another goroutine installed first. Adopt its
+				// value so concurrent callers agree.
+				Put(tx, res, Get(tx, sh.vals[i]))
+				moveToFront(tx, sh, i)
+				return
+			}
+			// The raced-in entry already expired: replace it in place.
+			Put(tx, sh.vals[i], v)
+			Put(tx, sh.exp[i], dl)
+			Put(tx, sh.expirations, Get(tx, sh.expirations)+1)
+			moveToFront(tx, sh, i)
+			return
+		}
+		c.installLocked(tx, sh, h, k, v, dl, free)
+	})
+	return res.Get(p)
+}
+
+// Len reports the number of cached entries. Per-shard sizes are read
+// without locking, so under live traffic the sum can be momentarily
+// skewed; at quiescence it is exact.
+func (c *Cache[K, V]) Len() int {
+	p := c.m.Acquire()
+	defer c.m.Release(p)
+	n := 0
+	for s := range c.shards {
+		n += int(c.shards[s].size.Get(p))
+	}
+	return n
+}
+
+// CacheShardStats is one shard's view in CacheStats.
+type CacheShardStats struct {
+	// Lock carries the shard lock's contention counters (these same
+	// counters appear in the manager-wide StatsSnapshot.Locks).
+	Lock LockStats
+	// Size is the shard's entry count.
+	Size int
+	// Hits and Misses count Get (and GetOrCompute) outcomes; an expired
+	// entry counts as an expiration and a miss.
+	Hits, Misses uint64
+	// Evictions counts LRU-tail displacements by Put into a full shard;
+	// Expirations counts TTL removals observed by reads.
+	Evictions, Expirations uint64
+}
+
+// CacheStats is a point-in-time view of a cache's per-shard traffic,
+// occupancy and effectiveness, with the same weak-consistency caveat as
+// StatsSnapshot: counters are updated inside critical sections, so they
+// are exact at quiescence.
+type CacheStats struct {
+	// Shards holds one entry per shard, in shard order.
+	Shards []CacheShardStats
+	// Len is the summed entry count.
+	Len int
+	// Hits, Misses, Evictions and Expirations are the summed counters.
+	Hits, Misses, Evictions, Expirations uint64
+	// HitRate is Hits/(Hits+Misses), 0 before any access.
+	HitRate float64
+	// Balance is Jain's fairness index over per-shard accesses
+	// (hits+misses): 1.0 when traffic spreads evenly, approaching
+	// 1/shards under maximal skew (one hot shard).
+	Balance float64
+	// MaxOverMean is the hottest shard's accesses over the mean.
+	MaxOverMean float64
+}
+
+// Stats snapshots per-shard hit/miss/eviction/expiration counters,
+// sizes, and the shard lock's contention counters.
+func (c *Cache[K, V]) Stats() CacheStats {
+	p := c.m.Acquire()
+	defer c.m.Release(p)
+	cs := CacheStats{Shards: make([]CacheShardStats, len(c.shards))}
+	accesses := make([]uint64, len(c.shards))
+	for s := range c.shards {
+		sh := &c.shards[s]
+		a, w, hp := sh.lock.inner.Counters()
+		st := CacheShardStats{
+			Lock:        LockStats{ID: sh.lock.ID(), Attempts: a, Wins: w, Helps: hp},
+			Size:        int(sh.size.Get(p)),
+			Hits:        sh.hits.Get(p),
+			Misses:      sh.misses.Get(p),
+			Evictions:   sh.evictions.Get(p),
+			Expirations: sh.expirations.Get(p),
+		}
+		cs.Shards[s] = st
+		cs.Len += st.Size
+		cs.Hits += st.Hits
+		cs.Misses += st.Misses
+		cs.Evictions += st.Evictions
+		cs.Expirations += st.Expirations
+		accesses[s] = st.Hits + st.Misses
+	}
+	if total := cs.Hits + cs.Misses; total > 0 {
+		cs.HitRate = float64(cs.Hits) / float64(total)
+	}
+	d := stats.NewShardDist(accesses)
+	cs.Balance = d.Jain
+	cs.MaxOverMean = d.MaxOverMean
+	return cs
+}

@@ -1,0 +1,483 @@
+package wflocks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wflocks/internal/workload"
+)
+
+// cacheManager builds a manager sized for caches in tests: κ as given,
+// T covering a worst-case cache operation at the given per-shard
+// capacity, and delay constants of 1 to keep the fixed stalls short on
+// test machines.
+func cacheManager(t testing.TB, kappa, perShard, keyWords, valWords int) *Manager {
+	t.Helper()
+	m, err := New(
+		WithKappa(kappa),
+		WithMaxLocks(1),
+		WithMaxCriticalSteps(CacheCriticalSteps(perShard, keyWords, valWords)),
+		WithDelayConstants(1, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCacheBasic(t *testing.T) {
+	m := cacheManager(t, 2, 16, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(4), WithCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 4 || c.Capacity() != 64 {
+		t.Fatalf("shape = (%d, %d), want (4, 64)", c.Shards(), c.Capacity())
+	}
+	if c.TTL() != 0 {
+		t.Fatalf("TTL = %v, want 0", c.TTL())
+	}
+	const n = 20
+	for k := uint64(0); k < n; k++ {
+		c.Put(k, k*10)
+	}
+	if got := c.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := c.Get(k)
+		if !ok || v != k*10 {
+			t.Fatalf("Get(%d) = (%d, %v), want (%d, true)", k, v, ok, k*10)
+		}
+	}
+	if _, ok := c.Get(999); ok {
+		t.Fatal("Get(999) found a missing key")
+	}
+	// Overwrite does not grow the cache.
+	c.Put(3, 42)
+	if v, _ := c.Get(3); v != 42 {
+		t.Fatalf("overwritten Get(3) = %d, want 42", v)
+	}
+	if got := c.Len(); got != n {
+		t.Fatalf("Len after overwrite = %d, want %d", got, n)
+	}
+	if !c.Delete(3) {
+		t.Fatal("Delete(3) = false, want true")
+	}
+	if c.Delete(3) {
+		t.Fatal("second Delete(3) = true, want false")
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("Get(3) found a deleted key")
+	}
+	if got := c.Len(); got != n-1 {
+		t.Fatalf("Len after delete = %d, want %d", got, n-1)
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("Stats = hits %d misses %d, want both nonzero", st.Hits, st.Misses)
+	}
+}
+
+func TestCacheOptionValidation(t *testing.T) {
+	m := cacheManager(t, 2, 8, 1, 1)
+	if _, err := NewCache[int, int](m, WithCacheShards(0)); err == nil {
+		t.Fatal("WithCacheShards(0) accepted")
+	}
+	if _, err := NewCache[int, int](m, WithCapacity(-1)); err == nil {
+		t.Fatal("WithCapacity(-1) accepted")
+	}
+	if _, err := NewCache[int, int](m, WithTTL(-time.Second)); err == nil {
+		t.Fatal("WithTTL(-1s) accepted")
+	}
+	// Capacity splits across shards and rounds each share up to a power
+	// of two: 12 entries over 4 shards → 3 per shard → 4 per shard.
+	c, err := NewCache[int, int](m, WithCacheShards(3), WithCapacity(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 4 || c.Capacity() != 16 {
+		t.Fatalf("rounded shape = (%d, %d), want (4, 16)", c.Shards(), c.Capacity())
+	}
+	// A manager whose T cannot cover the budget is rejected with the
+	// required bound in the message.
+	small, err := New(WithKappa(2), WithMaxCriticalSteps(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCache[int, int](small, WithCapacity(1024)); err == nil {
+		t.Fatal("NewCache accepted a manager with an insufficient T bound")
+	}
+}
+
+// TestCacheLRUEviction pins the eviction order and the counters on a
+// single-shard cache where every step is deterministic: the acceptance
+// check that Stats' hit/miss/eviction numbers are exactly consistent
+// with the workload.
+func TestCacheLRUEviction(t *testing.T) {
+	m := cacheManager(t, 2, 4, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(1), WithCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 4; k++ {
+		c.Put(k, k*100)
+	}
+	// Recency now 4 > 3 > 2 > 1. Touch 1 so 2 becomes the LRU tail.
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("Get(1) missed")
+	}
+	// Inserting a fifth key evicts the tail, which is 2.
+	c.Put(5, 500)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU key 2 survived the eviction")
+	}
+	for _, k := range []uint64{1, 3, 4, 5} {
+		if v, ok := c.Get(k); !ok || v != k*100 {
+			t.Fatalf("Get(%d) = (%d, %v), want (%d, true)", k, v, ok, k*100)
+		}
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	// Exact counter audit: hits = Get(1) + the four post-eviction hits;
+	// misses = Get(2); evictions = 1; no TTL, so no expirations.
+	st := c.Stats()
+	if st.Hits != 5 || st.Misses != 1 || st.Evictions != 1 || st.Expirations != 0 {
+		t.Fatalf("Stats = hits %d misses %d evictions %d expirations %d, want 5/1/1/0",
+			st.Hits, st.Misses, st.Evictions, st.Expirations)
+	}
+	if st.HitRate != 5.0/6.0 {
+		t.Fatalf("HitRate = %v, want %v", st.HitRate, 5.0/6.0)
+	}
+	// Eviction proceeds strictly from the tail: filling a fresh cache
+	// and inserting N more keys evicts exactly the first N in order.
+	for k := uint64(6); k <= 9; k++ {
+		c.Put(k, k*100)
+	}
+	for _, k := range []uint64{1, 3, 4, 5} {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("key %d survived a full turnover", k)
+		}
+	}
+	for k := uint64(6); k <= 9; k++ {
+		if v, ok := c.Get(k); !ok || v != k*100 {
+			t.Fatalf("Get(%d) after turnover = (%d, %v)", k, v, ok)
+		}
+	}
+}
+
+// TestCacheCapacityOne exercises the degenerate single-entry LRU list,
+// where every insert both empties and refills the list.
+func TestCacheCapacityOne(t *testing.T) {
+	m := cacheManager(t, 2, 1, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(1), WithCapacity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(1, 10)
+	if v, ok := c.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = (%d, %v)", v, ok)
+	}
+	c.Put(2, 20)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("capacity-1 cache kept two entries")
+	}
+	if v, ok := c.Get(2); !ok || v != 20 {
+		t.Fatalf("Get(2) = (%d, %v)", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if !c.Delete(2) || c.Len() != 0 {
+		t.Fatal("delete on capacity-1 cache failed")
+	}
+	c.Put(3, 30)
+	if v, ok := c.Get(3); !ok || v != 30 {
+		t.Fatalf("Get(3) after refill = (%d, %v)", v, ok)
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	m := cacheManager(t, 2, 8, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(1), WithCapacity(8),
+		WithTTL(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock atomic.Uint64
+	clock.Store(1)
+	c.now = clock.Load
+	if c.TTL() != time.Second {
+		t.Fatalf("TTL = %v, want 1s", c.TTL())
+	}
+	c.Put(1, 100)
+	c.Put(2, 200)
+	// Before the deadline both entries are live.
+	clock.Add(uint64(time.Second.Nanoseconds()) - 10)
+	if v, ok := c.Get(1); !ok || v != 100 {
+		t.Fatalf("fresh Get(1) = (%d, %v)", v, ok)
+	}
+	// Refresh key 1's deadline by overwriting, then cross key 2's.
+	c.Put(1, 101)
+	clock.Add(20)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("expired Get(2) returned a value")
+	}
+	if v, ok := c.Get(1); !ok || v != 101 {
+		t.Fatalf("refreshed Get(1) = (%d, %v)", v, ok)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len after expiry = %d, want 1", got)
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Misses != 1 {
+		t.Fatalf("Stats = expirations %d misses %d, want 1/1", st.Expirations, st.Misses)
+	}
+	// An expired entry's bucket is reusable.
+	c.Put(2, 201)
+	if v, ok := c.Get(2); !ok || v != 201 {
+		t.Fatalf("reinserted Get(2) = (%d, %v)", v, ok)
+	}
+}
+
+func TestCacheGetOrCompute(t *testing.T) {
+	m := cacheManager(t, 4, 8, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(2), WithCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	v := c.GetOrCompute(7, func() uint64 { calls++; return 700 })
+	if v != 700 || calls != 1 {
+		t.Fatalf("first GetOrCompute = %d (calls %d), want 700 (1)", v, calls)
+	}
+	v = c.GetOrCompute(7, func() uint64 { calls++; return 999 })
+	if v != 700 || calls != 1 {
+		t.Fatalf("cached GetOrCompute = %d (calls %d), want 700 (1)", v, calls)
+	}
+	// Concurrent misses on one key: every caller must return the same
+	// value — the winner's — even though each computes its own candidate.
+	const procs = 4
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	got := make([]uint64, procs)
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start.Wait()
+			got[g] = c.GetOrCompute(42, func() uint64 { return 1000 + uint64(g) })
+		}(g)
+	}
+	start.Done()
+	wg.Wait()
+	final, ok := c.Get(42)
+	if !ok {
+		t.Fatal("key 42 not installed")
+	}
+	for g, v := range got {
+		if v != final {
+			t.Fatalf("goroutine %d observed %d, cache holds %d — losers must adopt the winner's value",
+				g, v, final)
+		}
+	}
+}
+
+// TestCacheGetOrComputeExpiredRace covers the install path finding an
+// entry that expired between the initial probe and the install.
+func TestCacheGetOrComputeExpiredRace(t *testing.T) {
+	m := cacheManager(t, 2, 8, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(1), WithCapacity(8),
+		WithTTL(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock atomic.Uint64
+	clock.Store(1)
+	c.now = clock.Load
+	c.Put(1, 100)
+	clock.Add(uint64(2 * time.Second.Nanoseconds()))
+	// The entry is now expired: GetOrCompute must recompute, replace it
+	// in place, and refresh the deadline.
+	v := c.GetOrCompute(1, func() uint64 { return 111 })
+	if v != 111 {
+		t.Fatalf("GetOrCompute over expired entry = %d, want 111", v)
+	}
+	if v, ok := c.Get(1); !ok || v != 111 {
+		t.Fatalf("Get(1) after recompute = (%d, %v), want (111, true)", v, ok)
+	}
+}
+
+// TestCacheZipfHitRate drives the cache:zipf workload single-threaded
+// with a fixed seed and audits the counters: hits+misses must equal the
+// number of reads exactly, the hit rate must sit in the band the zipf
+// head mass predicts for a cache holding a quarter of the keyspace, and
+// a rerun with the same seed must reproduce the same counters.
+func TestCacheZipfHitRate(t *testing.T) {
+	ops := 8000
+	if testing.Short() {
+		ops = 3000
+	}
+	run := func() CacheStats {
+		m, err := New(WithKappa(2), WithMaxLocks(1),
+			WithMaxCriticalSteps(CacheCriticalSteps(8, 1, 1)),
+			WithDelayConstants(1, 1), WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCache[uint64, uint64](m, WithCacheShards(8), WithCapacity(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := workload.LookupCacheScenario("cache:zipf")
+		if sc == nil {
+			t.Fatal("cache:zipf scenario missing")
+		}
+		st := workload.NewCacheOpStream(sc, 1)
+		for i := 0; i < ops; i++ {
+			kind, key := st.Next()
+			k := uint64(key)
+			switch kind {
+			case workload.CacheGet:
+				if v, ok := c.Get(k); ok && v != k*3 {
+					t.Fatalf("Get(%d) = %d, want %d", k, v, k*3)
+				}
+			case workload.CachePut:
+				c.Put(k, k*3)
+			case workload.CacheDelete:
+				c.Delete(k)
+			}
+		}
+		return c.Stats()
+	}
+	st := run()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no reads recorded")
+	}
+	// The 64-entry cache holds the zipf head of a 256-key keyspace; at
+	// skew 1.2 the top quarter carries ~80% of the draws, so the
+	// steady-state hit rate must land well above uniform (25%) and
+	// below perfect.
+	if st.HitRate < 0.5 || st.HitRate > 0.98 {
+		t.Fatalf("HitRate = %v, want within [0.5, 0.98]", st.HitRate)
+	}
+	if st.Len > 64 {
+		t.Fatalf("Len = %d exceeds capacity 64", st.Len)
+	}
+	// Same seed, same stream, same manager seed → identical counters.
+	st2 := run()
+	if st2.Hits != st.Hits || st2.Misses != st.Misses ||
+		st2.Evictions != st.Evictions || st2.Expirations != st.Expirations {
+		t.Fatalf("rerun diverged: %+v vs %+v", st2, st)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from several goroutines and
+// checks invariants afterwards: values are always well-formed, the
+// entry count never exceeds capacity, and the counters add up. Runs in
+// -short; the race detector is the main assertion.
+func TestCacheConcurrent(t *testing.T) {
+	const (
+		procs    = 4
+		opsPer   = 40
+		keyspace = 32
+	)
+	m := cacheManager(t, procs, 8, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(4), WithCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := uint64((g*opsPer + i*7) % keyspace)
+				switch i % 5 {
+				case 0, 1:
+					if v, ok := c.Get(k); ok && v != k*7+1 {
+						t.Errorf("Get(%d) = %d, want %d", k, v, k*7+1)
+					}
+				case 2:
+					c.Put(k, k*7+1)
+				case 3:
+					if v := c.GetOrCompute(k, func() uint64 { return k*7 + 1 }); v != k*7+1 {
+						t.Errorf("GetOrCompute(%d) = %d, want %d", k, v, k*7+1)
+					}
+				case 4:
+					c.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > c.Capacity() {
+		t.Fatalf("Len = %d exceeds capacity %d", got, c.Capacity())
+	}
+	st := c.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("Stats has %d shards, want 4", len(st.Shards))
+	}
+	var sum int
+	var attempts uint64
+	for _, s := range st.Shards {
+		sum += s.Size
+		attempts += s.Lock.Attempts
+	}
+	if sum != st.Len {
+		t.Fatalf("shard sizes sum to %d, Stats.Len = %d", sum, st.Len)
+	}
+	if attempts == 0 {
+		t.Fatal("no attempts recorded on any shard lock")
+	}
+	if st.Balance <= 0 || st.Balance > 1 {
+		t.Fatalf("Balance = %v, want (0, 1]", st.Balance)
+	}
+	// Every surviving entry must round-trip with a well-formed value.
+	for k := uint64(0); k < keyspace; k++ {
+		if v, ok := c.Get(k); ok && v != k*7+1 {
+			t.Fatalf("post-run Get(%d) = %d, want %d", k, v, k*7+1)
+		}
+	}
+}
+
+// TestCacheMultiWordValues exercises multi-word struct values through
+// CodecFunc — the LRU surgery must stay consistent when value writes
+// span several idempotent words — plus TTL on the multi-word path.
+func TestCacheMultiWordValues(t *testing.T) {
+	type blob struct{ A, B, C uint64 }
+	blobCodec := CodecFunc(3,
+		func(b blob, dst []uint64) { dst[0], dst[1], dst[2] = b.A, b.B, b.C },
+		func(src []uint64) blob { return blob{src[0], src[1], src[2]} })
+	m := cacheManager(t, 2, 4, 1, 3)
+	c, err := NewCacheOf[uint64, blob](m, IntegerCodec[uint64](), blobCodec,
+		WithCacheShards(2), WithCapacity(8), WithTTL(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		c.Put(i, blob{i, i * 2, i * 3})
+	}
+	for i := uint64(0); i < 8; i++ {
+		v, ok := c.Get(i)
+		if !ok {
+			// Up to half the keys may have been evicted depending on
+			// shard assignment; evicted keys just miss.
+			continue
+		}
+		if v != (blob{i, i * 2, i * 3}) {
+			t.Fatalf("Get(%d) = %+v, torn multi-word value", i, v)
+		}
+	}
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+	got := c.GetOrCompute(100, func() blob { return blob{9, 8, 7} })
+	if got != (blob{9, 8, 7}) {
+		t.Fatalf("GetOrCompute = %+v", got)
+	}
+}

@@ -167,6 +167,22 @@ func NewCellOf[T any](codec Codec[T], v T) *Cell[T] {
 	return c
 }
 
+// newResultCell creates a cell for routing a critical section's result
+// out to its caller, holding zeroed words rather than an encoded value:
+// result cells are always written by the body before the caller decodes
+// them, so the construction-time Encode would be dead work — and, for
+// instrumented codecs, a spurious off-lock invocation.
+func newResultCell[T any](codec Codec[T]) *Cell[T] {
+	w := codec.Words()
+	c := &Cell[T]{codec: codec, words: idem.NewCells(w, make([]uint64, w))}
+	if w == 1 {
+		if sc, ok := codec.(ScalarCodec[T]); ok {
+			c.scalar = sc
+		}
+	}
+	return c
+}
+
 // Words reports how many machine words (and hence maxOps budget per
 // access) the cell occupies.
 func (c *Cell[T]) Words() int { return len(c.words) }

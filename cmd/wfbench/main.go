@@ -9,6 +9,7 @@
 //	wfbench -exp E1 -scale full
 //	wfbench -workload map:read     # wfmap vs mutex-sharded baseline
 //	wfbench -workload map:zipf -scale full
+//	wfbench -workload cache:zipf   # wfcache vs mutex-LRU, raw + holder-stall regimes
 package main
 
 import (
@@ -32,7 +33,7 @@ func run() int {
 		scale    = flag.String("scale", "quick", "quick or full")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		workName = flag.String("workload", "",
-			"data-structure workload instead of an experiment (map:read, map:write, map:zipf)")
+			"data-structure workload instead of an experiment (map:read, map:write, map:zipf, cache:read, cache:zipf, cache:churn)")
 	)
 	flag.Parse()
 
@@ -41,8 +42,12 @@ func run() int {
 			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
 		}
 		for _, sc := range workload.MapScenarios() {
-			fmt.Printf("%-9s map workload: %d%%/%d%%/%d%% get/put/delete, skew %.1f\n",
+			fmt.Printf("%-11s map workload: %d%%/%d%%/%d%% get/put/delete, skew %.1f\n",
 				sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Skew)
+		}
+		for _, sc := range workload.CacheScenarios() {
+			fmt.Printf("%-11s cache workload: %d%%/%d%%/%d%% get/put/delete, cap %d/%d, skew %.1f\n",
+				sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Capacity, sc.Keys, sc.Skew)
 		}
 		return 0
 	}
@@ -59,25 +64,7 @@ func run() int {
 	}
 
 	if *workName != "" {
-		sc := workload.LookupMapScenario(*workName)
-		if sc == nil {
-			names := make([]string, 0, 3)
-			for _, s := range workload.MapScenarios() {
-				names = append(names, s.Name)
-			}
-			fmt.Fprintf(os.Stderr, "wfbench: unknown workload %q (have %s)\n",
-				*workName, strings.Join(names, ", "))
-			return 2
-		}
-		start := time.Now()
-		table, err := bench.RunMapScenario(sc, s)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wfbench: %s failed: %v\n", sc.Name, err)
-			return 1
-		}
-		fmt.Println(table)
-		fmt.Printf("(%s completed in %v)\n", sc.Name, time.Since(start).Round(time.Millisecond))
-		return 0
+		return runWorkload(*workName, s)
 	}
 
 	exps := bench.Experiments()
@@ -100,5 +87,36 @@ func run() int {
 		fmt.Println(table)
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// runWorkload dispatches a data-structure workload by name: the map
+// and cache scenario families share the flag.
+func runWorkload(name string, s bench.Scale) int {
+	var run func() (*bench.Table, error)
+	if sc := workload.LookupMapScenario(name); sc != nil {
+		run = func() (*bench.Table, error) { return bench.RunMapScenario(sc, s) }
+	} else if sc := workload.LookupCacheScenario(name); sc != nil {
+		run = func() (*bench.Table, error) { return bench.RunCacheScenario(sc, s) }
+	} else {
+		var names []string
+		for _, s := range workload.MapScenarios() {
+			names = append(names, s.Name)
+		}
+		for _, s := range workload.CacheScenarios() {
+			names = append(names, s.Name)
+		}
+		fmt.Fprintf(os.Stderr, "wfbench: unknown workload %q (have %s)\n",
+			name, strings.Join(names, ", "))
+		return 2
+	}
+	start := time.Now()
+	table, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfbench: %s failed: %v\n", name, err)
+		return 1
+	}
+	fmt.Println(table)
+	fmt.Printf("(%s completed in %v)\n", name, time.Since(start).Round(time.Millisecond))
 	return 0
 }

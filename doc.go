@@ -79,17 +79,46 @@
 // contention is the per-shard κ, not the process count, and the
 // worst-case critical section T is bounded by the shard capacity
 // (MapCriticalSteps computes the WithMaxCriticalSteps bound a hosting
-// manager needs). Get, Put and Delete are single-lock critical
-// sections under Do. Swap, which atomically exchanges two keys'
-// values, is where the paper's lock-set bound L surfaces in the API:
-// a cross-shard Swap holds both shard locks in one acquisition, so
-// the manager must allow L ≥ 2 and the attempt pays the 1/(κL)
-// success probability and O(κ²L²T) step bound at L = 2. Len and
-// Range stay off the locks entirely — Range validates per-shard
-// seqlock versions to return consistent snapshots. Map.Stats exposes
-// per-shard contention counters (the same counters the shard locks
-// contribute to StatsSnapshot.Locks) plus a Jain balance index over
-// shards.
+// manager needs). Get, Put, Delete and the read-modify-write Update
+// are single-lock critical sections under Do. Swap, which atomically
+// exchanges two keys' values, is where the paper's lock-set bound L
+// surfaces in the API: a cross-shard Swap holds both shard locks in
+// one acquisition, so the manager must allow L ≥ 2 and the attempt
+// pays the 1/(κL) success probability and O(κ²L²T) step bound at
+// L = 2. Len and Range stay off the locks entirely — Range validates
+// per-shard seqlock versions to return consistent snapshots. Map.Stats
+// exposes per-shard contention counters (the same counters the shard
+// locks contribute to StatsSnapshot.Locks) plus a Jain balance index
+// over shards.
+//
+// Cache (NewCache, NewCacheOf) layers LRU eviction and optional TTL on
+// the same shard architecture. Each shard adds an intrusive doubly-
+// linked recency list held in cells — prev/next bucket indices plus
+// head/tail anchors — so a Get's move-to-front and a full shard's
+// tail eviction are pointer surgery executed inside the critical
+// section, re-executable by helpers like any other body. Put never
+// fails: at capacity it displaces the shard's LRU tail in the same
+// atomic step as its insert. GetOrCompute computes outside the lock
+// and installs under it with a re-probe, so concurrent misses agree
+// on one value and a slow computation never stretches a critical
+// section.
+//
+// # Sizing critical-section budgets
+//
+// The budget helpers (MapCriticalSteps, CacheCriticalSteps) show how
+// T is engineered as structures grow richer. Every cell word read or
+// written inside a body costs one operation, so a budget is just an
+// audit of the worst-case body. For the map that is a full-region
+// probe — capacity × (1 + keyWords) — plus a constant for the insert
+// and bookkeeping writes. The cache's LRU surgery extends the same
+// audit: a move-to-front is at most 9 single-word cell ops (three
+// pointer reads, six writes), an eviction at most a dozen, all
+// constants independent of the region size, so CacheCriticalSteps is
+// the same probe term with a larger additive constant. The pattern
+// generalizes: bounded-degree pointer surgery adds O(1) per
+// operation, and only region scans contribute linear terms — which is
+// why neither structure rehashes, and why both bound T by
+// construction rather than hoping workloads stay polite.
 //
 // # Errors and observability
 //

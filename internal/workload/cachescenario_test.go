@@ -1,0 +1,67 @@
+package workload
+
+import "testing"
+
+func TestCacheScenariosValidate(t *testing.T) {
+	scs := CacheScenarios()
+	if len(scs) != 3 {
+		t.Fatalf("built-in scenarios = %d, want 3", len(scs))
+	}
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+		if sc.Capacity >= sc.Keys {
+			t.Errorf("%s: capacity %d >= keyspace %d — hit rate would be trivial",
+				sc.Name, sc.Capacity, sc.Keys)
+		}
+		if LookupCacheScenario(sc.Name) == nil {
+			t.Errorf("%s not found by lookup", sc.Name)
+		}
+	}
+	if LookupCacheScenario("cache:nope") != nil {
+		t.Fatal("lookup invented a scenario")
+	}
+	for _, bad := range []CacheScenario{
+		{Name: "bad", Keys: 0, Capacity: 8, GetPct: 100},
+		{Name: "bad", Keys: 10, Capacity: 0, GetPct: 100},
+		{Name: "bad", Keys: 10, Capacity: 8, GetPct: 50, PutPct: 20, DeletePct: 20},
+		{Name: "bad", Keys: 10, Capacity: 8, GetPct: 100, Skew: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("scenario %+v accepted", bad)
+		}
+	}
+}
+
+func TestCacheOpStreamMix(t *testing.T) {
+	sc := &CacheScenario{Name: "t", Keys: 64, Capacity: 16, GetPct: 60, PutPct: 30, DeletePct: 10}
+	st := NewCacheOpStream(sc, 42)
+	const n = 20000
+	counts := map[CacheOpKind]int{}
+	for i := 0; i < n; i++ {
+		kind, key := st.Next()
+		if key < 0 || key >= sc.Keys {
+			t.Fatalf("key %d outside [0, %d)", key, sc.Keys)
+		}
+		counts[kind]++
+	}
+	for kind, pct := range map[CacheOpKind]int{CacheGet: 60, CachePut: 30, CacheDelete: 10} {
+		got := float64(counts[kind]) / n * 100
+		if got < float64(pct)-3 || got > float64(pct)+3 {
+			t.Errorf("%v frequency = %.1f%%, want ~%d%%", kind, got, pct)
+		}
+	}
+	// A skewed stream concentrates on the head ranks like the map
+	// streams do (the sampler itself is tested in zipf_test.go).
+	zs := NewCacheOpStream(LookupCacheScenario("cache:zipf"), 7)
+	head := 0
+	for i := 0; i < n; i++ {
+		if zs.Key() < 8 {
+			head++
+		}
+	}
+	if float64(head)/n < 0.4 {
+		t.Errorf("zipf head-8 share = %.2f, want > 0.4", float64(head)/n)
+	}
+}

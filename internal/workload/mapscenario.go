@@ -2,8 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"wflocks/internal/env"
 )
@@ -94,14 +92,14 @@ func LookupMapScenario(name string) *MapScenario {
 type MapOpStream struct {
 	sc   *MapScenario
 	rng  *env.RNG
-	zipf *zipfSampler
+	zipf *Zipf
 }
 
 // NewMapOpStream creates a stream over sc seeded with seed.
 func NewMapOpStream(sc *MapScenario, seed uint64) *MapOpStream {
 	st := &MapOpStream{sc: sc, rng: env.NewRNG(seed)}
 	if sc.Skew > 0 {
-		st.zipf = newZipfSampler(sc.Keys, sc.Skew)
+		st.zipf = NewZipf(sc.Keys, sc.Skew)
 	}
 	return st
 }
@@ -125,36 +123,7 @@ func (st *MapOpStream) Next() (MapOpKind, int) {
 // Key draws a key index from the scenario's distribution.
 func (st *MapOpStream) Key() int {
 	if st.zipf != nil {
-		return st.zipf.sample(st.rng)
+		return st.zipf.Sample(st.rng)
 	}
 	return st.rng.IntN(st.sc.Keys)
-}
-
-// zipfSampler draws from a bounded Zipf distribution by inversion on a
-// precomputed CDF: key i gets weight 1/(i+1)^s. Construction is O(n),
-// each sample a binary search.
-type zipfSampler struct {
-	cdf []float64
-}
-
-func newZipfSampler(n int, s float64) *zipfSampler {
-	cdf := make([]float64, n)
-	sum := 0.0
-	for i := 0; i < n; i++ {
-		sum += 1 / math.Pow(float64(i+1), s)
-		cdf[i] = sum
-	}
-	for i := range cdf {
-		cdf[i] /= sum
-	}
-	return &zipfSampler{cdf: cdf}
-}
-
-func (z *zipfSampler) sample(rng *env.RNG) int {
-	u := rng.Float64()
-	i := sort.SearchFloat64s(z.cdf, u)
-	if i >= len(z.cdf) {
-		i = len(z.cdf) - 1
-	}
-	return i
 }

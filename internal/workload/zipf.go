@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"wflocks/internal/env"
+)
+
+// Zipf draws from a bounded Zipf distribution by inversion on a
+// precomputed CDF: rank i (0-based) gets weight 1/(i+1)^s, the standard
+// hot-key model for skewed service traffic. Construction is O(n); each
+// sample is a binary search over the CDF. The sampler itself is
+// stateless after construction and safe for concurrent use — randomness
+// comes from the caller's RNG, so each worker goroutine owns its own
+// stream. Both the map and cache scenario families draw their skewed
+// keys from this one implementation.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. It panics on
+// a non-positive n or a negative s (scenario validation reports those
+// as errors before any sampler is built).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("workload: NewZipf: n must be positive")
+	}
+	if s < 0 {
+		panic("workload: NewZipf: exponent must be non-negative")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N reports the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one rank in [0, N) using the caller's RNG.
+func (z *Zipf) Sample(rng *env.RNG) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}
+
+// CDF returns the cumulative probability of ranks 0..i inclusive.
+func (z *Zipf) CDF(i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= len(z.cdf) {
+		return 1
+	}
+	return z.cdf[i]
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"wflocks/internal/env"
+)
+
+func TestZipfCDFShape(t *testing.T) {
+	z := NewZipf(64, 1.2)
+	if z.N() != 64 {
+		t.Fatalf("N = %d, want 64", z.N())
+	}
+	// The CDF must be strictly increasing and end at 1.
+	prev := 0.0
+	for i := 0; i < z.N(); i++ {
+		c := z.CDF(i)
+		if c <= prev {
+			t.Fatalf("CDF not strictly increasing at %d: %v <= %v", i, c, prev)
+		}
+		prev = c
+	}
+	if math.Abs(z.CDF(z.N()-1)-1) > 1e-12 {
+		t.Fatalf("CDF(last) = %v, want 1", z.CDF(z.N()-1))
+	}
+	// Out-of-range queries clamp.
+	if z.CDF(-1) != 0 || z.CDF(z.N()) != 1 {
+		t.Fatalf("CDF clamps = (%v, %v), want (0, 1)", z.CDF(-1), z.CDF(z.N()))
+	}
+	// Rank weights are 1/(i+1)^s: the head's probability mass must match
+	// the analytic value.
+	sum := 0.0
+	for i := 1; i <= 64; i++ {
+		sum += 1 / math.Pow(float64(i), 1.2)
+	}
+	if got, want := z.CDF(0), 1/sum; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("head mass = %v, want %v", got, want)
+	}
+}
+
+func TestZipfSampleDistribution(t *testing.T) {
+	const n, samples = 128, 50000
+	z := NewZipf(n, 1.2)
+	rng := env.NewRNG(7)
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		k := z.Sample(rng)
+		if k < 0 || k >= n {
+			t.Fatalf("sample %d outside [0, %d)", k, n)
+		}
+		counts[k]++
+	}
+	uniformShare := float64(samples) / float64(n)
+	if float64(counts[0]) < 5*uniformShare {
+		t.Errorf("head rank drew %d of %d; skew 1.2 should concentrate far above uniform %f",
+			counts[0], samples, uniformShare)
+	}
+	if counts[0] <= counts[n/2] || counts[n/2] < counts[n-1]/2 {
+		t.Errorf("frequencies not decreasing in rank: head=%d mid=%d tail=%d",
+			counts[0], counts[n/2], counts[n-1])
+	}
+	// The empirical head frequency should track CDF(0) closely.
+	if got, want := float64(counts[0])/samples, z.CDF(0); math.Abs(got-want) > 0.02 {
+		t.Errorf("head frequency = %v, want ~%v", got, want)
+	}
+	// Skew 0 degenerates to uniform: Jain-style flatness check on the
+	// head.
+	u := NewZipf(n, 0)
+	uc := make([]int, n)
+	for i := 0; i < samples; i++ {
+		uc[u.Sample(rng)]++
+	}
+	if float64(uc[0]) > 2*uniformShare {
+		t.Errorf("uniform head rank drew %d, want ~%f", uc[0], uniformShare)
+	}
+}
+
+func TestZipfPanicsOnBadShape(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-3, 1}, {8, -0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}

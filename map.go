@@ -205,21 +205,27 @@ func (mp *Map[K, V]) Shards() int { return len(mp.shards) }
 // ShardCapacity reports the bucket count per shard (after rounding).
 func (mp *Map[K, V]) ShardCapacity() int { return mp.capacity }
 
-// hash computes the key's 64-bit hash by chaining each encoded word
+// hashKey computes a key's 64-bit hash by chaining each encoded word
 // through env.Mix (the SplitMix64 finalizer). Shard selection uses the
 // low bits and the home bucket the high bits, so the two are
-// independent.
-func (mp *Map[K, V]) hash(k K) uint64 {
-	if mp.kscalar != nil {
-		return env.Mix(mp.seed, mp.kscalar.EncodeWord(k))
+// independent. Shared by every lock-sharded structure (Map, Cache);
+// scalar is the allocation-free fast path for single-word keys.
+func hashKey[K comparable](kc Codec[K], scalar ScalarCodec[K], seed uint64, k K) uint64 {
+	if scalar != nil {
+		return env.Mix(seed, scalar.EncodeWord(k))
 	}
-	buf := make([]uint64, mp.kc.Words())
-	mp.kc.Encode(k, buf)
-	h := mp.seed
+	buf := make([]uint64, kc.Words())
+	kc.Encode(k, buf)
+	h := seed
 	for _, w := range buf {
 		h = env.Mix(h, w)
 	}
 	return h
+}
+
+// hash computes the key's 64-bit hash.
+func (mp *Map[K, V]) hash(k K) uint64 {
+	return hashKey(mp.kc, mp.kscalar, mp.seed, k)
 }
 
 // shardOf picks the key's shard and home bucket from its hash.
@@ -227,18 +233,21 @@ func (mp *Map[K, V]) shardOf(h uint64) (*mapShard[K, V], int) {
 	return &mp.shards[h&mp.shardMask], int((h >> 32) & mp.capMask)
 }
 
-// find probes a shard's region for k inside a critical section. It
-// returns the key's bucket index and found=true, or found=false with
-// free the first reusable bucket (empty or tombstone; -1 if the region
-// has none). Probing is linear from the home bucket and stops at the
-// first empty bucket, which no insertion ever skips.
-func (mp *Map[K, V]) find(tx *Tx, sh *mapShard[K, V], h uint64, home int, k K) (idx int, found bool, free int) {
+// probeBuckets probes an open-addressed region of meta/key cells for k
+// inside a critical section — the one probe loop behind every
+// lock-sharded structure (Map, Cache). It returns the key's bucket
+// index and found=true, or found=false with free the first reusable
+// bucket (empty or tombstone; -1 if the region has none). Probing is
+// linear from the home bucket and stops at the first empty bucket,
+// which no insertion ever skips; capMask is the power-of-two region
+// size minus one.
+func probeBuckets[K comparable](tx *Tx, meta []*Cell[uint64], keys []*Cell[K], capMask, h uint64, home int, k K) (idx int, found bool, free int) {
 	frag := h &^ bucketStateMask
 	free = -1
-	n := int(mp.capMask) + 1
+	n := int(capMask) + 1
 	for j := 0; j < n; j++ {
-		i := (home + j) & int(mp.capMask)
-		w := Get(tx, sh.meta[i])
+		i := (home + j) & int(capMask)
+		w := Get(tx, meta[i])
 		switch w & bucketStateMask {
 		case bucketEmpty:
 			if free < 0 {
@@ -250,12 +259,17 @@ func (mp *Map[K, V]) find(tx *Tx, sh *mapShard[K, V], h uint64, home int, k K) (
 				free = i
 			}
 		default: // full
-			if w&^bucketStateMask == frag && Get(tx, sh.keys[i]) == k {
+			if w&^bucketStateMask == frag && Get(tx, keys[i]) == k {
 				return i, true, free
 			}
 		}
 	}
 	return 0, false, free
+}
+
+// find probes a shard's region for k inside a critical section.
+func (mp *Map[K, V]) find(tx *Tx, sh *mapShard[K, V], h uint64, home int, k K) (idx int, found bool, free int) {
+	return probeBuckets(tx, sh.meta, sh.keys, mp.capMask, h, home, k)
 }
 
 // bumpVer advances the shard's seqlock version by one (2 ops).
@@ -283,7 +297,7 @@ func (mp *Map[K, V]) Get(k K) (V, bool) {
 	h := mp.hash(k)
 	sh, home := mp.shardOf(h)
 	var zero V
-	val := NewCellOf(mp.vc, zero)
+	val := newResultCell(mp.vc)
 	found := NewBoolCell(false)
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
@@ -357,6 +371,63 @@ func (mp *Map[K, V]) Delete(k K) bool {
 		bumpVer(tx, sh)
 	})
 	return removed.Get(p)
+}
+
+// Update outcomes routed through the result cell.
+const (
+	updateOK uint64 = iota
+	updateFull
+)
+
+// Update atomically reads k's value, applies fn, and writes the result
+// back, all in one critical section — the read-modify-write that a
+// Get-then-Put pair cannot do race-free. fn receives the current value
+// and whether k was present; it returns the new value and keep: keep
+// true stores the value (inserting or overwriting), keep false deletes
+// k if present and otherwise changes nothing. An insert into a full
+// shard returns ErrMapFull, as Put does.
+//
+// fn runs inside the critical section, so it is bound by the same
+// contract as the section body: it must be deterministic (given its
+// arguments), perform no cell operations or acquisitions of its own,
+// and be safe for concurrent calls — a stalled attempt's body, fn
+// included, may be re-executed by helpers in parallel. Keep fn to pure
+// local computation; anything slow or effectful belongs outside the
+// lock (see Cache.GetOrCompute for that shape).
+func (mp *Map[K, V]) Update(k K, fn func(old V, ok bool) (V, bool)) error {
+	h := mp.hash(k)
+	sh, home := mp.shardOf(h)
+	res := NewCell(updateOK)
+	p := mp.m.Acquire()
+	defer mp.m.Release(p)
+	mp.do(p, sh, func(tx *Tx) {
+		bumpVer(tx, sh)
+		i, ok, free := mp.find(tx, sh, h, home, k)
+		var old V
+		if ok {
+			old = Get(tx, sh.vals[i])
+		}
+		nv, keep := fn(old, ok)
+		switch {
+		case keep && ok:
+			Put(tx, sh.vals[i], nv)
+		case keep && free < 0:
+			Put(tx, res, updateFull)
+		case keep:
+			Put(tx, sh.meta[free], bucketFull|(h&^bucketStateMask))
+			Put(tx, sh.keys[free], k)
+			Put(tx, sh.vals[free], nv)
+			Put(tx, sh.size, Get(tx, sh.size)+1)
+		case ok:
+			Put(tx, sh.meta[i], bucketTombstone)
+			Put(tx, sh.size, Get(tx, sh.size)-1)
+		}
+		bumpVer(tx, sh)
+	})
+	if res.Get(p) == updateFull {
+		return fmt.Errorf("%w: shard %d at capacity %d", ErrMapFull, h&mp.shardMask, mp.capacity)
+	}
+	return nil
 }
 
 // Len reports the number of entries. Per-shard sizes are read without

@@ -334,6 +334,123 @@ func TestMapMultiWordCodecs(t *testing.T) {
 	}
 }
 
+func TestMapUpdate(t *testing.T) {
+	m := mapManager(t, 2, 1, 8, 1, 1)
+	mp, err := NewMap[uint64, uint64](m, WithShards(2), WithShardCapacity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert through Update: fn sees absent, returns a value to keep.
+	if err := mp.Update(1, func(old uint64, ok bool) (uint64, bool) {
+		if ok {
+			t.Errorf("insert path saw ok=true (old %d)", old)
+		}
+		return 100, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := mp.Get(1); !ok || v != 100 {
+		t.Fatalf("after insert Update: Get(1) = (%d, %v), want (100, true)", v, ok)
+	}
+	// Modify in place: fn sees the current value.
+	if err := mp.Update(1, func(old uint64, ok bool) (uint64, bool) {
+		if !ok || old != 100 {
+			t.Errorf("modify path saw (%d, %v), want (100, true)", old, ok)
+		}
+		return old + 1, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mp.Get(1); v != 101 {
+		t.Fatalf("after modify Update: Get(1) = %d, want 101", v)
+	}
+	// keep=false deletes a present key...
+	if err := mp.Update(1, func(old uint64, ok bool) (uint64, bool) {
+		return 0, false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mp.Get(1); ok {
+		t.Fatal("Update(keep=false) left the key present")
+	}
+	if mp.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", mp.Len())
+	}
+	// ...and is a no-op on an absent key.
+	if err := mp.Update(2, func(old uint64, ok bool) (uint64, bool) {
+		return 0, false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if mp.Len() != 0 {
+		t.Fatal("no-op Update changed the map")
+	}
+}
+
+// TestMapUpdateFull checks that an inserting Update against a full
+// shard reports ErrMapFull like Put does.
+func TestMapUpdateFull(t *testing.T) {
+	m := mapManager(t, 2, 1, 4, 1, 1)
+	mp, err := NewMap[uint64, uint64](m, WithShards(1), WithShardCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 4; k++ {
+		if err := mp.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = mp.Update(99, func(old uint64, ok bool) (uint64, bool) { return 1, true })
+	if !errors.Is(err, ErrMapFull) {
+		t.Fatalf("insert Update into full shard: err = %v, want ErrMapFull", err)
+	}
+	// Overwriting Update still works at capacity.
+	if err := mp.Update(1, func(old uint64, ok bool) (uint64, bool) { return old * 10, true }); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mp.Get(1); v != 10 {
+		t.Fatalf("Update at capacity: Get(1) = %d, want 10", v)
+	}
+}
+
+// TestMapUpdateConcurrentIncrement is the reason Update exists: n
+// goroutines doing read-modify-write increments on one key must never
+// lose an update. A Get-then-Put loop loses increments under this
+// schedule; one critical section cannot.
+func TestMapUpdateConcurrentIncrement(t *testing.T) {
+	const (
+		procs   = 4
+		incsPer = 25
+	)
+	m := mapManager(t, procs, 1, 8, 1, 1)
+	mp, err := NewMap[uint64, uint64](m, WithShards(1), WithShardCapacity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incsPer; i++ {
+				if err := mp.Update(7, func(old uint64, ok bool) (uint64, bool) {
+					if !ok {
+						return 1, true
+					}
+					return old + 1, true
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v, ok := mp.Get(7); !ok || v != procs*incsPer {
+		t.Fatalf("counter = (%d, %v), want (%d, true) — increments were lost", v, ok, procs*incsPer)
+	}
+}
+
 // TestMapConcurrent hammers one map from several goroutines with a
 // mixed workload and checks invariants afterwards. It is intentionally
 // small (attempts pay the algorithm's fixed delays) and runs in -short;
