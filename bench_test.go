@@ -378,6 +378,167 @@ func benchMutexLRU(b *testing.B, sc *workload.CacheScenario, sp *bench.StallPoin
 	}
 }
 
+// BenchmarkTxn sweeps the keys-per-transaction count L over wfmap's
+// multi-lock Atomic path against a sorted-multi-mutex baseline, in the
+// holder-stall regime the paper targets (see BenchmarkCache for the
+// regime rationale). Each transaction transfers value between L keys;
+// stalls are injected through the value-write path on both sides. Every
+// wfmap attempt pays fixed delays growing as κ²L²·T(L) — T itself is L
+// single-shard budgets — so the sweep shows both sides of the paper's
+// trade: at small L helping absorbs stalls that serialize the blocking
+// baseline across every held shard, while at L=8 the delay product is
+// the dominant cost. The worker count is pinned small (κ² pricing) and
+// each run audits transfer conservation. Compare with:
+//
+//	go test -bench=Txn -benchtime=200x -cpu 4
+const (
+	benchTxnKeys    = 64
+	benchTxnShards  = 8
+	benchTxnWorkers = 4
+)
+
+func BenchmarkTxn(b *testing.B) {
+	for _, l := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("wfmap/L=%d", l), func(b *testing.B) {
+			benchWfmapTxn(b, l, bench.NewStallPoint(benchStallPeriod, benchStallDur))
+		})
+	}
+	for _, l := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("multimutex/L=%d", l), func(b *testing.B) {
+			benchMultiMutexTxn(b, l, bench.NewStallPoint(benchStallPeriod, benchStallDur))
+		})
+	}
+}
+
+// benchTxnParallelism pins the worker count to benchTxnWorkers
+// regardless of -cpu, as benchCacheWorkers does for the cache.
+func benchTxnParallelism(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	par := 1
+	for procs*par < benchTxnWorkers {
+		par++
+	}
+	b.SetParallelism(par)
+}
+
+func benchWfmapTxn(b *testing.B, l int, sp *bench.StallPoint) {
+	benchTxnParallelism(b)
+	capPerShard := 2 * benchTxnKeys / benchTxnShards
+	workers := runtime.GOMAXPROCS(0)
+	if workers < benchTxnWorkers {
+		workers = benchTxnWorkers
+	}
+	m, err := wflocks.New(
+		wflocks.WithKappa(workers),
+		wflocks.WithMaxLocks(l),
+		wflocks.WithMaxCriticalSteps(wflocks.MapAtomicSteps(capPerShard, 1, 1, l)),
+		wflocks.WithDelayConstants(1, 1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vc := wflocks.Codec[uint64](wflocks.IntegerCodec[uint64]())
+	if sp != nil {
+		vc = bench.StallValueCodec(sp)
+	}
+	mp, err := wflocks.NewMapOf[uint64, uint64](m, wflocks.IntegerCodec[uint64](), vc,
+		wflocks.WithShards(benchTxnShards), wflocks.WithShardCapacity(capPerShard))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := uint64(0); k < benchTxnKeys; k++ {
+		if err := mp.Put(k, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sp.Arm()
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewPCG(seed.Add(1), 0x9e3779b97f4a7c15))
+		for pb.Next() {
+			keys := drawDistinctKeys(rng, l, benchTxnKeys)
+			if err := mp.Atomic(keys, func(tx *wflocks.MapTxn[uint64, uint64]) {
+				ks := tx.Keys()
+				gained := uint64(0)
+				for _, k := range ks[1:] {
+					if v, ok := tx.Get(k); ok && v > 0 {
+						tx.Put(k, v-1)
+						gained++
+					}
+				}
+				v, _ := tx.Get(ks[0])
+				tx.Put(ks[0], v+gained)
+			}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	total := uint64(0)
+	for _, v := range mp.All() {
+		total += v
+	}
+	if total != benchTxnKeys*100 {
+		b.Fatalf("conservation violated: sum %d, want %d", total, benchTxnKeys*100)
+	}
+}
+
+func benchMultiMutexTxn(b *testing.B, l int, sp *bench.StallPoint) {
+	benchTxnParallelism(b)
+	mm := bench.NewMultiMutexMap(benchTxnShards, sp)
+	for k := uint64(0); k < benchTxnKeys; k++ {
+		mm.Put(k, 100)
+	}
+	sp.Arm()
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewPCG(seed.Add(1), 0x9e3779b97f4a7c15))
+		for pb.Next() {
+			keys := drawDistinctKeys(rng, l, benchTxnKeys)
+			mm.Atomic(keys, func(get func(uint64) (uint64, bool), put func(uint64, uint64)) {
+				gained := uint64(0)
+				for _, k := range keys[1:] {
+					if v, ok := get(k); ok && v > 0 {
+						put(k, v-1)
+						gained++
+					}
+				}
+				v, _ := get(keys[0])
+				put(keys[0], v+gained)
+			})
+		}
+	})
+	b.StopTimer()
+	if got := mm.Sum(); got != benchTxnKeys*100 {
+		b.Fatalf("conservation violated: sum %d, want %d", got, benchTxnKeys*100)
+	}
+}
+
+// drawDistinctKeys samples l distinct keys in [0, n). The slice is
+// freshly allocated per call: wfmap transaction bodies may be
+// re-executed by straggling helpers after the call returns, so key
+// buffers must never be reused.
+func drawDistinctKeys(rng *rand.Rand, l, n int) []uint64 {
+	keys := make([]uint64, 0, l)
+	for len(keys) < l {
+		k := rng.Uint64N(uint64(n))
+		dup := false
+		for _, have := range keys {
+			if have == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
 func BenchmarkCellReadWrite(b *testing.B) {
 	m, err := wflocks.New(wflocks.WithKappa(2))
 	if err != nil {

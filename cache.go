@@ -2,21 +2,25 @@ package wflocks
 
 import (
 	"fmt"
+	"iter"
+	"runtime"
 	"time"
 
 	"wflocks/internal/env"
 	"wflocks/internal/stats"
+	"wflocks/internal/table"
 )
 
 // Cache is a generic sharded LRU cache with optional TTL, built on the
-// manager's wait-free locks. Keys hash to one of a power-of-two number
-// of shards; each shard owns one Lock guarding an open-addressed bucket
-// region plus an intrusive doubly-linked LRU list stored entirely in
-// typed cells (prev/next bucket indices, head/tail anchors, expiry
+// manager's wait-free locks and the shared shard-table engine
+// (internal/table). Keys hash to one of a power-of-two number of
+// shards; each shard owns one Lock guarding an engine bucket region
+// plus an intrusive doubly-linked LRU list stored entirely in typed
+// cells (prev/next bucket indices, head/tail anchors, expiry
 // deadlines). Because the list lives in cells and every access goes
 // through the idempotence layer, the recency reordering and eviction
 // surgery inside a critical section can be re-executed by helpers
-// without double-applying — this is the first subsystem whose critical
+// without double-applying — this is the subsystem whose critical
 // sections do real pointer surgery rather than flat bucket writes.
 //
 // Eviction happens inside the critical section: a Put into a full shard
@@ -37,43 +41,36 @@ import (
 // Construct with NewCache (integer keys and values) or NewCacheOf
 // (explicit codecs). All methods are safe for concurrent use.
 type Cache[K comparable, V any] struct {
-	m       *Manager
-	kc      Codec[K]
-	vc      Codec[V]
-	kscalar ScalarCodec[K] // non-nil: allocation-free hash path
+	m   *Manager
+	eng *table.Table[K, V]
+	vc  Codec[V] // result-cell codec
 
-	shards    []cacheShard[K, V]
-	shardMask uint64
-	capMask   uint64
-	region    int    // buckets per shard == per-shard entry capacity
-	ttl       uint64 // nanoseconds; 0 = entries never expire
-	seed      uint64
-	opBudget  int
+	// locks[s] guards eng.Shards[s] and lru[s] together.
+	locks []*Lock
+	lru   []lruShard
+
+	ttl      uint64 // nanoseconds; 0 = entries never expire
+	opBudget int
 
 	// now is the nanosecond clock sampled outside critical sections for
 	// TTL deadlines; tests substitute a fake.
 	now func() uint64
 }
 
-// cacheShard is one shard: a lock, its bucket region, and the intrusive
-// LRU list threading the full buckets (head = most recent, tail =
-// least). lruNil terminates the list.
-type cacheShard[K comparable, V any] struct {
-	lock *Lock
-	size *Cell[uint64]
+// lruShard is one shard's recency state: the intrusive LRU list
+// threading the shard's full buckets (head = most recent, tail =
+// least), expiry deadlines, and the per-shard counters. All of it lives
+// in cells, updated inside critical sections, so it is exact at
+// quiescence and idempotent under helping. lruNil terminates the list.
+type lruShard struct {
 	head *Cell[uint64]
 	tail *Cell[uint64]
 
-	// Per-shard counters, updated inside critical sections so they are
-	// exact at quiescence and idempotent under helping.
 	hits        *Cell[uint64]
 	misses      *Cell[uint64]
 	evictions   *Cell[uint64]
 	expirations *Cell[uint64]
 
-	meta []*Cell[uint64] // bucket state bits + key-hash fragment (as in Map)
-	keys []*Cell[K]
-	vals []*Cell[V]
 	prev []*Cell[uint64] // LRU links: bucket indices, lruNil-terminated
 	next []*Cell[uint64]
 	exp  []*Cell[uint64] // absolute expiry deadline in nanos; 0 = none
@@ -108,7 +105,7 @@ func WithCacheShards(n int) CacheOption {
 		if n <= 0 {
 			return fmt.Errorf("wflocks: WithCacheShards: shard count must be positive, got %d", n)
 		}
-		c.shards = ceilPow2(n)
+		c.shards = table.CeilPow2(n)
 		return nil
 	}
 }
@@ -149,13 +146,14 @@ func WithTTL(d time.Duration) CacheOption {
 // value codec widths in words. It covers the worst case of any cache
 // operation: a full-region probe (perShard × (1 + keyWords) ops), plus
 // the LRU unlink/relink surgery, the tail eviction, the insert writes,
-// the counter updates and the result-cell writes. The LRU list adds a
-// constant number of single-word cell operations per op — pointer
-// surgery is bounded-degree, so the budget stays linear in the region
-// size exactly as MapCriticalSteps is.
+// the counter updates and the result-cell writes. It is the shared
+// engine formula (table.Budget) with three value accesses and 32
+// bookkeeping words: the LRU list adds a constant number of single-word
+// cell operations per op — pointer surgery is bounded-degree, so the
+// budget stays linear in the region size exactly as MapCriticalSteps
+// is.
 func CacheCriticalSteps(perShard, keyWords, valueWords int) int {
-	cap := ceilPow2(perShard)
-	return cap*(1+keyWords) + keyWords + 3*valueWords + 32
+	return table.Budget(perShard, keyWords, valueWords, 3, 32)
 }
 
 // NewCache creates a cache with integer keys and values, the common
@@ -177,7 +175,7 @@ func NewCacheOf[K comparable, V any](m *Manager, kc Codec[K], vc Codec[V], opts 
 			return nil, err
 		}
 	}
-	perShard := ceilPow2((cfg.capacity + cfg.shards - 1) / cfg.shards)
+	perShard := table.CeilPow2((cfg.capacity + cfg.shards - 1) / cfg.shards)
 	opBudget := CacheCriticalSteps(perShard, kc.Words(), vc.Words())
 	if opBudget > m.cfg.maxCritical {
 		return nil, fmt.Errorf(
@@ -186,43 +184,28 @@ func NewCacheOf[K comparable, V any](m *Manager, kc Codec[K], vc Codec[V], opts 
 			perShard, kc.Words(), vc.Words(), opBudget, m.cfg.maxCritical)
 	}
 	c := &Cache[K, V]{
-		m:         m,
-		kc:        kc,
-		vc:        vc,
-		shards:    make([]cacheShard[K, V], cfg.shards),
-		shardMask: uint64(cfg.shards - 1),
-		capMask:   uint64(perShard - 1),
-		region:    perShard,
-		ttl:       uint64(cfg.ttl.Nanoseconds()),
-		seed:      env.Mix(m.cfg.seed, 0x7766636163686573), // "wfcaches"
-		opBudget:  opBudget,
-		now:       func() uint64 { return uint64(time.Now().UnixNano()) },
+		m:        m,
+		eng:      table.New[K, V](kc, vc, cfg.shards, perShard, env.Mix(m.cfg.seed, 0x7766636163686573)), // "wfcaches"
+		vc:       vc,
+		ttl:      uint64(cfg.ttl.Nanoseconds()),
+		opBudget: opBudget,
+		now:      func() uint64 { return uint64(time.Now().UnixNano()) },
 	}
-	if sc, ok := kc.(ScalarCodec[K]); ok && kc.Words() == 1 {
-		c.kscalar = sc
-	}
-	var zeroK K
-	var zeroV V
-	for s := range c.shards {
-		sh := &c.shards[s]
-		sh.lock = m.NewLock()
-		sh.size = NewCell(uint64(0))
+	c.locks = make([]*Lock, c.eng.ShardCount())
+	c.lru = make([]lruShard, c.eng.ShardCount())
+	for s := range c.lru {
+		c.locks[s] = m.NewLock()
+		sh := &c.lru[s]
 		sh.head = NewCell(lruNil)
 		sh.tail = NewCell(lruNil)
 		sh.hits = NewCell(uint64(0))
 		sh.misses = NewCell(uint64(0))
 		sh.evictions = NewCell(uint64(0))
 		sh.expirations = NewCell(uint64(0))
-		sh.meta = make([]*Cell[uint64], perShard)
-		sh.keys = make([]*Cell[K], perShard)
-		sh.vals = make([]*Cell[V], perShard)
 		sh.prev = make([]*Cell[uint64], perShard)
 		sh.next = make([]*Cell[uint64], perShard)
 		sh.exp = make([]*Cell[uint64], perShard)
 		for i := 0; i < perShard; i++ {
-			sh.meta[i] = NewCell(bucketEmpty)
-			sh.keys[i] = NewCellOf(c.kc, zeroK)
-			sh.vals[i] = NewCellOf(c.vc, zeroV)
 			sh.prev[i] = NewCell(lruNil)
 			sh.next[i] = NewCell(lruNil)
 			sh.exp[i] = NewCell(uint64(0))
@@ -232,25 +215,14 @@ func NewCacheOf[K comparable, V any](m *Manager, kc Codec[K], vc Codec[V], opts 
 }
 
 // Shards reports the shard count (after power-of-two rounding).
-func (c *Cache[K, V]) Shards() int { return len(c.shards) }
+func (c *Cache[K, V]) Shards() int { return c.eng.ShardCount() }
 
 // Capacity reports the total entry capacity after per-shard rounding;
 // it is at least the WithCapacity request.
-func (c *Cache[K, V]) Capacity() int { return len(c.shards) * c.region }
+func (c *Cache[K, V]) Capacity() int { return c.eng.ShardCount() * c.eng.Capacity() }
 
 // TTL reports the configured time-to-live (zero: entries never expire).
 func (c *Cache[K, V]) TTL() time.Duration { return time.Duration(c.ttl) }
-
-// hash computes the key's 64-bit hash; shard selection uses the low
-// bits and the home bucket the high bits, as in Map.
-func (c *Cache[K, V]) hash(k K) uint64 {
-	return hashKey(c.kc, c.kscalar, c.seed, k)
-}
-
-// shardOf picks the key's shard and home bucket from its hash.
-func (c *Cache[K, V]) shardOf(h uint64) (*cacheShard[K, V], int) {
-	return &c.shards[h&c.shardMask], int((h >> 32) & c.capMask)
-}
 
 // deadline samples the expiry deadline for an entry stored now. It is
 // called outside critical sections so that the section bodies capture
@@ -263,19 +235,21 @@ func (c *Cache[K, V]) deadline() uint64 {
 	return c.now() + c.ttl
 }
 
-// find probes a shard's region for k inside a critical section (the
-// shared probeBuckets loop: linear from the home bucket, stopping at
-// the first empty bucket, with free the first reusable bucket).
-func (c *Cache[K, V]) find(tx *Tx, sh *cacheShard[K, V], h uint64, home int, k K) (idx int, found bool, free int) {
-	return probeBuckets(tx, sh.meta, sh.keys, c.capMask, h, home, k)
+// cutoff samples the expiry comparison instant for a read, outside
+// critical sections, for the same determinism reason as deadline.
+func (c *Cache[K, V]) cutoff() uint64 {
+	if c.ttl == 0 {
+		return 0
+	}
+	return c.now()
 }
 
-// do runs a critical section on sh's lock. Construction validated the
-// budget against the manager's bounds, so the only errors Lock could
-// report here are impossible; surface them as panics rather than
+// do runs a critical section on shard si's lock. Construction validated
+// the budget against the manager's bounds, so the only errors Lock
+// could report here are impossible; surface them as panics rather than
 // forcing an error return on every cache access.
-func (c *Cache[K, V]) do(p *Process, sh *cacheShard[K, V], body func(*Tx)) {
-	if _, err := c.m.Lock(p, []*Lock{sh.lock}, c.opBudget, body); err != nil {
+func (c *Cache[K, V]) do(p *Process, si int, body func(*Tx)) {
+	if _, err := c.m.Lock(p, []*Lock{c.locks[si]}, c.opBudget, body); err != nil {
 		panic("wflocks: Cache: " + err.Error())
 	}
 }
@@ -284,7 +258,7 @@ func (c *Cache[K, V]) do(p *Process, sh *cacheShard[K, V], body func(*Tx)) {
 // shard's LRU list. All pointer reads happen before any write, so
 // helpers re-executing the surgery replay the identical operation
 // sequence.
-func moveToFront[K comparable, V any](tx *Tx, sh *cacheShard[K, V], i int) {
+func moveToFront(tx *Tx, sh *lruShard, i int) {
 	h := Get(tx, sh.head)
 	if h == uint64(i) {
 		return
@@ -306,7 +280,7 @@ func moveToFront[K comparable, V any](tx *Tx, sh *cacheShard[K, V], i int) {
 
 // unlink removes bucket i from its shard's LRU list (the bucket's own
 // links are left stale; insertion rewrites them).
-func unlink[K comparable, V any](tx *Tx, sh *cacheShard[K, V], i int) {
+func unlink(tx *Tx, sh *lruShard, i int) {
 	p := Get(tx, sh.prev[i])
 	n := Get(tx, sh.next[i])
 	if p != lruNil {
@@ -322,10 +296,9 @@ func unlink[K comparable, V any](tx *Tx, sh *cacheShard[K, V], i int) {
 }
 
 // removeLocked expires or deletes bucket i: unlink, tombstone, shrink.
-func removeLocked[K comparable, V any](tx *Tx, sh *cacheShard[K, V], i int) {
-	unlink(tx, sh, i)
-	Put(tx, sh.meta[i], bucketTombstone)
-	Put(tx, sh.size, Get(tx, sh.size)-1)
+func (c *Cache[K, V]) removeLocked(tx *Tx, si, i int) {
+	unlink(tx, &c.lru[si], i)
+	c.eng.Remove(tx.run, &c.eng.Shards[si], i)
 }
 
 // installLocked inserts (k, v) into the shard inside a critical
@@ -335,7 +308,9 @@ func removeLocked[K comparable, V any](tx *Tx, sh *cacheShard[K, V], i int) {
 // tail's bucket directly: with no empty bucket left in the region, every
 // probe chain covers the whole region, so the freed bucket is reachable
 // for any key.
-func (c *Cache[K, V]) installLocked(tx *Tx, sh *cacheShard[K, V], h uint64, k K, v V, dl uint64, free int) {
+func (c *Cache[K, V]) installLocked(tx *Tx, si int, h uint64, k K, v V, dl uint64, free int) {
+	sh := &c.lru[si]
+	esh := &c.eng.Shards[si]
 	hd := Get(tx, sh.head)
 	if free < 0 {
 		// Region full of live entries: evict the least-recently-used.
@@ -345,17 +320,14 @@ func (c *Cache[K, V]) installLocked(tx *Tx, sh *cacheShard[K, V], h uint64, k K,
 			Put(tx, sh.next[q], lruNil)
 		}
 		Put(tx, sh.tail, q)
-		Put(tx, sh.meta[t], bucketTombstone)
+		c.eng.Remove(tx.run, esh, int(t))
 		Put(tx, sh.evictions, Get(tx, sh.evictions)+1)
-		Put(tx, sh.size, Get(tx, sh.size)-1)
 		if hd == t {
 			hd = lruNil
 		}
 		free = int(t)
 	}
-	Put(tx, sh.meta[free], bucketFull|(h&^bucketStateMask))
-	Put(tx, sh.keys[free], k)
-	Put(tx, sh.vals[free], v)
+	c.eng.Insert(tx.run, esh, free, h, k, v)
 	Put(tx, sh.exp[free], dl)
 	Put(tx, sh.prev[free], lruNil)
 	Put(tx, sh.next[free], hd)
@@ -365,7 +337,6 @@ func (c *Cache[K, V]) installLocked(tx *Tx, sh *cacheShard[K, V], h uint64, k K,
 		Put(tx, sh.tail, uint64(free))
 	}
 	Put(tx, sh.head, uint64(free))
-	Put(tx, sh.size, Get(tx, sh.size)+1)
 }
 
 // Get reports the value cached for k and bumps its recency. A hit moves
@@ -374,31 +345,32 @@ func (c *Cache[K, V]) installLocked(tx *Tx, sh *cacheShard[K, V], h uint64, k K,
 // through fresh cells, never closure captures, because a stalled
 // attempt's body may be re-executed by helpers concurrently.
 func (c *Cache[K, V]) Get(k K) (V, bool) {
-	h := c.hash(k)
-	sh, home := c.shardOf(h)
-	var cutoff uint64
-	if c.ttl != 0 {
-		cutoff = c.now()
-	}
+	h := c.eng.Hash(k)
+	si, home := c.eng.ShardIndex(h), c.eng.Home(h)
+	esh := &c.eng.Shards[si]
+	sh := &c.lru[si]
+	cutoff := c.cutoff()
 	var zero V
 	val := newResultCell(c.vc)
 	found := NewBoolCell(false)
 	p := c.m.Acquire()
 	defer c.m.Release(p)
-	c.do(p, sh, func(tx *Tx) {
-		i, ok, _ := c.find(tx, sh, h, home, k)
+	c.do(p, si, func(tx *Tx) {
+		i, ok, _ := c.eng.Find(tx.run, esh, h, home, k)
 		if !ok {
 			Put(tx, sh.misses, Get(tx, sh.misses)+1)
 			return
 		}
 		if d := Get(tx, sh.exp[i]); d != 0 && d <= cutoff {
-			removeLocked(tx, sh, i)
+			c.eng.BumpVer(tx.run, esh)
+			c.removeLocked(tx, si, i)
+			c.eng.BumpVer(tx.run, esh)
 			Put(tx, sh.expirations, Get(tx, sh.expirations)+1)
 			Put(tx, sh.misses, Get(tx, sh.misses)+1)
 			return
 		}
 		moveToFront(tx, sh, i)
-		Put(tx, val, Get(tx, sh.vals[i]))
+		Put(tx, val, c.eng.Val(tx.run, esh, i))
 		Put(tx, found, true)
 		Put(tx, sh.hits, Get(tx, sh.hits)+1)
 	})
@@ -408,40 +380,75 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 	return val.Get(p), true
 }
 
+// Contains reports whether k is cached and unexpired, without bumping
+// its recency, removing it on expiry, or touching the hit/miss
+// counters — a pure peek. An entry past its deadline reports false but
+// is left in place for the next Get to reclaim; Contains therefore
+// never mutates the cache, making it the cheapest existence check
+// (one probe in one critical section).
+func (c *Cache[K, V]) Contains(k K) bool {
+	h := c.eng.Hash(k)
+	si, home := c.eng.ShardIndex(h), c.eng.Home(h)
+	esh := &c.eng.Shards[si]
+	sh := &c.lru[si]
+	cutoff := c.cutoff()
+	found := NewBoolCell(false)
+	p := c.m.Acquire()
+	defer c.m.Release(p)
+	c.do(p, si, func(tx *Tx) {
+		i, ok, _ := c.eng.Find(tx.run, esh, h, home, k)
+		if !ok {
+			return
+		}
+		if d := Get(tx, sh.exp[i]); d != 0 && d <= cutoff {
+			return
+		}
+		Put(tx, found, true)
+	})
+	return found.Get(p)
+}
+
 // Put stores v for k, inserting or overwriting, and makes the entry the
 // most recently used. When k's shard is at capacity the shard's LRU
 // tail is evicted in the same critical section, so Put never fails —
 // unlike Map.Put, which reports ErrMapFull rather than displace an
 // entry.
 func (c *Cache[K, V]) Put(k K, v V) {
-	h := c.hash(k)
-	sh, home := c.shardOf(h)
+	h := c.eng.Hash(k)
+	si, home := c.eng.ShardIndex(h), c.eng.Home(h)
+	esh := &c.eng.Shards[si]
+	sh := &c.lru[si]
 	dl := c.deadline()
 	p := c.m.Acquire()
 	defer c.m.Release(p)
-	c.do(p, sh, func(tx *Tx) {
-		i, ok, free := c.find(tx, sh, h, home, k)
+	c.do(p, si, func(tx *Tx) {
+		i, ok, free := c.eng.Find(tx.run, esh, h, home, k)
+		c.eng.BumpVer(tx.run, esh)
 		if ok {
-			Put(tx, sh.vals[i], v)
+			c.eng.SetVal(tx.run, esh, i, v)
 			Put(tx, sh.exp[i], dl)
 			moveToFront(tx, sh, i)
-			return
+		} else {
+			c.installLocked(tx, si, h, k, v, dl, free)
 		}
-		c.installLocked(tx, sh, h, k, v, dl, free)
+		c.eng.BumpVer(tx.run, esh)
 	})
 }
 
 // Delete removes k, reporting whether it was present. The bucket
 // becomes a tombstone so longer probe chains stay reachable.
 func (c *Cache[K, V]) Delete(k K) bool {
-	h := c.hash(k)
-	sh, home := c.shardOf(h)
+	h := c.eng.Hash(k)
+	si, home := c.eng.ShardIndex(h), c.eng.Home(h)
+	esh := &c.eng.Shards[si]
 	removed := NewBoolCell(false)
 	p := c.m.Acquire()
 	defer c.m.Release(p)
-	c.do(p, sh, func(tx *Tx) {
-		if i, ok, _ := c.find(tx, sh, h, home, k); ok {
-			removeLocked(tx, sh, i)
+	c.do(p, si, func(tx *Tx) {
+		if i, ok, _ := c.eng.Find(tx.run, esh, h, home, k); ok {
+			c.eng.BumpVer(tx.run, esh)
+			c.removeLocked(tx, si, i)
+			c.eng.BumpVer(tx.run, esh)
 			Put(tx, removed, true)
 		}
 	})
@@ -462,49 +469,100 @@ func (c *Cache[K, V]) GetOrCompute(k K, compute func() V) V {
 		return v
 	}
 	v := compute()
-	h := c.hash(k)
-	sh, home := c.shardOf(h)
+	h := c.eng.Hash(k)
+	si, home := c.eng.ShardIndex(h), c.eng.Home(h)
+	esh := &c.eng.Shards[si]
+	sh := &c.lru[si]
 	dl := c.deadline()
-	var cutoff uint64
-	if c.ttl != 0 {
-		cutoff = c.now()
-	}
+	cutoff := c.cutoff()
 	res := NewCellOf(c.vc, v)
 	p := c.m.Acquire()
 	defer c.m.Release(p)
-	c.do(p, sh, func(tx *Tx) {
-		i, ok, free := c.find(tx, sh, h, home, k)
+	c.do(p, si, func(tx *Tx) {
+		i, ok, free := c.eng.Find(tx.run, esh, h, home, k)
 		if ok {
 			if d := Get(tx, sh.exp[i]); d == 0 || d > cutoff {
 				// Raced: another goroutine installed first. Adopt its
 				// value so concurrent callers agree.
-				Put(tx, res, Get(tx, sh.vals[i]))
+				Put(tx, res, c.eng.Val(tx.run, esh, i))
 				moveToFront(tx, sh, i)
 				return
 			}
 			// The raced-in entry already expired: replace it in place.
-			Put(tx, sh.vals[i], v)
+			c.eng.BumpVer(tx.run, esh)
+			c.eng.SetVal(tx.run, esh, i, v)
 			Put(tx, sh.exp[i], dl)
+			c.eng.BumpVer(tx.run, esh)
 			Put(tx, sh.expirations, Get(tx, sh.expirations)+1)
 			moveToFront(tx, sh, i)
 			return
 		}
-		c.installLocked(tx, sh, h, k, v, dl, free)
+		c.eng.BumpVer(tx.run, esh)
+		c.installLocked(tx, si, h, k, v, dl, free)
+		c.eng.BumpVer(tx.run, esh)
 	})
 	return res.Get(p)
 }
 
-// Len reports the number of cached entries. Per-shard sizes are read
-// without locking, so under live traffic the sum can be momentarily
-// skewed; at quiescence it is exact.
+// Len reports the number of cached entries. It is the lock-free fast
+// path: it sums the per-shard size cells without taking any shard
+// lock, so it never contends with writers and costs O(shards)
+// regardless of occupancy. Under live traffic the sum can be
+// momentarily skewed (each shard's count is read at a different
+// instant); at quiescence it is exact. Expired-but-unreclaimed entries
+// count until a read removes them — expiry is lazy.
 func (c *Cache[K, V]) Len() int {
 	p := c.m.Acquire()
 	defer c.m.Release(p)
 	n := 0
-	for s := range c.shards {
-		n += int(c.shards[s].size.Get(p))
+	for s := range c.eng.Shards {
+		n += int(c.eng.LoadSize(p.env, &c.eng.Shards[s]))
 	}
 	return n
+}
+
+// All returns an iterator over the cache's unexpired entries, for use
+// with range-over-func. Each shard is captured as a consistent
+// snapshot — buckets are read lock-free under the shard's seqlock — so
+// iteration never blocks writers and never bumps recency. Expired
+// entries are skipped (but, as with Contains, left for reads to
+// reclaim). Entries from different shards can reflect different
+// instants; mutations concurrent with iteration may or may not be
+// observed.
+func (c *Cache[K, V]) All() iter.Seq2[K, V] {
+	return func(yield func(K, V) bool) {
+		type entry struct {
+			k K
+			v V
+		}
+		var snap []entry
+		p := c.m.Acquire()
+		for s := range c.eng.Shards {
+			esh := &c.eng.Shards[s]
+			sh := &c.lru[s]
+			cutoff := c.cutoff()
+			c.eng.ReadStable(p.env, esh, runtime.Gosched, func() {
+				snap = snap[:0]
+				for i := 0; i < c.eng.Capacity(); i++ {
+					if c.eng.LoadMeta(p.env, esh, i)&table.StateMask != table.Full {
+						continue
+					}
+					if d := sh.exp[i].Get(p); d != 0 && d <= cutoff {
+						continue
+					}
+					snap = append(snap, entry{c.eng.LoadKey(p.env, esh, i), c.eng.LoadVal(p.env, esh, i)})
+				}
+			})
+			c.m.Release(p)
+			for _, e := range snap {
+				if !yield(e.k, e.v) {
+					return
+				}
+			}
+			p = c.m.Acquire()
+		}
+		c.m.Release(p)
+	}
 }
 
 // CacheShardStats is one shard's view in CacheStats.
@@ -548,14 +606,14 @@ type CacheStats struct {
 func (c *Cache[K, V]) Stats() CacheStats {
 	p := c.m.Acquire()
 	defer c.m.Release(p)
-	cs := CacheStats{Shards: make([]CacheShardStats, len(c.shards))}
-	accesses := make([]uint64, len(c.shards))
-	for s := range c.shards {
-		sh := &c.shards[s]
-		a, w, hp := sh.lock.inner.Counters()
+	cs := CacheStats{Shards: make([]CacheShardStats, c.eng.ShardCount())}
+	accesses := make([]uint64, c.eng.ShardCount())
+	for s := range c.eng.Shards {
+		sh := &c.lru[s]
+		a, w, hp := c.locks[s].inner.Counters()
 		st := CacheShardStats{
-			Lock:        LockStats{ID: sh.lock.ID(), Attempts: a, Wins: w, Helps: hp},
-			Size:        int(sh.size.Get(p)),
+			Lock:        LockStats{ID: c.locks[s].ID(), Attempts: a, Wins: w, Helps: hp},
+			Size:        int(c.eng.LoadSize(p.env, &c.eng.Shards[s])),
 			Hits:        sh.hits.Get(p),
 			Misses:      sh.misses.Get(p),
 			Evictions:   sh.evictions.Get(p),

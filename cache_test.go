@@ -481,3 +481,153 @@ func TestCacheMultiWordValues(t *testing.T) {
 		t.Fatalf("GetOrCompute = %+v", got)
 	}
 }
+
+// TestCacheContains pins the peek contract: no recency bump, no expiry
+// reclaim, no hit/miss accounting.
+func TestCacheContains(t *testing.T) {
+	m := cacheManager(t, 2, 4, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(1), WithCapacity(4),
+		WithTTL(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock atomic.Uint64
+	clock.Store(1)
+	c.now = clock.Load
+	// Fill the single shard to capacity: 1 is the LRU tail.
+	for k := uint64(1); k <= 4; k++ {
+		c.Put(k, k*10)
+	}
+	if !c.Contains(1) || !c.Contains(4) {
+		t.Fatal("Contains missed live entries")
+	}
+	if c.Contains(99) {
+		t.Fatal("Contains found a missing key")
+	}
+	base := c.Stats()
+	if c.Contains(1) == false {
+		t.Fatal("Contains(1) flapped")
+	}
+	st := c.Stats()
+	if st.Hits != base.Hits || st.Misses != base.Misses {
+		t.Fatalf("Contains moved counters: hits %d→%d misses %d→%d",
+			base.Hits, st.Hits, base.Misses, st.Misses)
+	}
+	// Contains must not bump recency: after peeking the tail (1), a Put
+	// into the full shard must still evict 1, not 2.
+	c.Contains(1)
+	c.Put(5, 50)
+	if c.Contains(1) {
+		t.Fatal("LRU tail survived eviction — Contains bumped recency")
+	}
+	if !c.Contains(2) {
+		t.Fatal("key 2 was evicted instead of the tail")
+	}
+	// An expired entry reports false but stays for a read to reclaim.
+	clock.Add(uint64(2 * time.Second.Nanoseconds()))
+	if c.Contains(2) {
+		t.Fatal("Contains returned an expired entry")
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Contains reclaimed expired entries: Len = %d, want 4", c.Len())
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("expired Get(2) hit")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Get did not reclaim: Len = %d, want 3", c.Len())
+	}
+}
+
+// TestCacheAll covers the lock-free iterator: full walk, expired
+// entries skipped but not reclaimed, early break, and no recency bump.
+func TestCacheAll(t *testing.T) {
+	m := cacheManager(t, 2, 8, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(2), WithCapacity(16),
+		WithTTL(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock atomic.Uint64
+	clock.Store(1)
+	c.now = clock.Load
+	want := map[uint64]uint64{}
+	for k := uint64(0); k < 10; k++ {
+		want[k] = k * 3
+		c.Put(k, k*3)
+	}
+	got := map[uint64]uint64{}
+	for k, v := range c.All() {
+		got[k] = v
+	}
+	if len(got) != len(want) {
+		t.Fatalf("All visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("All saw %d=%d, want %d", k, got[k], v)
+		}
+	}
+	visits := 0
+	for range c.All() {
+		visits++
+		break
+	}
+	if visits != 1 {
+		t.Fatalf("early break: %d visits", visits)
+	}
+	// Expired entries are skipped but left in place.
+	clock.Add(uint64(2 * time.Second.Nanoseconds()))
+	count := 0
+	for range c.All() {
+		count++
+	}
+	if count != 0 {
+		t.Fatalf("All yielded %d expired entries", count)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("All reclaimed entries: Len = %d, want 10", c.Len())
+	}
+}
+
+// TestCacheAllUnderWriters runs the iterator against live Put traffic:
+// the per-shard seqlock must never surface a torn key/value pairing
+// (values are key*1000+gen with gen < 1000). Run with -race.
+func TestCacheAllUnderWriters(t *testing.T) {
+	const (
+		writers  = 3
+		keyspace = 12
+		rounds   = 15
+	)
+	m := cacheManager(t, writers+1, 16, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(2), WithCapacity(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < keyspace; k++ {
+		c.Put(k, k*1000)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := uint64(1)
+			for !stop.Load() {
+				k := uint64((w*5 + int(gen)*3) % keyspace)
+				c.Put(k, k*1000+gen%1000)
+				gen++
+			}
+		}(w)
+	}
+	for i := 0; i < rounds; i++ {
+		for k, v := range c.All() {
+			if v/1000 != k {
+				t.Errorf("torn snapshot: key %d carries value %d", k, v)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -10,6 +10,7 @@
 //	wfbench -workload map:read     # wfmap vs mutex-sharded baseline
 //	wfbench -workload map:zipf -scale full
 //	wfbench -workload cache:zipf   # wfcache vs mutex-LRU, raw + holder-stall regimes
+//	wfbench -workload txn:transfer # wfmap Atomic vs sorted-multi-mutex, L = 1..8
 package main
 
 import (
@@ -33,7 +34,7 @@ func run() int {
 		scale    = flag.String("scale", "quick", "quick or full")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		workName = flag.String("workload", "",
-			"data-structure workload instead of an experiment (map:read, map:write, map:zipf, cache:read, cache:zipf, cache:churn)")
+			"data-structure workload instead of an experiment (map:read, map:write, map:zipf, cache:read, cache:zipf, cache:churn, txn:transfer, txn:mixed)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,10 @@ func run() int {
 		for _, sc := range workload.CacheScenarios() {
 			fmt.Printf("%-11s cache workload: %d%%/%d%%/%d%% get/put/delete, cap %d/%d, skew %.1f\n",
 				sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Capacity, sc.Keys, sc.Skew)
+		}
+		for _, sc := range workload.TxnScenarios() {
+			fmt.Printf("%-11s txn workload: %d%%/%d%% transfer/read over %d keys, skew %.1f, L swept 1..8\n",
+				sc.Name, sc.TransferPct, 100-sc.TransferPct, sc.Keys, sc.Skew)
 		}
 		return 0
 	}
@@ -98,12 +103,17 @@ func runWorkload(name string, s bench.Scale) int {
 		run = func() (*bench.Table, error) { return bench.RunMapScenario(sc, s) }
 	} else if sc := workload.LookupCacheScenario(name); sc != nil {
 		run = func() (*bench.Table, error) { return bench.RunCacheScenario(sc, s) }
+	} else if sc := workload.LookupTxnScenario(name); sc != nil {
+		run = func() (*bench.Table, error) { return bench.RunTxnScenario(sc, s) }
 	} else {
 		var names []string
 		for _, s := range workload.MapScenarios() {
 			names = append(names, s.Name)
 		}
 		for _, s := range workload.CacheScenarios() {
+			names = append(names, s.Name)
+		}
+		for _, s := range workload.TxnScenarios() {
 			names = append(names, s.Name)
 		}
 		fmt.Fprintf(os.Stderr, "wfbench: unknown workload %q (have %s)\n",

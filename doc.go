@@ -70,26 +70,27 @@
 // write cells with Load and Store (implicit pooled handle) or
 // Cell.Get and Cell.Set (explicit handle).
 //
-// # Built-in data structures: the shard layer
+// # Built-in data structures: the shard-table engine
 //
-// Map is the first data structure served by the locks: a generic
-// lock-sharded concurrent hash map (NewMap, NewMapOf). Keys hash to
-// one of a power-of-two number of shards; each shard owns one Lock
-// guarding an open-addressed region of typed cells, so per-lock
+// Map and Cache are built on one shared shard-table engine
+// (internal/table): a power-of-two shard array of open-addressed
+// bucket regions held in cells, with the hashing, probing, seqlock
+// versioning and budget math in one place. Every structure's per-lock
 // contention is the per-shard κ, not the process count, and the
-// worst-case critical section T is bounded by the shard capacity
-// (MapCriticalSteps computes the WithMaxCriticalSteps bound a hosting
-// manager needs). Get, Put, Delete and the read-modify-write Update
-// are single-lock critical sections under Do. Swap, which atomically
-// exchanges two keys' values, is where the paper's lock-set bound L
-// surfaces in the API: a cross-shard Swap holds both shard locks in
-// one acquisition, so the manager must allow L ≥ 2 and the attempt
-// pays the 1/(κL) success probability and O(κ²L²T) step bound at
-// L = 2. Len and Range stay off the locks entirely — Range validates
-// per-shard seqlock versions to return consistent snapshots. Map.Stats
-// exposes per-shard contention counters (the same counters the shard
-// locks contribute to StatsSnapshot.Locks) plus a Jain balance index
-// over shards.
+// worst-case critical section T is bounded by the shard capacity —
+// the budget helpers (MapCriticalSteps, CacheCriticalSteps) are two
+// parameterizations of the engine's one formula.
+//
+// Map is a generic lock-sharded concurrent hash map (NewMap,
+// NewMapOf). Get, Put, Delete and the read-modify-write Update are
+// single-lock critical sections under Do. Len stays off the locks
+// entirely (a lock-free sum of per-shard size cells), and iteration is
+// range-over-func — All, Keys, Values return iter.Seq iterators whose
+// per-shard snapshots validate the engine's seqlock versions, so they
+// never block writers and never surface a torn entry (the callback
+// Range remains as a deprecated wrapper). Map.Stats exposes per-shard
+// contention counters (the same counters the shard locks contribute to
+// StatsSnapshot.Locks) plus a Jain balance index over shards.
 //
 // Cache (NewCache, NewCacheOf) layers LRU eviction and optional TTL on
 // the same shard architecture. Each shard adds an intrusive doubly-
@@ -101,7 +102,29 @@
 // atomic step as its insert. GetOrCompute computes outside the lock
 // and installs under it with a re-probe, so concurrent misses agree
 // on one value and a slow computation never stretches a critical
-// section.
+// section. Contains is the pure peek — one probe, no recency bump, no
+// expiry reclaim, no counter traffic — and Cache.All iterates
+// unexpired entries lock-free under the engine's seqlock, like
+// Map.All.
+//
+// # Multi-key transactions
+//
+// Atomic is where the paper's lock-set bound L surfaces in the API: a
+// transaction declares its key set up front, the involved shard locks
+// are deduplicated, sorted by lock ID and acquired in one wait-free
+// multi-lock attempt, and the body runs Get/Put/Delete on the named
+// keys as a single critical section — commit is all-or-nothing with
+// respect to every other critical section, and a stalled transaction
+// is completed by helpers like any other body. Transaction bodies are
+// idempotent by construction: every access flows through the
+// idempotence layer, results route through fresh cells (MapTxn.Tx
+// exposes the handle), and MapTxn.Keys gives bodies an immutable key
+// list to iterate. Swap is now a thin two-key Atomic wrapper; GetBatch
+// and PutBatch ride the same path, chunking arbitrarily large key sets
+// into acquisitions of at most MaxLocks shards. AtomicAll composes
+// regions (Map.Region) from several structures on one manager into one
+// transaction — a checking map and a savings map can move value
+// between them atomically (see examples/bank).
 //
 // # Sizing critical-section budgets
 //
@@ -124,11 +147,44 @@
 //
 // Acquisitions validate their arguments and return typed sentinel
 // errors: ErrNoLocks, ErrTooManyLocks (lock set beyond L),
-// ErrMaxOpsExceeded (ops budget beyond T), ErrCanceled (DoCtx or
-// LockCtx context done) and ErrMapFull (a Map shard out of buckets).
+// ErrMaxOpsExceeded (ops budget beyond T), ErrCanceled (DoCtx, LockCtx
+// or AtomicCtx context done), ErrMapFull (a Map shard out of buckets),
+// ErrCrossManager (an AtomicAll region on a foreign manager) and
+// ErrOverlappingRegions (two AtomicAll regions sharing a shard).
 // New audits its Options the same way. Manager.Stats returns a
 // StatsSnapshot with manager-wide and per-lock attempt/win/help
 // counters.
+//
+// # Choosing L: MaxLocks, sorted acquisition, and the κ²L²T cost
+//
+// WithMaxLocks is a price list, not just a limit. Every attempt —
+// even a single-lock one — pays fixed delays of c·κ²L²T of its own
+// steps, with L and T the manager-wide bounds; and a transaction over
+// L keys also grows T itself, since its budget is L single-shard
+// budgets (MapAtomicSteps). The delay product therefore steepens
+// roughly as L³ as a manager is configured for wider transactions.
+// Acquisition order never matters for correctness — the multi-lock
+// attempt is atomic, not incremental — but Atomic still sorts lock
+// sets canonically (by lock ID) so identical transactions are
+// identical attempts.
+//
+// The txn:transfer sweep (cmd/wfbench -workload txn:transfer, or
+// BenchmarkTxn) quantifies the trade against a sorted-multi-mutex
+// baseline, with each wfmap row's manager sized for its L. Raw, the
+// blocking baseline wins throughout and the gap widens with L —
+// ~35000 vs ~5500000 txns/sec at L=1 down to ~80 vs ~1900000 at L=8
+// on one 2.1 GHz core, exactly the κ²L²·T(L) schedule. In the paper's
+// holder-stall regime (4ms stalls every 16 value writes), helping
+// flips the low-L comparison: wfmap sustains ~6600 vs ~6000 (L=1) and
+// ~2200 vs ~2000 (L=2) txns/sec, because a stalled mutex holder
+// serializes every transaction sharing any held shard while wfmap's
+// competitors re-execute the stalled body and move on; by L=4 the
+// delay product overtakes the stall savings (~400 vs ~940) and at L=8
+// the baseline is ~8× ahead. The practical guidance: configure
+// WithMaxLocks for the transactions you actually run (L=2–4 covers
+// transfers and swaps), keep hot multi-key paths narrow, and treat
+// wide transactions as a correctness tool rather than a throughput
+// path.
 //
 // # Choosing the bounds
 //

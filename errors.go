@@ -22,9 +22,20 @@ var (
 	// canceled or times out before an attempt wins.
 	ErrCanceled = errors.New("wflocks: acquisition canceled")
 
-	// ErrMapFull is returned by Map.Put when the key's shard has no free
-	// bucket. Maps have fixed capacity (no rehashing keeps the
-	// critical-section bound T valid); size them with WithShards and
-	// WithShardCapacity.
+	// ErrMapFull is returned by Map.Put (and transactional Puts) when the
+	// key's shard has no free bucket. Maps have fixed capacity (no
+	// rehashing keeps the critical-section bound T valid); size them with
+	// WithShards and WithShardCapacity.
 	ErrMapFull = errors.New("wflocks: map shard full")
+
+	// ErrCrossManager is returned by AtomicAll when a transaction region
+	// belongs to a different Manager: locks from different managers
+	// cannot be acquired in one atomic attempt.
+	ErrCrossManager = errors.New("wflocks: transaction spans multiple managers")
+
+	// ErrOverlappingRegions is returned by AtomicAll when two regions
+	// share a shard of the same structure. Each region's view memoizes
+	// its own probes, so overlapping views could write the same bucket;
+	// merge the keys into one Region per structure instead.
+	ErrOverlappingRegions = errors.New("wflocks: transaction regions overlap a shard")
 )

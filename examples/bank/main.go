@@ -1,18 +1,19 @@
-// Bank: random transfers over many accounts using the *unknown-bounds*
-// variant (paper Section 6.2, Theorem 6.10) and typed multi-word cells.
+// Bank: random transfers over many accounts through the multi-key
+// transaction API — Map.Atomic for transfers inside one map, and
+// AtomicAll for transactions spanning two maps (checking → savings)
+// on one manager.
 //
-// With 64 accounts and 8 workers picking random transfer pairs, the
-// per-lock contention bound κ is awkward to state a priori — any subset
-// of workers might collide on one account. The unknown-bounds manager
-// needs no κ or L: it only needs P, the number of processes, and pays a
-// log(κLT) factor in success probability.
+// Each transfer declares its key set up front; the involved shard
+// locks are deduplicated, sorted and acquired in one wait-free
+// multi-lock attempt, and the body runs as a single critical section
+// with Get/Put on the named keys. A stalled transfer is completed by
+// helpers — its body re-executes idempotently — so no preempted worker
+// can wedge an account. The conservation invariant (total money
+// constant across both maps) checks that every transaction was atomic
+// and executed exactly once.
 //
-// Each account is a two-word struct cell (balance + transfer count)
-// encoded through a CodecFunc codec, so the critical sections move real
-// values, not raw words. The conservation invariant (total money
-// constant) checks that critical sections were atomic and executed
-// exactly once; the per-account transfer counts must sum to twice the
-// number of transfers (each touches two accounts).
+// Results leave a transaction through cells, never closure captures:
+// the `moved` flag below is the idiom for "did my transfer happen?".
 //
 // Run with: go run ./examples/bank
 package main
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"wflocks"
 )
@@ -28,46 +30,52 @@ import (
 const (
 	numAccounts        = 64
 	numWorkers         = 8
-	transfersPerWorker = 300
+	transfersPerWorker = 200
 	initialBalance     = 1000
 )
-
-// account is the typed value each cell stores: two machine words.
-type account struct {
-	Balance   uint64
-	Transfers uint64
-}
-
-func accountCodec() wflocks.Codec[account] {
-	return wflocks.CodecFunc(2,
-		func(a account, dst []uint64) { dst[0], dst[1] = a.Balance, a.Transfers },
-		func(src []uint64) account { return account{Balance: src[0], Transfers: src[1]} })
-}
 
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
+	// L=2: every transaction here names two keys (two accounts, or one
+	// account's checking + savings). T must cover a 2-key transaction:
+	// MapAtomicSteps is the budget helper for exactly that.
 	m, err := wflocks.New(
-		wflocks.WithUnknownBounds(numWorkers), // no κ/L needed — just P
+		wflocks.WithKappa(numWorkers),
 		wflocks.WithMaxLocks(2),
-		wflocks.WithMaxCriticalSteps(16),
+		wflocks.WithMaxCriticalSteps(wflocks.MapAtomicSteps(16, 1, 1, 2)),
 		wflocks.WithSeed(2022),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bank:", err)
 		return 1
 	}
-
-	codec := accountCodec()
-	locks := make([]*wflocks.Lock, numAccounts)
-	accounts := make([]*wflocks.Cell[account], numAccounts)
-	for i := range locks {
-		locks[i] = m.NewLock()
-		accounts[i] = wflocks.NewCellOf(codec, account{Balance: initialBalance})
+	checking, err := wflocks.NewMap[uint64, uint64](m,
+		wflocks.WithShards(8), wflocks.WithShardCapacity(16))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bank:", err)
+		return 1
+	}
+	savings, err := wflocks.NewMap[uint64, uint64](m,
+		wflocks.WithShards(8), wflocks.WithShardCapacity(16))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bank:", err)
+		return 1
+	}
+	for a := uint64(0); a < numAccounts; a++ {
+		if err := checking.Put(a, initialBalance); err != nil {
+			fmt.Fprintln(os.Stderr, "bank:", err)
+			return 1
+		}
+		if err := savings.Put(a, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "bank:", err)
+			return 1
+		}
 	}
 
+	var executed, skipped atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < numWorkers; w++ {
 		w := w
@@ -82,55 +90,82 @@ func run() int {
 				return int(rng % uint64(n))
 			}
 			for k := 0; k < transfersPerWorker; k++ {
-				from := next(numAccounts)
-				to := next(numAccounts)
-				if from == to {
-					to = (to + 1) % numAccounts
-				}
 				amount := uint64(next(20) + 1)
-				// Each 2-word account costs 2 ops per Get/Put: 8 total.
-				err := m.Do([]*wflocks.Lock{locks[from], locks[to]}, 8,
-					func(tx *wflocks.Tx) {
-						f := wflocks.Get(tx, accounts[from])
-						if f.Balance < amount {
+				moved := wflocks.NewBoolCell(false)
+				if k%4 == 3 {
+					// Cross-map: sweep `amount` from this account's checking
+					// into its savings, atomically across both maps.
+					acct := uint64(next(numAccounts))
+					rgC := checking.Region(acct)
+					rgS := savings.Region(acct)
+					err := wflocks.AtomicAll(m, []wflocks.TxnRegion{rgC, rgS}, func(tx *wflocks.Tx) {
+						c := rgC.View(tx)
+						s := rgS.View(tx)
+						cv, _ := c.Get(acct)
+						if cv < amount {
 							return
 						}
-						f.Balance -= amount
-						f.Transfers++
-						wflocks.Put(tx, accounts[from], f)
-						t := wflocks.Get(tx, accounts[to])
-						t.Balance += amount
-						t.Transfers++
-						wflocks.Put(tx, accounts[to], t)
+						sv, _ := s.Get(acct)
+						c.Put(acct, cv-amount)
+						s.Put(acct, sv+amount)
+						wflocks.Put(tx, moved, true)
 					})
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "bank:", err)
-					return
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "bank:", err)
+						return
+					}
+				} else {
+					// In-map: move `amount` between two checking accounts.
+					from := uint64(next(numAccounts))
+					to := uint64(next(numAccounts))
+					if from == to {
+						to = (to + 1) % numAccounts
+					}
+					err := checking.Atomic([]uint64{from, to}, func(t *wflocks.MapTxn[uint64, uint64]) {
+						ks := t.Keys()
+						f, _ := t.Get(ks[0])
+						if f < amount {
+							return
+						}
+						u, _ := t.Get(ks[1])
+						t.Put(ks[0], f-amount)
+						t.Put(ks[1], u+amount)
+						wflocks.Put(t.Tx(), moved, true)
+					})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "bank:", err)
+						return
+					}
+				}
+				if wflocks.Load(m, moved) {
+					executed.Add(1)
+				} else {
+					skipped.Add(1)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	var total, moves uint64
-	for _, c := range accounts {
-		a := wflocks.Load(m, c)
-		total += a.Balance
-		moves += a.Transfers
+	var total uint64
+	for _, v := range checking.All() {
+		total += v
 	}
+	var saved uint64
+	for _, v := range savings.All() {
+		saved += v
+	}
+	total += saved
 	want := uint64(numAccounts * initialBalance)
-	fmt.Printf("%d workers × %d random transfers over %d accounts (unknown-bounds mode)\n",
+	fmt.Printf("%d workers × %d random transactions over %d accounts (2 maps, one manager)\n",
 		numWorkers, transfersPerWorker, numAccounts)
-	fmt.Printf("total money: %d (expected %d)\n", total, want)
+	fmt.Printf("total money: %d (expected %d), of which %d in savings\n", total, want, saved)
 	if total != want {
 		fmt.Fprintln(os.Stderr, "bank: conservation violated!")
 		return 1
 	}
-	if moves%2 != 0 {
-		fmt.Fprintln(os.Stderr, "bank: a transfer touched only one account!")
-		return 1
-	}
-	fmt.Printf("account touches: %d (each executed transfer touches 2)\n", moves)
+	fmt.Printf("transactions: %d executed, %d skipped (insufficient funds)\n",
+		executed.Load(), skipped.Load())
 	s := m.Stats()
 	fmt.Printf("attempts: %d, wins: %d (success rate %.2f)\n",
 		s.Attempts, s.Wins, s.SuccessRate())

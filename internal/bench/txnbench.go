@@ -1,0 +1,355 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wflocks"
+	"wflocks/internal/env"
+	"wflocks/internal/workload"
+)
+
+// Transaction workload runner: drives a workload.TxnScenario against
+// wfmap's multi-key Atomic path and against a sorted-multi-mutex
+// baseline, sweeping the keys-per-transaction count L. This is the
+// benchmark where the paper's L-dependence is visible end to end: every
+// wfmap attempt pays fixed delays proportional to κ²L²T (and T itself
+// grows with L, since the transaction budget is L single-shard
+// budgets), buying wait-freedom and helping in exchange. The honest
+// comparison therefore runs both regimes:
+//
+//   - raw: the blocking baseline wins, increasingly so at higher L —
+//     the κ²L²·(L·budget) delay product is the documented price of the
+//     guarantees, not an implementation accident;
+//   - holder-stall (the paper's regime): lock holders stall
+//     mid-critical-section. A stalled multi-mutex holder blocks every
+//     transaction sharing any of its shards for the stall; a stalled
+//     wfmap transaction is helped — competitors re-execute its body
+//     and move on — so stalls overlap instead of serializing.
+//
+// Every run double-checks conservation: transfers move value between
+// keys, so the keyspace sum must be exactly what prefill deposited, on
+// both implementations, or the run fails.
+
+// txnLCounts is the keys-per-transaction sweep.
+var txnLCounts = []int{1, 2, 4, 8}
+
+// txnWorkers pins the driver goroutine count. It is deliberately small:
+// κ must cover every concurrent attempt, and the wait-free attempts'
+// fixed delays grow with κ² — a large worker pool would measure the
+// calibration margin, not the structure.
+const txnWorkers = 4
+
+// txnInitial is the per-key prefill every transfer conserves.
+const txnInitial = 100
+
+// MultiMutexMap is the blocking baseline for multi-key transactions: a
+// sync.Mutex-sharded map whose Atomic acquires the deduplicated shard
+// mutexes in sorted order (the classic deadlock-avoidance protocol) and
+// holds them all for the duration of the body. A stalled holder blocks
+// every shard it holds.
+type MultiMutexMap struct {
+	shards []mutexShard
+	mask   uint64
+	stall  *StallPoint
+}
+
+// NewMultiMutexMap creates a baseline map with the given shard count
+// (rounded up to a power of two). stall, which may be nil, is drawn
+// once per value write while the shard mutexes are held, mirroring
+// wfmap's in-critical-section value encodes.
+func NewMultiMutexMap(shardCount int, stall *StallPoint) *MultiMutexMap {
+	n := nextPow2(shardCount)
+	mm := &MultiMutexMap{shards: make([]mutexShard, n), mask: uint64(n - 1), stall: stall}
+	for i := range mm.shards {
+		mm.shards[i].m = make(map[uint64]uint64)
+	}
+	return mm
+}
+
+// shardIndex uses the same SplitMix64 mixing family as wfmap's hash.
+func (mm *MultiMutexMap) shardIndex(k uint64) uint64 {
+	return env.Mix(0, k) & mm.mask
+}
+
+// Put stores v for k under its single shard mutex (prefill path).
+func (mm *MultiMutexMap) Put(k, v uint64) {
+	sh := &mm.shards[mm.shardIndex(k)]
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// Sum reads the whole map (quiescent; conservation audits).
+func (mm *MultiMutexMap) Sum() uint64 {
+	total := uint64(0)
+	for i := range mm.shards {
+		sh := &mm.shards[i]
+		sh.mu.Lock()
+		for _, v := range sh.m {
+			total += v
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Atomic locks the keys' deduplicated shard mutexes in sorted order,
+// runs fn with direct get/put access, and unlocks in reverse. fn's
+// value writes draw from the stall point while every lock is held —
+// the regime where blocking designs serialize their stalls.
+func (mm *MultiMutexMap) Atomic(keys []uint64, fn func(get func(uint64) (uint64, bool), put func(uint64, uint64))) {
+	shards := make([]int, 0, len(keys))
+	for _, k := range keys {
+		si := int(mm.shardIndex(k))
+		dup := false
+		for _, have := range shards {
+			if have == si {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			shards = append(shards, si)
+		}
+	}
+	sort.Ints(shards)
+	for _, si := range shards {
+		mm.shards[si].mu.Lock()
+	}
+	fn(
+		func(k uint64) (uint64, bool) {
+			v, ok := mm.shards[mm.shardIndex(k)].m[k]
+			return v, ok
+		},
+		func(k, v uint64) {
+			mm.stall.Hit()
+			mm.shards[mm.shardIndex(k)].m[k] = v
+		},
+	)
+	for i := len(shards) - 1; i >= 0; i-- {
+		mm.shards[shards[i]].mu.Unlock()
+	}
+}
+
+// RunTxnScenario drives sc against wfmap Atomic and the sorted
+// multi-mutex baseline across the L sweep, in the raw and holder-stall
+// regimes, and tabulates throughput, per-attempt success rate and the
+// conservation audit.
+func RunTxnScenario(sc *workload.TxnScenario, scale Scale) (*Table, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	opsPer := 50
+	if scale == Full {
+		opsPer = 400
+	}
+	t := &Table{
+		Title: fmt.Sprintf("%s: %d%%/%d%% transfer/read, %d keys, skew %.1f, %d workers × %d txns, L swept",
+			sc.Name, sc.TransferPct, 100-sc.TransferPct, sc.Keys, sc.Skew, txnWorkers, opsPer),
+		Header: []string{"impl", "L", "stall", "txns/sec", "success", "attempts/txn", "conserved"},
+	}
+	for _, stalled := range []bool{false, true} {
+		label := "none"
+		newSP := func() *StallPoint { return nil }
+		if stalled {
+			label = fmt.Sprintf("%v/%d", stallDur, stallPeriod)
+			newSP = func() *StallPoint { return NewStallPoint(stallPeriod, stallDur) }
+		}
+		for _, l := range txnLCounts {
+			row, err := runWfmapTxn(sc, l, opsPer, label, newSP())
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		for _, l := range txnLCounts {
+			t.Rows = append(t.Rows, runMultiMutexTxn(sc, l, opsPer, label, newSP()))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"each wfmap row runs its own manager sized for its L: WithMaxLocks(L), T = MapAtomicSteps(cap, 1, 1, L)",
+		"raw regime: the fixed delays grow as κ²L²·T(L) — the documented price of wait-freedom, steepest at L=8",
+		"stall regime: holders stall mid-transaction ("+fmt.Sprintf("%v every %d value writes", stallDur, stallPeriod)+"); wfmap helpers absorb stalls, the sorted-mutex baseline serializes them across every held shard",
+		"conserved audits the transfer invariant: the keyspace sum must equal the prefill exactly")
+	return t, nil
+}
+
+// txnMapShards is the shard count of both implementations in the sweep
+// (fixed so L, not the shard layout, is the swept variable).
+const txnMapShards = 8
+
+// runWfmapTxn measures one wfmap configuration at keys-per-txn l.
+func runWfmapTxn(sc *workload.TxnScenario, l, opsPer int, stallLabel string, sp *StallPoint) ([]string, error) {
+	capPerShard := nextPow2(2 * sc.Keys / txnMapShards)
+	m, err := wflocks.New(
+		wflocks.WithKappa(txnWorkers),
+		wflocks.WithMaxLocks(l),
+		wflocks.WithMaxCriticalSteps(wflocks.MapAtomicSteps(capPerShard, 1, 1, l)),
+		wflocks.WithDelayConstants(1, 1),
+	)
+	if err != nil {
+		return nil, err
+	}
+	vc := wflocks.Codec[uint64](wflocks.IntegerCodec[uint64]())
+	if sp != nil {
+		vc = StallValueCodec(sp)
+	}
+	mp, err := wflocks.NewMapOf[uint64, uint64](m, wflocks.IntegerCodec[uint64](), vc,
+		wflocks.WithShards(txnMapShards), wflocks.WithShardCapacity(capPerShard))
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < sc.Keys; k++ {
+		if err := mp.Put(uint64(k), txnInitial); err != nil {
+			return nil, err
+		}
+	}
+	sp.Arm()
+	base := m.Stats()
+	var wg sync.WaitGroup
+	errc := make(chan error, txnWorkers)
+	start := time.Now()
+	for w := 0; w < txnWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := workload.NewTxnOpStream(sc, l, uint64(w)*0x9e3779b97f4a7c15+1)
+			keys := make([]uint64, l)
+			for i := 0; i < opsPer; i++ {
+				kind, drawn := st.Next()
+				for j, k := range drawn {
+					keys[j] = uint64(k)
+				}
+				// Bodies iterate tx.Keys(), never the reused keys buffer: a
+				// straggling helper may re-execute a body after this worker
+				// has refilled the buffer for its next transaction.
+				var err error
+				switch kind {
+				case workload.TxnTransfer:
+					err = mp.Atomic(keys, func(tx *wflocks.MapTxn[uint64, uint64]) {
+						ks := tx.Keys()
+						gained := uint64(0)
+						for _, k := range ks[1:] {
+							if v, ok := tx.Get(k); ok && v > 0 {
+								tx.Put(k, v-1)
+								gained++
+							}
+						}
+						// The credit write is unconditional so every L —
+						// including 1 — writes at least one value per
+						// transaction (and draws the stall schedule).
+						v, _ := tx.Get(ks[0])
+						tx.Put(ks[0], v+gained)
+					})
+				case workload.TxnRead:
+					err = mp.Atomic(keys, func(tx *wflocks.MapTxn[uint64, uint64]) {
+						for _, k := range tx.Keys() {
+							tx.Get(k)
+						}
+					})
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	total := uint64(0)
+	for _, v := range mp.All() {
+		total += v
+	}
+	conserved := "yes"
+	if total != uint64(sc.Keys)*txnInitial {
+		return nil, fmt.Errorf("wfmap L=%d: conservation violated: sum %d, want %d",
+			l, total, sc.Keys*txnInitial)
+	}
+	snap := m.Stats()
+	totalOps := txnWorkers * opsPer
+	attempts := snap.Attempts - base.Attempts
+	wins := snap.Wins - base.Wins
+	success := 0.0
+	if attempts > 0 {
+		success = float64(wins) / float64(attempts)
+	}
+	return []string{
+		"wfmap",
+		fmt.Sprint(l),
+		stallLabel,
+		fmt.Sprintf("%.0f", float64(totalOps)/elapsed.Seconds()),
+		fmt.Sprintf("%.3f", success),
+		fmt.Sprintf("%.2f", float64(attempts)/float64(totalOps)),
+		conserved,
+	}, nil
+}
+
+// runMultiMutexTxn measures the baseline at keys-per-txn l.
+func runMultiMutexTxn(sc *workload.TxnScenario, l, opsPer int, stallLabel string, sp *StallPoint) []string {
+	mm := NewMultiMutexMap(txnMapShards, sp)
+	for k := 0; k < sc.Keys; k++ {
+		mm.Put(uint64(k), txnInitial)
+	}
+	sp.Arm()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < txnWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := workload.NewTxnOpStream(sc, l, uint64(w)*0x9e3779b97f4a7c15+1)
+			keys := make([]uint64, l)
+			for i := 0; i < opsPer; i++ {
+				kind, drawn := st.Next()
+				for j, k := range drawn {
+					keys[j] = uint64(k)
+				}
+				switch kind {
+				case workload.TxnTransfer:
+					mm.Atomic(keys, func(get func(uint64) (uint64, bool), put func(uint64, uint64)) {
+						gained := uint64(0)
+						for _, k := range keys[1:] {
+							if v, ok := get(k); ok && v > 0 {
+								put(k, v-1)
+								gained++
+							}
+						}
+						v, _ := get(keys[0])
+						put(keys[0], v+gained)
+					})
+				case workload.TxnRead:
+					mm.Atomic(keys, func(get func(uint64) (uint64, bool), put func(uint64, uint64)) {
+						for _, k := range keys {
+							get(k)
+						}
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	conserved := "yes"
+	if mm.Sum() != uint64(sc.Keys)*txnInitial {
+		conserved = "NO"
+	}
+	totalOps := txnWorkers * opsPer
+	return []string{
+		"multimutex",
+		fmt.Sprint(l),
+		stallLabel,
+		fmt.Sprintf("%.0f", float64(totalOps)/elapsed.Seconds()),
+		"-",
+		"-",
+		conserved,
+	}
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+
+	"wflocks/internal/env"
+)
+
+// Transaction workloads. Where MapScenario describes single-key
+// traffic, TxnScenario describes multi-key transactions against the
+// wfmap Atomic path: each operation names L distinct keys and either
+// transfers value between them (a write transaction touching every
+// key) or reads them all atomically. L is the paper's lock-set bound —
+// the runner sweeps it — so these scenarios are where the L-dependence
+// of the guarantees (success probability 1/(κL), step bound O(κ²L²T))
+// becomes measurable from the public API.
+
+// TxnOp is one kind of transaction in a scenario's mix.
+type TxnOp int
+
+const (
+	// TxnTransfer moves value between the transaction's keys: a
+	// read-modify-write of every key, conserving the total sum — the
+	// canonical multi-key atomicity check.
+	TxnTransfer TxnOp = iota
+	// TxnRead reads all the transaction's keys at one instant.
+	TxnRead
+)
+
+// String names the op kind in tables.
+func (k TxnOp) String() string {
+	switch k {
+	case TxnTransfer:
+		return "transfer"
+	case TxnRead:
+		return "read"
+	default:
+		return fmt.Sprintf("txnop(%d)", int(k))
+	}
+}
+
+// TxnScenario is a multi-key transaction workload: an op mix over a
+// keyspace with a chosen skew. The keys-per-transaction count L is a
+// runner parameter (swept), not part of the scenario.
+type TxnScenario struct {
+	// Name identifies the scenario (the cmd/wfbench -workload flag
+	// matches it, e.g. "txn:transfer").
+	Name string
+	// Keys is the keyspace size; transactions draw distinct keys in
+	// [0, Keys).
+	Keys int
+	// TransferPct is the percentage of transfer transactions; the rest
+	// are atomic multi-key reads.
+	TransferPct int
+	// Skew selects the key distribution, as in MapScenario: 0 uniform,
+	// s > 0 Zipf with exponent s (hot keys concentrate lock conflicts).
+	Skew float64
+}
+
+// Validate checks the scenario's internal consistency.
+func (s *TxnScenario) Validate() error {
+	if s.Keys <= 0 {
+		return fmt.Errorf("txn scenario %q: keyspace must be positive, got %d", s.Name, s.Keys)
+	}
+	if s.TransferPct < 0 || s.TransferPct > 100 {
+		return fmt.Errorf("txn scenario %q: transfer pct %d outside [0, 100]", s.Name, s.TransferPct)
+	}
+	if s.Skew < 0 {
+		return fmt.Errorf("txn scenario %q: skew must be non-negative, got %v", s.Name, s.Skew)
+	}
+	return nil
+}
+
+// TxnScenarios lists the built-in scenario family.
+func TxnScenarios() []TxnScenario {
+	return []TxnScenario{
+		{Name: "txn:transfer", Keys: 64, TransferPct: 100, Skew: 0},
+		{Name: "txn:mixed", Keys: 64, TransferPct: 30, Skew: 1.1},
+	}
+}
+
+// LookupTxnScenario finds a built-in scenario by name, or nil.
+func LookupTxnScenario(name string) *TxnScenario {
+	for _, s := range TxnScenarios() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	return nil
+}
+
+// TxnOpStream draws transactions from a scenario with a private RNG:
+// each worker goroutine owns one stream with no shared state.
+type TxnOpStream struct {
+	sc   *TxnScenario
+	l    int
+	rng  *env.RNG
+	zipf *Zipf
+	buf  []int
+}
+
+// NewTxnOpStream creates a stream over sc drawing l distinct keys per
+// transaction, seeded with seed. l must not exceed the keyspace.
+func NewTxnOpStream(sc *TxnScenario, l int, seed uint64) *TxnOpStream {
+	if l < 1 || l > sc.Keys {
+		panic(fmt.Sprintf("workload: NewTxnOpStream: l=%d outside [1, %d]", l, sc.Keys))
+	}
+	st := &TxnOpStream{sc: sc, l: l, rng: env.NewRNG(seed), buf: make([]int, 0, l)}
+	if sc.Skew > 0 {
+		st.zipf = NewZipf(sc.Keys, sc.Skew)
+	}
+	return st
+}
+
+// Next draws one transaction: its kind from the scenario's mix and l
+// distinct keys from the scenario's distribution (hot keys are drawn
+// first and duplicates resampled, so skew concentrates conflicts
+// without shrinking the key set). The returned slice is reused by the
+// next call.
+func (st *TxnOpStream) Next() (TxnOp, []int) {
+	kind := TxnRead
+	if st.rng.IntN(100) < st.sc.TransferPct {
+		kind = TxnTransfer
+	}
+	st.buf = st.buf[:0]
+	for len(st.buf) < st.l {
+		var k int
+		if st.zipf != nil {
+			k = st.zipf.Sample(st.rng)
+		} else {
+			k = st.rng.IntN(st.sc.Keys)
+		}
+		dup := false
+		for _, have := range st.buf {
+			if have == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			st.buf = append(st.buf, k)
+		}
+	}
+	return kind, st.buf
+}

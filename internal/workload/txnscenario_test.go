@@ -1,0 +1,81 @@
+package workload
+
+import "testing"
+
+func TestTxnScenariosValid(t *testing.T) {
+	for _, sc := range TxnScenarios() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("built-in scenario %s invalid: %v", sc.Name, err)
+		}
+		if LookupTxnScenario(sc.Name) == nil {
+			t.Errorf("lookup of %s failed", sc.Name)
+		}
+	}
+	if LookupTxnScenario("txn:nope") != nil {
+		t.Error("lookup of unknown scenario succeeded")
+	}
+	bad := TxnScenario{Name: "bad", Keys: 0, TransferPct: 50}
+	if bad.Validate() == nil {
+		t.Error("zero keyspace validated")
+	}
+	bad = TxnScenario{Name: "bad", Keys: 10, TransferPct: 101}
+	if bad.Validate() == nil {
+		t.Error("pct > 100 validated")
+	}
+}
+
+// TestTxnOpStreamDistinctKeys pins the key-draw contract: exactly l
+// keys, all distinct, all in range, deterministic per seed, and the op
+// mix tracks TransferPct.
+func TestTxnOpStreamDistinctKeys(t *testing.T) {
+	sc := &TxnScenario{Name: "t", Keys: 16, TransferPct: 30, Skew: 1.1}
+	for _, l := range []int{1, 2, 4, 8} {
+		st := NewTxnOpStream(sc, l, 7)
+		transfers := 0
+		const draws = 500
+		for i := 0; i < draws; i++ {
+			kind, keys := st.Next()
+			if kind == TxnTransfer {
+				transfers++
+			}
+			if len(keys) != l {
+				t.Fatalf("l=%d: drew %d keys", l, len(keys))
+			}
+			seen := map[int]bool{}
+			for _, k := range keys {
+				if k < 0 || k >= sc.Keys {
+					t.Fatalf("l=%d: key %d out of range", l, k)
+				}
+				if seen[k] {
+					t.Fatalf("l=%d: duplicate key %d in one transaction", l, k)
+				}
+				seen[k] = true
+			}
+		}
+		if transfers == 0 || transfers == draws {
+			t.Fatalf("l=%d: transfer mix degenerate: %d/%d", l, transfers, draws)
+		}
+	}
+	// Same seed, same stream.
+	a := NewTxnOpStream(sc, 3, 99)
+	b := NewTxnOpStream(sc, 3, 99)
+	for i := 0; i < 50; i++ {
+		ka, keysA := a.Next()
+		kb, keysB := b.Next()
+		if ka != kb {
+			t.Fatal("streams with one seed diverged in kind")
+		}
+		for j := range keysA {
+			if keysA[j] != keysB[j] {
+				t.Fatal("streams with one seed diverged in keys")
+			}
+		}
+	}
+	// l beyond the keyspace is a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("l > keyspace did not panic")
+		}
+	}()
+	NewTxnOpStream(sc, 17, 1)
+}

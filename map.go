@@ -2,20 +2,22 @@ package wflocks
 
 import (
 	"fmt"
-	"math/bits"
+	"iter"
 	"runtime"
 
 	"wflocks/internal/env"
 	"wflocks/internal/stats"
+	"wflocks/internal/table"
 )
 
 // Map is a generic lock-sharded concurrent hash map built on the
-// manager's wait-free locks. Keys are hashed to one of a power-of-two
-// number of shards; each shard owns one Lock guarding an open-addressed
-// region of typed cells (bucket metadata, key, value), so operations on
-// different shards never contend. Get, Put, Delete and the two-shard
-// Swap run as critical sections under Manager.Do and therefore inherit
-// the locks' guarantees: a stalled writer can never block the map —
+// manager's wait-free locks and the shared shard-table engine
+// (internal/table). Keys are hashed to one of a power-of-two number of
+// shards; each shard owns one Lock guarding an open-addressed region
+// of typed cells, so operations on different shards never contend.
+// Get, Put, Delete, Update and the multi-key Atomic transactions run
+// as critical sections under Manager.Do and therefore inherit the
+// locks' guarantees: a stalled writer can never block the map —
 // competitors help its critical section complete — and every operation
 // finishes within the O(κ²L²T) step bound.
 //
@@ -25,54 +27,25 @@ import (
 // the worst-case critical section unbounded, voiding the T bound — so
 // size the map for the workload with WithShards and WithShardCapacity.
 //
-// Len and Range read outside critical sections. Range takes a per-shard
-// snapshot using a seqlock-style version cell that every mutation bumps
-// (odd while a mutation's effects are being applied, even at rest): a
-// shard scan is retried until the version is stable, so the callback
-// observes each shard at one consistent instant. Construct with NewMap
-// (integer keys and values) or NewMapOf (explicit codecs).
+// Len and the iterators (All, Keys, Values) read outside critical
+// sections. Iteration takes a per-shard snapshot using a seqlock-style
+// version cell that every mutation bumps (odd while a mutation's
+// effects are being applied, even at rest): a shard scan is retried
+// until the version is stable, so each shard is observed at one
+// consistent instant. Construct with NewMap (integer keys and values)
+// or NewMapOf (explicit codecs).
 type Map[K comparable, V any] struct {
-	m       *Manager
-	kc      Codec[K]
-	vc      Codec[V]
-	kscalar ScalarCodec[K] // non-nil: allocation-free hash path
+	m   *Manager
+	eng *table.Table[K, V]
+	vc  Codec[V] // result-cell codec
 
-	shards    []mapShard[K, V]
-	shardMask uint64
-	capMask   uint64
-	capacity  int // buckets per shard
+	// locks[s] guards eng.Shards[s]; the engine owns everything the
+	// lock protects, the map owns the locking and the semantics.
+	locks []*Lock
 
-	seed       uint64
-	opBudget   int // maxOps of a single-shard critical section
-	swapBudget int // maxOps of Swap's (up to) two-shard critical section
+	opBudget  int // maxOps of a single-shard critical section
+	probeCost int // worst-case probe alone (txn re-probe budgeting)
 }
-
-// mapShard is one shard: a lock plus its bucket region.
-type mapShard[K comparable, V any] struct {
-	lock *Lock
-	// ver is the shard's seqlock version: mutations bump it to odd
-	// before touching buckets and back to even after, so lock-free
-	// readers (Range) can detect interference.
-	ver  *Cell[uint64]
-	size *Cell[uint64]
-	// meta[i] holds the bucket state in the low two bits (empty,
-	// full, tombstone) and, for full buckets, the key hash with those
-	// bits cleared — a cheap filter that skips decoding non-matching
-	// keys during probes.
-	meta []*Cell[uint64]
-	keys []*Cell[K]
-	vals []*Cell[V]
-}
-
-// Bucket states (low two bits of a meta word). Empty terminates a
-// probe; tombstones (left by Delete) keep probe chains intact and are
-// reused by Put.
-const (
-	bucketEmpty     uint64 = 0
-	bucketFull      uint64 = 1
-	bucketTombstone uint64 = 2
-	bucketStateMask uint64 = 3
-)
 
 // Default map shape: 8 shards × 64 buckets.
 const (
@@ -98,7 +71,7 @@ func WithShards(n int) MapOption {
 		if n <= 0 {
 			return fmt.Errorf("wflocks: WithShards: shard count must be positive, got %d", n)
 		}
-		c.shards = ceilPow2(n)
+		c.shards = table.CeilPow2(n)
 		return nil
 	}
 }
@@ -111,17 +84,9 @@ func WithShardCapacity(n int) MapOption {
 		if n <= 0 {
 			return fmt.Errorf("wflocks: WithShardCapacity: capacity must be positive, got %d", n)
 		}
-		c.capacity = ceilPow2(n)
+		c.capacity = table.CeilPow2(n)
 		return nil
 	}
-}
-
-// ceilPow2 rounds n up to the next power of two.
-func ceilPow2(n int) int {
-	if n <= 1 {
-		return 1
-	}
-	return 1 << bits.Len(uint(n-1))
 }
 
 // MapCriticalSteps returns the WithMaxCriticalSteps bound T a Manager
@@ -130,13 +95,28 @@ func ceilPow2(n int) int {
 // widths in words. It covers the worst case of any single-shard
 // operation: a full-region probe (capacity × (1 + keyWords) ops) plus
 // the insert writes, the size and seqlock-version updates, and the
-// result-cell writes. Swap runs two such probes in one critical
-// section, so it needs 2× this bound; NewMapOf only requires the 1×
-// bound, and Swap reports ErrMaxOpsExceeded if the manager cannot
-// accommodate it.
+// result-cell writes. It is the shared engine formula (table.Budget)
+// with two value accesses and 10 bookkeeping words. Multi-key
+// transactions need one such budget per named key — see MapAtomicSteps
+// — and NewMapOf itself only requires the 1× bound.
 func MapCriticalSteps(shardCapacity, keyWords, valueWords int) int {
-	cap := ceilPow2(shardCapacity)
-	return cap*(1+keyWords) + keyWords + 2*valueWords + 10
+	return table.Budget(shardCapacity, keyWords, valueWords, 2, 10)
+}
+
+// MapAtomicSteps returns the WithMaxCriticalSteps bound T a Manager
+// needs so that Map.Atomic can run a transaction over numKeys keys on
+// a map with the given per-shard capacity and codec widths. Each named
+// key budgets one full single-shard operation (MapCriticalSteps); keys
+// that share a shard can additionally force one re-probe each when the
+// transaction inserts into that shard, so the worst case (all keys on
+// one shard) adds numKeys-1 probe terms. Swap is a 2-key transaction;
+// MapAtomicSteps(cap, kw, vw, 2) is its requirement.
+func MapAtomicSteps(shardCapacity, keyWords, valueWords, numKeys int) int {
+	if numKeys < 1 {
+		numKeys = 1
+	}
+	return numKeys*MapCriticalSteps(shardCapacity, keyWords, valueWords) +
+		(numKeys-1)*table.ProbeSteps(shardCapacity, keyWords)
 }
 
 // NewMap creates a map with integer keys and values, the common case,
@@ -166,125 +146,33 @@ func NewMapOf[K comparable, V any](m *Manager, kc Codec[K], vc Codec[V], opts ..
 			cfg.capacity, kc.Words(), vc.Words(), opBudget, m.cfg.maxCritical)
 	}
 	mp := &Map[K, V]{
-		m:          m,
-		kc:         kc,
-		vc:         vc,
-		shards:     make([]mapShard[K, V], cfg.shards),
-		shardMask:  uint64(cfg.shards - 1),
-		capMask:    uint64(cfg.capacity - 1),
-		capacity:   cfg.capacity,
-		seed:       env.Mix(m.cfg.seed, 0x77666d6170), // "wfmap"
-		opBudget:   opBudget,
-		swapBudget: 2 * opBudget,
+		m:         m,
+		eng:       table.New[K, V](kc, vc, cfg.shards, cfg.capacity, env.Mix(m.cfg.seed, 0x77666d6170)), // "wfmap"
+		vc:        vc,
+		opBudget:  opBudget,
+		probeCost: table.ProbeSteps(cfg.capacity, kc.Words()),
 	}
-	if sc, ok := kc.(ScalarCodec[K]); ok && kc.Words() == 1 {
-		mp.kscalar = sc
-	}
-	var zeroK K
-	var zeroV V
-	for s := range mp.shards {
-		sh := &mp.shards[s]
-		sh.lock = m.NewLock()
-		sh.ver = NewCell(uint64(0))
-		sh.size = NewCell(uint64(0))
-		sh.meta = make([]*Cell[uint64], cfg.capacity)
-		sh.keys = make([]*Cell[K], cfg.capacity)
-		sh.vals = make([]*Cell[V], cfg.capacity)
-		for i := 0; i < cfg.capacity; i++ {
-			sh.meta[i] = NewCell(bucketEmpty)
-			sh.keys[i] = NewCellOf(mp.kc, zeroK)
-			sh.vals[i] = NewCellOf(mp.vc, zeroV)
-		}
+	mp.locks = make([]*Lock, mp.eng.ShardCount())
+	for s := range mp.locks {
+		mp.locks[s] = m.NewLock()
 	}
 	return mp, nil
 }
 
 // Shards reports the shard count (after power-of-two rounding).
-func (mp *Map[K, V]) Shards() int { return len(mp.shards) }
+func (mp *Map[K, V]) Shards() int { return mp.eng.ShardCount() }
 
 // ShardCapacity reports the bucket count per shard (after rounding).
-func (mp *Map[K, V]) ShardCapacity() int { return mp.capacity }
+func (mp *Map[K, V]) ShardCapacity() int { return mp.eng.Capacity() }
 
-// hashKey computes a key's 64-bit hash by chaining each encoded word
-// through env.Mix (the SplitMix64 finalizer). Shard selection uses the
-// low bits and the home bucket the high bits, so the two are
-// independent. Shared by every lock-sharded structure (Map, Cache);
-// scalar is the allocation-free fast path for single-word keys.
-func hashKey[K comparable](kc Codec[K], scalar ScalarCodec[K], seed uint64, k K) uint64 {
-	if scalar != nil {
-		return env.Mix(seed, scalar.EncodeWord(k))
-	}
-	buf := make([]uint64, kc.Words())
-	kc.Encode(k, buf)
-	h := seed
-	for _, w := range buf {
-		h = env.Mix(h, w)
-	}
-	return h
-}
-
-// hash computes the key's 64-bit hash.
-func (mp *Map[K, V]) hash(k K) uint64 {
-	return hashKey(mp.kc, mp.kscalar, mp.seed, k)
-}
-
-// shardOf picks the key's shard and home bucket from its hash.
-func (mp *Map[K, V]) shardOf(h uint64) (*mapShard[K, V], int) {
-	return &mp.shards[h&mp.shardMask], int((h >> 32) & mp.capMask)
-}
-
-// probeBuckets probes an open-addressed region of meta/key cells for k
-// inside a critical section — the one probe loop behind every
-// lock-sharded structure (Map, Cache). It returns the key's bucket
-// index and found=true, or found=false with free the first reusable
-// bucket (empty or tombstone; -1 if the region has none). Probing is
-// linear from the home bucket and stops at the first empty bucket,
-// which no insertion ever skips; capMask is the power-of-two region
-// size minus one.
-func probeBuckets[K comparable](tx *Tx, meta []*Cell[uint64], keys []*Cell[K], capMask, h uint64, home int, k K) (idx int, found bool, free int) {
-	frag := h &^ bucketStateMask
-	free = -1
-	n := int(capMask) + 1
-	for j := 0; j < n; j++ {
-		i := (home + j) & int(capMask)
-		w := Get(tx, meta[i])
-		switch w & bucketStateMask {
-		case bucketEmpty:
-			if free < 0 {
-				free = i
-			}
-			return 0, false, free
-		case bucketTombstone:
-			if free < 0 {
-				free = i
-			}
-		default: // full
-			if w&^bucketStateMask == frag && Get(tx, keys[i]) == k {
-				return i, true, free
-			}
-		}
-	}
-	return 0, false, free
-}
-
-// find probes a shard's region for k inside a critical section.
-func (mp *Map[K, V]) find(tx *Tx, sh *mapShard[K, V], h uint64, home int, k K) (idx int, found bool, free int) {
-	return probeBuckets(tx, sh.meta, sh.keys, mp.capMask, h, home, k)
-}
-
-// bumpVer advances the shard's seqlock version by one (2 ops).
-func bumpVer[K comparable, V any](tx *Tx, sh *mapShard[K, V]) {
-	Put(tx, sh.ver, Get(tx, sh.ver)+1)
-}
-
-// do runs a single-shard critical section on sh's lock under the
+// do runs a single-shard critical section on shard si's lock under the
 // caller's pooled handle (one Acquire covers the lock retries and the
 // result-cell reads that follow). Construction validated the budget
 // against the manager's bounds, so the only error Lock can report here
 // is impossible; it is surfaced as a panic rather than forcing an
 // error return on every read path.
-func (mp *Map[K, V]) do(p *Process, sh *mapShard[K, V], body func(*Tx)) {
-	if _, err := mp.m.Lock(p, []*Lock{sh.lock}, mp.opBudget, body); err != nil {
+func (mp *Map[K, V]) do(p *Process, si int, body func(*Tx)) {
+	if _, err := mp.m.Lock(p, []*Lock{mp.locks[si]}, mp.opBudget, body); err != nil {
 		panic("wflocks: Map: " + err.Error())
 	}
 }
@@ -294,19 +182,20 @@ func (mp *Map[K, V]) do(p *Process, sh *mapShard[K, V], body func(*Tx)) {
 // closure captures) because a stalled attempt's body may be re-executed
 // by helpers concurrently.
 func (mp *Map[K, V]) Get(k K) (V, bool) {
-	h := mp.hash(k)
-	sh, home := mp.shardOf(h)
+	h := mp.eng.Hash(k)
+	si, home := mp.eng.ShardIndex(h), mp.eng.Home(h)
+	sh := &mp.eng.Shards[si]
 	var zero V
 	val := newResultCell(mp.vc)
 	found := NewBoolCell(false)
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
-	mp.do(p, sh, func(tx *Tx) {
-		i, ok, _ := mp.find(tx, sh, h, home, k)
+	mp.do(p, si, func(tx *Tx) {
+		i, ok, _ := mp.eng.Find(tx.run, sh, h, home, k)
 		if !ok {
 			return
 		}
-		Put(tx, val, Get(tx, sh.vals[i]))
+		Put(tx, val, mp.eng.Val(tx.run, sh, i))
 		Put(tx, found, true)
 	})
 	if !found.Get(p) {
@@ -325,29 +214,27 @@ const (
 // when k's shard has no free bucket (the map never rehashes; see the
 // type comment).
 func (mp *Map[K, V]) Put(k K, v V) error {
-	h := mp.hash(k)
-	sh, home := mp.shardOf(h)
+	h := mp.eng.Hash(k)
+	si, home := mp.eng.ShardIndex(h), mp.eng.Home(h)
+	sh := &mp.eng.Shards[si]
 	res := NewCell(putStored)
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
-	mp.do(p, sh, func(tx *Tx) {
-		bumpVer(tx, sh)
-		i, ok, free := mp.find(tx, sh, h, home, k)
+	mp.do(p, si, func(tx *Tx) {
+		mp.eng.BumpVer(tx.run, sh)
+		i, ok, free := mp.eng.Find(tx.run, sh, h, home, k)
 		switch {
 		case ok:
-			Put(tx, sh.vals[i], v)
+			mp.eng.SetVal(tx.run, sh, i, v)
 		case free < 0:
 			Put(tx, res, putFull)
 		default:
-			Put(tx, sh.meta[free], bucketFull|(h&^bucketStateMask))
-			Put(tx, sh.keys[free], k)
-			Put(tx, sh.vals[free], v)
-			Put(tx, sh.size, Get(tx, sh.size)+1)
+			mp.eng.Insert(tx.run, sh, free, h, k, v)
 		}
-		bumpVer(tx, sh)
+		mp.eng.BumpVer(tx.run, sh)
 	})
 	if res.Get(p) == putFull {
-		return fmt.Errorf("%w: shard %d at capacity %d", ErrMapFull, h&mp.shardMask, mp.capacity)
+		return fmt.Errorf("%w: shard %d at capacity %d", ErrMapFull, si, mp.eng.Capacity())
 	}
 	return nil
 }
@@ -356,19 +243,19 @@ func (mp *Map[K, V]) Put(k K, v V) error {
 // becomes a tombstone so longer probe chains stay reachable; Put reuses
 // tombstones.
 func (mp *Map[K, V]) Delete(k K) bool {
-	h := mp.hash(k)
-	sh, home := mp.shardOf(h)
+	h := mp.eng.Hash(k)
+	si, home := mp.eng.ShardIndex(h), mp.eng.Home(h)
+	sh := &mp.eng.Shards[si]
 	removed := NewBoolCell(false)
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
-	mp.do(p, sh, func(tx *Tx) {
-		bumpVer(tx, sh)
-		if i, ok, _ := mp.find(tx, sh, h, home, k); ok {
-			Put(tx, sh.meta[i], bucketTombstone)
-			Put(tx, sh.size, Get(tx, sh.size)-1)
+	mp.do(p, si, func(tx *Tx) {
+		mp.eng.BumpVer(tx.run, sh)
+		if i, ok, _ := mp.eng.Find(tx.run, sh, h, home, k); ok {
+			mp.eng.Remove(tx.run, sh, i)
 			Put(tx, removed, true)
 		}
-		bumpVer(tx, sh)
+		mp.eng.BumpVer(tx.run, sh)
 	})
 	return removed.Get(p)
 }
@@ -393,150 +280,164 @@ const (
 // and be safe for concurrent calls — a stalled attempt's body, fn
 // included, may be re-executed by helpers in parallel. Keep fn to pure
 // local computation; anything slow or effectful belongs outside the
-// lock (see Cache.GetOrCompute for that shape).
+// lock (see Cache.GetOrCompute for that shape). For read-modify-writes
+// spanning several keys, see Atomic.
 func (mp *Map[K, V]) Update(k K, fn func(old V, ok bool) (V, bool)) error {
-	h := mp.hash(k)
-	sh, home := mp.shardOf(h)
+	h := mp.eng.Hash(k)
+	si, home := mp.eng.ShardIndex(h), mp.eng.Home(h)
+	sh := &mp.eng.Shards[si]
 	res := NewCell(updateOK)
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
-	mp.do(p, sh, func(tx *Tx) {
-		bumpVer(tx, sh)
-		i, ok, free := mp.find(tx, sh, h, home, k)
+	mp.do(p, si, func(tx *Tx) {
+		mp.eng.BumpVer(tx.run, sh)
+		i, ok, free := mp.eng.Find(tx.run, sh, h, home, k)
 		var old V
 		if ok {
-			old = Get(tx, sh.vals[i])
+			old = mp.eng.Val(tx.run, sh, i)
 		}
 		nv, keep := fn(old, ok)
 		switch {
 		case keep && ok:
-			Put(tx, sh.vals[i], nv)
+			mp.eng.SetVal(tx.run, sh, i, nv)
 		case keep && free < 0:
 			Put(tx, res, updateFull)
 		case keep:
-			Put(tx, sh.meta[free], bucketFull|(h&^bucketStateMask))
-			Put(tx, sh.keys[free], k)
-			Put(tx, sh.vals[free], nv)
-			Put(tx, sh.size, Get(tx, sh.size)+1)
+			mp.eng.Insert(tx.run, sh, free, h, k, nv)
 		case ok:
-			Put(tx, sh.meta[i], bucketTombstone)
-			Put(tx, sh.size, Get(tx, sh.size)-1)
+			mp.eng.Remove(tx.run, sh, i)
 		}
-		bumpVer(tx, sh)
+		mp.eng.BumpVer(tx.run, sh)
 	})
 	if res.Get(p) == updateFull {
-		return fmt.Errorf("%w: shard %d at capacity %d", ErrMapFull, h&mp.shardMask, mp.capacity)
+		return fmt.Errorf("%w: shard %d at capacity %d", ErrMapFull, si, mp.eng.Capacity())
 	}
 	return nil
 }
 
-// Len reports the number of entries. Per-shard sizes are read without
-// locking, so under live traffic the sum can be momentarily skewed the
-// same way StatsSnapshot is; at quiescence it is exact.
+// Len reports the number of entries. It is the lock-free fast path: it
+// sums the per-shard size cells without taking any shard lock, so it
+// never contends with writers and costs O(shards) regardless of
+// occupancy. Under live traffic the sum can be momentarily skewed the
+// same way StatsSnapshot is (each shard's count is read at a different
+// instant); at quiescence it is exact.
 func (mp *Map[K, V]) Len() int {
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
 	n := 0
-	for s := range mp.shards {
-		n += int(mp.shards[s].size.Get(p))
+	for s := range mp.eng.Shards {
+		n += int(mp.eng.LoadSize(p.env, &mp.eng.Shards[s]))
 	}
 	return n
 }
 
 // Swap atomically exchanges the values of k1 and k2 and reports whether
-// it did; if either key is absent nothing changes. This is the map's
-// multi-lock operation: when the keys land on different shards the
-// critical section holds both shard locks, which is where the paper's
-// lock-set bound L shows up — the manager must be configured with
-// WithMaxLocks(2) or more, and the per-attempt success probability
-// 1/(κL) and step bound O(κ²L²T) are paid at L=2. Swap also runs two
-// full-region probes in one critical section, so it needs twice the
-// single-shard budget; ErrTooManyLocks or ErrMaxOpsExceeded is
-// reported if the manager's bounds cannot accommodate it.
+// it did; if either key is absent nothing changes. It is a thin wrapper
+// over a two-key Atomic transaction — the original multi-lock
+// operation, kept for convenience: when the keys land on different
+// shards the critical section holds both shard locks, which is where
+// the paper's lock-set bound L shows up. The manager must be configured
+// with WithMaxLocks(2) or more and a WithMaxCriticalSteps bound
+// covering MapAtomicSteps(capacity, kw, vw, 2); ErrTooManyLocks or
+// ErrMaxOpsExceeded is reported otherwise.
 func (mp *Map[K, V]) Swap(k1, k2 K) (bool, error) {
-	h1, h2 := mp.hash(k1), mp.hash(k2)
-	s1, home1 := mp.shardOf(h1)
-	s2, home2 := mp.shardOf(h2)
-	if mp.swapBudget > mp.m.cfg.maxCritical {
-		return false, fmt.Errorf("%w: Swap needs maxOps=%d (2× the single-shard budget), bound T=%d",
-			ErrMaxOpsExceeded, mp.swapBudget, mp.m.cfg.maxCritical)
-	}
-	locks := []*Lock{s1.lock}
-	if s1 != s2 {
-		locks = append(locks, s2.lock)
-	}
 	swapped := NewBoolCell(false)
-	p := mp.m.Acquire()
-	defer mp.m.Release(p)
-	_, err := mp.m.Lock(p, locks, mp.swapBudget, func(tx *Tx) {
-		bumpVer(tx, s1)
-		if s2 != s1 {
-			bumpVer(tx, s2)
-		}
-		i1, ok1, _ := mp.find(tx, s1, h1, home1, k1)
-		i2, ok2, _ := mp.find(tx, s2, h2, home2, k2)
+	err := mp.Atomic([]K{k1, k2}, func(t *MapTxn[K, V]) {
+		v1, ok1 := t.Get(k1)
+		v2, ok2 := t.Get(k2)
 		if ok1 && ok2 {
-			v1 := Get(tx, s1.vals[i1])
-			v2 := Get(tx, s2.vals[i2])
-			Put(tx, s1.vals[i1], v2)
-			Put(tx, s2.vals[i2], v1)
-			Put(tx, swapped, true)
-		}
-		bumpVer(tx, s1)
-		if s2 != s1 {
-			bumpVer(tx, s2)
+			t.Put(k1, v2)
+			t.Put(k2, v1)
+			Put(t.Tx(), swapped, true)
 		}
 	})
 	if err != nil {
 		return false, err
 	}
+	p := mp.m.Acquire()
+	defer mp.m.Release(p)
 	return swapped.Get(p), nil
 }
 
-// Range calls f for every entry until f returns false. Each shard is
-// captured as a consistent snapshot — buckets are read lock-free and
-// the read is retried until the shard's seqlock version is stable —
-// and f runs outside any critical section, so it may call back into
-// the map. Entries from different shards can reflect different
-// instants; mutations concurrent with Range may or may not be
-// observed.
-func (mp *Map[K, V]) Range(f func(k K, v V) bool) {
-	type entry struct {
-		k K
-		v V
-	}
-	p := mp.m.Acquire()
-	for s := range mp.shards {
-		sh := &mp.shards[s]
+// All returns an iterator over the map's entries, for use with
+// range-over-func:
+//
+//	for k, v := range mp.All() { ... }
+//
+// Each shard is captured as a consistent snapshot — buckets are read
+// lock-free and the read is retried until the shard's seqlock version
+// is stable — and the loop body runs outside any critical section, so
+// it may call back into the map (including mutations). Entries from
+// different shards can reflect different instants; mutations concurrent
+// with iteration may or may not be observed.
+func (mp *Map[K, V]) All() iter.Seq2[K, V] {
+	return func(yield func(K, V) bool) {
+		type entry struct {
+			k K
+			v V
+		}
 		var snap []entry
-		for {
-			v0 := sh.ver.Get(p)
-			if v0&1 == 1 {
-				// A mutation is mid-application; its attempt finishes
-				// within the wait-free step bound, so yield and retry.
-				runtime.Gosched()
-				continue
-			}
-			snap = snap[:0]
-			n := int(mp.capMask) + 1
-			for i := 0; i < n; i++ {
-				if sh.meta[i].Get(p)&bucketStateMask == bucketFull {
-					snap = append(snap, entry{sh.keys[i].Get(p), sh.vals[i].Get(p)})
+		p := mp.m.Acquire()
+		for s := range mp.eng.Shards {
+			sh := &mp.eng.Shards[s]
+			mp.eng.ReadStable(p.env, sh, runtime.Gosched, func() {
+				snap = snap[:0]
+				for i := 0; i < mp.eng.Capacity(); i++ {
+					if mp.eng.LoadMeta(p.env, sh, i)&table.StateMask == table.Full {
+						snap = append(snap, entry{mp.eng.LoadKey(p.env, sh, i), mp.eng.LoadVal(p.env, sh, i)})
+					}
+				}
+			})
+			// Release the pooled handle while user code runs: the body may
+			// call back into the map (or block) without holding it hostage.
+			mp.m.Release(p)
+			for _, e := range snap {
+				if !yield(e.k, e.v) {
+					return
 				}
 			}
-			if sh.ver.Get(p) == v0 {
-				break
-			}
+			p = mp.m.Acquire()
 		}
 		mp.m.Release(p)
-		for _, e := range snap {
-			if !f(e.k, e.v) {
+	}
+}
+
+// Keys returns an iterator over the map's keys, with All's snapshot
+// semantics.
+func (mp *Map[K, V]) Keys() iter.Seq[K] {
+	return func(yield func(K) bool) {
+		for k := range mp.All() {
+			if !yield(k) {
 				return
 			}
 		}
-		p = mp.m.Acquire()
 	}
-	mp.m.Release(p)
+}
+
+// Values returns an iterator over the map's values, with All's snapshot
+// semantics.
+func (mp *Map[K, V]) Values() iter.Seq[V] {
+	return func(yield func(V) bool) {
+		for _, v := range mp.All() {
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// Range calls f for every entry until f returns false, with All's
+// snapshot semantics.
+//
+// Deprecated: Range predates Go 1.23 iterators; use All (or Keys,
+// Values) with range-over-func instead. Range remains as a thin wrapper
+// and will not be removed, but new code should range over All().
+func (mp *Map[K, V]) Range(f func(k K, v V) bool) {
+	for k, v := range mp.All() {
+		if !f(k, v) {
+			return
+		}
+	}
 }
 
 // MapShardStats is one shard's view in MapStats.
@@ -568,14 +469,13 @@ type MapStats struct {
 func (mp *Map[K, V]) Stats() MapStats {
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
-	ms := MapStats{Shards: make([]MapShardStats, len(mp.shards))}
-	attempts := make([]uint64, len(mp.shards))
-	for s := range mp.shards {
-		sh := &mp.shards[s]
-		a, w, h := sh.lock.inner.Counters()
-		size := int(sh.size.Get(p))
+	ms := MapStats{Shards: make([]MapShardStats, mp.eng.ShardCount())}
+	attempts := make([]uint64, mp.eng.ShardCount())
+	for s := range mp.eng.Shards {
+		a, w, h := mp.locks[s].inner.Counters()
+		size := int(mp.eng.LoadSize(p.env, &mp.eng.Shards[s]))
 		ms.Shards[s] = MapShardStats{
-			Lock: LockStats{ID: sh.lock.ID(), Attempts: a, Wins: w, Helps: h},
+			Lock: LockStats{ID: mp.locks[s].ID(), Attempts: a, Wins: w, Helps: h},
 			Size: size,
 		}
 		ms.Len += size

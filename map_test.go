@@ -8,14 +8,15 @@ import (
 )
 
 // mapManager builds a manager sized for maps in tests: κ and L as
-// given, T covering Swap's two-shard budget at the given capacity, and
-// delay constants of 1 to keep the fixed stalls short on test machines.
+// given, T covering a two-key transaction (Swap's budget) at the given
+// capacity, and delay constants of 1 to keep the fixed stalls short on
+// test machines.
 func mapManager(t testing.TB, kappa, maxLocks, shardCap, keyWords, valWords int) *Manager {
 	t.Helper()
 	m, err := New(
 		WithKappa(kappa),
 		WithMaxLocks(maxLocks),
-		WithMaxCriticalSteps(2*MapCriticalSteps(shardCap, keyWords, valWords)),
+		WithMaxCriticalSteps(MapAtomicSteps(shardCap, keyWords, valWords, 2)),
 		WithDelayConstants(1, 1),
 	)
 	if err != nil {
@@ -156,7 +157,7 @@ func TestMapSwap(t *testing.T) {
 	foundCross, foundSame := false, false
 	for a := uint64(0); a < 64 && !foundCross; a++ {
 		for b := a + 1; b < 64 && !foundCross; b++ {
-			if mp.hash(a)&mp.shardMask != mp.hash(b)&mp.shardMask {
+			if mp.eng.ShardIndex(mp.eng.Hash(a)) != mp.eng.ShardIndex(mp.eng.Hash(b)) {
 				cross = [2]uint64{a, b}
 				foundCross = true
 			}
@@ -170,7 +171,7 @@ func TestMapSwap(t *testing.T) {
 			if a == cross[0] || a == cross[1] || b == cross[0] || b == cross[1] {
 				continue
 			}
-			if mp.hash(a)&mp.shardMask == mp.hash(b)&mp.shardMask {
+			if mp.eng.ShardIndex(mp.eng.Hash(a)) == mp.eng.ShardIndex(mp.eng.Hash(b)) {
 				same = [2]uint64{a, b}
 				foundSame = true
 			}
@@ -226,7 +227,7 @@ func TestMapSwapBoundErrors(t *testing.T) {
 	}
 	var a, b uint64
 	for b = 1; b < 64; b++ {
-		if mp1.hash(0)&mp1.shardMask != mp1.hash(b)&mp1.shardMask {
+		if mp1.eng.ShardIndex(mp1.eng.Hash(0)) != mp1.eng.ShardIndex(mp1.eng.Hash(b)) {
 			break
 		}
 	}

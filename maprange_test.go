@@ -30,12 +30,12 @@ func TestMapRangeWaitsForOddVersion(t *testing.T) {
 		}
 	}
 	p := m.Acquire()
-	sh := &mp.shards[0]
-	odd := sh.ver.Get(p)
+	ver := mp.eng.Shards[0].Ver
+	odd := ver.Load(p.env)
 	if odd%2 != 0 {
 		t.Fatalf("version %d not even at rest", odd)
 	}
-	sh.ver.Set(p, odd+1) // a mutation is now "mid-application"
+	ver.Store(p.env, odd+1) // a mutation is now "mid-application"
 	m.Release(p)
 
 	done := make(chan int, 1)
@@ -51,7 +51,7 @@ func TestMapRangeWaitsForOddVersion(t *testing.T) {
 		// Still spinning, as it must be.
 	}
 	p = m.Acquire()
-	sh.ver.Set(p, odd+2) // mutation finished
+	ver.Store(p.env, odd+2) // mutation finished
 	m.Release(p)
 	select {
 	case n := <-done:
@@ -96,13 +96,13 @@ func TestMapRangeRetriesOnVersionChange(t *testing.T) {
 		defer wg.Done()
 		p := m.Acquire()
 		defer m.Release(p)
-		sh := &mp.shards[0]
-		sh.ver.Set(p, sh.ver.Get(p)+2)
+		ver := mp.eng.Shards[0].Ver
+		ver.Store(p.env, ver.Load(p.env)+2)
 		bumps.Add(1)
 		close(started)
 		for !stop.Load() {
 			for j := 0; j < 8; j++ {
-				sh.ver.Set(p, sh.ver.Get(p)+2)
+				ver.Store(p.env, ver.Load(p.env)+2)
 				bumps.Add(1)
 			}
 			time.Sleep(200 * time.Microsecond)

@@ -1,0 +1,601 @@
+package wflocks
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"wflocks/internal/idem"
+)
+
+// Multi-key transactions. The paper's headline guarantee is wait-free
+// acquisition of a *set* of up to L locks with helping; Atomic is where
+// that surfaces in the data-structure API. A transaction declares its
+// key set up front; the involved shard locks are deduplicated, sorted
+// and acquired in one wait-free multi-lock attempt, and the body runs
+// as a single critical section with Get/Put/Delete on any named key.
+// Bodies are idempotent by construction — every read and write flows
+// through the idempotence layer and results route through fresh cells —
+// so a stalled transaction is completed by helpers like any other
+// critical section, and the whole transaction commits atomically or
+// (on validation failure or cancellation) not at all.
+
+// MapTxn is the transaction view Atomic hands its body: typed
+// Get/Put/Delete over the transaction's declared keys, all inside one
+// multi-lock critical section. A fresh view is created for every
+// (re-)execution of the body — helpers re-executing a stalled
+// transaction each get their own — so the view carries per-execution
+// probe memoization without breaking idempotence.
+//
+// Only declared keys are addressable: Get, Put or Delete on a key that
+// was not in Atomic's key set panics (the key's shard lock is not
+// held, so touching it could never be atomic).
+type MapTxn[K comparable, V any] struct {
+	mp    *Map[K, V]
+	tx    *Tx
+	prep  *mapTxnPrep[K, V]
+	slots []txnSlot
+	// full, when non-nil (Map.Atomic), is set by a Put that found its
+	// shard at capacity so the wrapper can report ErrMapFull.
+	full *Cell[bool]
+}
+
+// txnSlot memoizes one declared key's probe inside one execution of the
+// body: probing is the budget's linear term, so each key pays it once
+// and subsequent operations reuse the located bucket.
+type txnSlot struct {
+	probed bool
+	found  bool
+	idx    int // bucket index when found
+	free   int // first reusable bucket when not found (-1: shard full)
+}
+
+// mapTxnKey is one declared key with its precomputed routing.
+type mapTxnKey[K comparable] struct {
+	k    K
+	h    uint64
+	si   int
+	home int
+}
+
+// mapTxnPrep is the immutable, execution-independent part of a
+// transaction: deduplicated keys with routing, the deduplicated and
+// sorted lock set, the involved shards, and the declared op budget. It
+// is computed once per Atomic call (or once per Region) and shared by
+// every execution of the body.
+type mapTxnPrep[K comparable, V any] struct {
+	mp      *Map[K, V]
+	keys    []mapTxnKey[K]
+	keyList []K       // declaration-ordered deduplicated keys, for MapTxn.Keys
+	index   map[K]int // key → slot, built past a size threshold (else nil)
+	shards  []int
+	locks   []*Lock
+	ops     int
+}
+
+// txnIndexThreshold is the key count past which prepare switches from
+// linear scans to a map index for dedupe and slot resolution: small
+// transactions (the common transfer/swap shapes) stay allocation-lean,
+// while GetBatch-sized chunks resolve keys in O(1) — important because
+// helpers re-executing a body pay slot lookups again.
+const txnIndexThreshold = 8
+
+// prepare computes a transaction's routing: keys deduplicated by
+// equality, shard set deduplicated, locks sorted by ID so every
+// transaction acquires in one canonical order. The op budget gives each
+// distinct key one full single-shard budget (whose bookkeeping headroom
+// already covers the key's share of seqlock bumps and result routing,
+// exactly as in the single-key operations), plus one extra probe per
+// additional key sharing a shard — a same-shard insert can invalidate a
+// sibling key's memoized free bucket, forcing a re-probe.
+func (mp *Map[K, V]) prepare(keys []K) *mapTxnPrep[K, V] {
+	prep := &mapTxnPrep[K, V]{mp: mp}
+	if len(keys) > txnIndexThreshold {
+		prep.index = make(map[K]int, len(keys))
+	}
+	for _, k := range keys {
+		dup := false
+		if prep.index != nil {
+			_, dup = prep.index[k]
+		} else {
+			for i := range prep.keys {
+				if prep.keys[i].k == k {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
+			continue
+		}
+		h := mp.eng.Hash(k)
+		if prep.index != nil {
+			prep.index[k] = len(prep.keys)
+		}
+		prep.keys = append(prep.keys, mapTxnKey[K]{
+			k: k, h: h, si: mp.eng.ShardIndex(h), home: mp.eng.Home(h),
+		})
+		prep.keyList = append(prep.keyList, k)
+	}
+	for i := range prep.keys {
+		si := prep.keys[i].si
+		seen := false
+		for _, s := range prep.shards {
+			if s == si {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			prep.shards = append(prep.shards, si)
+		}
+	}
+	prep.locks = make([]*Lock, len(prep.shards))
+	for i, si := range prep.shards {
+		prep.locks[i] = mp.locks[si]
+	}
+	sort.Slice(prep.locks, func(i, j int) bool { return prep.locks[i].ID() < prep.locks[j].ID() })
+	nk, ns := len(prep.keys), len(prep.shards)
+	prep.ops = nk*mp.opBudget + (nk-ns)*mp.probeCost
+	return prep
+}
+
+// txnVerCells lists the seqlock version cells of the involved shards;
+// the transaction runner bumps each once before and once after the
+// body.
+func (prep *mapTxnPrep[K, V]) txnVerCells() []*idem.Cell {
+	vers := make([]*idem.Cell, len(prep.shards))
+	for i, si := range prep.shards {
+		vers[i] = prep.mp.eng.Shards[si].Ver
+	}
+	return vers
+}
+
+// view creates a fresh per-execution transaction view.
+func (prep *mapTxnPrep[K, V]) view(tx *Tx, full *Cell[bool]) *MapTxn[K, V] {
+	return &MapTxn[K, V]{
+		mp:    prep.mp,
+		tx:    tx,
+		prep:  prep,
+		slots: make([]txnSlot, len(prep.keys)),
+		full:  full,
+	}
+}
+
+// Atomic runs fn as one atomic transaction over the declared keys: the
+// involved shard locks (deduplicated, sorted) are acquired in a single
+// wait-free multi-lock attempt, fn's Get/Put/Delete calls on the view
+// execute inside that one critical section, and the whole body commits
+// atomically — concurrent readers and transactions observe all of its
+// effects or none. This is the general form of the paper's L-lock
+// acquisition: a transaction over keys spanning s shards pays the
+// 1/(κs) per-attempt success probability and the O(κ²L²T) step bound.
+//
+// Requirements, validated per call: the distinct shard count must be
+// within the manager's WithMaxLocks bound L (ErrTooManyLocks) and the
+// transaction budget — MapAtomicSteps-style, one single-shard budget
+// per distinct key — within WithMaxCriticalSteps (ErrMaxOpsExceeded).
+// An empty key set reports ErrNoLocks.
+//
+// fn is a critical-section body: deterministic given the view's
+// results, no acquisitions or other shared-memory access of its own,
+// and safe for concurrent re-execution by helpers. Route results out
+// through fresh cells (written via the view's Tx), never through
+// closure captures, and capture only data that stays immutable even
+// after Atomic returns — a straggling helper may still be re-executing
+// the body, so iterating a key buffer the caller reuses between calls
+// is a determinism violation; iterate the view's Keys() instead.
+//
+// The declared budget covers, per named key: its probe, one Get, one
+// Put (or Delete), and — for keys sharing a shard — one re-probe (a
+// same-shard insert can take a sibling's memoized free bucket). That
+// is the natural read-the-keys-then-write-the-keys shape. Bodies that
+// interleave many extra rounds of Gets and inserting Puts over the
+// same full shard can exceed the budget, which panics with the idem
+// layer's exceeded-maxOps message (the same contract as any
+// over-budget critical section); keep transaction bodies to the
+// declared shape. If any Put found its shard at capacity,
+// Atomic reports ErrMapFull after the transaction commits (the body's
+// other effects stand — a full shard aborts nothing by itself; bodies
+// that need all-or-nothing inserts should Get first and write only on
+// the outcomes they accept).
+func (mp *Map[K, V]) Atomic(keys []K, fn func(*MapTxn[K, V])) error {
+	return mp.AtomicCtx(context.Background(), keys, fn)
+}
+
+// AtomicCtx is Atomic with cancellation: between failed acquisition
+// attempts it checks ctx and returns an error wrapping ErrCanceled once
+// ctx is done. The body never runs after AtomicCtx returns a
+// cancellation error; a nil (or ErrMapFull) return means exactly one
+// winning attempt committed it.
+func (mp *Map[K, V]) AtomicCtx(ctx context.Context, keys []K, fn func(*MapTxn[K, V])) error {
+	prep := mp.prepare(keys)
+	full := NewBoolCell(false)
+	rg := &MapRegion[K, V]{prep: prep}
+	err := AtomicAllCtx(ctx, mp.m, []TxnRegion{rg}, func(tx *Tx) {
+		fn(prep.view(tx, full))
+	})
+	if err != nil {
+		return err
+	}
+	if Load(mp.m, full) {
+		return fmt.Errorf("%w: a transactional Put found its shard at capacity %d", ErrMapFull, mp.eng.Capacity())
+	}
+	return nil
+}
+
+// Region declares a transaction's footprint on this map — the given
+// keys, their deduplicated sorted shard locks, and the op budget — for
+// composition into a multi-structure transaction via AtomicAll. Inside
+// the transaction body, View binds the region to the running critical
+// section and yields the same typed MapTxn view Atomic provides.
+func (mp *Map[K, V]) Region(keys ...K) *MapRegion[K, V] {
+	return &MapRegion[K, V]{prep: mp.prepare(keys)}
+}
+
+// MapRegion is a Map's declared footprint in a multi-structure
+// transaction; create one with Map.Region and bind it per execution
+// with View. A region is immutable and may be reused across
+// transactions with the same key set.
+type MapRegion[K comparable, V any] struct {
+	prep *mapTxnPrep[K, V]
+}
+
+// View binds the region to an executing transaction body, returning a
+// fresh typed view. Call it inside the AtomicAll body, once per
+// execution — views carry per-execution probe memoization and must not
+// be shared across executions (helpers re-executing the body each
+// create their own).
+//
+// A view from a region has no ErrMapFull back-channel: Put's error
+// return is the body's to handle (route outcomes through your own
+// cells if the caller needs them).
+func (rg *MapRegion[K, V]) View(tx *Tx) *MapTxn[K, V] { return rg.prep.view(tx, nil) }
+
+func (rg *MapRegion[K, V]) txnManager() *Manager      { return rg.prep.mp.m }
+func (rg *MapRegion[K, V]) txnLocks() []*Lock         { return rg.prep.locks }
+func (rg *MapRegion[K, V]) txnOps() int               { return rg.prep.ops }
+func (rg *MapRegion[K, V]) txnVerCells() []*idem.Cell { return rg.prep.txnVerCells() }
+
+// TxnRegion is a structure's declared footprint in a multi-structure
+// transaction: its locks, op budget and seqlock cells. Regions are
+// created by the structures themselves (Map.Region); the interface's
+// methods are unexported because a region's internals are engine-level.
+type TxnRegion interface {
+	txnManager() *Manager
+	txnLocks() []*Lock
+	txnOps() int
+	txnVerCells() []*idem.Cell
+}
+
+// AtomicAll runs fn as one atomic transaction spanning every region —
+// regions may come from different structures (several Maps) as long as
+// all live on the same Manager m. The union of the regions' shard
+// locks is deduplicated, sorted and acquired in a single wait-free
+// multi-lock attempt; fn runs as one critical section and commits
+// atomically across all the structures. Within fn, bind each region
+// with its View to operate on its keys.
+//
+// Validation mirrors Atomic: the distinct lock count must be within
+// WithMaxLocks (ErrTooManyLocks), the summed budget within
+// WithMaxCriticalSteps (ErrMaxOpsExceeded), and every region must
+// belong to m (ErrCrossManager) — locks from different managers cannot
+// be acquired atomically. Two regions must not share a shard of the
+// same structure (ErrOverlappingRegions): each region's view memoizes
+// its own probes, so overlapping views of one bucket region could
+// both claim the same free bucket. Put keys that share a map in one
+// Region — its view handles same-shard interactions correctly.
+func AtomicAll(m *Manager, regions []TxnRegion, fn func(*Tx)) error {
+	return AtomicAllCtx(context.Background(), m, regions, fn)
+}
+
+// AtomicAllCtx is AtomicAll with cancellation, sharing the DoCtx retry
+// loop: it returns an error wrapping ErrCanceled once ctx is done, and
+// the body never runs after that.
+func AtomicAllCtx(ctx context.Context, m *Manager, regions []TxnRegion, fn func(*Tx)) error {
+	var locks []*Lock
+	var vers []*idem.Cell
+	ops := 0
+	for _, rg := range regions {
+		if rg.txnManager() != m {
+			return fmt.Errorf("%w: AtomicAll region not on this manager", ErrCrossManager)
+		}
+		for _, l := range rg.txnLocks() {
+			// A lock seen in an earlier region means two regions cover the
+			// same shard of the same structure (locks are per-structure):
+			// their independent probe memos could corrupt that shard.
+			for _, have := range locks {
+				if have == l {
+					return fmt.Errorf("%w: lock %d appears in two regions", ErrOverlappingRegions, l.ID())
+				}
+			}
+			locks = append(locks, l)
+		}
+		// Regions are shard-disjoint (checked above), so their version
+		// cells are necessarily distinct.
+		vers = append(vers, rg.txnVerCells()...)
+		ops += rg.txnOps()
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i].ID() < locks[j].ID() })
+	p := m.Acquire()
+	defer m.Release(p)
+	_, err := m.LockCtx(ctx, p, locks, ops, func(tx *Tx) {
+		// Seqlock versions go odd before any bucket is touched and even
+		// after the last effect, so lock-free snapshots never observe a
+		// half-applied transaction.
+		for _, v := range vers {
+			tx.run.Write(v, tx.run.Read(v)+1)
+		}
+		fn(tx)
+		for _, v := range vers {
+			tx.run.Write(v, tx.run.Read(v)+1)
+		}
+	})
+	return err
+}
+
+// slot resolves a key to its declared index, panicking for undeclared
+// keys (their shard locks are not held).
+func (t *MapTxn[K, V]) slot(k K) int {
+	if t.prep.index != nil {
+		if i, ok := t.prep.index[k]; ok {
+			return i
+		}
+	} else {
+		for i := range t.prep.keys {
+			if t.prep.keys[i].k == k {
+				return i
+			}
+		}
+	}
+	panic("wflocks: MapTxn: key not in the transaction's declared key set")
+}
+
+// probe memoizes the key's bucket location for this execution.
+func (t *MapTxn[K, V]) probe(i int) *txnSlot {
+	s := &t.slots[i]
+	if !s.probed {
+		tk := &t.prep.keys[i]
+		sh := &t.mp.eng.Shards[tk.si]
+		s.idx, s.found, s.free = t.mp.eng.Find(t.tx.run, sh, tk.h, tk.home, tk.k)
+		s.probed = true
+	}
+	return s
+}
+
+// invalidateFree drops sibling keys' memoized probes after an insert
+// filled bucket `filled` of shard si: exactly the siblings that
+// remembered that bucket as their reusable slot must re-probe. Located
+// (found) keys keep their buckets — inserts never move live entries —
+// and siblings holding a different free bucket keep theirs, which is
+// what bounds re-probes to at most one per same-shard sibling in the
+// budgeted Get-round-then-Put-round pattern.
+func (t *MapTxn[K, V]) invalidateFree(si, filled, self int) {
+	for i := range t.slots {
+		if i != self && t.prep.keys[i].si == si &&
+			t.slots[i].probed && !t.slots[i].found && t.slots[i].free == filled {
+			t.slots[i].probed = false
+		}
+	}
+}
+
+// Get reports the value the transaction observes for k — including the
+// transaction's own earlier writes.
+func (t *MapTxn[K, V]) Get(k K) (V, bool) {
+	i := t.slot(k)
+	s := t.probe(i)
+	if !s.found {
+		var zero V
+		return zero, false
+	}
+	tk := &t.prep.keys[i]
+	return t.mp.eng.Val(t.tx.run, &t.mp.eng.Shards[tk.si], s.idx), true
+}
+
+// Put stores v for k within the transaction, inserting or overwriting.
+// It returns ErrMapFull when k's shard has no free bucket; the
+// transaction's other effects are unaffected (see Atomic on
+// all-or-nothing patterns).
+func (t *MapTxn[K, V]) Put(k K, v V) error {
+	i := t.slot(k)
+	s := t.probe(i)
+	tk := &t.prep.keys[i]
+	sh := &t.mp.eng.Shards[tk.si]
+	if s.found {
+		t.mp.eng.SetVal(t.tx.run, sh, s.idx, v)
+		return nil
+	}
+	if s.free < 0 {
+		if t.full != nil {
+			Put(t.tx, t.full, true)
+		}
+		return fmt.Errorf("%w: shard %d at capacity %d", ErrMapFull, tk.si, t.mp.eng.Capacity())
+	}
+	t.mp.eng.Insert(t.tx.run, sh, s.free, tk.h, tk.k, v)
+	s.found, s.idx = true, s.free
+	t.invalidateFree(tk.si, s.idx, i)
+	return nil
+}
+
+// Delete removes k within the transaction, reporting whether it was
+// present (to the transaction's view, own writes included).
+func (t *MapTxn[K, V]) Delete(k K) bool {
+	i := t.slot(k)
+	s := t.probe(i)
+	if !s.found {
+		return false
+	}
+	tk := &t.prep.keys[i]
+	t.mp.eng.Remove(t.tx.run, &t.mp.eng.Shards[tk.si], s.idx)
+	s.found, s.free = false, s.idx
+	// Same-shard siblings that probed a full region (free = -1) can use
+	// the freed bucket: a probe that found no reusable bucket covered
+	// the whole region, so every chain reaches this one. Without this a
+	// Delete-then-Put pair would spuriously report ErrMapFull.
+	for j := range t.slots {
+		if j != i && t.prep.keys[j].si == tk.si &&
+			t.slots[j].probed && !t.slots[j].found && t.slots[j].free < 0 {
+			t.slots[j].free = s.idx
+		}
+	}
+	return true
+}
+
+// Keys returns the transaction's declared key set, deduplicated, in
+// declaration order. Bodies should iterate this slice rather than a
+// captured variable: everything a body captures must stay immutable
+// even after Atomic returns (a straggling helper may still be
+// re-executing the body), and Keys is backed by the transaction's own
+// immutable preparation. Callers must not modify the returned slice.
+func (t *MapTxn[K, V]) Keys() []K { return t.prep.keyList }
+
+// Tx exposes the underlying critical-section handle, for routing
+// results out through the caller's own cells:
+//
+//	ok := wflocks.NewBoolCell(false)
+//	mp.Atomic(keys, func(t *wflocks.MapTxn[K, V]) {
+//		...
+//		wflocks.Put(t.Tx(), ok, true)
+//	})
+func (t *MapTxn[K, V]) Tx() *Tx { return t.tx }
+
+// GetBatch looks up many keys, amortizing lock acquisitions: the
+// deduplicated keys are grouped by shard and each chunk — up to
+// MaxLocks distinct shards, within the critical-step budget — is read
+// in one multi-lock transaction on the Atomic path. Results align with
+// keys (duplicates get identical results). Each chunk is atomic (its
+// keys are observed at one instant); the batch as a whole is not a
+// single transaction when the keys span more chunks than one
+// acquisition can hold — use Atomic directly when cross-key atomicity
+// over the full set is required.
+func (mp *Map[K, V]) GetBatch(keys []K) ([]V, []bool) {
+	type result struct {
+		v  V
+		ok bool
+	}
+	got := make(map[K]result, len(keys))
+	mp.batch(keys, func(chunk []K) error {
+		cells := make([]*Cell[V], len(chunk))
+		found := make([]*Cell[bool], len(chunk))
+		for i := range chunk {
+			cells[i] = newResultCell(mp.vc)
+			found[i] = NewBoolCell(false)
+		}
+		err := mp.Atomic(chunk, func(t *MapTxn[K, V]) {
+			for i, k := range chunk {
+				if v, ok := t.Get(k); ok {
+					Put(t.Tx(), cells[i], v)
+					Put(t.Tx(), found[i], true)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		p := mp.m.Acquire()
+		defer mp.m.Release(p)
+		for i, k := range chunk {
+			var r result
+			if found[i].Get(p) {
+				r = result{v: cells[i].Get(p), ok: true}
+			}
+			got[k] = r
+		}
+		return nil
+	})
+	vals := make([]V, len(keys))
+	oks := make([]bool, len(keys))
+	for j, k := range keys {
+		vals[j], oks[j] = got[k].v, got[k].ok
+	}
+	return vals, oks
+}
+
+// PutBatch stores vals[i] for keys[i] (lengths must match), grouped and
+// chunked exactly as GetBatch; a duplicated key stores its last value,
+// matching a sequential Put loop. Each chunk commits atomically; if any
+// chunk's shard ran out of buckets, PutBatch reports ErrMapFull after
+// finishing every chunk (successful inserts stand, as with Put).
+func (mp *Map[K, V]) PutBatch(keys []K, vals []V) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("wflocks: PutBatch: %d keys but %d values", len(keys), len(vals))
+	}
+	last := make(map[K]V, len(keys))
+	for j, k := range keys {
+		last[k] = vals[j]
+	}
+	var firstErr error
+	mp.batch(keys, func(chunk []K) error {
+		err := mp.Atomic(chunk, func(t *MapTxn[K, V]) {
+			for _, k := range chunk {
+				t.Put(k, last[k])
+			}
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return nil
+	})
+	return firstErr
+}
+
+// batch partitions keys into chunks one acquisition can hold: keys are
+// deduplicated, grouped by shard, and shards packed greedily up to the
+// manager's MaxLocks bound and the critical-step budget. run is called
+// once per chunk; a non-nil return panics (GetBatch's budgets are
+// validated by construction, so a failure here is a programming error,
+// consistent with the map's other read paths).
+func (mp *Map[K, V]) batch(keys []K, run func(chunk []K) error) {
+	if len(keys) == 0 {
+		return
+	}
+	// Deduplicate, then group unique keys by shard in first-seen order.
+	seen := make(map[K]struct{}, len(keys))
+	shardOrder := make([]int, 0, 8)
+	byShard := make(map[int][]K)
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		si := mp.eng.ShardIndex(mp.eng.Hash(k))
+		if _, ok := byShard[si]; !ok {
+			shardOrder = append(shardOrder, si)
+		}
+		byShard[si] = append(byShard[si], k)
+	}
+	maxShards := mp.m.cfg.maxLocks
+	// Conservative per-chunk key budget: each distinct key costs one
+	// single-shard budget plus one probe of re-probe headroom.
+	maxKeys := mp.m.cfg.maxCritical / (mp.opBudget + mp.probeCost)
+	if maxKeys < 1 {
+		maxKeys = 1
+	}
+	var chunk []K
+	shardsIn := 0
+	flush := func() {
+		if len(chunk) > 0 {
+			if err := run(chunk); err != nil {
+				panic("wflocks: Map batch: " + err.Error())
+			}
+			chunk, shardsIn = nil, 0
+		}
+	}
+	for _, si := range shardOrder {
+		group := byShard[si]
+		if shardsIn+1 > maxShards || len(chunk)+len(group) > maxKeys {
+			flush()
+		}
+		// A single shard whose keys alone exceed the budget is split into
+		// chunks of its own (always ≥1 key per chunk).
+		for len(group) > maxKeys {
+			if err := run(group[:maxKeys]); err != nil {
+				panic("wflocks: Map batch: " + err.Error())
+			}
+			group = group[maxKeys:]
+		}
+		chunk = append(chunk, group...)
+		shardsIn++
+	}
+	flush()
+}

@@ -1,0 +1,630 @@
+package wflocks
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// txnManager builds a manager sized for n-key transactions at the given
+// shard capacity and codec widths.
+func txnManager(t testing.TB, kappa, maxLocks, shardCap, nKeys int) *Manager {
+	t.Helper()
+	m, err := New(
+		WithKappa(kappa),
+		WithMaxLocks(maxLocks),
+		WithMaxCriticalSteps(MapAtomicSteps(shardCap, 1, 1, nKeys)),
+		WithDelayConstants(1, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestAtomicReadYourWrites pins the transaction view's semantics inside
+// one body: writes are visible to later reads, deletes hide entries,
+// and inserts after deletes reuse the transaction's own tombstones.
+func TestAtomicReadYourWrites(t *testing.T) {
+	m := txnManager(t, 2, 4, 16, 4)
+	mp, err := NewMap[uint64, uint64](m, WithShards(4), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	keys := []uint64{1, 2, 3}
+	if err := mp.Atomic(keys, func(tx *MapTxn[uint64, uint64]) {
+		if v, ok := tx.Get(1); !ok || v != 10 {
+			t.Errorf("Get(1) = (%d, %v), want (10, true)", v, ok)
+		}
+		if _, ok := tx.Get(2); ok {
+			t.Error("Get(2) found a missing key")
+		}
+		if err := tx.Put(2, 20); err != nil {
+			t.Errorf("Put(2): %v", err)
+		}
+		if v, ok := tx.Get(2); !ok || v != 20 {
+			t.Errorf("read-your-write Get(2) = (%d, %v), want (20, true)", v, ok)
+		}
+		if !tx.Delete(1) {
+			t.Error("Delete(1) reported absent")
+		}
+		if _, ok := tx.Get(1); ok {
+			t.Error("Get(1) after own Delete still found it")
+		}
+		if tx.Delete(1) {
+			t.Error("second Delete(1) reported present")
+		}
+		if err := tx.Put(1, 11); err != nil {
+			t.Errorf("re-insert Put(1): %v", err)
+		}
+		if v, ok := tx.Get(1); !ok || v != 11 {
+			t.Errorf("Get(1) after re-insert = (%d, %v), want (11, true)", v, ok)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The commit is visible outside.
+	if v, ok := mp.Get(1); !ok || v != 11 {
+		t.Fatalf("after txn: Get(1) = (%d, %v), want (11, true)", v, ok)
+	}
+	if v, ok := mp.Get(2); !ok || v != 20 {
+		t.Fatalf("after txn: Get(2) = (%d, %v), want (20, true)", v, ok)
+	}
+	if _, ok := mp.Get(3); ok {
+		t.Fatal("key 3, never written, appeared")
+	}
+}
+
+// TestAtomicTransferConservation is the acceptance test: concurrent
+// multi-key transfers spanning up to MaxLocks shards must conserve the
+// global sum. Each transaction reads L balances and redistributes units
+// between them; any torn or double-applied body breaks the invariant.
+// Run with -race.
+func TestAtomicTransferConservation(t *testing.T) {
+	const (
+		workers  = 6
+		keyspace = 32
+		initial  = 100
+		L        = 4
+	)
+	rounds := 150
+	if testing.Short() {
+		rounds = 40
+	}
+	m := txnManager(t, workers, L, 16, L)
+	mp, err := NewMap[uint64, uint64](m, WithShards(8), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < keyspace; k++ {
+		if err := mp.Put(k, initial); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*2654435761 + 1
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for r := 0; r < rounds; r++ {
+				// L distinct keys; the transfer moves one unit from each
+				// of keys[1:] to keys[0] when they have one to give.
+				keys := make([]uint64, 0, L)
+				for len(keys) < L {
+					k := uint64(next(keyspace))
+					dup := false
+					for _, have := range keys {
+						if have == k {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						keys = append(keys, k)
+					}
+				}
+				if err := mp.Atomic(keys, func(tx *MapTxn[uint64, uint64]) {
+					gained := uint64(0)
+					for _, k := range keys[1:] {
+						v, ok := tx.Get(k)
+						if !ok || v == 0 {
+							continue
+						}
+						tx.Put(k, v-1)
+						gained++
+					}
+					if gained > 0 {
+						v, _ := tx.Get(keys[0])
+						tx.Put(keys[0], v+gained)
+					}
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := uint64(0)
+	count := 0
+	for _, v := range mp.All() {
+		total += v
+		count++
+	}
+	if count != keyspace {
+		t.Fatalf("iterated %d entries, want %d", count, keyspace)
+	}
+	if total != keyspace*initial {
+		t.Fatalf("conservation violated: total %d, want %d", total, keyspace*initial)
+	}
+}
+
+// TestAtomicSameShardDedupe forces every key onto one shard (a 1-shard
+// map): the lock set must deduplicate to a single lock, same-shard
+// sibling inserts must not collide on a memoized free bucket, and Swap
+// — the canonical 2-key transaction — must work through the dedupe
+// path.
+func TestAtomicSameShardDedupe(t *testing.T) {
+	m := txnManager(t, 2, 2, 16, 3)
+	mp, err := NewMap[uint64, uint64](m, WithShards(1), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three fresh keys inserted in one transaction: the second and third
+	// inserts exercise the free-bucket invalidation (all on one shard).
+	if err := mp.Atomic([]uint64{1, 2, 3}, func(tx *MapTxn[uint64, uint64]) {
+		for _, k := range []uint64{1, 2, 3} {
+			if err := tx.Put(k, k*10); err != nil {
+				t.Errorf("Put(%d): %v", k, err)
+			}
+		}
+		for _, k := range []uint64{1, 2, 3} {
+			if v, ok := tx.Get(k); !ok || v != k*10 {
+				t.Errorf("in-txn Get(%d) = (%d, %v), want (%d, true)", k, v, ok, k*10)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{1, 2, 3} {
+		if v, ok := mp.Get(k); !ok || v != k*10 {
+			t.Fatalf("after txn Get(%d) = (%d, %v), want (%d, true)", k, v, ok, k*10)
+		}
+	}
+	if mp.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (no bucket collisions)", mp.Len())
+	}
+	// Swap on the single shard: both keys dedupe to one lock.
+	if ok, err := mp.Swap(1, 2); err != nil || !ok {
+		t.Fatalf("same-shard Swap = (%v, %v), want (true, nil)", ok, err)
+	}
+	if v, _ := mp.Get(1); v != 20 {
+		t.Fatalf("after Swap: Get(1) = %d, want 20", v)
+	}
+	// Duplicate keys in the declared set collapse to one slot.
+	if err := mp.Atomic([]uint64{1, 1, 1}, func(tx *MapTxn[uint64, uint64]) {
+		v, _ := tx.Get(1)
+		tx.Put(1, v+1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mp.Get(1); v != 21 {
+		t.Fatalf("after duplicate-key txn: Get(1) = %d, want 21", v)
+	}
+}
+
+// TestAtomicValidation checks the per-call bound validation and the
+// undeclared-key panic.
+func TestAtomicValidation(t *testing.T) {
+	m := txnManager(t, 2, 2, 16, 2)
+	mp, err := NewMap[uint64, uint64](m, WithShards(8), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Atomic(nil, func(*MapTxn[uint64, uint64]) {}); !errors.Is(err, ErrNoLocks) {
+		t.Fatalf("empty key set: err = %v, want ErrNoLocks", err)
+	}
+	// Find keys on three distinct shards: beyond L=2.
+	shardsSeen := map[int]uint64{}
+	for k := uint64(0); len(shardsSeen) < 3 && k < 256; k++ {
+		si := mp.eng.ShardIndex(mp.eng.Hash(k))
+		if _, ok := shardsSeen[si]; !ok {
+			shardsSeen[si] = k
+		}
+	}
+	var spread []uint64
+	for _, k := range shardsSeen {
+		spread = append(spread, k)
+	}
+	if len(spread) != 3 {
+		t.Fatal("could not find keys on three shards")
+	}
+	if err := mp.Atomic(spread, func(*MapTxn[uint64, uint64]) {}); !errors.Is(err, ErrTooManyLocks) {
+		t.Fatalf("3 shards under L=2: err = %v, want ErrTooManyLocks", err)
+	}
+	// A manager whose T covers only single-key work rejects multi-key
+	// budgets.
+	mSmall := txnManager(t, 2, 2, 16, 1)
+	mpSmall, err := NewMap[uint64, uint64](mSmall, WithShards(8), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := spreadKeys(t, mpSmall, 2)
+	if err := mpSmall.Atomic(cross, func(*MapTxn[uint64, uint64]) {}); !errors.Is(err, ErrMaxOpsExceeded) {
+		t.Fatalf("2-key txn under 1-key T: err = %v, want ErrMaxOpsExceeded", err)
+	}
+	// Touching an undeclared key is a programming error: panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get on an undeclared key did not panic")
+		}
+	}()
+	_ = mp.Atomic([]uint64{1}, func(tx *MapTxn[uint64, uint64]) {
+		tx.Get(99)
+	})
+}
+
+// spreadKeys returns n keys hashing to n distinct shards of mp.
+func spreadKeys(t *testing.T, mp *Map[uint64, uint64], n int) []uint64 {
+	t.Helper()
+	seen := map[int]bool{}
+	var keys []uint64
+	for k := uint64(0); len(keys) < n && k < 4096; k++ {
+		si := mp.eng.ShardIndex(mp.eng.Hash(k))
+		if !seen[si] {
+			seen[si] = true
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) != n {
+		t.Fatalf("could not find %d shard-distinct keys", n)
+	}
+	return keys
+}
+
+// TestAtomicCtxCanceled pins cancellation through the shared
+// DoCtx/LockCtx retry loop: a canceled context stops the transaction
+// before any attempt, and the body never runs.
+func TestAtomicCtxCanceled(t *testing.T) {
+	m := txnManager(t, 2, 2, 16, 2)
+	mp, err := NewMap[uint64, uint64](m, WithShards(4), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err = mp.AtomicCtx(ctx, []uint64{1, 2}, func(*MapTxn[uint64, uint64]) {
+		ran = true
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, should wrap context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("body ran despite pre-canceled context")
+	}
+	// Same through the lower-level LockCtx path used by AtomicAll.
+	rg := mp.Region(1, 2)
+	err = AtomicAllCtx(ctx, m, []TxnRegion{rg}, func(tx *Tx) {
+		ran = true
+	})
+	if !errors.Is(err, ErrCanceled) || ran {
+		t.Fatalf("AtomicAllCtx: err = %v, ran = %v; want ErrCanceled and no run", err, ran)
+	}
+}
+
+// TestAtomicPutFull pins ErrMapFull through the transactional Put: both
+// the in-body error return and Atomic's post-commit report.
+func TestAtomicPutFull(t *testing.T) {
+	m := txnManager(t, 2, 2, 2, 2)
+	mp, err := NewMap[uint64, uint64](m, WithShards(1), WithShardCapacity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Put(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	err = mp.Atomic([]uint64{3}, func(tx *MapTxn[uint64, uint64]) {
+		if perr := tx.Put(3, 3); !errors.Is(perr, ErrMapFull) {
+			t.Errorf("in-txn Put into full shard: %v, want ErrMapFull", perr)
+		}
+	})
+	if !errors.Is(err, ErrMapFull) {
+		t.Fatalf("Atomic with a full Put: err = %v, want ErrMapFull", err)
+	}
+	if mp.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", mp.Len())
+	}
+}
+
+// TestAtomicAllSpansMaps moves value between two maps on one manager in
+// a single transaction and checks cross-structure conservation; a
+// region from a foreign manager must be rejected.
+func TestAtomicAllSpansMaps(t *testing.T) {
+	m := txnManager(t, 4, 4, 16, 4)
+	checking, err := NewMap[uint64, uint64](m, WithShards(4), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	savings, err := NewMap[uint64, uint64](m, WithShards(4), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const accounts = 8
+	for k := uint64(0); k < accounts; k++ {
+		if err := checking.Put(k, 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := savings.Put(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	workers := 4
+	rounds := 60
+	if testing.Short() {
+		rounds = 25
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				acct := uint64((w + r) % accounts)
+				rgC := checking.Region(acct)
+				rgS := savings.Region(acct)
+				err := AtomicAll(m, []TxnRegion{rgC, rgS}, func(tx *Tx) {
+					c := rgC.View(tx)
+					s := rgS.View(tx)
+					cv, _ := c.Get(acct)
+					if cv < 10 {
+						return
+					}
+					sv, _ := s.Get(acct)
+					c.Put(acct, cv-10)
+					s.Put(acct, sv+10)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := uint64(0)
+	for _, v := range checking.All() {
+		total += v
+	}
+	for _, v := range savings.All() {
+		total += v
+	}
+	if total != accounts*100 {
+		t.Fatalf("cross-map conservation violated: total %d, want %d", total, accounts*100)
+	}
+	// Regions must live on the transaction's manager.
+	other := txnManager(t, 2, 2, 16, 2)
+	foreign, err := NewMap[uint64, uint64](other, WithShards(2), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = AtomicAll(m, []TxnRegion{foreign.Region(1)}, func(*Tx) {})
+	if !errors.Is(err, ErrCrossManager) {
+		t.Fatalf("foreign region: err = %v, want ErrCrossManager", err)
+	}
+}
+
+// TestAtomicAllRejectsOverlappingRegions pins the overlap guard: two
+// regions covering the same shard of one map carry independent probe
+// memos, so accepting them could let both insert into one free bucket
+// (lost key + corrupted size). Shard-disjoint regions of the same map
+// remain legal.
+func TestAtomicAllRejectsOverlappingRegions(t *testing.T) {
+	m := txnManager(t, 2, 4, 16, 4)
+	mp, err := NewMap[uint64, uint64](m, WithShards(4), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := spreadKeys(t, mp, 2)
+	// Same key twice: trivially the same shard.
+	err = AtomicAll(m, []TxnRegion{mp.Region(keys[0]), mp.Region(keys[0])}, func(*Tx) {})
+	if !errors.Is(err, ErrOverlappingRegions) {
+		t.Fatalf("same-shard regions: err = %v, want ErrOverlappingRegions", err)
+	}
+	// Shard-disjoint regions of one map are fine.
+	rg0, rg1 := mp.Region(keys[0]), mp.Region(keys[1])
+	err = AtomicAll(m, []TxnRegion{rg0, rg1}, func(tx *Tx) {
+		rg0.View(tx).Put(keys[0], 1)
+		rg1.View(tx).Put(keys[1], 2)
+	})
+	if err != nil {
+		t.Fatalf("disjoint regions: %v", err)
+	}
+	if v, _ := mp.Get(keys[1]); v != 2 {
+		t.Fatalf("disjoint-region Put lost: %d", v)
+	}
+}
+
+// TestAtomicDeleteThenPutFullShard pins the freed-bucket handoff: in a
+// full shard, a transactional Delete must make its bucket available to
+// a sibling Put in the same transaction (the sequential equivalent
+// succeeds, so the transactional form must too).
+func TestAtomicDeleteThenPutFullShard(t *testing.T) {
+	m := txnManager(t, 2, 2, 4, 2)
+	mp, err := NewMap[uint64, uint64](m, WithShards(1), WithShardCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single shard completely.
+	filled := []uint64{}
+	for k := uint64(0); len(filled) < 4; k++ {
+		if err := mp.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+		filled = append(filled, k)
+	}
+	victim := filled[0]
+	fresh := uint64(1000)
+	err = mp.Atomic([]uint64{victim, fresh}, func(tx *MapTxn[uint64, uint64]) {
+		// Probe the fresh key first so its slot memoizes free = -1.
+		if _, ok := tx.Get(fresh); ok {
+			t.Error("fresh key already present")
+		}
+		if !tx.Delete(victim) {
+			t.Error("victim missing")
+		}
+		if perr := tx.Put(fresh, 42); perr != nil {
+			t.Errorf("Put after Delete in full shard: %v", perr)
+		}
+		if v, ok := tx.Get(fresh); !ok || v != 42 {
+			t.Errorf("in-txn Get(fresh) = (%d, %v)", v, ok)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if v, ok := mp.Get(fresh); !ok || v != 42 {
+		t.Fatalf("after txn Get(fresh) = (%d, %v), want (42, true)", v, ok)
+	}
+	if _, ok := mp.Get(victim); ok {
+		t.Fatal("victim survived")
+	}
+	if mp.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", mp.Len())
+	}
+}
+
+// TestBatchOps drives GetBatch/PutBatch across more shards than one
+// acquisition may hold (L=2, 8 shards), with duplicates and misses.
+func TestBatchOps(t *testing.T) {
+	m := txnManager(t, 2, 2, 32, 2)
+	mp, err := NewMap[uint64, uint64](m, WithShards(8), WithShardCapacity(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	keys := make([]uint64, 0, n+2)
+	vals := make([]uint64, 0, n+2)
+	for k := uint64(0); k < n; k++ {
+		keys = append(keys, k)
+		vals = append(vals, k*7)
+	}
+	// A duplicate key: the last value must win, as in a sequential loop.
+	keys = append(keys, 3, 3)
+	vals = append(vals, 1111, 2222)
+	if err := mp.PutBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if mp.Len() != n {
+		t.Fatalf("Len = %d, want %d", mp.Len(), n)
+	}
+	queried := append(append([]uint64{}, keys[:n]...), 999, 3)
+	got, oks := mp.GetBatch(queried)
+	if len(got) != len(queried) || len(oks) != len(queried) {
+		t.Fatalf("GetBatch shapes: %d/%d for %d keys", len(got), len(oks), len(queried))
+	}
+	for i := 0; i < n; i++ {
+		want := uint64(i) * 7
+		if queried[i] == 3 {
+			want = 2222
+		}
+		if !oks[i] || got[i] != want {
+			t.Fatalf("GetBatch[%d] (key %d) = (%d, %v), want (%d, true)", i, queried[i], got[i], oks[i], want)
+		}
+	}
+	if oks[n] {
+		t.Fatal("GetBatch found missing key 999")
+	}
+	if !oks[n+1] || got[n+1] != 2222 {
+		t.Fatalf("duplicate query slot = (%d, %v), want (2222, true)", got[n+1], oks[n+1])
+	}
+	if err := mp.PutBatch([]uint64{1}, nil); err == nil {
+		t.Fatal("PutBatch with mismatched lengths did not error")
+	}
+}
+
+// TestMapIterators covers All/Keys/Values over range-over-func,
+// including early termination and callback-into-the-map.
+func TestMapIterators(t *testing.T) {
+	m := txnManager(t, 2, 2, 16, 2)
+	mp, err := NewMap[uint64, uint64](m, WithShards(2), WithShardCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{}
+	for k := uint64(0); k < 12; k++ {
+		want[k] = k * k
+		if err := mp.Put(k, k*k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[uint64]uint64{}
+	for k, v := range mp.All() {
+		got[k] = v
+		// The loop body runs outside critical sections: calling back into
+		// the map must not deadlock.
+		if _, ok := mp.Get(k); !ok {
+			t.Errorf("callback Get(%d) missed", k)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("All visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("All saw %d=%d, want %d", k, got[k], v)
+		}
+	}
+	seenKeys := map[uint64]bool{}
+	for k := range mp.Keys() {
+		seenKeys[k] = true
+	}
+	if len(seenKeys) != len(want) {
+		t.Fatalf("Keys visited %d, want %d", len(seenKeys), len(want))
+	}
+	sum := uint64(0)
+	for v := range mp.Values() {
+		sum += v
+	}
+	wantSum := uint64(0)
+	for _, v := range want {
+		wantSum += v
+	}
+	if sum != wantSum {
+		t.Fatalf("Values sum = %d, want %d", sum, wantSum)
+	}
+	// Early break stops after one entry, on every iterator.
+	visits := 0
+	for range mp.All() {
+		visits++
+		break
+	}
+	if visits != 1 {
+		t.Fatalf("All early break: %d visits", visits)
+	}
+	visits = 0
+	for range mp.Keys() {
+		visits++
+		break
+	}
+	if visits != 1 {
+		t.Fatalf("Keys early break: %d visits", visits)
+	}
+}
