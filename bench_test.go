@@ -573,3 +573,141 @@ func BenchmarkStructCellReadWrite(b *testing.B) {
 		c.Set(p, v)
 	}
 }
+
+// BenchmarkQueue sweeps the WorkPool shard count (plus the single-ring
+// Queue) against the mutex+ring and buffered-channel baselines on a
+// balanced MPMC shape — every worker enqueues one element and dequeues
+// one per iteration — in the holder-stall regime the paper targets
+// (see BenchmarkCache for the regime rationale). Stalls ride the
+// value-write path on every side that has a lock to hold: wfqueue
+// encodes stall inside critical sections, the mutex+ring stalls while
+// holding its mutex, and the channel draws its stalls outside the op
+// (a goroutine cannot sleep holding the runtime's channel lock), which
+// makes it the stall-tolerant reference. The queue managers run the
+// unknown-bounds adaptive variant, as in internal/bench's queue
+// scenario runner: after sharding, per-lock contention is far below
+// the worker count, and the Section 6.2 algorithm's delays track
+// actual contention. Expect the 8-shard WorkPool to beat the
+// mutex+ring well beyond 2× under stalls, and the nostall group to
+// show the raw regime where the blocking baselines win on constant
+// factors. Compare with:
+//
+//	go test -bench=Queue -benchtime=500x -cpu 8
+const benchQueueCapacity = 256
+
+func BenchmarkQueue(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workpool/shards=%d", shards), func(b *testing.B) {
+			benchWorkPool(b, shards, bench.NewStallPoint(benchStallPeriod, benchStallDur))
+		})
+	}
+	b.Run("wfqueue", func(b *testing.B) {
+		benchWfQueue(b, bench.NewStallPoint(benchStallPeriod, benchStallDur))
+	})
+	b.Run("mutexring", func(b *testing.B) {
+		benchMutexRing(b, bench.NewStallPoint(benchStallPeriod, benchStallDur))
+	})
+	b.Run("channel", func(b *testing.B) {
+		benchChanQueue(b, bench.NewStallPoint(benchStallPeriod, benchStallDur))
+	})
+	b.Run("nostall/workpool/shards=8", func(b *testing.B) {
+		benchWorkPool(b, 8, nil)
+	})
+	b.Run("nostall/mutexring", func(b *testing.B) {
+		benchMutexRing(b, nil)
+	})
+}
+
+// benchQueuePair runs the balanced enqueue-then-dequeue iteration; the
+// queue never grows beyond the worker count, so full rejects are rare
+// and empty rejects only happen transiently.
+func benchQueuePair(b *testing.B, enq func(uint64) bool, deq func() (uint64, bool)) {
+	par, _ := benchCacheWorkers()
+	b.SetParallelism(par)
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		v := seed.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			v++
+			for !enq(v) {
+				runtime.Gosched()
+			}
+			for {
+				if _, ok := deq(); ok {
+					break
+				}
+				runtime.Gosched()
+			}
+		}
+	})
+}
+
+func benchWorkPool(b *testing.B, shards int, sp *bench.StallPoint) {
+	_, workers := benchCacheWorkers()
+	m, err := wflocks.New(
+		wflocks.WithUnknownBounds(workers+2),
+		wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(wflocks.WorkPoolCriticalSteps(1, 1)),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vc := wflocks.Codec[uint64](wflocks.IntegerCodec[uint64]())
+	if sp != nil {
+		vc = bench.StallValueCodec(sp)
+	}
+	wp, err := wflocks.NewWorkPoolOf[uint64](m, vc,
+		wflocks.WithPoolShards(shards), wflocks.WithPoolCapacity(benchQueueCapacity),
+		wflocks.WithPoolBatch(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp.Arm()
+	benchQueuePair(b, wp.TryEnqueue, wp.TryDequeue)
+	b.StopTimer()
+	if n := wp.Len(); n != 0 {
+		b.Fatalf("pool holds %d elements after balanced run", n)
+	}
+	s := wp.Stats()
+	b.ReportMetric(float64(s.Steals), "steals")
+}
+
+func benchWfQueue(b *testing.B, sp *bench.StallPoint) {
+	_, workers := benchCacheWorkers()
+	m, err := wflocks.New(
+		wflocks.WithUnknownBounds(workers+2),
+		wflocks.WithMaxLocks(1),
+		wflocks.WithMaxCriticalSteps(wflocks.QueueCriticalSteps(1, 1)),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vc := wflocks.Codec[uint64](wflocks.IntegerCodec[uint64]())
+	if sp != nil {
+		vc = bench.StallValueCodec(sp)
+	}
+	q, err := wflocks.NewQueueOf[uint64](m, vc,
+		wflocks.WithQueueCapacity(benchQueueCapacity), wflocks.WithQueueBatch(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp.Arm()
+	benchQueuePair(b, q.TryEnqueue, q.TryDequeue)
+	b.StopTimer()
+	if n := q.Len(); n != 0 {
+		b.Fatalf("queue holds %d elements after balanced run", n)
+	}
+}
+
+func benchMutexRing(b *testing.B, sp *bench.StallPoint) {
+	q := bench.NewMutexRing(benchQueueCapacity, sp)
+	sp.Arm()
+	benchQueuePair(b, q.TryEnqueue, q.TryDequeue)
+}
+
+func benchChanQueue(b *testing.B, sp *bench.StallPoint) {
+	q := bench.NewChanQueue(benchQueueCapacity, sp)
+	sp.Arm()
+	benchQueuePair(b, q.TryEnqueue, q.TryDequeue)
+}

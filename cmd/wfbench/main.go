@@ -11,13 +11,13 @@
 //	wfbench -workload map:zipf -scale full
 //	wfbench -workload cache:zipf   # wfcache vs mutex-LRU, raw + holder-stall regimes
 //	wfbench -workload txn:transfer # wfmap Atomic vs sorted-multi-mutex, L = 1..8
+//	wfbench -workload queue:mpmc   # wfqueue/WorkPool vs channel + mutex-ring
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"wflocks/internal/bench"
@@ -32,28 +32,17 @@ func run() int {
 	var (
 		expID    = flag.String("exp", "", "experiment id (E1..E10); empty = all")
 		scale    = flag.String("scale", "quick", "quick or full")
-		list     = flag.Bool("list", false, "list experiments and exit")
+		list     = flag.Bool("list", false, "list experiments and workload scenarios, then exit")
 		workName = flag.String("workload", "",
-			"data-structure workload instead of an experiment (map:read, map:write, map:zipf, cache:read, cache:zipf, cache:churn, txn:transfer, txn:mixed)")
+			"data-structure workload instead of an experiment (see -list for the registry)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+			fmt.Printf("%-14s %s\n", e.ID, e.Claim)
 		}
-		for _, sc := range workload.MapScenarios() {
-			fmt.Printf("%-11s map workload: %d%%/%d%%/%d%% get/put/delete, skew %.1f\n",
-				sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Skew)
-		}
-		for _, sc := range workload.CacheScenarios() {
-			fmt.Printf("%-11s cache workload: %d%%/%d%%/%d%% get/put/delete, cap %d/%d, skew %.1f\n",
-				sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Capacity, sc.Keys, sc.Skew)
-		}
-		for _, sc := range workload.TxnScenarios() {
-			fmt.Printf("%-11s txn workload: %d%%/%d%% transfer/read over %d keys, skew %.1f, L swept 1..8\n",
-				sc.Name, sc.TransferPct, 100-sc.TransferPct, sc.Keys, sc.Skew)
-		}
+		printScenarios(os.Stdout)
 		return 0
 	}
 
@@ -95,8 +84,17 @@ func run() int {
 	return 0
 }
 
-// runWorkload dispatches a data-structure workload by name: the map
-// and cache scenario families share the flag.
+// printScenarios renders the central workload registry, one line per
+// scenario.
+func printScenarios(w *os.File) {
+	for _, in := range workload.Scenarios() {
+		fmt.Fprintf(w, "%-14s %s\n", in.Name, in.Summary)
+	}
+}
+
+// runWorkload dispatches a data-structure workload by name; every
+// scenario family shares the flag and the central registry describes
+// the options.
 func runWorkload(name string, s bench.Scale) int {
 	var run func() (*bench.Table, error)
 	if sc := workload.LookupMapScenario(name); sc != nil {
@@ -105,19 +103,11 @@ func runWorkload(name string, s bench.Scale) int {
 		run = func() (*bench.Table, error) { return bench.RunCacheScenario(sc, s) }
 	} else if sc := workload.LookupTxnScenario(name); sc != nil {
 		run = func() (*bench.Table, error) { return bench.RunTxnScenario(sc, s) }
+	} else if sc := workload.LookupQueueScenario(name); sc != nil {
+		run = func() (*bench.Table, error) { return bench.RunQueueScenario(sc, s) }
 	} else {
-		var names []string
-		for _, s := range workload.MapScenarios() {
-			names = append(names, s.Name)
-		}
-		for _, s := range workload.CacheScenarios() {
-			names = append(names, s.Name)
-		}
-		for _, s := range workload.TxnScenarios() {
-			names = append(names, s.Name)
-		}
-		fmt.Fprintf(os.Stderr, "wfbench: unknown workload %q (have %s)\n",
-			name, strings.Join(names, ", "))
+		fmt.Fprintf(os.Stderr, "wfbench: unknown workload %q; the registry:\n", name)
+		printScenarios(os.Stderr)
 		return 2
 	}
 	start := time.Now()

@@ -126,22 +126,59 @@
 // transaction — a checking map and a savings map can move value
 // between them atomically (see examples/bank).
 //
+// # Queues and work distribution
+//
+// Queue (NewQueue, NewQueueOf) is the producer/consumer primitive: a
+// bounded MPMC FIFO ring whose head/tail tickets, element slots and
+// per-slot occupancy sequence numbers are all cells, so every enqueue
+// and dequeue is a single-lock idempotent critical section — the
+// index surgery is re-executed by helpers without double-applying,
+// and a stalled producer or consumer never wedges the queue.
+// TryEnqueue/TryDequeue fail fast on full/empty; Enqueue/Dequeue wait
+// under the manager's RetryPolicy with context cancellation; and
+// EnqueueBatch/DequeueBatch move chunks of up to WithQueueBatch
+// elements per critical section, amortizing acquisitions the way the
+// map's batches amortize shard locks.
+//
+// WorkPool (NewWorkPool, NewWorkPoolOf) is the sharded relaxed-FIFO
+// layer for independent work items: round-robin submission across
+// per-shard sub-rings, home-shard consumption, and — when a
+// consumer's home shard is empty while another holds work — a
+// two-lock steal (the multi-lock path at L=2) that returns one
+// element and migrates a small batch to the home shard. Ordering is
+// FIFO per shard only; that is the deliberate price of submit
+// throughput that scales with the shard count and stalls confined to
+// one shard. Queue is for order-bearing streams, WorkPool for
+// pipelines (see examples/pipeline).
+//
 // # Sizing critical-section budgets
 //
-// The budget helpers (MapCriticalSteps, CacheCriticalSteps) show how
-// T is engineered as structures grow richer. Every cell word read or
-// written inside a body costs one operation, so a budget is just an
-// audit of the worst-case body. For the map that is a full-region
-// probe — capacity × (1 + keyWords) — plus a constant for the insert
-// and bookkeeping writes. The cache's LRU surgery extends the same
-// audit: a move-to-front is at most 9 single-word cell ops (three
-// pointer reads, six writes), an eviction at most a dozen, all
-// constants independent of the region size, so CacheCriticalSteps is
-// the same probe term with a larger additive constant. The pattern
-// generalizes: bounded-degree pointer surgery adds O(1) per
-// operation, and only region scans contribute linear terms — which is
-// why neither structure rehashes, and why both bound T by
-// construction rather than hoping workloads stay polite.
+// The budget helpers (MapCriticalSteps, CacheCriticalSteps,
+// QueueCriticalSteps, WorkPoolCriticalSteps) show how T is engineered
+// as structures grow richer. Every cell word read or written inside a
+// body costs one operation, so a budget is just an audit of the
+// worst-case body. For the map that is a full-region probe —
+// capacity × (1 + keyWords) — plus a constant for the insert and
+// bookkeeping writes. The cache's LRU surgery extends the same audit:
+// a move-to-front is at most 9 single-word cell ops (three pointer
+// reads, six writes), an eviction at most a dozen, all constants
+// independent of the region size, so CacheCriticalSteps is the same
+// probe term with a larger additive constant. The queue sits at the
+// other extreme: there is no probe at all, so QueueCriticalSteps has
+// no capacity term — a worst-case item is ticket reads, a slot write,
+// a sequence write and counter updates (2·valueWords + a small
+// constant), times the batch size, plus fixed routing overhead.
+// WorkPoolCriticalSteps is the same formula with the batch floored at
+// the steal section's cost (one dequeue plus stealBatch
+// dequeue/enqueue migration pairs). The pattern generalizes:
+// bounded-degree surgery adds O(1) per operation, and only region
+// scans contribute linear terms — which is why no structure here
+// rehashes or grows, and why each bounds T by construction rather
+// than hoping workloads stay polite. Note the queue consequence:
+// because T excludes any capacity term, a queue's WithQueueCapacity
+// is free as far as the delay schedule is concerned, while its batch
+// size is not — batches trade per-item acquisition overhead against a
+// longer T that every attempt's delays scale with.
 //
 // # Errors and observability
 //

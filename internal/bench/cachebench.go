@@ -4,7 +4,6 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"wflocks"
@@ -39,60 +38,6 @@ import (
 // that the baseline does not pay. The draw is per execution, not per
 // logical op, which is exactly the preemption model: stalls strike the
 // executing process, not the operation.
-
-// StallPoint injects periodic stalls: every Period-th call sleeps for
-// Dur, once Arm has been called — setup work (cache construction,
-// prefill) draws without sleeping, so the stall schedule belongs
-// entirely to the measured run. Counter-based rather than randomized
-// so runs are comparable; the sharing across goroutines is what makes
-// it model "some process is preempted every so often". A nil
-// StallPoint never stalls.
-type StallPoint struct {
-	Period uint64
-	Dur    time.Duration
-	armed  atomic.Bool
-	n      atomic.Uint64
-}
-
-// NewStallPoint builds a stall point that sleeps for dur once every
-// period calls after Arm.
-func NewStallPoint(period int, dur time.Duration) *StallPoint {
-	return &StallPoint{Period: uint64(period), Dur: dur}
-}
-
-// Arm enables sleeping (and resets the call counter, so the first
-// stall lands a full period into the run).
-func (s *StallPoint) Arm() {
-	if s == nil {
-		return
-	}
-	s.n.Store(0)
-	s.armed.Store(true)
-}
-
-// Hit draws one stall decision.
-func (s *StallPoint) Hit() {
-	if s == nil || s.Period == 0 {
-		return
-	}
-	if s.n.Add(1)%s.Period == 0 && s.armed.Load() {
-		time.Sleep(s.Dur)
-	}
-}
-
-// StallValueCodec wraps the single-word uint64 value codec so that
-// every Encode draws from the stall point. Encodes happen inside
-// wfcache's critical sections (bucket writes, result-cell writes), so
-// this plants the stall exactly where a preempted holder would hold
-// everything up under a blocking design.
-func StallValueCodec(sp *StallPoint) wflocks.Codec[uint64] {
-	return wflocks.CodecFunc(1,
-		func(v uint64, dst []uint64) {
-			sp.Hit()
-			dst[0] = v
-		},
-		func(src []uint64) uint64 { return src[0] })
-}
 
 // MutexLRU is the blocking baseline: the classic cache design — one
 // sync.Mutex guarding a map plus a container/list recency list, as in
@@ -187,16 +132,6 @@ func (c *MutexLRU) Counters() (hits, misses, evictions uint64) {
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions
 }
-
-// Stall-regime parameters: one value-encode in sixteen sleeps for the
-// stall duration. At the scenario mixes this stalls roughly one op in
-// twenty — a heavy but not absurd preemption rate, chosen so the stall
-// cost dominates both implementations' base cost and the comparison
-// measures stall handling, not constant factors.
-const (
-	stallPeriod = 16
-	stallDur    = 4 * time.Millisecond
-)
 
 // cacheShardCounts is the shard sweep of the cache benchmarks.
 var cacheShardCounts = []int{1, 2, 4, 8}

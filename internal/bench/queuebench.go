@@ -1,0 +1,422 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wflocks"
+	"wflocks/internal/workload"
+)
+
+// Queue workload runner: drives a workload.QueueScenario against the
+// wfqueue subsystem (the single-ring Queue and the sharded WorkPool,
+// sweeping the shard count) and against two baselines — a buffered Go
+// channel and a mutex+ring — in the raw and holder-stall regimes.
+//
+// In the raw regime the baselines win on constant factors: a channel
+// send is a runtime-assisted handoff and a mutex+ring op is a handful
+// of instructions, while every wait-free attempt pays the paper's
+// fixed delays (c·κ²L²T own steps). The interesting regime is the
+// paper's: producers and consumers that stall mid-operation. A
+// stalled mutex+ring holder blocks the whole queue for the stall; a
+// stalled wfqueue winner is helped, so stalls overlap instead of
+// serializing, and the sharded WorkPool additionally confines each
+// stall to one shard. The channel baseline deserves an honest note:
+// a goroutine cannot sleep while holding the channel's internal lock,
+// so its stalls are drawn just outside the send/receive — channels
+// are inherently stall-tolerant, and the stall regime mainly measures
+// their loss of the stalled goroutine's own throughput. The
+// comparison the regime isolates is wfqueue vs the mutex+ring, the
+// design a hand-rolled bounded queue actually uses.
+//
+// Every run audits conservation: the sum of consumed values must
+// equal the sum produced, whatever the interleaving.
+
+// queueShardCounts is the WorkPool shard sweep.
+var queueShardCounts = []int{1, 2, 4, 8}
+
+// queueWorkers picks the driver goroutine count: the host's
+// parallelism, but at least 8 so the mpmc scenario has real
+// many-to-many contention (and enough runnable competitors to help
+// stalled winners) even on small machines.
+func queueWorkers() int {
+	if p := runtime.GOMAXPROCS(0); p > 8 {
+		return p
+	}
+	return 8
+}
+
+// benchQueue is the uniform surface the queue drivers need; all four
+// implementations provide it.
+type benchQueue interface {
+	TryEnqueue(v uint64) bool
+	TryDequeue() (uint64, bool)
+}
+
+// ChanQueue adapts a buffered channel. Stalls are drawn outside the
+// channel operation — the runtime's channel lock cannot be held across
+// a user-code sleep — which is precisely why the channel is the
+// stall-tolerant baseline (see the file comment).
+type ChanQueue struct {
+	ch    chan uint64
+	stall *StallPoint
+}
+
+// NewChanQueue creates a channel baseline with the given capacity.
+// stall (which may be nil) is drawn once per operation, outside the
+// channel op.
+func NewChanQueue(capacity int, stall *StallPoint) *ChanQueue {
+	return &ChanQueue{ch: make(chan uint64, capacity), stall: stall}
+}
+
+// TryEnqueue sends v, reporting false when the buffer is full.
+func (q *ChanQueue) TryEnqueue(v uint64) bool {
+	q.stall.Hit()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// TryDequeue receives, reporting false when the buffer is empty.
+func (q *ChanQueue) TryDequeue() (uint64, bool) {
+	q.stall.Hit()
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// MutexRing is the blocking baseline a hand-rolled bounded MPMC queue
+// uses: one sync.Mutex guarding a ring buffer with head/tail indices.
+// stall (which may be nil) is drawn while the mutex is held whenever a
+// slot's value is touched, mirroring wfqueue's in-critical-section
+// encodes; a stalled holder blocks every producer and consumer for
+// the stall.
+type MutexRing struct {
+	mu    sync.Mutex
+	buf   []uint64
+	head  uint64
+	tail  uint64
+	stall *StallPoint
+}
+
+// NewMutexRing creates a baseline ring with the given capacity
+// (rounded up to a power of two, matching wfqueue).
+func NewMutexRing(capacity int, stall *StallPoint) *MutexRing {
+	return &MutexRing{buf: make([]uint64, nextPow2(capacity)), stall: stall}
+}
+
+// TryEnqueue appends v, reporting false when the ring is full.
+func (q *MutexRing) TryEnqueue(v uint64) bool {
+	q.mu.Lock()
+	if q.tail-q.head >= uint64(len(q.buf)) {
+		q.mu.Unlock()
+		return false
+	}
+	q.stall.Hit()
+	q.buf[q.tail&uint64(len(q.buf)-1)] = v
+	q.tail++
+	q.mu.Unlock()
+	return true
+}
+
+// TryDequeue pops the oldest element, reporting false when empty.
+func (q *MutexRing) TryDequeue() (uint64, bool) {
+	q.mu.Lock()
+	if q.head == q.tail {
+		q.mu.Unlock()
+		return 0, false
+	}
+	q.stall.Hit()
+	v := q.buf[q.head&uint64(len(q.buf)-1)]
+	q.head++
+	q.mu.Unlock()
+	return v, true
+}
+
+// Len reports the occupancy.
+func (q *MutexRing) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return int(q.tail - q.head)
+}
+
+// Queue benchmark managers run the unknown-bounds (Section 6.2)
+// variant: the queue's per-lock point contention after sharding is far
+// below the worker count, and the adaptive algorithm's
+// pad-to-power-of-two delays track the actual contention instead of
+// the worst-case fixed κ²L²T — the paper's own answer (Theorem 6.10,
+// reproduced by E5/E11) to exactly this gap, at the price of a log
+// factor in the success bound. The map/cache/txn runners keep the
+// known-bounds variant, so both modes stay covered end to end.
+
+// newWfQueue builds a single-ring Queue sized for the scenario.
+func newWfQueue(sc *workload.QueueScenario, workers int, sp *StallPoint) (*wflocks.Queue[uint64], error) {
+	m, err := wflocks.New(
+		wflocks.WithUnknownBounds(workers+2),
+		wflocks.WithMaxLocks(1),
+		wflocks.WithMaxCriticalSteps(wflocks.QueueCriticalSteps(1, 1)),
+	)
+	if err != nil {
+		return nil, err
+	}
+	vc := wflocks.Codec[uint64](wflocks.IntegerCodec[uint64]())
+	if sp != nil {
+		vc = StallValueCodec(sp)
+	}
+	return wflocks.NewQueueOf[uint64](m, vc,
+		wflocks.WithQueueCapacity(sc.Capacity), wflocks.WithQueueBatch(1))
+}
+
+// newWfPool builds a WorkPool with the given shard count; the
+// scenario's capacity is the pool total, so the sweep holds aggregate
+// capacity constant while per-shard contention shrinks.
+func newWfPool(sc *workload.QueueScenario, shards, workers int, sp *StallPoint) (*wflocks.WorkPool[uint64], error) {
+	m, err := wflocks.New(
+		wflocks.WithUnknownBounds(workers+2),
+		wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(wflocks.WorkPoolCriticalSteps(1, 1)),
+	)
+	if err != nil {
+		return nil, err
+	}
+	vc := wflocks.Codec[uint64](wflocks.IntegerCodec[uint64]())
+	if sp != nil {
+		vc = StallValueCodec(sp)
+	}
+	return wflocks.NewWorkPoolOf[uint64](m, vc,
+		wflocks.WithPoolShards(shards), wflocks.WithPoolCapacity(sc.Capacity),
+		wflocks.WithPoolBatch(1))
+}
+
+// RunQueueScenario drives sc against wfqueue, the WorkPool shard
+// sweep, and the channel and mutex+ring baselines, in the raw and
+// holder-stall regimes, and tabulates throughput, steal traffic and
+// contention.
+func RunQueueScenario(sc *workload.QueueScenario, scale Scale) (*Table, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	workers := queueWorkers()
+	producers, consumers, moversPer := sc.Split(workers)
+	itemsPer := 200
+	if scale == Full {
+		itemsPer = 2000
+	}
+	t := &Table{
+		Title: fmt.Sprintf("%s: %d stage(s), cap %d, %d producers × %d items, %d consumers",
+			sc.Name, sc.Stages, sc.Capacity, producers, itemsPer, consumers),
+		Header: []string{"impl", "shards", "stall", "items/sec", "steals", "success", "attempts/item", "balance"},
+	}
+	for _, stalled := range []bool{false, true} {
+		// Each run gets its own stall point so the regime's rows do not
+		// share a stall schedule.
+		label := "none"
+		newSP := func() *StallPoint { return nil }
+		if stalled {
+			label = fmt.Sprintf("%v/%d", stallDur, stallPeriod)
+			newSP = func() *StallPoint { return NewStallPoint(stallPeriod, stallDur) }
+		}
+		{
+			sp := newSP()
+			var qs []*wflocks.Queue[uint64]
+			row, err := runQueueImpl(sc, "wfqueue", "1", label, sp, producers, consumers, moversPer, itemsPer,
+				func() (benchQueue, error) {
+					q, err := newWfQueue(sc, workers, sp)
+					if err != nil {
+						return nil, err
+					}
+					qs = append(qs, q)
+					return q, nil
+				},
+				func(row []string) {
+					var attempts, wins uint64
+					for _, q := range qs {
+						s := q.Stats()
+						attempts += s.Lock.Attempts
+						wins += s.Lock.Wins
+					}
+					fillAttemptCols(row, attempts, wins, uint64(producers*itemsPer))
+				})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		for _, shards := range queueShardCounts {
+			sp := newSP()
+			var pools []*wflocks.WorkPool[uint64]
+			row, err := runQueueImpl(sc, "workpool", fmt.Sprint(shards), label, sp, producers, consumers, moversPer, itemsPer,
+				func() (benchQueue, error) {
+					wp, err := newWfPool(sc, shards, workers, sp)
+					if err != nil {
+						return nil, err
+					}
+					pools = append(pools, wp)
+					return wp, nil
+				},
+				func(row []string) {
+					var steals, attempts, wins uint64
+					balance := 1.0
+					for _, wp := range pools {
+						s := wp.Stats()
+						steals += s.Steals
+						for _, sh := range s.Shards {
+							attempts += sh.Lock.Attempts
+							wins += sh.Lock.Wins
+						}
+						if s.Balance < balance {
+							balance = s.Balance
+						}
+					}
+					row[4] = fmt.Sprint(steals)
+					fillAttemptCols(row, attempts, wins, uint64(producers*itemsPer))
+					row[7] = fmt.Sprintf("%.3f", balance)
+				})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		{
+			sp := newSP()
+			row, err := runQueueImpl(sc, "channel", "-", label, sp, producers, consumers, moversPer, itemsPer,
+				func() (benchQueue, error) { return NewChanQueue(sc.Capacity, sp), nil }, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		{
+			sp := newSP()
+			row, err := runQueueImpl(sc, "mutexring", "1", label, sp, producers, consumers, moversPer, itemsPer,
+				func() (benchQueue, error) { return NewMutexRing(sc.Capacity, sp), nil }, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"raw regime: the channel and mutex+ring win on constant factors — every wfqueue attempt pays the adaptive variant's padded delays (unknown-bounds mode, Theorem 6.10; contention-proportional rather than fixed κ²L²T)",
+		"stall regime: producers/consumers stall mid-operation ("+fmt.Sprintf("%v every %d value writes", stallDur, stallPeriod)+"); helpers absorb wfqueue's stalls, the mutex+ring serializes them",
+		"the channel draws its stalls outside the channel op (no user-held lock exists): channels are inherently stall-tolerant, so the stall rows isolate wfqueue vs mutex+ring",
+		"success is wins/attempts over the wait-free lock attempts; steals counts elements WorkPool consumers migrated from other shards")
+	return t, nil
+}
+
+// fillAttemptCols fills the success and attempts/item columns from
+// summed lock counters. An item is one enqueue plus one dequeue (plus
+// any full/empty probes and, for pools, steal raids), so the
+// uncontended floor for attempts/item is 2 per traversed stage.
+func fillAttemptCols(row []string, attempts, wins, items uint64) {
+	if attempts == 0 || items == 0 {
+		return
+	}
+	row[5] = fmt.Sprintf("%.3f", float64(wins)/float64(attempts))
+	row[6] = fmt.Sprintf("%.2f", float64(attempts)/float64(items))
+}
+
+// runQueueImpl measures one implementation under one regime: a
+// pipeline of sc.Stages queues built by mk, producers feeding the
+// first, movers shuttling across each boundary, consumers draining
+// the last, with a conservation audit. finish, when non-nil, fills the
+// implementation-specific columns from post-run stats.
+func runQueueImpl(sc *workload.QueueScenario, impl, shards, stallLabel string, sp *StallPoint,
+	producers, consumers, moversPer, itemsPer int,
+	mk func() (benchQueue, error), finish func(row []string)) ([]string, error) {
+	queues := make([]benchQueue, sc.Stages)
+	for i := range queues {
+		q, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		queues[i] = q
+	}
+	total := producers * itemsPer
+	var wantSum atomic.Uint64
+	var gotSum atomic.Uint64
+	// moved[i] counts items that have left queue i; stage workers stop
+	// when their upstream total is through.
+	moved := make([]atomic.Uint64, sc.Stages)
+	sp.Arm()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < itemsPer; i++ {
+				v := uint64(w*itemsPer+i) + 1
+				wantSum.Add(v)
+				for !queues[0].TryEnqueue(v) {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	for b := 1; b < sc.Stages; b++ {
+		for w := 0; w < moversPer; w++ {
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				for {
+					if moved[b-1].Load() >= uint64(total) {
+						return
+					}
+					if v, ok := queues[b-1].TryDequeue(); ok {
+						moved[b-1].Add(1)
+						for !queues[b].TryEnqueue(v) {
+							runtime.Gosched()
+						}
+					} else {
+						runtime.Gosched()
+					}
+				}
+			}(b)
+		}
+	}
+	last := sc.Stages - 1
+	for w := 0; w < consumers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if moved[last].Load() >= uint64(total) {
+					return
+				}
+				if v, ok := queues[last].TryDequeue(); ok {
+					moved[last].Add(1)
+					gotSum.Add(v)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if gotSum.Load() != wantSum.Load() {
+		return nil, fmt.Errorf("%s %s: conservation violated: consumed sum %d, produced sum %d",
+			sc.Name, impl, gotSum.Load(), wantSum.Load())
+	}
+	row := []string{
+		impl,
+		shards,
+		stallLabel,
+		fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+		"-", "-", "-", "-",
+	}
+	if finish != nil {
+		finish(row)
+	}
+	return row, nil
+}

@@ -1,0 +1,92 @@
+package workload
+
+import "fmt"
+
+// Queue workloads. Where MapScenario and CacheScenario describe
+// point-lookup traffic, QueueScenario describes producer/consumer
+// traffic against the wfqueue subsystem: a topology (how many
+// producers and consumers, how many pipeline stages) and a per-queue
+// capacity. The three canonical shapes are the two-party baseline
+// (queue:spsc), the many-to-many contention shape that stresses a
+// single FIFO point (queue:mpmc), and the multi-stage streaming shape
+// where items traverse a chain of queues (queue:pipeline) — the
+// backbone of a heavy-traffic ingest/transform/serve path.
+type QueueScenario struct {
+	// Name identifies the scenario (the cmd/wfbench -workload flag
+	// matches it, e.g. "queue:mpmc").
+	Name string
+	// Capacity is each queue's slot count. It bounds how far producers
+	// run ahead; small capacities keep the full/empty transitions hot.
+	Capacity int
+	// Stages is the number of queues items traverse: 1 is a plain
+	// producer/consumer queue, k > 1 chains k queues with a worker pool
+	// moving items across each boundary.
+	Stages int
+	// PinnedProducers and PinnedConsumers, when positive, fix the
+	// producer/consumer goroutine counts regardless of the host's
+	// parallelism (queue:spsc pins 1/1). When zero the runner splits
+	// its workers evenly between the roles.
+	PinnedProducers, PinnedConsumers int
+}
+
+// Validate checks the scenario's internal consistency.
+func (s *QueueScenario) Validate() error {
+	if s.Capacity <= 0 {
+		return fmt.Errorf("queue scenario %q: capacity must be positive, got %d", s.Name, s.Capacity)
+	}
+	if s.Stages < 1 {
+		return fmt.Errorf("queue scenario %q: stages must be at least 1, got %d", s.Name, s.Stages)
+	}
+	if s.PinnedProducers < 0 || s.PinnedConsumers < 0 {
+		return fmt.Errorf("queue scenario %q: pinned counts must be non-negative, got %d/%d",
+			s.Name, s.PinnedProducers, s.PinnedConsumers)
+	}
+	if (s.PinnedProducers == 0) != (s.PinnedConsumers == 0) {
+		return fmt.Errorf("queue scenario %q: pin both producer and consumer counts or neither", s.Name)
+	}
+	return nil
+}
+
+// QueueScenarios lists the built-in scenario family.
+func QueueScenarios() []QueueScenario {
+	return []QueueScenario{
+		// One producer, one consumer: the baseline handoff shape, where
+		// the queue's constant factors (not contention) dominate.
+		{Name: "queue:spsc", Capacity: 64, Stages: 1, PinnedProducers: 1, PinnedConsumers: 1},
+		// Many producers, many consumers on one logical queue: the
+		// contention shape where sharding and helping earn their keep.
+		{Name: "queue:mpmc", Capacity: 256, Stages: 1},
+		// Three chained queues with workers at every boundary: items are
+		// produced, transformed twice, and consumed — the streaming
+		// pipeline the ROADMAP's heavy-traffic north star is built from.
+		{Name: "queue:pipeline", Capacity: 64, Stages: 3},
+	}
+}
+
+// LookupQueueScenario finds a built-in scenario by name, or nil.
+func LookupQueueScenario(name string) *QueueScenario {
+	for _, s := range QueueScenarios() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	return nil
+}
+
+// Split apportions workers to the scenario's roles: producers feed the
+// first queue, consumers drain the last, and each of the stages-1
+// inner boundaries gets moversPer goroutines shuttling items across
+// it. Pinned scenarios keep their exact counts (one mover per
+// boundary); otherwise workers are divided evenly across the stages+1
+// roles, with every role getting at least one goroutine.
+func (s *QueueScenario) Split(workers int) (producers, consumers, moversPer int) {
+	if s.PinnedProducers > 0 {
+		return s.PinnedProducers, s.PinnedConsumers, 1
+	}
+	roles := s.Stages + 1
+	per := workers / roles
+	if per < 1 {
+		per = 1
+	}
+	return per, per, per
+}

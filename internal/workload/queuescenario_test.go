@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueueScenarioValidate(t *testing.T) {
+	for _, sc := range QueueScenarios() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("built-in %s invalid: %v", sc.Name, err)
+		}
+	}
+	bad := []QueueScenario{
+		{Name: "bad:cap", Capacity: 0, Stages: 1},
+		{Name: "bad:stages", Capacity: 8, Stages: 0},
+		{Name: "bad:pin", Capacity: 8, Stages: 1, PinnedProducers: 1},
+		{Name: "bad:neg", Capacity: 8, Stages: 1, PinnedProducers: -1, PinnedConsumers: 2},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s validated", sc.Name)
+		}
+	}
+}
+
+func TestQueueScenarioLookup(t *testing.T) {
+	if sc := LookupQueueScenario("queue:mpmc"); sc == nil || sc.Stages != 1 {
+		t.Fatalf("queue:mpmc lookup = %+v", sc)
+	}
+	if sc := LookupQueueScenario("queue:nope"); sc != nil {
+		t.Fatalf("bogus lookup found %+v", sc)
+	}
+}
+
+func TestQueueScenarioSplit(t *testing.T) {
+	spsc := LookupQueueScenario("queue:spsc")
+	if p, c, mv := spsc.Split(32); p != 1 || c != 1 || mv != 1 {
+		t.Fatalf("spsc split(32) = %d/%d/%d, want 1/1/1", p, c, mv)
+	}
+	mpmc := LookupQueueScenario("queue:mpmc")
+	if p, c, _ := mpmc.Split(8); p != 4 || c != 4 {
+		t.Fatalf("mpmc split(8) = %d/%d, want 4/4", p, c)
+	}
+	pipe := LookupQueueScenario("queue:pipeline")
+	if p, c, mv := pipe.Split(8); p != 2 || c != 2 || mv != 2 {
+		t.Fatalf("pipeline split(8) = %d/%d/%d, want 2/2/2", p, c, mv)
+	}
+	// Degenerate worker counts still give every role a goroutine.
+	if p, c, mv := pipe.Split(1); p != 1 || c != 1 || mv != 1 {
+		t.Fatalf("pipeline split(1) = %d/%d/%d, want 1/1/1", p, c, mv)
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	infos := Scenarios()
+	if len(infos) == 0 {
+		t.Fatal("empty registry")
+	}
+	// Every family is represented and every name is unique and
+	// resolvable through its family's lookup.
+	kinds := map[string]int{}
+	seen := map[string]bool{}
+	for _, in := range infos {
+		if seen[in.Name] {
+			t.Errorf("duplicate scenario name %q", in.Name)
+		}
+		seen[in.Name] = true
+		kinds[in.Kind]++
+		if in.Summary == "" {
+			t.Errorf("%s has no summary", in.Name)
+		}
+		if !strings.HasPrefix(in.Name, in.Kind+":") {
+			t.Errorf("%s: name does not carry its kind prefix %q", in.Name, in.Kind)
+		}
+		var found bool
+		switch in.Kind {
+		case "map":
+			found = LookupMapScenario(in.Name) != nil
+		case "cache":
+			found = LookupCacheScenario(in.Name) != nil
+		case "txn":
+			found = LookupTxnScenario(in.Name) != nil
+		case "queue":
+			found = LookupQueueScenario(in.Name) != nil
+		default:
+			t.Errorf("%s: unknown kind %q", in.Name, in.Kind)
+			found = true
+		}
+		if !found {
+			t.Errorf("%s not resolvable via its family lookup", in.Name)
+		}
+	}
+	for _, kind := range []string{"map", "cache", "txn", "queue"} {
+		if kinds[kind] == 0 {
+			t.Errorf("registry missing the %s family", kind)
+		}
+	}
+	if names := ScenarioNames(); len(names) != len(infos) {
+		t.Fatalf("ScenarioNames has %d entries, registry %d", len(names), len(infos))
+	}
+}

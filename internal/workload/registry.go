@@ -1,0 +1,77 @@
+package workload
+
+import "fmt"
+
+// Central scenario registry. Every data-structure workload family
+// (map, cache, txn, queue) registers its built-in scenarios here, so
+// the tools have one place to enumerate them: cmd/wfbench's -list
+// prints this registry and an unknown -workload suggests it. Adding a
+// scenario to a family's *Scenarios() function is all it takes to
+// appear here — the registry is derived, never maintained by hand.
+
+// ScenarioInfo is one registered workload scenario: its flag name, the
+// family it belongs to, and a one-line summary of its shape.
+type ScenarioInfo struct {
+	// Name is the scenario's registry key (the cmd/wfbench -workload
+	// flag matches it, e.g. "queue:mpmc").
+	Name string
+	// Kind names the family: "map", "cache", "txn" or "queue".
+	Kind string
+	// Summary is the one-line description -list prints.
+	Summary string
+}
+
+// Scenarios enumerates every built-in scenario across all families, in
+// family order (map, cache, txn, queue) and declaration order within a
+// family.
+func Scenarios() []ScenarioInfo {
+	var out []ScenarioInfo
+	for _, s := range MapScenarios() {
+		out = append(out, ScenarioInfo{
+			Name: s.Name,
+			Kind: "map",
+			Summary: fmt.Sprintf("map workload: %d%%/%d%%/%d%% get/put/delete, %d keys, skew %.1f",
+				s.GetPct, s.PutPct, s.DeletePct, s.Keys, s.Skew),
+		})
+	}
+	for _, s := range CacheScenarios() {
+		out = append(out, ScenarioInfo{
+			Name: s.Name,
+			Kind: "cache",
+			Summary: fmt.Sprintf("cache workload: %d%%/%d%%/%d%% get/put/delete, cap %d/%d keys, skew %.1f",
+				s.GetPct, s.PutPct, s.DeletePct, s.Capacity, s.Keys, s.Skew),
+		})
+	}
+	for _, s := range TxnScenarios() {
+		out = append(out, ScenarioInfo{
+			Name: s.Name,
+			Kind: "txn",
+			Summary: fmt.Sprintf("txn workload: %d%%/%d%% transfer/read over %d keys, skew %.1f, L swept 1..8",
+				s.TransferPct, 100-s.TransferPct, s.Keys, s.Skew),
+		})
+	}
+	for _, s := range QueueScenarios() {
+		role := "producers/consumers split evenly"
+		if s.PinnedProducers > 0 {
+			role = fmt.Sprintf("%d producer(s), %d consumer(s)", s.PinnedProducers, s.PinnedConsumers)
+		}
+		out = append(out, ScenarioInfo{
+			Name: s.Name,
+			Kind: "queue",
+			Summary: fmt.Sprintf("queue workload: %d stage(s), cap %d per queue, %s",
+				s.Stages, s.Capacity, role),
+		})
+	}
+	return out
+}
+
+// ScenarioNames lists every registered scenario name, in registry
+// order.
+func ScenarioNames() []string {
+	infos := Scenarios()
+	names := make([]string, len(infos))
+	for i, in := range infos {
+		names[i] = in.Name
+	}
+	return names
+}

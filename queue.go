@@ -1,0 +1,505 @@
+package wflocks
+
+import (
+	"context"
+	"fmt"
+
+	"wflocks/internal/table"
+)
+
+// Queue is a generic bounded MPMC FIFO ring queue built on the
+// manager's wait-free locks. The head and tail indices, the element
+// slots and the per-slot occupancy sequence numbers all live in typed
+// cells, and every enqueue/dequeue is a single-lock critical section on
+// the idempotence layer — so the queue inherits the locks' guarantees:
+// a producer or consumer stalled mid-operation (a preempted vCPU, a GC
+// pause) can never wedge the queue, because competitors help its
+// critical section complete, and every operation finishes within the
+// O(κ²L²T) step bound.
+//
+// Head and tail are monotone tickets: enqueue number t writes slot
+// t mod capacity, dequeue number h reads slot h mod capacity. Each slot
+// carries a sequence cell following the classic bounded-MPMC protocol —
+// seq == t while the slot awaits enqueue ticket t, t+1 while it holds
+// that ticket's element, and t+capacity once dequeue t's lap frees it.
+// Under a single lock the sequence numbers are not needed for mutual
+// exclusion; they are the occupancy audit that makes the ring's index
+// arithmetic checkable (the model-based fuzz test verifies them across
+// wraparound), exactly the role the engine's meta words play for the
+// shard table.
+//
+// The queue has fixed capacity (rounded up to a power of two): growing
+// the ring would make the worst-case critical section unbounded,
+// voiding the T bound, so size it with WithQueueCapacity. TryEnqueue
+// and TryDequeue fail fast on full/empty; Enqueue and Dequeue retry
+// under the manager's RetryPolicy until space/an element appears or
+// their context is done. For per-shard parallelism on top of this ring,
+// see WorkPool.
+//
+// Construct with NewQueue (integer elements) or NewQueueOf (explicit
+// codec). All methods are safe for concurrent use.
+type Queue[T any] struct {
+	m    *Manager
+	ring qring[T]
+	lock *Lock
+
+	batch       int
+	opBudget    int // single-item critical section
+	batchBudget int // batch-of-`batch` critical section
+}
+
+// qring is the cell-resident state of one bounded ring: monotone
+// head/tail tickets, per-slot sequence numbers and elements, and the
+// traffic counters. It is shared by Queue (one ring, one lock) and
+// WorkPool (one ring per shard); the owner brings the locking, the ring
+// owns everything a lock protects. All mutation happens inside critical
+// sections through the enqOne/deqOne step helpers, whose operation
+// sequences are deterministic given cell reads — the idempotence
+// contract for helper re-execution.
+type qring[T any] struct {
+	vc       Codec[T] // result-cell codec
+	capacity int
+	mask     uint64
+
+	head *Cell[uint64] // next dequeue ticket
+	tail *Cell[uint64] // next enqueue ticket
+	seq  []*Cell[uint64]
+	vals []*Cell[T]
+
+	// Counters, bumped inside critical sections: exact at quiescence.
+	enqs    *Cell[uint64] // completed enqueues
+	deqs    *Cell[uint64] // completed dequeues
+	fulls   *Cell[uint64] // attempts that observed a full ring
+	empties *Cell[uint64] // attempts that observed an empty ring
+}
+
+// newQring builds a ring with the given power-of-two capacity. Slot i
+// starts with sequence number i — "awaiting enqueue ticket i" — and a
+// zeroed element (never decoded before an enqueue writes it, so no
+// codec invocation happens at construction).
+func newQring[T any](vc Codec[T], capacity int) qring[T] {
+	r := qring[T]{
+		vc:       vc,
+		capacity: capacity,
+		mask:     uint64(capacity - 1),
+		head:     NewCell(uint64(0)),
+		tail:     NewCell(uint64(0)),
+		seq:      make([]*Cell[uint64], capacity),
+		vals:     make([]*Cell[T], capacity),
+		enqs:     NewCell(uint64(0)),
+		deqs:     NewCell(uint64(0)),
+		fulls:    NewCell(uint64(0)),
+		empties:  NewCell(uint64(0)),
+	}
+	for i := 0; i < capacity; i++ {
+		r.seq[i] = NewCell(uint64(i))
+		r.vals[i] = newResultCell(vc)
+	}
+	return r
+}
+
+// enqOne appends v inside a critical section, reporting false when the
+// ring is full. Reads-then-writes on the ticket cells are
+// read-your-writes, so batch bodies can call it repeatedly.
+func (r *qring[T]) enqOne(tx *Tx, v T) bool {
+	h := Get(tx, r.head)
+	t := Get(tx, r.tail)
+	if t-h >= uint64(r.capacity) {
+		return false
+	}
+	i := int(t & r.mask)
+	Put(tx, r.vals[i], v)
+	Put(tx, r.seq[i], t+1)
+	Put(tx, r.tail, t+1)
+	Put(tx, r.enqs, Get(tx, r.enqs)+1)
+	return true
+}
+
+// deqOne pops the oldest element into out inside a critical section,
+// reporting false when the ring is empty. The freed slot's sequence
+// advances a full lap (h+capacity): it now awaits the enqueue ticket
+// that will next land on it.
+func (r *qring[T]) deqOne(tx *Tx, out *Cell[T]) bool {
+	h := Get(tx, r.head)
+	t := Get(tx, r.tail)
+	if h == t {
+		return false
+	}
+	i := int(h & r.mask)
+	Put(tx, out, Get(tx, r.vals[i]))
+	Put(tx, r.seq[i], h+uint64(r.capacity))
+	Put(tx, r.head, h+1)
+	Put(tx, r.deqs, Get(tx, r.deqs)+1)
+	return true
+}
+
+// lenWith reads the ring's occupancy lock-free under an existing
+// process handle (see Queue.Len for the consistency caveat).
+func (r *qring[T]) lenWith(p *Process) int {
+	t := r.tail.Get(p)
+	h := r.head.Get(p)
+	n := int(t - h)
+	if n < 0 {
+		n = 0
+	}
+	if n > r.capacity {
+		n = r.capacity
+	}
+	return n
+}
+
+// Default queue shape: 1024 slots, batches of 8 items per critical
+// section.
+const (
+	defaultQueueCapacity = 1024
+	defaultQueueBatch    = 8
+)
+
+// QueueOption configures a Queue at construction.
+type QueueOption func(*queueConfig) error
+
+type queueConfig struct {
+	capacity int
+	batch    int
+}
+
+// WithQueueCapacity sets the queue's slot count, rounded up to a power
+// of two (default 1024). Capacity is fixed for the queue's lifetime —
+// growing the ring would unbound the worst-case critical section — so
+// it is also the bound on how far producers can run ahead of
+// consumers.
+func WithQueueCapacity(n int) QueueOption {
+	return func(c *queueConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("wflocks: WithQueueCapacity: capacity must be positive, got %d", n)
+		}
+		c.capacity = table.CeilPow2(n)
+		return nil
+	}
+}
+
+// WithQueueBatch sets the largest number of elements one EnqueueBatch
+// or DequeueBatch critical section moves (default 8). Larger batches
+// amortize lock acquisitions but lengthen the worst-case critical
+// section T — the batch budget is what QueueCriticalSteps grows with —
+// so every attempt's fixed delays grow too.
+func WithQueueBatch(n int) QueueOption {
+	return func(c *queueConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("wflocks: WithQueueBatch: batch must be positive, got %d", n)
+		}
+		c.batch = n
+		return nil
+	}
+}
+
+// Per-item and fixed overheads of a queue critical section, in
+// single-word cell operations. A worst-case item is a dequeue: ticket
+// reads (2), the element read and the result-cell write (valueWords
+// each), the slot's sequence write (1), the ticket write (1) and the
+// counter read+write (2); enqueues cost the same with one valueWords
+// term for the slot write. The fixed tail covers the outcome flag or
+// count routing and the full/empty counter bump.
+const (
+	queueItemOverhead  = 6
+	queueFixedOverhead = 8
+)
+
+// QueueCriticalSteps returns the WithMaxCriticalSteps bound T a Manager
+// needs to host a Queue whose elements are valueWords words wide and
+// whose batch operations move up to batch elements per critical
+// section (WithQueueBatch; single-element queues pass 1). It is the
+// queue's instance of the budget math every cell-resident structure
+// derives from (table.Budget for the shard structures): a bounded
+// per-item term — there is no probe, so nothing scales with capacity —
+// plus fixed routing overhead. WorkPool critical sections move more
+// items per section (steal migration); see WorkPoolCriticalSteps.
+func QueueCriticalSteps(valueWords, batch int) int {
+	if batch < 1 {
+		batch = 1
+	}
+	return batch*(2*valueWords+queueItemOverhead) + queueFixedOverhead
+}
+
+// NewQueue creates a queue of integer elements, the common case, using
+// the built-in single-word codec. See NewQueueOf for arbitrary types.
+func NewQueue[T Integer](m *Manager, opts ...QueueOption) (*Queue[T], error) {
+	return NewQueueOf[T](m, IntegerCodec[T](), opts...)
+}
+
+// NewQueueOf creates a queue whose elements are encoded by the given
+// codec (use CodecFunc for multi-word structs). The manager's
+// WithMaxCriticalSteps bound must cover a worst-case batch critical
+// section — QueueCriticalSteps computes the requirement — or NewQueueOf
+// reports it as an error.
+func NewQueueOf[T any](m *Manager, vc Codec[T], opts ...QueueOption) (*Queue[T], error) {
+	cfg := queueConfig{capacity: defaultQueueCapacity, batch: defaultQueueBatch}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	batchBudget := QueueCriticalSteps(vc.Words(), cfg.batch)
+	if batchBudget > m.cfg.maxCritical {
+		return nil, fmt.Errorf(
+			"wflocks: NewQueueOf: batch %d with %d-word elements needs WithMaxCriticalSteps(%d), "+
+				"manager has %d (see QueueCriticalSteps)",
+			cfg.batch, vc.Words(), batchBudget, m.cfg.maxCritical)
+	}
+	q := &Queue[T]{
+		m:           m,
+		ring:        newQring(vc, cfg.capacity),
+		lock:        m.NewLock(),
+		batch:       cfg.batch,
+		opBudget:    QueueCriticalSteps(vc.Words(), 1),
+		batchBudget: batchBudget,
+	}
+	return q, nil
+}
+
+// Cap reports the queue's slot count (after power-of-two rounding).
+func (q *Queue[T]) Cap() int { return q.ring.capacity }
+
+// do runs a critical section on the queue's lock. Construction
+// validated the budget against the manager's bounds, so the only
+// errors Lock could report here are impossible; surface them as panics
+// rather than forcing an error return on every queue operation.
+func (q *Queue[T]) do(p *Process, maxOps int, body func(*Tx)) {
+	if _, err := q.m.Lock(p, []*Lock{q.lock}, maxOps, body); err != nil {
+		panic("wflocks: Queue: " + err.Error())
+	}
+}
+
+// TryEnqueue appends v, reporting false (without blocking or retrying
+// beyond the acquisition itself) when the queue is full.
+func (q *Queue[T]) TryEnqueue(v T) bool {
+	p := q.m.Acquire()
+	defer q.m.Release(p)
+	return q.tryEnqueueWith(p, v)
+}
+
+func (q *Queue[T]) tryEnqueueWith(p *Process, v T) bool {
+	ok := NewBoolCell(false)
+	q.do(p, q.opBudget, func(tx *Tx) {
+		if q.ring.enqOne(tx, v) {
+			Put(tx, ok, true)
+		} else {
+			Put(tx, q.ring.fulls, Get(tx, q.ring.fulls)+1)
+		}
+	})
+	return ok.Get(p)
+}
+
+// TryDequeue pops the oldest element, reporting false when the queue is
+// empty.
+func (q *Queue[T]) TryDequeue() (T, bool) {
+	p := q.m.Acquire()
+	defer q.m.Release(p)
+	return q.tryDequeueWith(p)
+}
+
+func (q *Queue[T]) tryDequeueWith(p *Process) (T, bool) {
+	out := newResultCell(q.ring.vc)
+	ok := NewBoolCell(false)
+	q.do(p, q.opBudget, func(tx *Tx) {
+		if q.ring.deqOne(tx, out) {
+			Put(tx, ok, true)
+		} else {
+			Put(tx, q.ring.empties, Get(tx, q.ring.empties)+1)
+		}
+	})
+	if !ok.Get(p) {
+		var zero T
+		return zero, false
+	}
+	return out.Get(p), true
+}
+
+// Enqueue appends v, waiting while the queue is full: failed attempts
+// apply the manager's RetryPolicy (so a sleeping policy backs off and
+// wakes early on cancellation), and the wait ends with an error
+// wrapping ErrCanceled once ctx is done. A nil return means v was
+// enqueued exactly once.
+func (q *Queue[T]) Enqueue(ctx context.Context, v T) error {
+	p := q.m.Acquire()
+	defer q.m.Release(p)
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: queue full after %d attempts: %w", ErrCanceled, attempt-1, err)
+		}
+		if q.tryEnqueueWith(p, v) {
+			return nil
+		}
+		q.m.retry.Wait(ctx, attempt)
+	}
+}
+
+// Dequeue pops the oldest element, waiting while the queue is empty
+// under the same retry/cancellation contract as Enqueue.
+func (q *Queue[T]) Dequeue(ctx context.Context) (T, error) {
+	p := q.m.Acquire()
+	defer q.m.Release(p)
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			var zero T
+			return zero, fmt.Errorf("%w: queue empty after %d attempts: %w", ErrCanceled, attempt-1, err)
+		}
+		if v, ok := q.tryDequeueWith(p); ok {
+			return v, nil
+		}
+		q.m.retry.Wait(ctx, attempt)
+	}
+}
+
+// EnqueueBatch appends vs in order, amortizing lock acquisitions: the
+// elements are moved in chunks of up to the WithQueueBatch size, each
+// chunk one critical section (so each chunk is atomic — consumers see
+// its elements appear together — but the batch as a whole is not).
+// When the queue fills mid-batch, EnqueueBatch waits for space under
+// the Enqueue retry contract. It returns the number of elements
+// enqueued, which is len(vs) unless ctx was done first.
+func (q *Queue[T]) EnqueueBatch(ctx context.Context, vs []T) (int, error) {
+	// Critical-section bodies must capture only data that stays
+	// immutable even after the call returns — a straggling helper may
+	// still be re-executing a body — so snapshot the caller's slice.
+	items := append([]T(nil), vs...)
+	p := q.m.Acquire()
+	defer q.m.Release(p)
+	done := 0
+	attempt := 0
+	for done < len(items) {
+		attempt++
+		if err := ctx.Err(); err != nil {
+			return done, fmt.Errorf("%w: %d of %d enqueued: %w", ErrCanceled, done, len(items), err)
+		}
+		chunk := items[done:]
+		if len(chunk) > q.batch {
+			chunk = chunk[:q.batch]
+		}
+		n := NewCell(uint64(0))
+		q.do(p, q.batchBudget, func(tx *Tx) {
+			moved := uint64(0)
+			for _, v := range chunk {
+				if !q.ring.enqOne(tx, v) {
+					Put(tx, q.ring.fulls, Get(tx, q.ring.fulls)+1)
+					break
+				}
+				moved++
+			}
+			Put(tx, n, moved)
+		})
+		moved := int(n.Get(p))
+		done += moved
+		if moved == 0 {
+			q.m.retry.Wait(ctx, attempt)
+		} else {
+			attempt = 0
+		}
+	}
+	return done, nil
+}
+
+// DequeueBatch pops up to max elements in FIFO order, waiting only
+// until the first element is available: once anything has been
+// dequeued, it drains (in WithQueueBatch-sized atomic chunks) until the
+// queue is empty or max is reached, and returns without further
+// waiting. It returns an error wrapping ErrCanceled — with whatever was
+// dequeued before the cancellation — once ctx is done while still
+// empty-handed.
+func (q *Queue[T]) DequeueBatch(ctx context.Context, max int) ([]T, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	p := q.m.Acquire()
+	defer q.m.Release(p)
+	var got []T
+	attempt := 0
+	for len(got) < max {
+		attempt++
+		if err := ctx.Err(); err != nil {
+			return got, fmt.Errorf("%w: %d of %d dequeued: %w", ErrCanceled, len(got), max, err)
+		}
+		want := max - len(got)
+		if want > q.batch {
+			want = q.batch
+		}
+		outs := make([]*Cell[T], want)
+		for i := range outs {
+			outs[i] = newResultCell(q.ring.vc)
+		}
+		n := NewCell(uint64(0))
+		q.do(p, q.batchBudget, func(tx *Tx) {
+			moved := uint64(0)
+			for i := 0; i < want; i++ {
+				if !q.ring.deqOne(tx, outs[i]) {
+					Put(tx, q.ring.empties, Get(tx, q.ring.empties)+1)
+					break
+				}
+				moved++
+			}
+			Put(tx, n, moved)
+		})
+		moved := int(n.Get(p))
+		for i := 0; i < moved; i++ {
+			got = append(got, outs[i].Get(p))
+		}
+		if moved < want {
+			// The chunk came up short, so the queue was empty at that
+			// instant: return what we hold, or wait for the first element
+			// if still empty-handed.
+			if len(got) > 0 {
+				return got, nil
+			}
+			q.m.retry.Wait(ctx, attempt)
+		} else {
+			attempt = 0
+		}
+	}
+	return got, nil
+}
+
+// Len reports the number of queued elements. It is the lock-free fast
+// path: it reads the tail and head ticket cells without taking the
+// queue lock, so it never contends with producers or consumers. Under
+// live traffic the two tickets are read at slightly different instants
+// and the difference can be momentarily skewed; at quiescence it is
+// exact.
+func (q *Queue[T]) Len() int {
+	p := q.m.Acquire()
+	defer q.m.Release(p)
+	return q.ring.lenWith(p)
+}
+
+// QueueStats is a point-in-time view of a queue's traffic, with the
+// same weak-consistency caveat as StatsSnapshot: counters are updated
+// inside critical sections, so they are exact at quiescence.
+type QueueStats struct {
+	// Lock carries the queue lock's contention counters (these same
+	// counters appear in the manager-wide StatsSnapshot.Locks).
+	Lock LockStats
+	// Enqueues and Dequeues count completed operations (batch items
+	// count individually).
+	Enqueues, Dequeues uint64
+	// FullRejects counts attempts that observed a full ring; EmptyRejects
+	// counts attempts that observed an empty one. The blocking Enqueue/
+	// Dequeue paths add one per retried attempt.
+	FullRejects, EmptyRejects uint64
+	// Len is the current occupancy; Capacity the slot count.
+	Len, Capacity int
+}
+
+// Stats snapshots the queue's counters and occupancy.
+func (q *Queue[T]) Stats() QueueStats {
+	p := q.m.Acquire()
+	defer q.m.Release(p)
+	a, w, h := q.lock.inner.Counters()
+	return QueueStats{
+		Lock:         LockStats{ID: q.lock.ID(), Attempts: a, Wins: w, Helps: h},
+		Enqueues:     q.ring.enqs.Get(p),
+		Dequeues:     q.ring.deqs.Get(p),
+		FullRejects:  q.ring.fulls.Get(p),
+		EmptyRejects: q.ring.empties.Get(p),
+		Len:          q.ring.lenWith(p),
+		Capacity:     q.ring.capacity,
+	}
+}

@@ -1,0 +1,574 @@
+package wflocks
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"wflocks/internal/stats"
+	"wflocks/internal/table"
+)
+
+// WorkPool is a sharded relaxed-FIFO work-distribution queue: a
+// power-of-two number of bounded sub-rings (each a Queue-style ring
+// guarded by its own wait-free lock), with round-robin submission and
+// two-lock work stealing. Producers spread across shards, so submit
+// throughput scales with the shard count the way Map and Cache
+// operations do — per-lock contention drops toward κ/shards and every
+// critical section stays O(batch). Consumers drain their round-robin
+// "home" shard; a consumer that finds its home empty while other
+// shards hold work *steals*: one critical section over two shard locks
+// (the paper's multi-lock acquisition at L=2) pops an element for the
+// caller and migrates a small batch from the victim to the home shard,
+// rebalancing the pool as a side effect.
+//
+// The ordering guarantee is deliberately weaker than Queue's, and that
+// is the price of the scaling: elements are FIFO *within a shard*, but
+// there is no global FIFO order — round-robin interleaves producers
+// across shards, and a stolen batch jumps behind the home shard's
+// existing elements. Use WorkPool when elements are independent work
+// items (the common pool case) and Queue when cross-element order
+// matters.
+//
+// Construct with NewWorkPool (integer elements) or NewWorkPoolOf
+// (explicit codec). A pool with more than one shard needs a manager
+// configured with WithMaxLocks(2) or more for the steal path. All
+// methods are safe for concurrent use.
+type WorkPool[T any] struct {
+	m      *Manager
+	rings  []qring[T]
+	locks  []*Lock
+	steals []*Cell[uint64] // per shard: elements gained by stealing
+
+	shardMask uint64
+	batch     int
+
+	opBudget    int // single-item critical section
+	batchBudget int // batch critical section
+	stealBudget int // two-lock steal critical section
+
+	// rr and dq are the round-robin cursors for submission and
+	// consumption. They are plain atomics, not cells: they only spread
+	// traffic, so they need no critical-section atomicity.
+	rr atomic.Uint64
+	dq atomic.Uint64
+}
+
+// stealBatch is the number of elements a steal migrates from the
+// victim to the home shard, in addition to the one it returns to the
+// caller. It is a constant so the steal critical section's budget is
+// fixed at construction.
+const stealBatch = 4
+
+// Default pool shape: 8 shards, 1024 slots total, batches of 8.
+const (
+	defaultPoolShards   = 8
+	defaultPoolCapacity = 1024
+	defaultPoolBatch    = 8
+)
+
+// WorkPoolOption configures a WorkPool at construction.
+type WorkPoolOption func(*poolConfig) error
+
+type poolConfig struct {
+	shards   int
+	capacity int
+	batch    int
+}
+
+// WithPoolShards sets the number of sub-rings, rounded up to a power of
+// two (default 8). More shards mean fewer producers colliding on any
+// one lock; the cost is weaker ordering (FIFO is per shard) and, under
+// uneven drain, more steals.
+func WithPoolShards(n int) WorkPoolOption {
+	return func(c *poolConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("wflocks: WithPoolShards: shard count must be positive, got %d", n)
+		}
+		c.shards = table.CeilPow2(n)
+		return nil
+	}
+}
+
+// WithPoolCapacity sets the pool's total slot count (default 1024). It
+// is split evenly across shards and each shard's share is rounded up
+// to a power of two, so the effective capacity — reported by Cap — may
+// exceed the request.
+func WithPoolCapacity(n int) WorkPoolOption {
+	return func(c *poolConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("wflocks: WithPoolCapacity: capacity must be positive, got %d", n)
+		}
+		c.capacity = n
+		return nil
+	}
+}
+
+// WithPoolBatch sets the largest number of elements one EnqueueBatch or
+// DequeueBatch critical section moves (default 8), with the same
+// budget trade-off as WithQueueBatch.
+func WithPoolBatch(n int) WorkPoolOption {
+	return func(c *poolConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("wflocks: WithPoolBatch: batch must be positive, got %d", n)
+		}
+		c.batch = n
+		return nil
+	}
+}
+
+// WorkPoolCriticalSteps returns the WithMaxCriticalSteps bound T a
+// Manager needs to host a WorkPool with the given element width and
+// batch size (WithPoolBatch). The pool's worst critical section is
+// either a batch (batch element moves, as in QueueCriticalSteps) or a
+// steal — one dequeue for the caller plus stealBatch ring-to-ring
+// migrations, each a dequeue/enqueue pair — whichever budgets larger.
+func WorkPoolCriticalSteps(valueWords, batch int) int {
+	stealItems := 1 + 2*stealBatch
+	if batch < stealItems {
+		batch = stealItems
+	}
+	return QueueCriticalSteps(valueWords, batch)
+}
+
+// NewWorkPool creates a pool of integer elements, the common case,
+// using the built-in single-word codec. See NewWorkPoolOf for
+// arbitrary types.
+func NewWorkPool[T Integer](m *Manager, opts ...WorkPoolOption) (*WorkPool[T], error) {
+	return NewWorkPoolOf[T](m, IntegerCodec[T](), opts...)
+}
+
+// NewWorkPoolOf creates a pool whose elements are encoded by the given
+// codec. The manager's WithMaxCriticalSteps bound must cover the
+// pool's worst critical section — WorkPoolCriticalSteps computes the
+// requirement — and, for a pool of more than one shard, WithMaxLocks
+// must be at least 2 (the steal path acquires two shard locks in one
+// attempt); either shortfall is reported as an error.
+func NewWorkPoolOf[T any](m *Manager, vc Codec[T], opts ...WorkPoolOption) (*WorkPool[T], error) {
+	cfg := poolConfig{shards: defaultPoolShards, capacity: defaultPoolCapacity, batch: defaultPoolBatch}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.shards > 1 && m.cfg.maxLocks < 2 {
+		return nil, fmt.Errorf(
+			"wflocks: NewWorkPoolOf: %d shards need the two-lock steal path; configure the manager with WithMaxLocks(2) or use one shard",
+			cfg.shards)
+	}
+	budget := WorkPoolCriticalSteps(vc.Words(), cfg.batch)
+	if budget > m.cfg.maxCritical {
+		return nil, fmt.Errorf(
+			"wflocks: NewWorkPoolOf: batch %d with %d-word elements needs WithMaxCriticalSteps(%d), "+
+				"manager has %d (see WorkPoolCriticalSteps)",
+			cfg.batch, vc.Words(), budget, m.cfg.maxCritical)
+	}
+	perShard := table.CeilPow2((cfg.capacity + cfg.shards - 1) / cfg.shards)
+	wp := &WorkPool[T]{
+		m:           m,
+		rings:       make([]qring[T], cfg.shards),
+		locks:       make([]*Lock, cfg.shards),
+		steals:      make([]*Cell[uint64], cfg.shards),
+		shardMask:   uint64(cfg.shards - 1),
+		batch:       cfg.batch,
+		opBudget:    QueueCriticalSteps(vc.Words(), 1),
+		batchBudget: QueueCriticalSteps(vc.Words(), cfg.batch),
+		stealBudget: QueueCriticalSteps(vc.Words(), 1+2*stealBatch),
+	}
+	for s := range wp.rings {
+		wp.rings[s] = newQring(vc, perShard)
+		wp.locks[s] = m.NewLock()
+		wp.steals[s] = NewCell(uint64(0))
+	}
+	return wp, nil
+}
+
+// Shards reports the shard count (after power-of-two rounding).
+func (wp *WorkPool[T]) Shards() int { return len(wp.rings) }
+
+// Cap reports the total slot count after per-shard rounding; it is at
+// least the WithPoolCapacity request.
+func (wp *WorkPool[T]) Cap() int { return len(wp.rings) * wp.rings[0].capacity }
+
+// do runs a critical section on shard si's lock; doSteal runs one on a
+// home/victim lock pair. Construction validated the budgets, so errors
+// here are impossible and surface as panics, as in the other
+// structures.
+func (wp *WorkPool[T]) do(p *Process, si, maxOps int, body func(*Tx)) {
+	if _, err := wp.m.Lock(p, []*Lock{wp.locks[si]}, maxOps, body); err != nil {
+		panic("wflocks: WorkPool: " + err.Error())
+	}
+}
+
+func (wp *WorkPool[T]) doSteal(p *Process, home, victim int, body func(*Tx)) {
+	pair := []*Lock{wp.locks[home], wp.locks[victim]}
+	// Canonical acquisition order, as the transaction layer sorts.
+	sort.Slice(pair, func(i, j int) bool { return pair[i].ID() < pair[j].ID() })
+	if _, err := wp.m.Lock(p, pair, wp.stealBudget, body); err != nil {
+		panic("wflocks: WorkPool: " + err.Error())
+	}
+}
+
+// moveOne migrates one element from the head of `from` to the tail of
+// `to` inside a critical section, reporting false when from is empty
+// or to is full. Migration preserves the moved elements' relative
+// order and does not touch the enqueue/dequeue counters — the element
+// was already counted when it entered the pool.
+func moveOne[T any](tx *Tx, from, to *qring[T]) bool {
+	h := Get(tx, from.head)
+	t := Get(tx, from.tail)
+	if h == t {
+		return false
+	}
+	th := Get(tx, to.head)
+	tt := Get(tx, to.tail)
+	if tt-th >= uint64(to.capacity) {
+		return false
+	}
+	i := int(h & from.mask)
+	j := int(tt & to.mask)
+	Put(tx, to.vals[j], Get(tx, from.vals[i]))
+	Put(tx, to.seq[j], tt+1)
+	Put(tx, to.tail, tt+1)
+	Put(tx, from.seq[i], h+uint64(from.capacity))
+	Put(tx, from.head, h+1)
+	return true
+}
+
+// TryEnqueue submits v to the next shard in round-robin order, probing
+// each shard at most once; it reports false only when every shard is
+// full.
+func (wp *WorkPool[T]) TryEnqueue(v T) bool {
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	return wp.tryEnqueueWith(p, v)
+}
+
+func (wp *WorkPool[T]) tryEnqueueWith(p *Process, v T) bool {
+	start := wp.rr.Add(1) - 1
+	for j := 0; j < len(wp.rings); j++ {
+		si := int((start + uint64(j)) & wp.shardMask)
+		ring := &wp.rings[si]
+		ok := NewBoolCell(false)
+		wp.do(p, si, wp.opBudget, func(tx *Tx) {
+			if ring.enqOne(tx, v) {
+				Put(tx, ok, true)
+			} else {
+				Put(tx, ring.fulls, Get(tx, ring.fulls)+1)
+			}
+		})
+		if ok.Get(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// TryDequeue pops an element, reporting false when the pool has none
+// it can reach in one pass. The consumer's round-robin home shard is
+// tried first with a single-lock dequeue; if the home is empty and
+// another shard holds work, the fullest other shard is raided on the
+// two-lock steal path — the returned element comes from the victim and
+// up to stealBatch more elements migrate to the home shard, so
+// subsequent dequeues hit locally. A false return does not guarantee
+// the pool was empty at any single instant (shards are inspected one
+// at a time); producers and consumers using the blocking forms never
+// miss work, because they retry.
+func (wp *WorkPool[T]) TryDequeue() (T, bool) {
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	return wp.tryDequeueWith(p)
+}
+
+func (wp *WorkPool[T]) tryDequeueWith(p *Process) (T, bool) {
+	var zero T
+	home := int((wp.dq.Add(1) - 1) & wp.shardMask)
+	ring := &wp.rings[home]
+	out := newResultCell(ring.vc)
+	ok := NewBoolCell(false)
+	wp.do(p, home, wp.opBudget, func(tx *Tx) {
+		if ring.deqOne(tx, out) {
+			Put(tx, ok, true)
+		} else {
+			Put(tx, ring.empties, Get(tx, ring.empties)+1)
+		}
+	})
+	if ok.Get(p) {
+		return out.Get(p), true
+	}
+	if len(wp.rings) == 1 {
+		return zero, false
+	}
+	// Home is empty: pick the fullest other shard by its lock-free
+	// occupancy and raid it. The read is advisory — the steal re-checks
+	// under both locks.
+	victim, best := -1, 0
+	for s := range wp.rings {
+		if s == home {
+			continue
+		}
+		if n := wp.rings[s].lenWith(p); n > best {
+			victim, best = s, n
+		}
+	}
+	if victim < 0 {
+		return zero, false
+	}
+	vr := &wp.rings[victim]
+	stolen := NewCell(uint64(0))
+	wp.doSteal(p, home, victim, func(tx *Tx) {
+		if !vr.deqOne(tx, out) {
+			Put(tx, vr.empties, Get(tx, vr.empties)+1)
+			return
+		}
+		moved := uint64(1)
+		for j := 0; j < stealBatch; j++ {
+			if !moveOne(tx, vr, ring) {
+				break
+			}
+			moved++
+		}
+		Put(tx, stolen, moved)
+		Put(tx, wp.steals[home], Get(tx, wp.steals[home])+moved)
+	})
+	if stolen.Get(p) == 0 {
+		return zero, false
+	}
+	return out.Get(p), true
+}
+
+// Enqueue submits v, waiting while every shard is full: failed passes
+// apply the manager's RetryPolicy and the wait ends with an error
+// wrapping ErrCanceled once ctx is done. A nil return means v was
+// enqueued exactly once.
+func (wp *WorkPool[T]) Enqueue(ctx context.Context, v T) error {
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: pool full after %d passes: %w", ErrCanceled, attempt-1, err)
+		}
+		if wp.tryEnqueueWith(p, v) {
+			return nil
+		}
+		wp.m.retry.Wait(ctx, attempt)
+	}
+}
+
+// Dequeue pops an element, waiting while the pool is empty under the
+// same retry/cancellation contract as Enqueue.
+func (wp *WorkPool[T]) Dequeue(ctx context.Context) (T, error) {
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			var zero T
+			return zero, fmt.Errorf("%w: pool empty after %d passes: %w", ErrCanceled, attempt-1, err)
+		}
+		if v, ok := wp.tryDequeueWith(p); ok {
+			return v, nil
+		}
+		wp.m.retry.Wait(ctx, attempt)
+	}
+}
+
+// EnqueueBatch submits vs, amortizing lock acquisitions: elements are
+// moved in chunks of up to the WithPoolBatch size, each chunk one
+// critical section on one round-robin shard (chunks are atomic,
+// the batch as a whole is not — and, as always with the pool,
+// consumers may interleave chunks from different producers). When
+// every shard is full it waits under the Enqueue retry contract. It
+// returns the number of elements enqueued, which is len(vs) unless ctx
+// was done first.
+func (wp *WorkPool[T]) EnqueueBatch(ctx context.Context, vs []T) (int, error) {
+	items := append([]T(nil), vs...) // bodies must not capture caller-owned memory
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	done := 0
+	attempt := 0
+	for done < len(items) {
+		attempt++
+		if err := ctx.Err(); err != nil {
+			return done, fmt.Errorf("%w: %d of %d enqueued: %w", ErrCanceled, done, len(items), err)
+		}
+		chunk := items[done:]
+		if len(chunk) > wp.batch {
+			chunk = chunk[:wp.batch]
+		}
+		moved := 0
+		start := wp.rr.Add(1) - 1
+		for j := 0; j < len(wp.rings) && moved == 0; j++ {
+			si := int((start + uint64(j)) & wp.shardMask)
+			ring := &wp.rings[si]
+			n := NewCell(uint64(0))
+			wp.do(p, si, wp.batchBudget, func(tx *Tx) {
+				k := uint64(0)
+				for _, v := range chunk {
+					if !ring.enqOne(tx, v) {
+						Put(tx, ring.fulls, Get(tx, ring.fulls)+1)
+						break
+					}
+					k++
+				}
+				Put(tx, n, k)
+			})
+			moved = int(n.Get(p))
+		}
+		done += moved
+		if moved == 0 {
+			wp.m.retry.Wait(ctx, attempt)
+		} else {
+			attempt = 0
+		}
+	}
+	return done, nil
+}
+
+// DequeueBatch pops up to max elements, waiting only until the first
+// is available: shards are scanned in round-robin order and drained in
+// WithPoolBatch-sized atomic chunks until the scan comes up empty or
+// max is reached. The scan visits every shard, so the batch path needs
+// no steal. Elements within one chunk preserve their shard's FIFO
+// order; chunks from different shards interleave (relaxed FIFO). It
+// returns an error wrapping ErrCanceled — with whatever was dequeued —
+// once ctx is done while still empty-handed.
+func (wp *WorkPool[T]) DequeueBatch(ctx context.Context, max int) ([]T, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	var got []T
+	attempt := 0
+	for len(got) < max {
+		attempt++
+		if err := ctx.Err(); err != nil {
+			return got, fmt.Errorf("%w: %d of %d dequeued: %w", ErrCanceled, len(got), max, err)
+		}
+		movedThisPass := 0
+		start := wp.dq.Add(1) - 1
+		for j := 0; j < len(wp.rings) && len(got) < max; j++ {
+			si := int((start + uint64(j)) & wp.shardMask)
+			ring := &wp.rings[si]
+			want := max - len(got)
+			if want > wp.batch {
+				want = wp.batch
+			}
+			outs := make([]*Cell[T], want)
+			for i := range outs {
+				outs[i] = newResultCell(ring.vc)
+			}
+			n := NewCell(uint64(0))
+			wp.do(p, si, wp.batchBudget, func(tx *Tx) {
+				k := uint64(0)
+				for i := 0; i < want; i++ {
+					if !ring.deqOne(tx, outs[i]) {
+						Put(tx, ring.empties, Get(tx, ring.empties)+1)
+						break
+					}
+					k++
+				}
+				Put(tx, n, k)
+			})
+			moved := int(n.Get(p))
+			for i := 0; i < moved; i++ {
+				got = append(got, outs[i].Get(p))
+			}
+			movedThisPass += moved
+		}
+		if movedThisPass == 0 {
+			if len(got) > 0 {
+				return got, nil
+			}
+			wp.m.retry.Wait(ctx, attempt)
+		} else {
+			attempt = 0
+		}
+	}
+	return got, nil
+}
+
+// Len reports the number of pooled elements: the sum of the shards'
+// lock-free occupancy reads, with Queue.Len's consistency caveat
+// (each shard is read at a slightly different instant).
+func (wp *WorkPool[T]) Len() int {
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	n := 0
+	for s := range wp.rings {
+		n += wp.rings[s].lenWith(p)
+	}
+	return n
+}
+
+// WorkPoolShardStats is one shard's view in WorkPoolStats.
+type WorkPoolShardStats struct {
+	// Lock carries the shard lock's contention counters.
+	Lock LockStats
+	// Enqueues and Dequeues count completed operations on this shard.
+	// A stolen element counts its dequeue on the victim shard; migrated
+	// elements keep their original enqueue shard and count their
+	// eventual dequeue wherever they are drained.
+	Enqueues, Dequeues uint64
+	// Steals counts elements this shard gained by raiding others (the
+	// returned element plus the migrated batch).
+	Steals uint64
+	// FullRejects and EmptyRejects count attempts that observed this
+	// shard full/empty (round-robin probing and steal re-checks
+	// included).
+	FullRejects, EmptyRejects uint64
+	// Len is the shard's current occupancy.
+	Len int
+}
+
+// WorkPoolStats is a point-in-time view of the pool's per-shard
+// traffic, exact at quiescence.
+type WorkPoolStats struct {
+	// Shards holds one entry per shard, in shard order.
+	Shards []WorkPoolShardStats
+	// Enqueues, Dequeues, Steals, FullRejects and EmptyRejects are the
+	// summed counters.
+	Enqueues, Dequeues, Steals, FullRejects, EmptyRejects uint64
+	// Len is the summed occupancy.
+	Len int
+	// Balance is Jain's fairness index over per-shard enqueue counts:
+	// 1.0 when round-robin spread submissions evenly, approaching
+	// 1/shards under maximal skew.
+	Balance float64
+	// MaxOverMean is the hottest shard's enqueues over the mean.
+	MaxOverMean float64
+}
+
+// Stats snapshots the pool's per-shard counters and occupancy.
+func (wp *WorkPool[T]) Stats() WorkPoolStats {
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	ps := WorkPoolStats{Shards: make([]WorkPoolShardStats, len(wp.rings))}
+	enqs := make([]uint64, len(wp.rings))
+	for s := range wp.rings {
+		ring := &wp.rings[s]
+		a, w, h := wp.locks[s].inner.Counters()
+		st := WorkPoolShardStats{
+			Lock:         LockStats{ID: wp.locks[s].ID(), Attempts: a, Wins: w, Helps: h},
+			Enqueues:     ring.enqs.Get(p),
+			Dequeues:     ring.deqs.Get(p),
+			Steals:       wp.steals[s].Get(p),
+			FullRejects:  ring.fulls.Get(p),
+			EmptyRejects: ring.empties.Get(p),
+			Len:          ring.lenWith(p),
+		}
+		ps.Shards[s] = st
+		ps.Enqueues += st.Enqueues
+		ps.Dequeues += st.Dequeues
+		ps.Steals += st.Steals
+		ps.FullRejects += st.FullRejects
+		ps.EmptyRejects += st.EmptyRejects
+		ps.Len += st.Len
+		enqs[s] = st.Enqueues
+	}
+	d := stats.NewShardDist(enqs)
+	ps.Balance = d.Jain
+	ps.MaxOverMean = d.MaxOverMean
+	return ps
+}
