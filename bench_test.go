@@ -1,6 +1,8 @@
 package wflocks_test
 
 import (
+	"bufio"
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -10,6 +12,8 @@ import (
 
 	"wflocks"
 	"wflocks/internal/bench"
+	"wflocks/internal/serve"
+	"wflocks/internal/serve/loadgen"
 	"wflocks/internal/workload"
 )
 
@@ -710,4 +714,83 @@ func benchChanQueue(b *testing.B, sp *bench.StallPoint) {
 	q := bench.NewChanQueue(benchQueueCapacity, sp)
 	sp.Arm()
 	benchQueuePair(b, q.TryEnqueue, q.TryDequeue)
+}
+
+// BenchmarkServe drives the wfserve request pipeline end to end over
+// the in-process loopback transport: protocol parse, shard-by-key
+// WorkPool dispatch, backend execution, ordered pipelined responses.
+// One pipelined connection issues GETs against a prefilled backend —
+// a closed-loop throughput shape (the open-loop tail-latency numbers
+// live in `wfbench -workload service:read`, where coordinated-omission
+// safety makes them meaningful).
+func BenchmarkServe(b *testing.B) {
+	for _, backend := range []string{"cache", "map", "mutex"} {
+		b.Run("backend="+backend, func(b *testing.B) { benchServe(b, backend) })
+	}
+}
+
+func benchServe(b *testing.B, backend string) {
+	const keys = 256
+	s, err := serve.NewServer(serve.Config{
+		Backend:     backend,
+		Shards:      8,
+		Capacity:    2 * keys,
+		MaxKeyBytes: 16,
+		MaxValBytes: 32,
+		NewManager:  bench.AdaptiveManager,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis := serve.NewLoopback()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(lis) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+		if err := <-serveDone; err != nil {
+			b.Error(err)
+		}
+	}()
+	for k := 0; k < keys; k++ {
+		if err := s.Backend().Set(loadgen.Key(k), loadgen.Val(32), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	conn, err := lis.Dial()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	b.ResetTimer()
+	writeDone := make(chan error, 1)
+	go func() {
+		bw := bufio.NewWriter(conn)
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = serve.AppendCommand(buf[:0], "GET", loadgen.Key(i%keys))
+			if _, err := bw.Write(buf); err != nil {
+				writeDone <- err
+				return
+			}
+		}
+		writeDone <- bw.Flush()
+	}()
+	for i := 0; i < b.N; i++ {
+		r, err := serve.ReadReply(br)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Kind != serve.ReplyBulk {
+			b.Fatalf("reply %d = %+v", i, r)
+		}
+	}
+	if err := <-writeDone; err != nil {
+		b.Fatal(err)
+	}
 }

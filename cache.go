@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"iter"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"wflocks/internal/env"
@@ -49,8 +50,14 @@ type Cache[K comparable, V any] struct {
 	locks []*Lock
 	lru   []lruShard
 
-	ttl      uint64 // nanoseconds; 0 = entries never expire
+	ttl      uint64 // nanoseconds; 0 = entries never expire by default
 	opBudget int
+
+	// expiring records that at least one entry was ever stored with a
+	// deadline (always true under WithTTL; flipped by PutTTL otherwise),
+	// so reads on a TTL-less cache skip the clock until the first
+	// per-entry TTL appears.
+	expiring atomic.Bool
 
 	// now is the nanosecond clock sampled outside critical sections for
 	// TTL deadlines; tests substitute a fake.
@@ -236,9 +243,12 @@ func (c *Cache[K, V]) deadline() uint64 {
 }
 
 // cutoff samples the expiry comparison instant for a read, outside
-// critical sections, for the same determinism reason as deadline.
+// critical sections, for the same determinism reason as deadline. A
+// cache that has never held a deadline skips the clock read entirely;
+// the first PutTTL on a TTL-less cache flips expiring so reads start
+// checking.
 func (c *Cache[K, V]) cutoff() uint64 {
-	if c.ttl == 0 {
+	if c.ttl == 0 && !c.expiring.Load() {
 		return 0
 	}
 	return c.now()
@@ -414,11 +424,31 @@ func (c *Cache[K, V]) Contains(k K) bool {
 // unlike Map.Put, which reports ErrMapFull rather than displace an
 // entry.
 func (c *Cache[K, V]) Put(k K, v V) {
+	c.putWithDeadline(k, v, c.deadline())
+}
+
+// PutTTL stores v for k with an explicit time-to-live that overrides
+// the cache-wide WithTTL default for this entry alone (it works on a
+// cache constructed without WithTTL, too). A non-positive ttl stores
+// the entry with the cache's default expiry, exactly as Put would.
+// Everything else — recency, eviction, lazy expiry on read — follows
+// Put's contract.
+func (c *Cache[K, V]) PutTTL(k K, v V, ttl time.Duration) {
+	dl := c.deadline()
+	if ttl > 0 {
+		dl = c.now() + uint64(ttl.Nanoseconds())
+		c.expiring.Store(true)
+	}
+	c.putWithDeadline(k, v, dl)
+}
+
+// putWithDeadline is Put's body with the expiry deadline already
+// sampled — outside the critical section, as idempotence requires.
+func (c *Cache[K, V]) putWithDeadline(k K, v V, dl uint64) {
 	h := c.eng.Hash(k)
 	si, home := c.eng.ShardIndex(h), c.eng.Home(h)
 	esh := &c.eng.Shards[si]
 	sh := &c.lru[si]
-	dl := c.deadline()
 	p := c.m.Acquire()
 	defer c.m.Release(p)
 	c.do(p, si, func(tx *Tx) {

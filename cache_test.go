@@ -631,3 +631,67 @@ func TestCacheAllUnderWriters(t *testing.T) {
 	stop.Store(true)
 	wg.Wait()
 }
+
+func TestCachePutTTL(t *testing.T) {
+	// A cache constructed WITHOUT WithTTL: Put entries never expire,
+	// PutTTL entries do, and the first PutTTL is what arms the expiry
+	// clock on reads.
+	m := cacheManager(t, 2, 8, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(1), WithCapacity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock atomic.Uint64
+	clock.Store(1)
+	c.now = clock.Load
+	c.Put(1, 100)
+	c.PutTTL(2, 200, time.Second)
+	c.PutTTL(3, 300, time.Minute)
+	clock.Add(uint64(2 * time.Second.Nanoseconds()))
+	if _, ok := c.Get(2); ok {
+		t.Fatal("PutTTL entry survived its deadline")
+	}
+	if v, ok := c.Get(1); !ok || v != 100 {
+		t.Fatalf("no-TTL entry = (%d, %v), want (100, true)", v, ok)
+	}
+	if v, ok := c.Get(3); !ok || v != 300 {
+		t.Fatalf("longer-TTL entry = (%d, %v), want (300, true)", v, ok)
+	}
+	st := c.Stats()
+	if st.Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", st.Expirations)
+	}
+	// Non-positive ttl falls back to the cache default (here: none).
+	c.PutTTL(4, 400, 0)
+	clock.Add(uint64(time.Hour.Nanoseconds()))
+	if v, ok := c.Get(4); !ok || v != 400 {
+		t.Fatalf("PutTTL(0) entry = (%d, %v), want (400, true)", v, ok)
+	}
+}
+
+func TestCachePutTTLOverridesDefault(t *testing.T) {
+	// Under WithTTL, PutTTL overrides per entry in both directions.
+	m := cacheManager(t, 2, 8, 1, 1)
+	c, err := NewCache[uint64, uint64](m, WithCacheShards(1), WithCapacity(8),
+		WithTTL(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock atomic.Uint64
+	clock.Store(1)
+	c.now = clock.Load
+	c.Put(1, 100)                      // default 1s
+	c.PutTTL(2, 200, 10*time.Second)   // longer than default
+	c.PutTTL(3, 300, time.Millisecond) // shorter than default
+	clock.Add(uint64(500 * time.Millisecond.Nanoseconds()))
+	if _, ok := c.Get(3); ok {
+		t.Fatal("short-TTL entry outlived its override")
+	}
+	clock.Add(uint64(time.Second.Nanoseconds()))
+	if _, ok := c.Get(1); ok {
+		t.Fatal("default-TTL entry outlived the default")
+	}
+	if v, ok := c.Get(2); !ok || v != 200 {
+		t.Fatalf("long-TTL entry = (%d, %v), want (200, true)", v, ok)
+	}
+}

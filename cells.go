@@ -100,6 +100,56 @@ func (float64Codec) Decode(src []uint64) float64    { return math.Float64frombit
 func (float64Codec) EncodeWord(v float64) uint64    { return math.Float64bits(v) }
 func (float64Codec) DecodeWord(w uint64) float64    { return math.Float64frombits(w) }
 
+// StringCodec returns a fixed-width codec for strings of up to maxBytes
+// bytes: one length word followed by ceil(maxBytes/8) data words with
+// the bytes packed little-endian. Fixed width is what cell storage
+// requires — a variable-length encoding would make the critical-section
+// budget depend on the value — so short strings pay for the full width;
+// pick the smallest maxBytes the workload honors. Encode panics when
+// given a longer string: length is a caller-enforced protocol bound
+// (reject oversized input before it reaches a structure), not a
+// truncation the codec may apply silently, because Decode(Encode(v))
+// must equal v. Unused data words are zeroed, keeping encodes
+// deterministic.
+func StringCodec(maxBytes int) Codec[string] {
+	if maxBytes <= 0 {
+		panic("wflocks: StringCodec: maxBytes must be positive")
+	}
+	return stringCodec{max: maxBytes, words: 1 + (maxBytes+7)/8}
+}
+
+type stringCodec struct{ max, words int }
+
+func (c stringCodec) Words() int { return c.words }
+
+func (c stringCodec) Encode(v string, dst []uint64) {
+	if len(v) > c.max {
+		panic("wflocks: StringCodec: string exceeds the codec's maxBytes")
+	}
+	dst[0] = uint64(len(v))
+	for w := 1; w < c.words; w++ {
+		dst[w] = 0
+	}
+	for i := 0; i < len(v); i++ {
+		dst[1+i/8] |= uint64(v[i]) << (8 * (i % 8))
+	}
+}
+
+func (c stringCodec) Decode(src []uint64) string {
+	n := int(src[0])
+	if n == 0 {
+		return ""
+	}
+	if max := (len(src) - 1) * 8; n > max {
+		n = max // corrupt length word; clamp rather than over-read
+	}
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b[i] = byte(src[1+i/8] >> (8 * (i % 8)))
+	}
+	return string(b)
+}
+
 // CodecFunc builds a codec for a small struct (or any fixed-width
 // value) from an encode and a decode function over words machine words.
 // This is how multi-word cells are typed:

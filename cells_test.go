@@ -155,3 +155,56 @@ func TestCompareSwapMultiWord(t *testing.T) {
 		t.Fatalf("struct = %+v after CAS", got)
 	}
 }
+
+func TestStringCodecRoundTrip(t *testing.T) {
+	sc := StringCodec(24)
+	if got := sc.Words(); got != 4 {
+		t.Fatalf("Words() = %d, want 4 (1 length + 3 data)", got)
+	}
+	cases := []string{
+		"", "a", "hello", "exactly-24-bytes-long!!!",
+		"null\x00byte", "utf8 é™", "12345678", "123456789",
+	}
+	for _, s := range cases {
+		buf := make([]uint64, sc.Words())
+		sc.Encode(s, buf)
+		if got := sc.Decode(buf); got != s {
+			t.Fatalf("round trip of %q = %q", s, got)
+		}
+	}
+	// Encodes are deterministic even into a dirty buffer: trailing
+	// words are zeroed, so equal strings always encode equal words.
+	dirty := []uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	clean := make([]uint64, 4)
+	sc.Encode("hi", dirty)
+	sc.Encode("hi", clean)
+	for i := range clean {
+		if dirty[i] != clean[i] {
+			t.Fatalf("word %d differs after dirty-buffer encode: %x vs %x", i, dirty[i], clean[i])
+		}
+	}
+}
+
+func TestStringCodecBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized Encode did not panic")
+		}
+	}()
+	sc := StringCodec(4)
+	buf := make([]uint64, sc.Words())
+	sc.Encode("five!", buf)
+}
+
+func TestStringCodecInCell(t *testing.T) {
+	m := newManager(t, WithKappa(2))
+	p := m.NewProcess()
+	c := NewCellOf(StringCodec(16), "initial")
+	if got := c.Get(p); got != "initial" {
+		t.Fatalf("cell = %q, want %q", got, "initial")
+	}
+	c.Set(p, "rewritten")
+	if got := c.Get(p); got != "rewritten" {
+		t.Fatalf("cell = %q, want %q", got, "rewritten")
+	}
+}

@@ -12,12 +12,14 @@
 //	wfbench -workload cache:zipf   # wfcache vs mutex-LRU, raw + holder-stall regimes
 //	wfbench -workload txn:transfer # wfmap Atomic vs sorted-multi-mutex, L = 1..8
 //	wfbench -workload queue:mpmc   # wfqueue/WorkPool vs channel + mutex-ring
+//	wfbench -workload service:read # wfserve vs mutex baseline, open-loop tail latency
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"wflocks/internal/bench"
@@ -84,6 +86,16 @@ func run() int {
 	return 0
 }
 
+// contains reports whether list holds s.
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
 // printScenarios renders the central workload registry, one line per
 // scenario.
 func printScenarios(w *os.File) {
@@ -105,8 +117,18 @@ func runWorkload(name string, s bench.Scale) int {
 		run = func() (*bench.Table, error) { return bench.RunTxnScenario(sc, s) }
 	} else if sc := workload.LookupQueueScenario(name); sc != nil {
 		run = func() (*bench.Table, error) { return bench.RunQueueScenario(sc, s) }
+	} else if sc := workload.LookupServiceScenario(name); sc != nil {
+		run = func() (*bench.Table, error) { return bench.RunServiceScenario(sc, s) }
 	} else {
-		fmt.Fprintf(os.Stderr, "wfbench: unknown workload %q; the registry:\n", name)
+		// Name the failure precisely: a family nobody registered is a
+		// different mistake from a typo inside a known family.
+		fam, _, _ := strings.Cut(name, ":")
+		if fams := workload.Families(); !contains(fams, fam) {
+			fmt.Fprintf(os.Stderr, "wfbench: unknown workload family %q (families: %s); the registry:\n",
+				fam, strings.Join(fams, ", "))
+		} else {
+			fmt.Fprintf(os.Stderr, "wfbench: unknown %s workload %q; the registry:\n", fam, name)
+		}
 		printScenarios(os.Stderr)
 		return 2
 	}

@@ -223,6 +223,40 @@
 // wide transactions as a correctness tool rather than a throughput
 // path.
 //
+// # From ops/sec to tail latency
+//
+// Throughput tables answer "how much work per second"; a service is
+// judged by "how late was the slowest request I still had to answer".
+// The wfserve server (cmd/wfserve, internal/serve) exists to measure
+// the second question: RESP-subset commands over TCP, dispatched by
+// key hash through a WorkPool into workers running against Map, Cache
+// or a sharded-mutex baseline, with per-connection pipelining and
+// graceful drain. What makes its numbers trustworthy is the load
+// harness (internal/serve/loadgen, cmd/wfload), which guards against
+// coordinated omission — the classic benchmarking error in which the
+// load generator and the system under test cooperate to hide the
+// worst results. A closed-loop client sends a request, waits for the
+// reply, then sends the next; when the server stalls for 4ms, the
+// client politely stops generating load, so the stall appears in the
+// record as one slow request instead of the dozens of requests that
+// *would* have arrived during those 4ms and queued behind it. The
+// percentiles come out clean precisely because the system misbehaved.
+//
+// The harness is therefore open-loop: request i is due at time
+// i/rate on a fixed schedule that the server cannot slow down, and
+// every latency is measured from that intended send time, so a
+// request that spent 4ms queued behind a stalled holder records 4ms
+// plus its service time no matter when the bytes finally moved. Under
+// this accounting the paper's regime comparison becomes visible in
+// the right units: self-stalled requests cost the wait-free server
+// and the mutex baseline the same sleep, but the requests scheduled
+// *behind* a stalled mutex holder inherit its stall as queueing delay
+// while a stalled wait-free winner is helped past — collateral
+// queueing is exactly the quantity the O(κ²L²T) step bound controls.
+// The service:* scenarios (cmd/wfbench -workload service:read) report
+// both regimes honestly: raw, the mutex baseline wins every
+// percentile; under holder stalls the whole distribution inverts.
+//
 // # Choosing the bounds
 //
 // If κ and L are hard to bound a priori, construct the manager with

@@ -1,0 +1,22 @@
+package bench
+
+import "wflocks"
+
+// AdaptiveManager builds a manager in the unknown-bounds adaptive-delay
+// configuration (Section 6.2, Theorem 6.10): back-off delays padded to
+// powers of two track the actual point contention instead of the fixed
+// worst-case κ²L²T, at the price of a log factor in the success bound.
+// This is the right configuration whenever per-lock contention after
+// sharding is far below the process count — the queue benchmarks proved
+// it out, and the wfserve service (whose connection count is a loose
+// upper bound, rarely approached per shard) inherits it. procs must be
+// a true upper bound on concurrently contending goroutines: exceeding
+// it is a hard error in the core, so callers size it from their worker
+// and connection limits, not from typical load.
+func AdaptiveManager(procs, maxLocks, maxCritical int) (*wflocks.Manager, error) {
+	return wflocks.New(
+		wflocks.WithUnknownBounds(procs),
+		wflocks.WithMaxLocks(maxLocks),
+		wflocks.WithMaxCriticalSteps(maxCritical),
+	)
+}

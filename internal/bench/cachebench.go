@@ -160,8 +160,8 @@ func RunCacheScenario(sc *workload.CacheScenario, scale Scale) (*Table, error) {
 		label := "none"
 		newSP := func() *StallPoint { return nil }
 		if stalled {
-			label = fmt.Sprintf("%v/%d", stallDur, stallPeriod)
-			newSP = func() *StallPoint { return NewStallPoint(stallPeriod, stallDur) }
+			label = fmt.Sprintf("%v/%d", StallDur, StallPeriod)
+			newSP = func() *StallPoint { return NewStallPoint(StallPeriod, StallDur) }
 		}
 		for _, shards := range cacheShardCounts {
 			row, err := runWfcacheScenario(sc, shards, workers, opsPer, label, newSP())
@@ -174,7 +174,7 @@ func RunCacheScenario(sc *workload.CacheScenario, scale Scale) (*Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"raw regime: the mutex LRU wins on constant factors — wfcache attempts pay the paper's fixed delays (c·κ²L²T own steps)",
-		"stall regime: holders stall mid-critical-section ("+fmt.Sprintf("%v every %d value writes", stallDur, stallPeriod)+"); helpers absorb wfcache's stalls, the mutex serializes them",
+		"stall regime: holders stall mid-critical-section ("+fmt.Sprintf("%v every %d value writes", StallDur, StallPeriod)+"); helpers absorb wfcache's stalls, the mutex serializes them",
 		"hit% counts Get outcomes; the cache holds "+fmt.Sprintf("%d of %d", sc.Capacity, sc.Keys)+" keys, so hit rate is emergent from skew and recency")
 	return t, nil
 }

@@ -160,11 +160,7 @@ func (q *MutexRing) Len() int {
 
 // newWfQueue builds a single-ring Queue sized for the scenario.
 func newWfQueue(sc *workload.QueueScenario, workers int, sp *StallPoint) (*wflocks.Queue[uint64], error) {
-	m, err := wflocks.New(
-		wflocks.WithUnknownBounds(workers+2),
-		wflocks.WithMaxLocks(1),
-		wflocks.WithMaxCriticalSteps(wflocks.QueueCriticalSteps(1, 1)),
-	)
+	m, err := AdaptiveManager(workers+2, 1, wflocks.QueueCriticalSteps(1, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -180,11 +176,7 @@ func newWfQueue(sc *workload.QueueScenario, workers int, sp *StallPoint) (*wfloc
 // scenario's capacity is the pool total, so the sweep holds aggregate
 // capacity constant while per-shard contention shrinks.
 func newWfPool(sc *workload.QueueScenario, shards, workers int, sp *StallPoint) (*wflocks.WorkPool[uint64], error) {
-	m, err := wflocks.New(
-		wflocks.WithUnknownBounds(workers+2),
-		wflocks.WithMaxLocks(2),
-		wflocks.WithMaxCriticalSteps(wflocks.WorkPoolCriticalSteps(1, 1)),
-	)
+	m, err := AdaptiveManager(workers+2, 2, wflocks.WorkPoolCriticalSteps(1, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -222,8 +214,8 @@ func RunQueueScenario(sc *workload.QueueScenario, scale Scale) (*Table, error) {
 		label := "none"
 		newSP := func() *StallPoint { return nil }
 		if stalled {
-			label = fmt.Sprintf("%v/%d", stallDur, stallPeriod)
-			newSP = func() *StallPoint { return NewStallPoint(stallPeriod, stallDur) }
+			label = fmt.Sprintf("%v/%d", StallDur, StallPeriod)
+			newSP = func() *StallPoint { return NewStallPoint(StallPeriod, StallDur) }
 		}
 		{
 			sp := newSP()
@@ -307,7 +299,7 @@ func RunQueueScenario(sc *workload.QueueScenario, scale Scale) (*Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"raw regime: the channel and mutex+ring win on constant factors — every wfqueue attempt pays the adaptive variant's padded delays (unknown-bounds mode, Theorem 6.10; contention-proportional rather than fixed κ²L²T)",
-		"stall regime: producers/consumers stall mid-operation ("+fmt.Sprintf("%v every %d value writes", stallDur, stallPeriod)+"); helpers absorb wfqueue's stalls, the mutex+ring serializes them",
+		"stall regime: producers/consumers stall mid-operation ("+fmt.Sprintf("%v every %d value writes", StallDur, StallPeriod)+"); helpers absorb wfqueue's stalls, the mutex+ring serializes them",
 		"the channel draws its stalls outside the channel op (no user-held lock exists): channels are inherently stall-tolerant, so the stall rows isolate wfqueue vs mutex+ring",
 		"success is wins/attempts over the wait-free lock attempts; steals counts elements WorkPool consumers migrated from other shards")
 	return t, nil

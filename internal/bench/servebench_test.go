@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"wflocks/internal/workload"
+)
+
+// TestRunServiceScenario runs the quick-scale service table end to end
+// over the loopback transport. The stall regime sleeps for real, so
+// this is skipped in -short (the CI smoke job covers the raw path).
+func TestRunServiceScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stall-regime rows sleep for real; skip in -short")
+	}
+	sc := workload.LookupServiceScenario("service:read")
+	if sc == nil {
+		t.Fatal("service:read missing")
+	}
+	tab, err := RunServiceScenario(sc, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 impls × 2 regimes.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("table has %d rows, want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		sent, err1 := strconv.ParseUint(row[2], 10, 64)
+		done, err2 := strconv.ParseUint(row[3], 10, 64)
+		if err1 != nil || err2 != nil || sent == 0 || done != sent {
+			t.Fatalf("row %v: sent %q, done %q; want every sent op answered", row, row[2], row[3])
+		}
+		if row[4] != "0" {
+			t.Fatalf("row %v: %s protocol errors", row, row[4])
+		}
+		p50, err := time.ParseDuration(row[5])
+		if err != nil || p50 <= 0 {
+			t.Fatalf("row %v: bad p50 %q", row, row[5])
+		}
+		p999, err := time.ParseDuration(row[7])
+		if err != nil || p999 < p50 {
+			t.Fatalf("row %v: p99.9 %q below p50 %q", row, row[7], row[5])
+		}
+	}
+}
+
+// TestRunServiceScenarioRejectsInvalid covers the runner's validation
+// path.
+func TestRunServiceScenarioRejectsInvalid(t *testing.T) {
+	bad := &workload.ServiceScenario{Name: "service:x", Backend: "nope", Rate: 1,
+		Duration: time.Second, Conns: 1, Keys: 1, GetPct: 100}
+	if _, err := RunServiceScenario(bad, Quick); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}

@@ -78,13 +78,14 @@ func StallValueCodec(sp *StallPoint) wflocks.Codec[uint64] {
 		func(src []uint64) uint64 { return src[0] })
 }
 
-// Stall-regime parameters shared by the scenario runners: one value
-// write in sixteen sleeps for the stall duration. At the scenario
-// mixes this stalls roughly one op in twenty — a heavy but not absurd
-// preemption rate, chosen so the stall cost dominates every
-// implementation's base cost and the comparison measures stall
-// handling, not constant factors.
+// Stall-regime parameters shared by the scenario runners (exported so
+// the wfserve harness injects the identical regime): one value write in
+// sixteen sleeps for the stall duration. At the scenario mixes this
+// stalls roughly one op in twenty — a heavy but not absurd preemption
+// rate, chosen so the stall cost dominates every implementation's base
+// cost and the comparison measures stall handling, not constant
+// factors.
 const (
-	stallPeriod = 16
-	stallDur    = 4 * time.Millisecond
+	StallPeriod = 16
+	StallDur    = 4 * time.Millisecond
 )

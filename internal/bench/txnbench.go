@@ -155,8 +155,8 @@ func RunTxnScenario(sc *workload.TxnScenario, scale Scale) (*Table, error) {
 		label := "none"
 		newSP := func() *StallPoint { return nil }
 		if stalled {
-			label = fmt.Sprintf("%v/%d", stallDur, stallPeriod)
-			newSP = func() *StallPoint { return NewStallPoint(stallPeriod, stallDur) }
+			label = fmt.Sprintf("%v/%d", StallDur, StallPeriod)
+			newSP = func() *StallPoint { return NewStallPoint(StallPeriod, StallDur) }
 		}
 		for _, l := range txnLCounts {
 			row, err := runWfmapTxn(sc, l, opsPer, label, newSP())
@@ -172,7 +172,7 @@ func RunTxnScenario(sc *workload.TxnScenario, scale Scale) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"each wfmap row runs its own manager sized for its L: WithMaxLocks(L), T = MapAtomicSteps(cap, 1, 1, L)",
 		"raw regime: the fixed delays grow as κ²L²·T(L) — the documented price of wait-freedom, steepest at L=8",
-		"stall regime: holders stall mid-transaction ("+fmt.Sprintf("%v every %d value writes", stallDur, stallPeriod)+"); wfmap helpers absorb stalls, the sorted-mutex baseline serializes them across every held shard",
+		"stall regime: holders stall mid-transaction ("+fmt.Sprintf("%v every %d value writes", StallDur, StallPeriod)+"); wfmap helpers absorb stalls, the sorted-mutex baseline serializes them across every held shard",
 		"conserved audits the transfer invariant: the keyspace sum must equal the prefill exactly")
 	return t, nil
 }

@@ -1,0 +1,379 @@
+// Package loadgen is the coordinated-omission-safe load harness for
+// the wfserve service.
+//
+// It is an open-loop generator: every operation's send time is
+// scheduled ahead of the run from a fixed arrival rate, and each
+// operation's latency is measured from its *intended* send time, not
+// from when the sender actually managed to write it. The distinction
+// is the whole point. A closed-loop client (send, wait, send) slows
+// down exactly when the server slows down, so a 100ms server stall
+// that should have delayed dozens of queued requests is recorded as
+// one slow operation — the coordinated-omission trap, which makes a
+// stalling server look far better than its users experience. Here the
+// schedule does not care how the server is doing: if the server
+// stalls, requests pile up behind it and every one of them records the
+// queueing delay it actually suffered.
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"wflocks/internal/env"
+	"wflocks/internal/serve"
+	"wflocks/internal/stats"
+	"wflocks/internal/workload"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Rate is the aggregate arrival rate in operations per second.
+	Rate float64
+	// Duration is how long arrivals are scheduled for; the run lasts
+	// until the last scheduled operation's reply arrives (or ctx ends).
+	Duration time.Duration
+	// Conns is the number of client connections; arrivals round-robin
+	// across them (default 4).
+	Conns int
+	// Keys is the keyspace size (default 1024); keys are "k000000042".
+	Keys int
+	// Skew is the Zipf exponent for key choice (0 = uniform).
+	Skew float64
+	// GetPct, SetPct and DelPct are the operation mix in percent; they
+	// must sum to 100 (default 90/10/0).
+	GetPct, SetPct, DelPct int
+	// ValBytes sizes SET values (default 16).
+	ValBytes int
+	// Prefill, when true, stores every key once before the timed run so
+	// GETs hit.
+	Prefill bool
+	// SlowConns marks the first n connections as slow clients: their
+	// readers sleep SlowDelay before consuming each reply, modelling a
+	// consumer that cannot keep up. The server's per-connection
+	// backpressure is what keeps such clients from hurting the others;
+	// the slow connections' own recorded latencies include their
+	// self-inflicted delay.
+	SlowConns int
+	SlowDelay time.Duration
+	// Seed makes the key/op streams reproducible (default 1).
+	Seed uint64
+}
+
+// withDefaults fills unset fields and validates the mix.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Rate <= 0 {
+		return cfg, fmt.Errorf("loadgen: rate must be positive, got %g", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return cfg, fmt.Errorf("loadgen: duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1024
+	}
+	if cfg.GetPct == 0 && cfg.SetPct == 0 && cfg.DelPct == 0 {
+		cfg.GetPct, cfg.SetPct = 90, 10
+	}
+	if cfg.GetPct < 0 || cfg.SetPct < 0 || cfg.DelPct < 0 ||
+		cfg.GetPct+cfg.SetPct+cfg.DelPct != 100 {
+		return cfg, fmt.Errorf("loadgen: op mix %d/%d/%d must be non-negative and sum to 100",
+			cfg.GetPct, cfg.SetPct, cfg.DelPct)
+	}
+	if cfg.ValBytes <= 0 {
+		cfg.ValBytes = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg, nil
+}
+
+// OpResult aggregates one operation type's outcomes.
+type OpResult struct {
+	Sent, Done, Errors uint64
+	// Hist holds latencies in nanoseconds, measured from intended send
+	// time.
+	Hist *stats.LogHist
+}
+
+// Result is one run's outcome.
+type Result struct {
+	// Total aggregates all operation types; PerOp breaks them out.
+	Total OpResult
+	PerOp map[serve.Op]*OpResult
+	// Elapsed is wall time from first intended send to last reply;
+	// AchievedRate is Total.Done / Elapsed.
+	Elapsed      time.Duration
+	IntendedRate float64
+	AchievedRate float64
+}
+
+// Quantile reads a latency quantile from the aggregate histogram.
+func (r *Result) Quantile(q float64) time.Duration {
+	return time.Duration(r.Total.Hist.Quantile(q))
+}
+
+// histSubBits is the histograms' resolution: 32 sub-buckets per octave,
+// ≤ 3.1% relative quantization error.
+const histSubBits = 5
+
+// op is one scheduled operation.
+type op struct {
+	kind     serve.Op
+	intended time.Duration // offset from run start
+}
+
+// connResult is one connection's tally, merged after the run.
+type connResult struct {
+	perOp map[serve.Op]*OpResult
+	err   error
+}
+
+func newPerOp() map[serve.Op]*OpResult {
+	m := make(map[serve.Op]*OpResult, 3)
+	for _, k := range []serve.Op{serve.OpGet, serve.OpSet, serve.OpDel} {
+		m[k] = &OpResult{Hist: stats.NewLogHist(histSubBits)}
+	}
+	return m
+}
+
+// Run drives one open-loop load run against a server reached through
+// dial (TCP or the in-process loopback — the harness cannot tell the
+// difference).
+func Run(ctx context.Context, dial func() (net.Conn, error), cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	conns := make([]net.Conn, cfg.Conns)
+	for i := range conns {
+		c, err := dial()
+		if err != nil {
+			for _, c := range conns[:i] {
+				c.Close()
+			}
+			return nil, fmt.Errorf("loadgen: dial conn %d: %w", i, err)
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	if cfg.Prefill {
+		if err := prefill(conns[0], cfg); err != nil {
+			return nil, fmt.Errorf("loadgen: prefill: %w", err)
+		}
+	}
+
+	// Schedule every arrival ahead of the run: operation i is due at
+	// i/rate, on connection i%conns. The schedule is immutable from
+	// here on — nothing the server does can slow it down.
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	schedules := make([][]op, cfg.Conns)
+	rng := env.NewRNG(cfg.Seed)
+	for i := 0; i < total; i++ {
+		schedules[i%cfg.Conns] = append(schedules[i%cfg.Conns], op{
+			kind:     pickOp(rng, &cfg),
+			intended: time.Duration(i) * interval,
+		})
+	}
+
+	results := make([]connResult, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, conn := range conns {
+		wg.Add(1)
+		var slow time.Duration
+		if i < cfg.SlowConns {
+			slow = cfg.SlowDelay
+		}
+		go func(i int, conn net.Conn, slow time.Duration) {
+			defer wg.Done()
+			results[i] = runConn(ctx, conn, schedules[i], start, &cfg, cfg.Seed+uint64(i)*7919, slow)
+		}(i, conn, slow)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Total:        OpResult{Hist: stats.NewLogHist(histSubBits)},
+		PerOp:        newPerOp(),
+		Elapsed:      elapsed,
+		IntendedRate: cfg.Rate,
+	}
+	for i := range results {
+		if results[i].err != nil && err == nil {
+			err = results[i].err
+		}
+		for kind, part := range results[i].perOp {
+			agg := res.PerOp[kind]
+			agg.Sent += part.Sent
+			agg.Done += part.Done
+			agg.Errors += part.Errors
+			agg.Hist.Merge(part.Hist)
+			res.Total.Sent += part.Sent
+			res.Total.Done += part.Done
+			res.Total.Errors += part.Errors
+			res.Total.Hist.Merge(part.Hist)
+		}
+	}
+	if elapsed > 0 {
+		res.AchievedRate = float64(res.Total.Done) / elapsed.Seconds()
+	}
+	return res, err
+}
+
+// pickOp draws one operation kind from the configured mix.
+func pickOp(rng *env.RNG, cfg *Config) serve.Op {
+	r := rng.IntN(100)
+	switch {
+	case r < cfg.GetPct:
+		return serve.OpGet
+	case r < cfg.GetPct+cfg.SetPct:
+		return serve.OpSet
+	default:
+		return serve.OpDel
+	}
+}
+
+// prefill stores every key once, sequentially, before the clock starts.
+func prefill(conn net.Conn, cfg Config) error {
+	br := bufio.NewReader(conn)
+	val := Val(cfg.ValBytes)
+	var buf []byte
+	for k := 0; k < cfg.Keys; k++ {
+		buf = serve.AppendCommand(buf[:0], "SET", Key(k), val)
+		if _, err := conn.Write(buf); err != nil {
+			return err
+		}
+		if r, err := serve.ReadReply(br); err != nil {
+			return err
+		} else if r.Kind == serve.ReplyError {
+			return fmt.Errorf("server rejected prefill: %s", r.Str)
+		}
+	}
+	return nil
+}
+
+// Key renders key rank k the way the generator does — exported so a
+// harness prefilling a server's backend directly produces keys the run
+// will actually hit.
+func Key(k int) string { return fmt.Sprintf("k%09d", k) }
+
+// Val builds the deterministic n-byte SET payload.
+func Val(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = 'a' + byte(i%26)
+	}
+	return string(b)
+}
+
+// runConn drives one connection: a sender paces the schedule while the
+// reader matches replies FIFO (the protocol is ordered per connection)
+// and records each latency against the operation's intended time.
+func runConn(ctx context.Context, conn net.Conn, sched []op, start time.Time, cfg *Config, seed uint64, slow time.Duration) connResult {
+	res := connResult{perOp: newPerOp()}
+	if len(sched) == 0 {
+		return res
+	}
+	zipf := workload.NewZipf(cfg.Keys, cfg.Skew)
+	rng := env.NewRNG(seed)
+	val := Val(cfg.ValBytes)
+
+	sendErr := make(chan error, 1)
+	go func() {
+		var buf []byte
+		for i := range sched {
+			// Open loop: sleep until the intended send time, never
+			// until the server is ready. A sleep for a time already
+			// past returns immediately, so a backlogged sender
+			// naturally pipelines.
+			if d := time.Until(start.Add(sched[i].intended)); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					sendErr <- ctx.Err()
+					return
+				}
+			}
+			key := Key(zipf.Sample(rng))
+			switch sched[i].kind {
+			case serve.OpGet:
+				buf = serve.AppendCommand(buf[:0], "GET", key)
+			case serve.OpSet:
+				buf = serve.AppendCommand(buf[:0], "SET", key, val)
+			default:
+				buf = serve.AppendCommand(buf[:0], "DEL", key)
+			}
+			res.perOp[sched[i].kind].Sent++ // reader only looks after wg
+			if _, err := conn.Write(buf); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	// Cancellation reaches a blocked reader through the deadline.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.SetReadDeadline(time.Now())
+		case <-stopWatch:
+		}
+	}()
+
+	// The reader walks the same schedule: reply i answers operation i.
+	br := bufio.NewReader(conn)
+	var readErr error
+	for i := range sched {
+		if slow > 0 {
+			time.Sleep(slow)
+		}
+		r, err := serve.ReadReply(br)
+		if err != nil {
+			readErr = err
+			break
+		}
+		lat := time.Since(start.Add(sched[i].intended))
+		if lat < 0 {
+			lat = 0
+		}
+		tally := res.perOp[sched[i].kind]
+		tally.Done++
+		if r.Kind == serve.ReplyError {
+			tally.Errors++
+		}
+		tally.Hist.Record(uint64(lat))
+	}
+	if readErr != nil {
+		conn.Close() // unblock a sender still writing into a dead pipeline
+	}
+	if err := <-sendErr; err != nil && res.err == nil {
+		res.err = err
+	}
+	if readErr != nil && res.err == nil {
+		// The sender finishing cleanly but the reader failing is a real
+		// error; a reader stopping because the context canceled the
+		// sender is expected.
+		res.err = readErr
+	}
+	return res
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+	"time"
+)
+
+func readOne(t *testing.T, wire string) (Request, error) {
+	t.Helper()
+	return ReadCommand(bufio.NewReader(strings.NewReader(wire)))
+}
+
+func TestReadCommandInline(t *testing.T) {
+	req, err := readOne(t, "SET key  value\r\n")
+	if err != nil {
+		t.Fatalf("inline SET: %v", err)
+	}
+	if req.Op != OpSet || req.Key != "key" || req.Val != "value" {
+		t.Fatalf("inline SET = %+v", req)
+	}
+	req, err = readOne(t, "get key\n") // lowercase, bare LF
+	if err != nil || req.Op != OpGet || req.Key != "key" {
+		t.Fatalf("inline get = %+v, %v", req, err)
+	}
+}
+
+func TestReadCommandArray(t *testing.T) {
+	wire := string(AppendCommand(nil, "SET", "k", "v", "PX", "1500"))
+	req, err := readOne(t, wire)
+	if err != nil {
+		t.Fatalf("array SET PX: %v", err)
+	}
+	if req.Op != OpSet || req.Key != "k" || req.Val != "v" || req.TTL != 1500*time.Millisecond {
+		t.Fatalf("array SET PX = %+v", req)
+	}
+	// Binary-safe: a value with spaces and CR survives the array form.
+	odd := "a b\rc"
+	req, err = readOne(t, string(AppendCommand(nil, "SET", "k", odd)))
+	if err != nil || req.Val != odd {
+		t.Fatalf("binary value = %+v, %v", req, err)
+	}
+}
+
+func TestReadCommandErrors(t *testing.T) {
+	// Proto errors: the client hears -ERR, the connection lives.
+	for _, wire := range []string{
+		"\r\n",                // empty command
+		"NOPE\r\n",            // unknown command
+		"GET\r\n",             // missing key
+		"SET k v EX 10\r\n",   // wrong TTL keyword
+		"SET k v PX nope\r\n", // bad PX value
+		"SET k v PX -5\r\n",   // non-positive PX
+		"PING extra\r\n",      // PING takes no args
+	} {
+		if _, err := readOne(t, wire); !IsProtoError(err) {
+			t.Errorf("%q: err = %v, want proto error", wire, err)
+		}
+	}
+	// Framing errors: the connection must die.
+	for _, wire := range []string{
+		"*x\r\n",              // bad array header
+		"*99\r\n",             // oversized array
+		"*1\r\nnope\r\n",      // bulk header missing $
+		"*1\r\n$-3\r\nab\r\n", // bad bulk length
+		"*1\r\n$2\r\nabXY",    // bulk missing CRLF
+		"GET " + strings.Repeat("k", maxLineBytes) + "\r\n", // oversized line
+	} {
+		_, err := readOne(t, wire)
+		if err == nil || IsProtoError(err) {
+			t.Errorf("%q: err = %v, want fatal framing error", wire, err)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	var wire []byte
+	wire = AppendSimple(wire, "OK")
+	wire = AppendError(wire, "boom")
+	wire = AppendInt(wire, -7)
+	wire = AppendBulk(wire, "payload")
+	wire = AppendBulk(wire, "")
+	wire = AppendNullBulk(wire)
+	br := bufio.NewReader(strings.NewReader(string(wire)))
+	want := []Reply{
+		{Kind: ReplySimple, Str: "OK"},
+		{Kind: ReplyError, Str: "boom"},
+		{Kind: ReplyInt, Int: -7},
+		{Kind: ReplyBulk, Str: "payload"},
+		{Kind: ReplyBulk, Str: ""},
+		{Kind: ReplyNull},
+	}
+	for i, w := range want {
+		got, err := ReadReply(br)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if got != w {
+			t.Fatalf("reply %d = %+v, want %+v", i, got, w)
+		}
+	}
+}

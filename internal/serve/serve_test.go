@@ -1,0 +1,256 @@
+package serve_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wflocks/internal/serve"
+)
+
+// startServer builds a server over a loopback listener and tears both
+// down when the test ends.
+func startServer(t *testing.T, cfg serve.Config) (*serve.Server, *serve.Loopback) {
+	t.Helper()
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	lis := serve.NewLoopback()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(lis) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) // double Shutdown errors; tests that drained already ignore this
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return s, lis
+}
+
+// client wraps one loopback connection with the protocol's client side.
+type client struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dial(t *testing.T, lis *serve.Loopback) *client {
+	t.Helper()
+	conn, err := lis.Dial()
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, br: bufio.NewReader(conn)}
+}
+
+// do runs one command and returns the reply.
+func (c *client) do(t *testing.T, args ...string) serve.Reply {
+	t.Helper()
+	if _, err := c.conn.Write(serve.AppendCommand(nil, args...)); err != nil {
+		t.Fatalf("write %v: %v", args, err)
+	}
+	r, err := serve.ReadReply(c.br)
+	if err != nil {
+		t.Fatalf("read reply to %v: %v", args, err)
+	}
+	return r
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	for _, backend := range []string{serve.BackendMap, serve.BackendCache, serve.BackendMutex} {
+		t.Run(backend, func(t *testing.T) {
+			_, lis := startServer(t, serve.Config{Backend: backend, Workers: 4})
+			c := dial(t, lis)
+
+			if r := c.do(t, "PING"); r.Kind != serve.ReplySimple || r.Str != "PONG" {
+				t.Fatalf("PING = %+v", r)
+			}
+			if r := c.do(t, "GET", "k"); r.Kind != serve.ReplyNull {
+				t.Fatalf("GET missing = %+v, want null", r)
+			}
+			if r := c.do(t, "SET", "k", "hello"); r.Kind != serve.ReplySimple || r.Str != "OK" {
+				t.Fatalf("SET = %+v", r)
+			}
+			if r := c.do(t, "GET", "k"); r.Kind != serve.ReplyBulk || r.Str != "hello" {
+				t.Fatalf("GET = %+v, want bulk hello", r)
+			}
+			if r := c.do(t, "DEL", "k"); r.Kind != serve.ReplyInt || r.Int != 1 {
+				t.Fatalf("DEL = %+v, want :1", r)
+			}
+			if r := c.do(t, "DEL", "k"); r.Kind != serve.ReplyInt || r.Int != 0 {
+				t.Fatalf("second DEL = %+v, want :0", r)
+			}
+			// A command error answers -ERR and keeps the connection usable.
+			if r := c.do(t, "NOPE"); r.Kind != serve.ReplyError {
+				t.Fatalf("unknown command = %+v, want error", r)
+			}
+			if r := c.do(t, "PING"); r.Str != "PONG" {
+				t.Fatalf("PING after error = %+v", r)
+			}
+			// STATS reports the backend and sane counters.
+			r := c.do(t, "STATS")
+			if r.Kind != serve.ReplyBulk || !strings.Contains(r.Str, "backend:"+backend) {
+				t.Fatalf("STATS = %+v", r)
+			}
+		})
+	}
+}
+
+func TestServePipelining(t *testing.T) {
+	_, lis := startServer(t, serve.Config{Workers: 4})
+	c := dial(t, lis)
+
+	// Fire a burst of pipelined commands, then read every reply: they
+	// must come back in request order even though workers run them
+	// concurrently.
+	const n = 64
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = serve.AppendCommand(buf, "SET", fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < n; i++ {
+		buf = serve.AppendCommand(buf, "GET", fmt.Sprintf("k%d", i))
+	}
+	if _, err := c.conn.Write(buf); err != nil {
+		t.Fatalf("write burst: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		r, err := serve.ReadReply(c.br)
+		if err != nil || r.Str != "OK" {
+			t.Fatalf("SET %d reply = %+v, %v", i, r, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		r, err := serve.ReadReply(c.br)
+		if err != nil || r.Kind != serve.ReplyBulk || r.Str != fmt.Sprintf("v%d", i) {
+			t.Fatalf("GET %d reply = %+v, %v (order violated?)", i, r, err)
+		}
+	}
+}
+
+func TestServeTTL(t *testing.T) {
+	_, lis := startServer(t, serve.Config{Backend: serve.BackendCache, Workers: 4})
+	c := dial(t, lis)
+	if r := c.do(t, "SET", "k", "v", "PX", "40"); r.Str != "OK" {
+		t.Fatalf("SET PX = %+v", r)
+	}
+	if r := c.do(t, "GET", "k"); r.Kind != serve.ReplyBulk || r.Str != "v" {
+		t.Fatalf("GET before expiry = %+v", r)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if r := c.do(t, "GET", "k"); r.Kind != serve.ReplyNull {
+		t.Fatalf("GET after expiry = %+v, want null", r)
+	}
+}
+
+func TestServeMapRejectsTTL(t *testing.T) {
+	_, lis := startServer(t, serve.Config{Backend: serve.BackendMap, Workers: 4})
+	c := dial(t, lis)
+	if r := c.do(t, "SET", "k", "v", "PX", "40"); r.Kind != serve.ReplyError {
+		t.Fatalf("SET PX on map backend = %+v, want error", r)
+	}
+}
+
+func TestServeSizeBounds(t *testing.T) {
+	_, lis := startServer(t, serve.Config{MaxKeyBytes: 8, MaxValBytes: 8, Workers: 4})
+	c := dial(t, lis)
+	if r := c.do(t, "SET", strings.Repeat("k", 9), "v"); r.Kind != serve.ReplyError {
+		t.Fatalf("oversized key = %+v, want error", r)
+	}
+	if r := c.do(t, "SET", "k", strings.Repeat("v", 9)); r.Kind != serve.ReplyError {
+		t.Fatalf("oversized value = %+v, want error", r)
+	}
+	// The connection survives both rejections.
+	if r := c.do(t, "SET", "k", "v"); r.Str != "OK" {
+		t.Fatalf("in-bounds SET after rejections = %+v", r)
+	}
+}
+
+func TestServeMaxConns(t *testing.T) {
+	_, lis := startServer(t, serve.Config{MaxConns: 1, Workers: 4})
+	c1 := dial(t, lis)
+	if r := c1.do(t, "PING"); r.Str != "PONG" {
+		t.Fatalf("first conn PING = %+v", r)
+	}
+	c2 := dial(t, lis)
+	r, err := serve.ReadReply(c2.br)
+	if err != nil || r.Kind != serve.ReplyError || !strings.Contains(r.Str, "max connections") {
+		t.Fatalf("second conn greeting = %+v, %v; want max-connections error", r, err)
+	}
+	// The refused conn is closed by the server.
+	if _, err := serve.ReadReply(c2.br); err == nil {
+		t.Fatal("refused connection still open")
+	}
+	// The first connection is unaffected.
+	if r := c1.do(t, "PING"); r.Str != "PONG" {
+		t.Fatalf("first conn after refusal = %+v", r)
+	}
+}
+
+// TestServeGracefulDrain is the drain contract: a request already
+// dispatched when Shutdown begins still completes and is written back;
+// new connections are refused; Shutdown returns within its deadline.
+// The mutex backend's stall hook gates the in-flight request so the
+// test controls exactly when it finishes.
+func TestServeGracefulDrain(t *testing.T) {
+	gate := make(chan struct{})
+	var entered sync.Once
+	inFlight := make(chan struct{})
+	s, lis := startServer(t, serve.Config{
+		Backend: serve.BackendMutex,
+		Workers: 4,
+		Stall: func() {
+			entered.Do(func() { close(inFlight) })
+			<-gate
+		},
+	})
+
+	c := dial(t, lis)
+	if _, err := c.conn.Write(serve.AppendCommand(nil, "SET", "k", "v")); err != nil {
+		t.Fatalf("write SET: %v", err)
+	}
+	// Wait until a worker holds the request inside the backend.
+	select {
+	case <-inFlight:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the backend")
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Draining: new connections are refused (the listener is closed).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := lis.Dial(); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("new connections still accepted while draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The in-flight request must not have been dropped: release it and
+	// expect its reply.
+	close(gate)
+	r, err := serve.ReadReply(c.br)
+	if err != nil || r.Str != "OK" {
+		t.Fatalf("in-flight SET reply after drain = %+v, %v", r, err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+package stats
+
+import "math/bits"
+
+// LogHist is an HDR-style log-linear histogram over non-negative
+// integer observations (the load harness records nanosecond latencies
+// in it). Buckets are arranged in octaves: values below the sub-bucket
+// count land in exact unit buckets, and each further doubling of the
+// value range is split into the same number of sub-buckets, so the
+// relative quantization error is bounded by 1/sub everywhere — the
+// property that makes p99.9 of a microsecond-to-seconds latency
+// distribution meaningful without storing every sample.
+//
+// A LogHist is NOT safe for concurrent use: the load harness keeps one
+// per worker and combines them with Merge, which is both faster and
+// exact.
+type LogHist struct {
+	subBits uint // log2 of sub-buckets per octave
+	counts  []uint64
+	n       uint64
+	max     uint64 // exact observed maximum
+	sum     uint64
+}
+
+// logHistOctaves bounds the value range: with the conventional 5
+// subBits (32 sub-buckets), the top bucket starts at 63·2^39 ns ≈ 9.6
+// hours — any latency beyond that is clamped into it (and reported
+// exactly by Max).
+const logHistOctaves = 40
+
+// NewLogHist creates a histogram with 2^subBits sub-buckets per octave
+// (subBits in [1, 8]; 5 — 32 sub-buckets, ≤ 3.1% relative error — is
+// the conventional choice).
+func NewLogHist(subBits uint) *LogHist {
+	if subBits < 1 || subBits > 8 {
+		panic("stats: NewLogHist: subBits must be in [1, 8]")
+	}
+	sub := 1 << subBits
+	return &LogHist{
+		subBits: subBits,
+		counts:  make([]uint64, (logHistOctaves+1)*sub),
+	}
+}
+
+// bucketIndex maps a value to its bucket. Values below sub are their
+// own bucket; a value in octave o (v in [sub<<o-1, sub<<o)) maps to
+// sub-bucket (v >> (o-1)) - sub of that octave.
+func (h *LogHist) bucketIndex(v uint64) int {
+	sub := uint64(1) << h.subBits
+	if v < sub {
+		return int(v)
+	}
+	o := uint(bits.Len64(v)) - h.subBits // octave ≥ 1
+	i := int(uint64(o)<<h.subBits) + int(v>>(o-1)-sub)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// BucketBounds reports bucket i's half-open value range [lo, hi): every
+// recorded v with lo <= v < hi lands in bucket i (the final bucket also
+// absorbs clamped values above the histogram's range).
+func (h *LogHist) BucketBounds(i int) (lo, hi uint64) {
+	sub := uint64(1) << h.subBits
+	if uint64(i) < sub {
+		return uint64(i), uint64(i) + 1
+	}
+	o := uint(i >> h.subBits) // octave ≥ 1
+	m := uint64(i)&(sub-1) + sub
+	return m << (o - 1), (m + 1) << (o - 1)
+}
+
+// Buckets reports the bucket count (for iterating BucketBounds).
+func (h *LogHist) Buckets() int { return len(h.counts) }
+
+// Record adds one observation.
+func (h *LogHist) Record(v uint64) {
+	h.counts[h.bucketIndex(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of observations recorded.
+func (h *LogHist) Count() uint64 { return h.n }
+
+// Max reports the exact maximum observation (0 when empty).
+func (h *LogHist) Max() uint64 { return h.max }
+
+// Mean reports the exact arithmetic mean (0 when empty).
+func (h *LogHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) by locating the bucket
+// holding the rank-⌈q·n⌉ observation and interpolating linearly inside
+// it; the answer is within the bucket's width of the true order
+// statistic (relative error ≤ 2^-subBits). The top quantile is capped
+// at the exact Max. An empty histogram reports 0.
+func (h *LogHist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c > rank {
+			if i == len(h.counts)-1 {
+				// The final bucket absorbs clamped values, so its upper
+				// bound is meaningless; the exact max is the best answer.
+				return h.max
+			}
+			lo, hi := h.BucketBounds(i)
+			// Interpolate the rank's position within the bucket.
+			frac := float64(rank-seen) / float64(c)
+			v := lo + uint64(frac*float64(hi-lo))
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		seen += c
+	}
+	return h.max
+}
+
+// Merge folds o into h (bucket-exact: both histograms must share
+// subBits, or Merge panics). o is unchanged.
+func (h *LogHist) Merge(o *LogHist) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if o.subBits != h.subBits {
+		panic("stats: LogHist.Merge: sub-bucket shapes differ")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogHistBucketBounds(t *testing.T) {
+	h := NewLogHist(5)
+	// The unit region: each value below 32 is its own bucket.
+	for v := uint64(0); v < 32; v++ {
+		lo, hi := h.BucketBounds(int(v))
+		if lo != v || hi != v+1 {
+			t.Fatalf("unit bucket %d = [%d, %d), want [%d, %d)", v, lo, hi, v, v+1)
+		}
+	}
+	// Buckets tile the value range: each bucket starts where the
+	// previous ended, and widths double every octave.
+	prevHi := uint64(0)
+	for i := 0; i < h.Buckets(); i++ {
+		lo, hi := h.BucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d starts at %d, previous ended at %d", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d empty: [%d, %d)", i, lo, hi)
+		}
+		prevHi = hi
+	}
+	// Every value maps into the bucket whose bounds contain it.
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 - 1} {
+		i := h.bucketIndex(v)
+		lo, hi := h.BucketBounds(i)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d mapped to bucket %d = [%d, %d)", v, i, lo, hi)
+		}
+	}
+	// Relative bucket width stays within 2^-subBits of the lower bound
+	// (outside the exact unit region).
+	for i := 32; i < h.Buckets(); i++ {
+		lo, hi := h.BucketBounds(i)
+		if (hi-lo)*32 > lo {
+			t.Fatalf("bucket %d = [%d, %d): width %d exceeds lo/32", i, lo, hi, hi-lo)
+		}
+	}
+}
+
+func TestLogHistQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		h := NewLogHist(5)
+		n := 1000 + rng.Intn(9000)
+		xs := make([]uint64, n)
+		for i := range xs {
+			// Log-uniform draws spanning ~6 orders of magnitude, the
+			// shape of a tail-latency distribution.
+			v := uint64(1) << uint(rng.Intn(30))
+			v += uint64(rng.Int63n(int64(v)))
+			xs[i] = v
+			h.Record(v)
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			got := h.Quantile(q)
+			rank := int(q * float64(n))
+			if rank >= n {
+				rank = n - 1
+			}
+			want := xs[rank]
+			// The histogram's guarantee: within one sub-bucket (3.125%)
+			// of the true order statistic.
+			tol := want/16 + 2 // 2× bucket width, + slack for tiny values
+			if got+tol < want || got > want+tol {
+				t.Fatalf("trial %d q=%g: Quantile = %d, oracle rank %d = %d (tol %d)",
+					trial, q, got, rank, want, tol)
+			}
+		}
+		if h.Max() != xs[n-1] {
+			t.Fatalf("Max = %d, want %d", h.Max(), xs[n-1])
+		}
+		if h.Count() != uint64(n) {
+			t.Fatalf("Count = %d, want %d", h.Count(), n)
+		}
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole := NewLogHist(5)
+	parts := []*LogHist{NewLogHist(5), NewLogHist(5), NewLogHist(5)}
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(1 << 24))
+		whole.Record(v)
+		parts[i%3].Record(v)
+	}
+	merged := NewLogHist(5)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Max() != whole.Max() {
+		t.Fatalf("merged count/max = %d/%d, want %d/%d",
+			merged.Count(), merged.Max(), whole.Count(), whole.Max())
+	}
+	if merged.Mean() != whole.Mean() {
+		t.Fatalf("merged mean = %g, want %g", merged.Mean(), whole.Mean())
+	}
+	// Merging per-worker histograms is exact: every quantile of the
+	// merged histogram equals the directly recorded one.
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+			t.Fatalf("q=%g: merged %d != whole %d", q, m, w)
+		}
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := merged.Count()
+	merged.Merge(NewLogHist(5))
+	merged.Merge(nil)
+	if merged.Count() != before {
+		t.Fatal("empty merge changed the count")
+	}
+}
+
+func TestLogHistMergeShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different sub-bucket shapes did not panic")
+		}
+	}()
+	a, b := NewLogHist(5), NewLogHist(6)
+	b.Record(1)
+	a.Merge(b)
+}
+
+func TestLogHistClamp(t *testing.T) {
+	h := NewLogHist(5)
+	huge := uint64(1) << 60 // beyond the bucketed range
+	h.Record(huge)
+	if h.Max() != huge {
+		t.Fatalf("Max = %d, want %d", h.Max(), huge)
+	}
+	if got := h.Quantile(1); got != huge {
+		t.Fatalf("Quantile(1) = %d, want exact max %d", got, huge)
+	}
+	if got := h.Quantile(0.5); got != huge {
+		t.Fatalf("Quantile(0.5) of a single clamped sample = %d, want %d", got, huge)
+	}
+}

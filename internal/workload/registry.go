@@ -2,8 +2,8 @@ package workload
 
 import "fmt"
 
-// Central scenario registry. Every data-structure workload family
-// (map, cache, txn, queue) registers its built-in scenarios here, so
+// Central scenario registry. Every workload family (map, cache, txn,
+// queue, service) registers its built-in scenarios here, so
 // the tools have one place to enumerate them: cmd/wfbench's -list
 // prints this registry and an unknown -workload suggests it. Adding a
 // scenario to a family's *Scenarios() function is all it takes to
@@ -15,15 +15,17 @@ type ScenarioInfo struct {
 	// Name is the scenario's registry key (the cmd/wfbench -workload
 	// flag matches it, e.g. "queue:mpmc").
 	Name string
-	// Kind names the family: "map", "cache", "txn" or "queue".
+	// Kind names the family: "map", "cache", "txn", "queue" or
+	// "service". By convention Kind is also the scenario name's prefix
+	// before the colon.
 	Kind string
 	// Summary is the one-line description -list prints.
 	Summary string
 }
 
 // Scenarios enumerates every built-in scenario across all families, in
-// family order (map, cache, txn, queue) and declaration order within a
-// family.
+// family order (map, cache, txn, queue, service) and declaration order
+// within a family.
 func Scenarios() []ScenarioInfo {
 	var out []ScenarioInfo
 	for _, s := range MapScenarios() {
@@ -62,7 +64,42 @@ func Scenarios() []ScenarioInfo {
 				s.Stages, s.Capacity, role),
 		})
 	}
+	for _, s := range ServiceScenarios() {
+		out = append(out, ScenarioInfo{
+			Name: s.Name,
+			Kind: "service",
+			Summary: fmt.Sprintf("service workload: %.0f ops/s open-loop, %d conns, %d%%/%d%%/%d%% get/set/del, %d keys, skew %.1f, backend %s",
+				s.Rate, s.Conns, s.GetPct, s.SetPct, s.DelPct, s.Keys, s.Skew, s.Backend),
+		})
+	}
 	return out
+}
+
+// Families lists the registered family names, in registry order,
+// without duplicates.
+func Families() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, in := range Scenarios() {
+		if !seen[in.Kind] {
+			seen[in.Kind] = true
+			out = append(out, in.Kind)
+		}
+	}
+	return out
+}
+
+// Lookup finds a registered scenario by exact name, or nil. Tools that
+// need the typed scenario use the family's own Lookup*Scenario; this
+// one answers "does the name exist, and in which family" — the
+// distinction cmd/wfbench's error messages are built on.
+func Lookup(name string) *ScenarioInfo {
+	for _, in := range Scenarios() {
+		if in.Name == name {
+			return &in
+		}
+	}
+	return nil
 }
 
 // ScenarioNames lists every registered scenario name, in registry

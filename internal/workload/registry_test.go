@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryNamesUniqueAndPrefixed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, in := range Scenarios() {
+		if seen[in.Name] {
+			t.Errorf("duplicate scenario name %q", in.Name)
+		}
+		seen[in.Name] = true
+		// The name's family prefix is the registry Kind — the contract
+		// cmd/wfbench's unknown-workload diagnostics rely on.
+		fam, _, ok := strings.Cut(in.Name, ":")
+		if !ok || fam != in.Kind {
+			t.Errorf("scenario %q: name prefix %q does not match kind %q", in.Name, fam, in.Kind)
+		}
+		if in.Summary == "" {
+			t.Errorf("scenario %q: empty summary", in.Name)
+		}
+	}
+}
+
+func TestRegistryFamilies(t *testing.T) {
+	want := []string{"map", "cache", "txn", "queue", "service"}
+	got := Families()
+	if len(got) != len(want) {
+		t.Fatalf("Families() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Families() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		in := Lookup(name)
+		if in == nil || in.Name != name {
+			t.Fatalf("Lookup(%q) = %+v", name, in)
+		}
+	}
+	if Lookup("service:nope") != nil {
+		t.Fatal("Lookup of unknown scenario returned non-nil")
+	}
+	if Lookup("") != nil {
+		t.Fatal("Lookup of empty name returned non-nil")
+	}
+}
+
+func TestServiceScenariosValidate(t *testing.T) {
+	for _, s := range ServiceScenarios() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	bad := ServiceScenario{Name: "service:x", Backend: "mutex", Rate: 1, Duration: 1, Conns: 1, Keys: 1, GetPct: 100}
+	if err := bad.Validate(); err == nil {
+		t.Error("mutex as scenario backend accepted (the runner owns the baseline)")
+	}
+}

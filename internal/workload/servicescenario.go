@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Service workloads. Where the other families describe in-process
+// traffic against one data structure, ServiceScenario describes
+// *network* traffic against the wfserve service: an open-loop arrival
+// rate, a connection count, a key distribution and an op mix, measured
+// in tail latency rather than throughput (the load harness is
+// coordinated-omission-safe, so the percentiles mean what they say).
+// The runner drives each scenario against a wait-free backend and the
+// sharded-mutex baseline over the in-process loopback transport, so CI
+// exercises the whole protocol path without opening a port.
+type ServiceScenario struct {
+	// Name identifies the scenario (the cmd/wfbench -workload flag
+	// matches it, e.g. "service:read").
+	Name string
+	// Backend is the wait-free backend the scenario showcases: "map" or
+	// "cache" (the runner always adds the mutex baseline itself).
+	Backend string
+	// Rate is the aggregate arrival rate in ops/sec; Duration is the
+	// base scheduled window (the runner shrinks it at quick scale and
+	// stretches it at full scale).
+	Rate     float64
+	Duration time.Duration
+	// Conns is the client connection count.
+	Conns int
+	// Keys and Skew shape the key distribution; Prefill stores every
+	// key before the clock starts so reads hit.
+	Keys    int
+	Skew    float64
+	Prefill bool
+	// GetPct, SetPct and DelPct are the op mix in percent (sum 100).
+	GetPct, SetPct, DelPct int
+	// ValBytes sizes SET payloads.
+	ValBytes int
+	// SlowConns and SlowDelay mark slow-reading clients (see
+	// loadgen.Config); the scenario verifies per-connection
+	// backpressure confines the damage.
+	SlowConns int
+	SlowDelay time.Duration
+}
+
+// Validate checks the scenario's internal consistency.
+func (s *ServiceScenario) Validate() error {
+	if s.Backend != "map" && s.Backend != "cache" {
+		return fmt.Errorf("service scenario %q: backend must be map or cache, got %q", s.Name, s.Backend)
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("service scenario %q: rate must be positive, got %g", s.Name, s.Rate)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("service scenario %q: duration must be positive, got %v", s.Name, s.Duration)
+	}
+	if s.Conns < 1 {
+		return fmt.Errorf("service scenario %q: conns must be at least 1, got %d", s.Name, s.Conns)
+	}
+	if s.Keys < 1 {
+		return fmt.Errorf("service scenario %q: keys must be at least 1, got %d", s.Name, s.Keys)
+	}
+	if s.GetPct < 0 || s.SetPct < 0 || s.DelPct < 0 || s.GetPct+s.SetPct+s.DelPct != 100 {
+		return fmt.Errorf("service scenario %q: op mix %d/%d/%d must sum to 100",
+			s.Name, s.GetPct, s.SetPct, s.DelPct)
+	}
+	if s.SlowConns < 0 || s.SlowConns > s.Conns {
+		return fmt.Errorf("service scenario %q: slow conns %d out of range [0, %d]",
+			s.Name, s.SlowConns, s.Conns)
+	}
+	return nil
+}
+
+// ServiceScenarios lists the built-in scenario family.
+func ServiceScenarios() []ServiceScenario {
+	return []ServiceScenario{
+		// Read-heavy cache traffic: the CDN/session-store shape, and the
+		// headline holder-stall comparison — a stalled writer must not
+		// drag the read tail.
+		{Name: "service:read", Backend: "cache", Rate: 4000, Duration: 2 * time.Second,
+			Conns: 8, Keys: 1024, Skew: 0.9, Prefill: true,
+			GetPct: 95, SetPct: 5, DelPct: 0, ValBytes: 32},
+		// Write-heavy ingest burst against the durable-KV map backend.
+		{Name: "service:writeburst", Backend: "map", Rate: 4000, Duration: 2 * time.Second,
+			Conns: 8, Keys: 4096, Skew: 0.5, Prefill: false,
+			GetPct: 20, SetPct: 75, DelPct: 5, ValBytes: 64},
+		// Extreme skew: most traffic lands on a handful of keys, so one
+		// shard (and one lock) eats nearly everything.
+		{Name: "service:hotkey", Backend: "cache", Rate: 4000, Duration: 2 * time.Second,
+			Conns: 8, Keys: 1024, Skew: 1.2, Prefill: true,
+			GetPct: 90, SetPct: 10, DelPct: 0, ValBytes: 32},
+		// Two of eight clients read their replies slowly; per-connection
+		// backpressure must keep them from inflating everyone's tail.
+		{Name: "service:slowclient", Backend: "cache", Rate: 2000, Duration: 2 * time.Second,
+			Conns: 8, Keys: 1024, Skew: 0.9, Prefill: true,
+			GetPct: 95, SetPct: 5, DelPct: 0, ValBytes: 32,
+			SlowConns: 2, SlowDelay: 2 * time.Millisecond},
+	}
+}
+
+// LookupServiceScenario finds a built-in scenario by name, or nil.
+func LookupServiceScenario(name string) *ServiceScenario {
+	for _, s := range ServiceScenarios() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	return nil
+}

@@ -246,7 +246,10 @@ func (wp *WorkPool[T]) TryEnqueue(v T) bool {
 }
 
 func (wp *WorkPool[T]) tryEnqueueWith(p *Process, v T) bool {
-	start := wp.rr.Add(1) - 1
+	return wp.tryEnqueueFrom(p, wp.rr.Add(1)-1, v)
+}
+
+func (wp *WorkPool[T]) tryEnqueueFrom(p *Process, start uint64, v T) bool {
 	for j := 0; j < len(wp.rings); j++ {
 		si := int((start + uint64(j)) & wp.shardMask)
 		ring := &wp.rings[si]
@@ -336,6 +339,38 @@ func (wp *WorkPool[T]) tryDequeueWith(p *Process) (T, bool) {
 		return zero, false
 	}
 	return out.Get(p), true
+}
+
+// TryEnqueueKeyed submits v with shard affinity: probing starts at the
+// shard selected by key's low bits instead of the round-robin cursor,
+// so elements sharing a key land on the same sub-ring (and, under even
+// drain, the same consumers) whenever that shard has room. The
+// fallback is the same as TryEnqueue's — the remaining shards are
+// probed in order, and false means every shard was full — so affinity
+// is a locality hint, never an admission constraint. Callers that need
+// a stable mapping should pass a hash of the key, not the key itself:
+// only the low bits select the shard.
+func (wp *WorkPool[T]) TryEnqueueKeyed(key uint64, v T) bool {
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	return wp.tryEnqueueFrom(p, key, v)
+}
+
+// EnqueueKeyed submits v with TryEnqueueKeyed's shard affinity, waiting
+// while every shard is full under the same retry/cancellation contract
+// as Enqueue.
+func (wp *WorkPool[T]) EnqueueKeyed(ctx context.Context, key uint64, v T) error {
+	p := wp.m.Acquire()
+	defer wp.m.Release(p)
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: pool full after %d passes: %w", ErrCanceled, attempt-1, err)
+		}
+		if wp.tryEnqueueFrom(p, key, v) {
+			return nil
+		}
+		wp.m.retry.Wait(ctx, attempt)
+	}
 }
 
 // Enqueue submits v, waiting while every shard is full: failed passes

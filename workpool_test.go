@@ -268,3 +268,72 @@ func TestWorkPoolConcurrentConservation(t *testing.T) {
 			s.Enqueues, s.Dequeues, s.Len, total, total)
 	}
 }
+
+func TestWorkPoolEnqueueKeyed(t *testing.T) {
+	m := poolManager(t, 4, 4)
+	wp, err := NewWorkPool[uint64](m, WithPoolShards(4), WithPoolCapacity(64), WithPoolBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All elements submitted under one key land on that key's shard:
+	// with plenty of room, keyed submission never falls through to the
+	// probe fallback.
+	const key = 2
+	for i := 0; i < 8; i++ {
+		if !wp.TryEnqueueKeyed(key, uint64(i)) {
+			t.Fatalf("TryEnqueueKeyed #%d reported full on an empty pool", i)
+		}
+	}
+	st := wp.Stats()
+	for s, sh := range st.Shards {
+		want := uint64(0)
+		if s == key&3 {
+			want = 8
+		}
+		if sh.Enqueues != want {
+			t.Fatalf("shard %d enqueues = %d, want %d", s, sh.Enqueues, want)
+		}
+	}
+	// A full home shard falls back to the next shards rather than
+	// rejecting: per-shard capacity is 16, so 16 more keyed submissions
+	// overflow into neighbors, and every element is still admitted.
+	for i := 0; i < 16; i++ {
+		if !wp.TryEnqueueKeyed(key, uint64(100+i)) {
+			t.Fatalf("keyed overflow submission %d rejected with free shards", i)
+		}
+	}
+	if got := wp.Len(); got != 24 {
+		t.Fatalf("Len = %d, want 24", got)
+	}
+	// The blocking form delivers under contention and honors ctx.
+	if err := wp.EnqueueKeyed(context.Background(), 7, 999); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		if _, ok := wp.TryDequeue(); !ok {
+			break
+		}
+		got++
+	}
+	if got != 25 {
+		t.Fatalf("drained %d elements, want 25", got)
+	}
+}
+
+func TestWorkPoolEnqueueKeyedCanceled(t *testing.T) {
+	m := poolManager(t, 2, 1)
+	wp, err := NewWorkPool[uint64](m, WithPoolShards(1), WithPoolCapacity(1), WithPoolBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wp.TryEnqueueKeyed(0, 1) {
+		t.Fatal("seed enqueue failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err = wp.EnqueueKeyed(ctx, 0, 2)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("EnqueueKeyed on a full pool = %v, want ErrCanceled", err)
+	}
+}
