@@ -51,72 +51,94 @@ func BenchmarkE9DelayAblation(b *testing.B) { benchExperiment(b, "E9") }
 func BenchmarkE10Native(b *testing.B)       { benchExperiment(b, "E10") }
 func BenchmarkE11Adaptivity(b *testing.B)   { benchExperiment(b, "E11") }
 
-// Public-API micro-benchmarks. The TryLock/Do pair quantifies the
-// ergonomic path's overhead: Do adds call validation, a pooled handle
-// acquire/release, and the retry-policy indirection on top of the same
-// single attempt. Compare with:
+// Public-API micro-benchmarks. The headline names (DoUncontended,
+// DoContended, ...) run the adaptive unknown-bounds configuration —
+// the library's recommended default — and their *Known siblings run the
+// paper's base algorithm with fixed κ-derived delays, so the pair
+// quantifies what delay regime costs on the same workload. The
+// TryLock/Do pair additionally quantifies the ergonomic path's
+// overhead: Do adds call validation, a pooled handle acquire/release,
+// and the retry-policy indirection on top of the same single attempt.
+// Body closures and lock slices are hoisted out of the loops: with
+// arena-backed attempt state, the steady-state paths run allocation-
+// free (see TestDoAllocs). Compare with:
 //
-//	go test -bench='Uncontended$' -benchtime=10000x
+//	go test -bench='Uncontended' -benchtime=10000x
 
-func BenchmarkTryLockUncontended(b *testing.B) {
-	m, err := wflocks.New(wflocks.WithKappa(2), wflocks.WithMaxLocks(2),
-		wflocks.WithMaxCriticalSteps(8))
+// benchManager builds a micro-benchmark manager for one delay variant,
+// failing the benchmark on configuration errors.
+func benchManager(b *testing.B, v bench.Variant, procs, maxLocks, maxCritical int) *wflocks.Manager {
+	b.Helper()
+	m, err := bench.NewManager(v, procs, maxLocks, maxCritical)
 	if err != nil {
 		b.Fatal(err)
 	}
+	return m
+}
+
+func BenchmarkTryLockUncontended(b *testing.B)      { benchTryLockUncontended(b, bench.VariantAdaptive) }
+func BenchmarkTryLockUncontendedKnown(b *testing.B) { benchTryLockUncontended(b, bench.VariantKnown) }
+
+func benchTryLockUncontended(b *testing.B, v bench.Variant) {
+	m := benchManager(b, v, 4, 2, 8)
 	l := m.NewLock()
 	c := wflocks.NewCell(uint64(0))
 	p := m.NewProcess()
+	locks := []*wflocks.Lock{l}
+	body := func(tx *wflocks.Tx) {
+		v := wflocks.Get(tx, c)
+		wflocks.Put(tx, c, v+1)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ok, err := m.TryLock(p, []*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
-			v := wflocks.Get(tx, c)
-			wflocks.Put(tx, c, v+1)
-		})
+		ok, err := m.TryLock(p, locks, 2, body)
 		if err != nil || !ok {
 			b.Fatal("uncontended TryLock failed")
 		}
 	}
 }
 
-func BenchmarkDoUncontended(b *testing.B) {
-	m, err := wflocks.New(wflocks.WithKappa(2), wflocks.WithMaxLocks(2),
-		wflocks.WithMaxCriticalSteps(8))
-	if err != nil {
-		b.Fatal(err)
-	}
+func BenchmarkDoUncontended(b *testing.B)      { benchDoUncontended(b, bench.VariantAdaptive) }
+func BenchmarkDoUncontendedKnown(b *testing.B) { benchDoUncontended(b, bench.VariantKnown) }
+
+func benchDoUncontended(b *testing.B, v bench.Variant) {
+	m := benchManager(b, v, 4, 2, 8)
 	l := m.NewLock()
 	c := wflocks.NewCell(uint64(0))
+	locks := []*wflocks.Lock{l}
+	body := func(tx *wflocks.Tx) {
+		v := wflocks.Get(tx, c)
+		wflocks.Put(tx, c, v+1)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := m.Do([]*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
-			v := wflocks.Get(tx, c)
-			wflocks.Put(tx, c, v+1)
-		}); err != nil {
+		if err := m.Do(locks, 2, body); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkLockContended(b *testing.B) {
-	// RunParallel launches GOMAXPROCS goroutines; κ must cover them.
-	m, err := wflocks.New(wflocks.WithKappa(2*runtime.GOMAXPROCS(0)),
-		wflocks.WithMaxLocks(1), wflocks.WithMaxCriticalSteps(8))
-	if err != nil {
-		b.Fatal(err)
-	}
+func BenchmarkLockContended(b *testing.B)      { benchLockContended(b, bench.VariantAdaptive) }
+func BenchmarkLockContendedKnown(b *testing.B) { benchLockContended(b, bench.VariantKnown) }
+
+func benchLockContended(b *testing.B, v bench.Variant) {
+	// RunParallel launches GOMAXPROCS goroutines; κ and P must cover
+	// them.
+	m := benchManager(b, v, 2*runtime.GOMAXPROCS(0), 1, 8)
 	l := m.NewLock()
 	c := wflocks.NewCell(uint64(0))
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		p := m.NewProcess()
+		locks := []*wflocks.Lock{l}
+		body := func(tx *wflocks.Tx) {
+			v := wflocks.Get(tx, c)
+			wflocks.Put(tx, c, v+1)
+		}
 		for pb.Next() {
-			if _, err := m.Lock(p, []*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
-				v := wflocks.Get(tx, c)
-				wflocks.Put(tx, c, v+1)
-			}); err != nil {
+			if _, err := m.Lock(p, locks, 2, body); err != nil {
 				b.Error(err)
 				return
 			}
@@ -124,21 +146,22 @@ func BenchmarkLockContended(b *testing.B) {
 	})
 }
 
-func BenchmarkDoContended(b *testing.B) {
-	m, err := wflocks.New(wflocks.WithKappa(2*runtime.GOMAXPROCS(0)),
-		wflocks.WithMaxLocks(1), wflocks.WithMaxCriticalSteps(8))
-	if err != nil {
-		b.Fatal(err)
-	}
+func BenchmarkDoContended(b *testing.B)      { benchDoContended(b, bench.VariantAdaptive) }
+func BenchmarkDoContendedKnown(b *testing.B) { benchDoContended(b, bench.VariantKnown) }
+
+func benchDoContended(b *testing.B, v bench.Variant) {
+	m := benchManager(b, v, 2*runtime.GOMAXPROCS(0), 1, 8)
 	l := m.NewLock()
 	c := wflocks.NewCell(uint64(0))
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
+		locks := []*wflocks.Lock{l}
+		body := func(tx *wflocks.Tx) {
+			v := wflocks.Get(tx, c)
+			wflocks.Put(tx, c, v+1)
+		}
 		for pb.Next() {
-			if err := m.Do([]*wflocks.Lock{l}, 2, func(tx *wflocks.Tx) {
-				v := wflocks.Get(tx, c)
-				wflocks.Put(tx, c, v+1)
-			}); err != nil {
+			if err := m.Do(locks, 2, body); err != nil {
 				b.Error(err)
 				return
 			}
@@ -159,11 +182,16 @@ func BenchmarkDoContended(b *testing.B) {
 const benchMapKeys = 128
 
 func BenchmarkMap(b *testing.B) {
+	// The headline wfmap rows run the adaptive default; the wfmap-known
+	// row shows the paper's base algorithm at the headline shard count.
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("wfmap/shards=%d", shards), func(b *testing.B) {
-			benchWfmap(b, shards)
+			benchWfmap(b, bench.VariantAdaptive, shards)
 		})
 	}
+	b.Run("wfmap-known/shards=8", func(b *testing.B) {
+		benchWfmap(b, bench.VariantKnown, 8)
+	})
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("mutex/shards=%d", shards), func(b *testing.B) {
 			benchMutexMap(b, shards)
@@ -171,17 +199,12 @@ func BenchmarkMap(b *testing.B) {
 	}
 }
 
-func benchWfmap(b *testing.B, shards int) {
+func benchWfmap(b *testing.B, v bench.Variant, shards int) {
 	capPerShard := 2 * benchMapKeys / shards
-	// κ covers the RunParallel goroutine count; delay constants of 1
-	// keep the fixed stalls near their minimum so the benchmark
-	// measures structure, not calibration margin.
-	m, err := wflocks.New(
-		wflocks.WithKappa(runtime.GOMAXPROCS(0)),
-		wflocks.WithMaxLocks(1),
-		wflocks.WithMaxCriticalSteps(wflocks.MapCriticalSteps(capPerShard, 1, 1)),
-		wflocks.WithDelayConstants(1, 1),
-	)
+	// κ/P cover the RunParallel goroutine count; the known regime's
+	// delay constants of 1 keep its fixed stalls near their minimum so
+	// the benchmark measures structure, not calibration margin.
+	m, err := bench.NewManager(v, runtime.GOMAXPROCS(0), 1, wflocks.MapCriticalSteps(capPerShard, 1, 1))
 	if err != nil {
 		b.Fatal(err)
 	}

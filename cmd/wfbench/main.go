@@ -37,6 +37,9 @@ func run() int {
 		list     = flag.Bool("list", false, "list experiments and workload scenarios, then exit")
 		workName = flag.String("workload", "",
 			"data-structure workload instead of an experiment (see -list for the registry)")
+		variant = flag.String("variant", "both",
+			"delay variant for map/cache/txn workloads: known, adaptive, or both "+
+				"(queue and service workloads always run adaptive)")
 	)
 	flag.Parse()
 
@@ -59,8 +62,14 @@ func run() int {
 		return 2
 	}
 
+	variants, err := bench.ParseVariants(*variant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+		return 2
+	}
+
 	if *workName != "" {
-		return runWorkload(*workName, s)
+		return runWorkload(*workName, s, variants)
 	}
 
 	exps := bench.Experiments()
@@ -106,15 +115,16 @@ func printScenarios(w *os.File) {
 
 // runWorkload dispatches a data-structure workload by name; every
 // scenario family shares the flag and the central registry describes
-// the options.
-func runWorkload(name string, s bench.Scale) int {
+// the options. vs restricts the map/cache/txn delay-variant sweep; the
+// queue and service tiers are adaptive-only by construction.
+func runWorkload(name string, s bench.Scale, vs []bench.Variant) int {
 	var run func() (*bench.Table, error)
 	if sc := workload.LookupMapScenario(name); sc != nil {
-		run = func() (*bench.Table, error) { return bench.RunMapScenario(sc, s) }
+		run = func() (*bench.Table, error) { return bench.RunMapScenarioVariants(sc, s, vs) }
 	} else if sc := workload.LookupCacheScenario(name); sc != nil {
-		run = func() (*bench.Table, error) { return bench.RunCacheScenario(sc, s) }
+		run = func() (*bench.Table, error) { return bench.RunCacheScenarioVariants(sc, s, vs) }
 	} else if sc := workload.LookupTxnScenario(name); sc != nil {
-		run = func() (*bench.Table, error) { return bench.RunTxnScenario(sc, s) }
+		run = func() (*bench.Table, error) { return bench.RunTxnScenarioVariants(sc, s, vs) }
 	} else if sc := workload.LookupQueueScenario(name); sc != nil {
 		run = func() (*bench.Table, error) { return bench.RunQueueScenario(sc, s) }
 	} else if sc := workload.LookupServiceScenario(name); sc != nil {

@@ -1,0 +1,86 @@
+package wflocks_test
+
+import (
+	"fmt"
+
+	"wflocks"
+)
+
+// ExampleNew_unknownBounds is the recommended starting configuration:
+// WithUnknownBounds needs only the process count P — an upper bound on
+// goroutines that attempt locks concurrently — and adapts its delays to
+// the contention actually observed, so there is no contention bound κ
+// to estimate (and mis-estimate). The transfer below moves 30 units
+// between two cells under both locks atomically.
+func ExampleNew_unknownBounds() {
+	m, err := wflocks.New(
+		wflocks.WithUnknownBounds(8), // P: at most 8 concurrent goroutines
+		wflocks.WithMaxLocks(2),      // L: at most 2 locks per acquisition
+		wflocks.WithMaxCriticalSteps(16),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	checking, savings := m.NewLock(), m.NewLock()
+	balC := wflocks.NewCell(uint64(100))
+	balS := wflocks.NewCell(uint64(0))
+
+	err = m.Do([]*wflocks.Lock{checking, savings}, 4, func(tx *wflocks.Tx) {
+		c := wflocks.Get(tx, balC)
+		s := wflocks.Get(tx, balS)
+		wflocks.Put(tx, balC, c-30)
+		wflocks.Put(tx, balS, s+30)
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(wflocks.Load(m, balC), wflocks.Load(m, balS))
+	// Output: 70 30
+}
+
+// ExampleMap_Atomic runs a multi-key read-modify-write on a wait-free
+// map: both keys are read and written in one critical section over
+// their shard locks, so the transfer can never be observed half-done
+// and a stalled writer can never block the map — competitors help its
+// critical section complete.
+func ExampleMap_Atomic() {
+	m, err := wflocks.New(
+		wflocks.WithUnknownBounds(8),
+		wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(wflocks.MapAtomicSteps(64, 1, 1, 2)),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mp, err := wflocks.NewMap[uint64, uint64](m)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := mp.Put(1, 100); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := mp.Put(2, 0); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	err = mp.Atomic([]uint64{1, 2}, func(t *wflocks.MapTxn[uint64, uint64]) {
+		from, _ := t.Get(1)
+		to, _ := t.Get(2)
+		t.Put(1, from-25)
+		t.Put(2, to+25)
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	v1, _ := mp.Get(1)
+	v2, _ := mp.Get(2)
+	fmt.Println(v1, v2)
+	// Output: 75 25
+}

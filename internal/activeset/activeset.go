@@ -24,6 +24,7 @@ package activeset
 import (
 	"sync/atomic"
 
+	"wflocks/internal/arena"
 	"wflocks/internal/env"
 )
 
@@ -31,6 +32,31 @@ import (
 // never mutated after publication; climb installs fresh ones by CAS.
 type members[T any] struct {
 	items []*T
+}
+
+// scratch is the per-process allocation state for climb's published
+// snapshots. Snapshot pointers are installed by CAS and read at
+// arbitrary staleness, so they must stay fresh forever — the bump
+// arenas abandon their chunks rather than recycling (internal/arena).
+type scratch[T any] struct {
+	members arena.Arena[members[T]]
+	items   arena.Slices[*T]
+}
+
+// scratchOf returns e's active-set scratch for element type T, or nil
+// when e carries no scratch state (callers fall back to plain
+// allocation).
+func scratchOf[T any](e env.Env) *scratch[T] {
+	p := env.ScratchOf(e, env.ScratchActiveSet)
+	if p == nil {
+		return nil
+	}
+	s, ok := (*p).(*scratch[T])
+	if !ok {
+		s = &scratch[T]{}
+		*p = s
+	}
+	return s
 }
 
 // slot is one row of the announcements array.
@@ -101,6 +127,7 @@ func (s *Set[T]) GetSet(e env.Env) []*T {
 // from that fresher basis, which is the standard double-collect
 // helping argument the paper's linearizability proof relies on.
 func (s *Set[T]) climb(e env.Env, i int) {
+	sc := scratchOf[T](e)
 	for j := i; j >= 0; j-- {
 		for k := 0; k < 2; k++ {
 			e.Step()
@@ -112,9 +139,20 @@ func (s *Set[T]) climb(e env.Env, i int) {
 			}
 			e.Step()
 			newMember := s.slots[j].owner.Load()
-			newSet := &members[T]{items: above}
+			var newSet *members[T]
+			if sc != nil {
+				newSet = sc.members.New()
+			} else {
+				newSet = &members[T]{}
+			}
+			newSet.items = above
 			if newMember != nil && !contains(above, newMember) {
-				fresh := make([]*T, 0, len(above)+1)
+				var fresh []*T
+				if sc != nil {
+					fresh = sc.items.MakeCap(len(above) + 1)
+				} else {
+					fresh = make([]*T, 0, len(above)+1)
+				}
 				fresh = append(fresh, above...)
 				fresh = append(fresh, newMember)
 				newSet.items = fresh

@@ -1,0 +1,84 @@
+// Package arena provides process-private bump allocators that amortize
+// hot-path allocations without ever recycling memory.
+//
+// The idempotence construction (internal/idem) and the lock protocol
+// (internal/core) both rely on pointer freshness: an install CAS on a
+// cell, or a helper's stale read of a published descriptor, is only
+// safe because a pointer handed out once is never handed out again
+// while any process could still hold the old reference (the ABA
+// argument in idem's package docs). That rules out free-lists and
+// sync.Pool for anything published to helpers. A bump arena keeps the
+// invariant trivially — objects are carved out of a chunk in order and
+// the chunk is abandoned when full, never rewound — while cutting the
+// allocator cost to one heap allocation per chunk instead of one per
+// object.
+//
+// The trade-off is retention granularity: the garbage collector frees a
+// chunk only once every object in it is unreachable, so one long-lived
+// object (a committed box in a long-lived cell) pins its chunk's dead
+// siblings. Chunk sizes are kept small enough that this bounds waste to
+// a few KiB per live object in the adversarial worst case, and in
+// steady state mixed lifetimes mean chunks die quickly.
+//
+// An Arena must only be used by a single goroutine at a time; arenas
+// live in per-process env scratch slots (env.Scratcher) or in
+// per-goroutine pooled handles, both of which guarantee that.
+package arena
+
+// chunkObjs is the number of objects carved from each chunk. 256 keeps
+// per-object amortized cost negligible while bounding the memory a
+// single long-lived object can pin.
+const chunkObjs = 256
+
+// Arena is a bump allocator for values of type T. The zero value is
+// ready to use.
+type Arena[T any] struct {
+	chunk []T
+	n     int
+}
+
+// New returns a pointer to a fresh zero T. The pointer has never been
+// returned before by any Arena and never will be again.
+func (a *Arena[T]) New() *T {
+	if a.n == len(a.chunk) {
+		a.chunk = make([]T, chunkObjs)
+		a.n = 0
+	}
+	p := &a.chunk[a.n]
+	a.n++
+	return p
+}
+
+// Slices is a bump allocator for small slices of type T. Like Arena,
+// backing memory is abandoned, never reused, so a returned slice stays
+// valid (and private to its requester) forever.
+type Slices[T any] struct {
+	chunk []T
+	n     int
+}
+
+// sliceChunk is the backing-array length for slice chunks. Requests
+// larger than this fall back to a direct make.
+const sliceChunk = 1024
+
+// Make returns a fresh zeroed slice of length n whose backing memory
+// is never handed out twice.
+func (s *Slices[T]) Make(n int) []T {
+	return s.MakeCap(n)[:n]
+}
+
+// MakeCap returns a fresh zero-length slice with capacity n; appending
+// up to n elements stays within the reserved region. Like Make, the
+// backing memory is never handed out twice.
+func (s *Slices[T]) MakeCap(n int) []T {
+	if n > sliceChunk/4 {
+		return make([]T, 0, n)
+	}
+	if s.n+n > len(s.chunk) {
+		s.chunk = make([]T, sliceChunk)
+		s.n = 0
+	}
+	out := s.chunk[s.n : s.n : s.n+n]
+	s.n += n
+	return out
+}

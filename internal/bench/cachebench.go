@@ -136,11 +136,17 @@ func (c *MutexLRU) Counters() (hits, misses, evictions uint64) {
 // cacheShardCounts is the shard sweep of the cache benchmarks.
 var cacheShardCounts = []int{1, 2, 4, 8}
 
-// RunCacheScenario drives sc against wfcache (sweeping the shard
-// count) and the mutex LRU baseline, in the raw and holder-stall
-// regimes, and tabulates throughput, hit rate, evictions and
-// contention.
+// RunCacheScenario drives sc against wfcache (sweeping the shard count
+// under both delay variants) and the mutex LRU baseline, in the raw and
+// holder-stall regimes, and tabulates throughput, hit rate, evictions
+// and contention.
 func RunCacheScenario(sc *workload.CacheScenario, scale Scale) (*Table, error) {
+	return RunCacheScenarioVariants(sc, scale, AllVariants)
+}
+
+// RunCacheScenarioVariants is RunCacheScenario restricted to the given
+// delay variants (the -variant flag).
+func RunCacheScenarioVariants(sc *workload.CacheScenario, scale Scale, variants []Variant) (*Table, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -163,33 +169,32 @@ func RunCacheScenario(sc *workload.CacheScenario, scale Scale) (*Table, error) {
 			label = fmt.Sprintf("%v/%d", StallDur, StallPeriod)
 			newSP = func() *StallPoint { return NewStallPoint(StallPeriod, StallDur) }
 		}
-		for _, shards := range cacheShardCounts {
-			row, err := runWfcacheScenario(sc, shards, workers, opsPer, label, newSP())
-			if err != nil {
-				return nil, err
+		for _, v := range variants {
+			for _, shards := range cacheShardCounts {
+				row, err := runWfcacheScenario(sc, v, shards, workers, opsPer, label, newSP())
+				if err != nil {
+					return nil, err
+				}
+				t.Rows = append(t.Rows, row)
 			}
-			t.Rows = append(t.Rows, row)
 		}
 		t.Rows = append(t.Rows, runMutexLRUScenario(sc, workers, opsPer, label, newSP()))
 	}
 	t.Notes = append(t.Notes,
-		"raw regime: the mutex LRU wins on constant factors — wfcache attempts pay the paper's fixed delays (c·κ²L²T own steps)",
+		"adaptive rows use WithUnknownBounds delays that track point contention (the recommended default); known rows pay the fixed c·κ²L²T delays",
+		"raw regime: the mutex LRU wins on constant factors — contended wfcache attempts still pay their regime's delays",
 		"stall regime: holders stall mid-critical-section ("+fmt.Sprintf("%v every %d value writes", StallDur, StallPeriod)+"); helpers absorb wfcache's stalls, the mutex serializes them",
 		"hit% counts Get outcomes; the cache holds "+fmt.Sprintf("%d of %d", sc.Capacity, sc.Keys)+" keys, so hit rate is emergent from skew and recency")
 	return t, nil
 }
 
-// runWfcacheScenario measures one wfcache configuration.
-func runWfcacheScenario(sc *workload.CacheScenario, shards, workers, opsPer int, stallLabel string, sp *StallPoint) ([]string, error) {
+// runWfcacheScenario measures one wfcache configuration under one delay
+// variant.
+func runWfcacheScenario(sc *workload.CacheScenario, v Variant, shards, workers, opsPer int, stallLabel string, sp *StallPoint) ([]string, error) {
 	// CacheCriticalSteps pow2-rounds its per-shard argument exactly as
 	// the constructor does, so the raw quotient is the right input.
 	perShard := (sc.Capacity + shards - 1) / shards
-	m, err := wflocks.New(
-		wflocks.WithKappa(workers),
-		wflocks.WithMaxLocks(1),
-		wflocks.WithMaxCriticalSteps(wflocks.CacheCriticalSteps(perShard, 1, 1)),
-		wflocks.WithDelayConstants(1, 1),
-	)
+	m, err := NewManager(v, workers, 1, wflocks.CacheCriticalSteps(perShard, 1, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +257,7 @@ func runWfcacheScenario(sc *workload.CacheScenario, shards, workers, opsPer int,
 		hitPct = 100 * float64(hits) / float64(hits+misses)
 	}
 	return []string{
-		"wfcache",
+		"wfcache/" + string(v),
 		fmt.Sprint(shards),
 		stallLabel,
 		fmt.Sprintf("%.0f", float64(totalOps)/elapsed.Seconds()),

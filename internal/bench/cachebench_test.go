@@ -111,9 +111,10 @@ func TestRunCacheScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 wfcache shard counts + 1 mutexlru, in 2 regimes.
-	if len(tab.Rows) != 10 {
-		t.Fatalf("table has %d rows, want 10", len(tab.Rows))
+	// (4 wfcache shard counts × 2 delay variants) + 1 mutexlru, in 2
+	// stall regimes.
+	if len(tab.Rows) != 18 {
+		t.Fatalf("table has %d rows, want 18", len(tab.Rows))
 	}
 	for _, row := range tab.Rows {
 		ops, err := strconv.ParseFloat(row[3], 64)

@@ -109,10 +109,16 @@ func mapWorkers() int {
 	return 4
 }
 
-// RunMapScenario drives sc against wfmap and the mutex baseline across
-// the shard sweep and tabulates throughput, per-attempt success rate
-// and shard balance.
+// RunMapScenario drives sc against wfmap (under both delay variants)
+// and the mutex baseline across the shard sweep and tabulates
+// throughput, per-attempt success rate and shard balance.
 func RunMapScenario(sc *workload.MapScenario, scale Scale) (*Table, error) {
+	return RunMapScenarioVariants(sc, scale, AllVariants)
+}
+
+// RunMapScenarioVariants is RunMapScenario restricted to the given
+// delay variants (the -variant flag).
+func RunMapScenarioVariants(sc *workload.MapScenario, scale Scale, variants []Variant) (*Table, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,34 +132,33 @@ func RunMapScenario(sc *workload.MapScenario, scale Scale) (*Table, error) {
 			sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Keys, sc.Skew, workers, opsPer),
 		Header: []string{"impl", "shards", "ops/sec", "success", "attempts/op", "balance", "max/mean"},
 	}
-	for _, shards := range mapShardCounts {
-		row, err := runWfmapScenario(sc, shards, workers, opsPer)
-		if err != nil {
-			return nil, err
+	for _, v := range variants {
+		for _, shards := range mapShardCounts {
+			row, err := runWfmapScenario(sc, v, shards, workers, opsPer)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, row)
 		}
-		t.Rows = append(t.Rows, row)
 	}
 	for _, shards := range mapShardCounts {
 		t.Rows = append(t.Rows, runMutexScenario(sc, shards, workers, opsPer))
 	}
 	t.Notes = append(t.Notes,
-		"wfmap attempts pay the paper's fixed delays (c·κ²L²T own steps); sharding shrinks both κ per lock and T",
+		"adaptive rows use WithUnknownBounds: delays track point contention (the recommended default); known rows pay the fixed c·κ²L²T delays",
+		"uncontended attempts skip delays entirely via the fast path in both regimes; sharding shrinks both κ per lock and T",
 		"balance is Jain's index over per-shard lock attempts (1.0 = even traffic)")
 	return t, nil
 }
 
-// runWfmapScenario measures one wfmap configuration.
-func runWfmapScenario(sc *workload.MapScenario, shards, workers, opsPer int) ([]string, error) {
+// runWfmapScenario measures one wfmap configuration under one delay
+// variant.
+func runWfmapScenario(sc *workload.MapScenario, v Variant, shards, workers, opsPer int) ([]string, error) {
 	// Fixed total capacity 2× the keyspace, split across shards, so the
 	// sweep holds the aggregate structure constant while the per-shard
 	// region (and hence T) shrinks as shards grow.
 	capPerShard := nextPow2(2 * sc.Keys / shards)
-	m, err := wflocks.New(
-		wflocks.WithKappa(workers),
-		wflocks.WithMaxLocks(1),
-		wflocks.WithMaxCriticalSteps(wflocks.MapCriticalSteps(capPerShard, 1, 1)),
-		wflocks.WithDelayConstants(1, 1),
-	)
+	m, err := NewManager(v, workers, 1, wflocks.MapCriticalSteps(capPerShard, 1, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +210,7 @@ func runWfmapScenario(sc *workload.MapScenario, shards, workers, opsPer int) ([]
 		success = float64(wins) / float64(attempts)
 	}
 	return []string{
-		"wfmap",
+		"wfmap/" + string(v),
 		fmt.Sprint(shards),
 		fmt.Sprintf("%.0f", opsPerSec),
 		fmt.Sprintf("%.3f", success),

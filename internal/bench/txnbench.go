@@ -134,11 +134,17 @@ func (mm *MultiMutexMap) Atomic(keys []uint64, fn func(get func(uint64) (uint64,
 	}
 }
 
-// RunTxnScenario drives sc against wfmap Atomic and the sorted
-// multi-mutex baseline across the L sweep, in the raw and holder-stall
-// regimes, and tabulates throughput, per-attempt success rate and the
-// conservation audit.
+// RunTxnScenario drives sc against wfmap Atomic (under both delay
+// variants) and the sorted multi-mutex baseline across the L sweep, in
+// the raw and holder-stall regimes, and tabulates throughput,
+// per-attempt success rate and the conservation audit.
 func RunTxnScenario(sc *workload.TxnScenario, scale Scale) (*Table, error) {
+	return RunTxnScenarioVariants(sc, scale, AllVariants)
+}
+
+// RunTxnScenarioVariants is RunTxnScenario restricted to the given
+// delay variants (the -variant flag).
+func RunTxnScenarioVariants(sc *workload.TxnScenario, scale Scale, variants []Variant) (*Table, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,12 +164,14 @@ func RunTxnScenario(sc *workload.TxnScenario, scale Scale) (*Table, error) {
 			label = fmt.Sprintf("%v/%d", StallDur, StallPeriod)
 			newSP = func() *StallPoint { return NewStallPoint(StallPeriod, StallDur) }
 		}
-		for _, l := range txnLCounts {
-			row, err := runWfmapTxn(sc, l, opsPer, label, newSP())
-			if err != nil {
-				return nil, err
+		for _, v := range variants {
+			for _, l := range txnLCounts {
+				row, err := runWfmapTxn(sc, v, l, opsPer, label, newSP())
+				if err != nil {
+					return nil, err
+				}
+				t.Rows = append(t.Rows, row)
 			}
-			t.Rows = append(t.Rows, row)
 		}
 		for _, l := range txnLCounts {
 			t.Rows = append(t.Rows, runMultiMutexTxn(sc, l, opsPer, label, newSP()))
@@ -171,7 +179,8 @@ func RunTxnScenario(sc *workload.TxnScenario, scale Scale) (*Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"each wfmap row runs its own manager sized for its L: WithMaxLocks(L), T = MapAtomicSteps(cap, 1, 1, L)",
-		"raw regime: the fixed delays grow as κ²L²·T(L) — the documented price of wait-freedom, steepest at L=8",
+		"adaptive rows use WithUnknownBounds delays that track point contention (the recommended default); known rows pay the fixed delays",
+		"raw regime: the known-bounds delays grow as κ²L²·T(L) — the documented price of wait-freedom, steepest at L=8",
 		"stall regime: holders stall mid-transaction ("+fmt.Sprintf("%v every %d value writes", StallDur, StallPeriod)+"); wfmap helpers absorb stalls, the sorted-mutex baseline serializes them across every held shard",
 		"conserved audits the transfer invariant: the keyspace sum must equal the prefill exactly")
 	return t, nil
@@ -181,15 +190,11 @@ func RunTxnScenario(sc *workload.TxnScenario, scale Scale) (*Table, error) {
 // (fixed so L, not the shard layout, is the swept variable).
 const txnMapShards = 8
 
-// runWfmapTxn measures one wfmap configuration at keys-per-txn l.
-func runWfmapTxn(sc *workload.TxnScenario, l, opsPer int, stallLabel string, sp *StallPoint) ([]string, error) {
+// runWfmapTxn measures one wfmap configuration at keys-per-txn l under
+// one delay variant.
+func runWfmapTxn(sc *workload.TxnScenario, v Variant, l, opsPer int, stallLabel string, sp *StallPoint) ([]string, error) {
 	capPerShard := nextPow2(2 * sc.Keys / txnMapShards)
-	m, err := wflocks.New(
-		wflocks.WithKappa(txnWorkers),
-		wflocks.WithMaxLocks(l),
-		wflocks.WithMaxCriticalSteps(wflocks.MapAtomicSteps(capPerShard, 1, 1, l)),
-		wflocks.WithDelayConstants(1, 1),
-	)
+	m, err := NewManager(v, txnWorkers, l, wflocks.MapAtomicSteps(capPerShard, 1, 1, l))
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +288,7 @@ func runWfmapTxn(sc *workload.TxnScenario, l, opsPer int, stallLabel string, sp 
 		success = float64(wins) / float64(attempts)
 	}
 	return []string{
-		"wfmap",
+		"wfmap/" + string(v),
 		fmt.Sprint(l),
 		stallLabel,
 		fmt.Sprintf("%.0f", float64(totalOps)/elapsed.Seconds()),

@@ -35,10 +35,48 @@ import (
 	"sync/atomic"
 
 	"wflocks/internal/activeset"
+	"wflocks/internal/arena"
 	"wflocks/internal/env"
 	"wflocks/internal/idem"
 	"wflocks/internal/multiset"
 )
+
+// padCounter is an atomic counter padded out to its own cache line so
+// that heavily written counters do not false-share with their
+// neighbors or with the read-mostly fields around them.
+type padCounter struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// scratch is the per-process allocation state for attempt records.
+// Descriptors (and the lock-set slices they publish) are read by
+// helpers at unbounded staleness, so they are never recycled; the
+// bump arenas hand each pointer out once and abandon full chunks
+// (internal/arena), amortizing descriptor allocation to near zero.
+type scratch struct {
+	descs   arena.Arena[Descriptor]
+	locks   arena.Slices[*Lock]
+	sets    arena.Slices[*activeset.Set[Descriptor]]
+	members arena.Slices[*Descriptor]
+	locals  arena.Slices[[]*Descriptor]
+	slots   arena.Slices[int]
+}
+
+// scratchOf returns e's core scratch, or nil when e carries none (the
+// deterministic simulator); callers fall back to plain allocation.
+func scratchOf(e env.Env) *scratch {
+	p := env.ScratchOf(e, env.ScratchCore)
+	if p == nil {
+		return nil
+	}
+	s, ok := (*p).(*scratch)
+	if !ok {
+		s = &scratch{}
+		*p = s
+	}
+	return s
+}
 
 // Status of a descriptor. A descriptor starts active and changes
 // status at most once, to won or lost (Algorithm 3).
@@ -100,6 +138,14 @@ type Config struct {
 	// provided only for the E9 ablation experiment.
 	DisableDelays bool
 
+	// FastPath enables the uncontended fast path: attempts that observe
+	// every lock in their set free skip all delay stalls (see TryLocks).
+	// Off by default so the core experiments and the simulator retain
+	// the paper-exact timing-oblivious behavior — attempt lengths must
+	// not depend on observed contention under the adversary model. The
+	// public Manager enables it.
+	FastPath bool
+
 	// UnknownBounds selects the Section 6.2 variant: announcement
 	// arrays sized P, split participation/priority reveal, local set
 	// copies for comparisons, and delay-to-power-of-two instead of
@@ -121,10 +167,15 @@ const (
 type System struct {
 	cfg Config
 
-	// Counters for experiments and tests (atomic).
-	attempts      atomic.Uint64
-	wins          atomic.Uint64
-	delayOverruns atomic.Uint64
+	// Counters for experiments and tests (atomic), each padded to its
+	// own cache line: attempts and wins are bumped by every process on
+	// every lock operation, and sharing a line would put the hottest
+	// write traffic of the whole system on one contended line.
+	_             [64]byte
+	attempts      padCounter
+	wins          padCounter
+	delayOverruns padCounter
+	fastPath      padCounter
 }
 
 // NewSystem validates cfg and creates a System.
@@ -181,18 +232,27 @@ func (s *System) Wins() uint64 { return s.wins.Load() }
 // Experiments assert this stays zero.
 func (s *System) DelayOverruns() uint64 { return s.delayOverruns.Load() }
 
+// FastPathAttempts reports how many TryLocks attempts took the
+// uncontended fast path: every lock in the attempt's set was observed
+// free at the start, so the attempt ran the full protocol (helping,
+// announcement, idempotent execution — safety is untouched) but
+// skipped all delay stalls. See the fast-path discussion on TryLocks.
+func (s *System) FastPathAttempts() uint64 { return s.fastPath.Load() }
+
 // Lock is a single fine-grained lock: an active set of descriptors.
 type Lock struct {
 	sys *System
 	set *activeset.Set[Descriptor]
 	id  int
 
-	// Per-lock observability counters (atomic): attempts whose lock set
-	// includes this lock, wins among them, and helps — descriptors on
-	// this lock run to a decision by some other attempt's helping phase.
-	attempts atomic.Uint64
-	wins     atomic.Uint64
-	helps    atomic.Uint64
+	// Per-lock observability counters (atomic), cache-line padded: the
+	// read-mostly header above (sys/set/id, loaded on every attempt)
+	// must not share a line with counters every competing process
+	// writes, and the counters must not share lines with each other.
+	_        [64]byte
+	attempts padCounter
+	wins     padCounter
+	helps    padCounter
 }
 
 var lockCounter atomic.Int64
@@ -244,6 +304,12 @@ type Descriptor struct {
 	// mode, Section 6.2). Written by the owner before the priority
 	// reveal; the atomic priority store publishes it.
 	localSets [][]*Descriptor
+
+	// noDelay marks an attempt on the uncontended fast path: every
+	// lock in the set was observed free at the start, so all delay
+	// stalls are skipped. Owner-only — written before announcement,
+	// read only by the owner's own delay points.
+	noDelay bool
 }
 
 // Status returns the descriptor's current status.
@@ -267,7 +333,7 @@ func (p *Descriptor) GetFlag(e env.Env) bool {
 // started, then draws and reveals the priority (the reveal step). Only
 // the owner calls SetFlag (tryLocks is never helped; only run is).
 func (p *Descriptor) SetFlag(e env.Env) {
-	if !p.sys.cfg.DisableDelays {
+	if !p.sys.cfg.DisableDelays && !p.noDelay {
 		target := p.startStep + p.sys.t0()
 		if e.Steps() > target {
 			p.sys.delayOverruns.Add(1)
@@ -296,8 +362,41 @@ var _ multiset.Flagged = (*Descriptor)(nil)
 // The thunk must be a fresh idem.Exec per attempt and must perform at
 // most MaxThunkSteps simulated steps. locks must contain at most
 // MaxLocks locks, all created by this System, with no duplicates.
+//
+// Uncontended fast path: when every lock's announcement array is
+// observed empty at the start of the attempt, the attempt skips all
+// delay stalls (the T0/T1 fixed delays, or the power-of-two padding in
+// unknown-bounds mode) and runs only the protocol itself. Safety is
+// unaffected — the attempt still announces itself, competes by
+// priority, and executes the thunk idempotently, so mutual exclusion
+// and wait-freedom hold exactly as before (delays only ever burn the
+// owner's private steps; cf. the DisableDelays ablation). What the
+// skip gives up is the fairness bound in the window where two attempts
+// race from an observed-free state: both take the fast path and the
+// race is settled by their random priorities, which is symmetric-fair
+// but outside the paper's adversarial guarantee. Attempts that observe
+// any competitor keep the full delay schedule.
 func (s *System) TryLocks(e env.Env, locks []*Lock, thunk *idem.Exec) bool {
-	return s.NewAttempt(locks, thunk).Run(e)
+	if len(locks) == 0 || len(locks) > s.cfg.MaxLocks {
+		panic(fmt.Sprintf("core: lock set size %d outside [1, %d]", len(locks), s.cfg.MaxLocks))
+	}
+	var p *Descriptor
+	if sc := scratchOf(e); sc != nil {
+		p = sc.descs.New()
+		inner := sc.locks.Make(len(locks))
+		copy(inner, locks)
+		p.sys, p.locks, p.thunk = s, inner, thunk
+	} else {
+		p = &Descriptor{sys: s, locks: append([]*Lock(nil), locks...), thunk: thunk}
+	}
+	p.priority.Store(priorityPending)
+	p.status.Store(StatusActive)
+	s.attempts.Add(1)
+	p.startStep = e.Steps()
+	if s.cfg.UnknownBounds {
+		return s.tryLocksUnknown(e, p)
+	}
+	return s.tryLocksKnown(e, p)
 }
 
 // Attempt is a prepared tryLock attempt whose descriptor can be
@@ -349,6 +448,8 @@ func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
 	for _, l := range p.locks {
 		l.attempts.Add(1)
 	}
+	s.observeFree(e, p)
+
 	// Helping phase (lines 17-20): run every revealed descriptor on any
 	// of our locks to its decision, clearing the playing field of
 	// descriptors whose priorities the adversary may already know. Only
@@ -365,18 +466,19 @@ func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
 	}
 
 	// Insert into every lock's active set; SetFlag inside performs the
-	// T0 delay and the reveal step (line 21).
-	slots := multiset.MultiInsert(e, p, s.lockSets(p))
+	// T0 delay and the reveal step (line 21) — skipped on the fast path.
+	sets := s.lockSets(e, p)
+	slots := multiset.MultiInsert(e, p, sets)
 	checkSlots(s, slots)
 
 	// Compete (line 22).
 	s.run(e, p)
 
 	// Clean up (line 23).
-	multiset.MultiRemove(e, p, s.lockSets(p), slots)
+	multiset.MultiRemove(e, p, sets, slots)
 
 	// Fixed post-run delay (line 24): T1 steps since the reveal step.
-	if !s.cfg.DisableDelays {
+	if !s.cfg.DisableDelays && !p.noDelay {
 		target := p.revealStep + s.t1()
 		if e.Steps() > target {
 			s.delayOverruns.Add(1)
@@ -394,9 +496,31 @@ func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
 	return won
 }
 
+// observeFree takes the fast-path observation: if every lock's
+// announcement array is empty, the attempt skips all delay stalls (see
+// TryLocks). The observation is one GetSet per lock, so it costs L
+// steps and preserves the attempt's O(·) step bounds.
+func (s *System) observeFree(e env.Env, p *Descriptor) {
+	if !s.cfg.FastPath {
+		return
+	}
+	for _, l := range p.locks {
+		if len(l.set.GetSet(e)) != 0 {
+			return
+		}
+	}
+	p.noDelay = true
+	s.fastPath.Add(1)
+}
+
 // lockSets projects the descriptor's locks to their active sets.
-func (s *System) lockSets(p *Descriptor) []*activeset.Set[Descriptor] {
-	sets := make([]*activeset.Set[Descriptor], len(p.locks))
+func (s *System) lockSets(e env.Env, p *Descriptor) []*activeset.Set[Descriptor] {
+	var sets []*activeset.Set[Descriptor]
+	if sc := scratchOf(e); sc != nil {
+		sets = sc.sets.Make(len(p.locks))
+	} else {
+		sets = make([]*activeset.Set[Descriptor], len(p.locks))
+	}
 	for i, l := range p.locks {
 		sets[i] = l.set
 	}

@@ -29,6 +29,8 @@ func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
 	for _, l := range p.locks {
 		l.attempts.Add(1)
 	}
+	s.observeFree(e, p)
+
 	// Helping phase: help every descriptor with a *revealed* priority.
 	// TBD descriptors must not be helped: running them would drive them
 	// to a decision before they have drawn a priority.
@@ -45,20 +47,31 @@ func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
 
 	// Insert into every lock's announcement array.
 	p.ClearFlag(e)
-	slots := make([]int, len(p.locks))
+	sc := scratchOf(e)
+	var slots []int
+	if sc != nil {
+		slots = sc.slots.Make(len(p.locks))
+	} else {
+		slots = make([]int, len(p.locks))
+	}
 	for i, l := range p.locks {
 		slots[i] = l.set.Insert(e, p)
 	}
 	checkSlots(s, slots)
 
-	// Pad to a power of two, then the participation reveal.
-	s.stallToPowerOfTwo(e, p.startStep)
+	// Pad to a power of two, then the participation reveal. On the
+	// fast path the padding stalls are skipped (see TryLocks).
+	s.stallToPowerOfTwo(e, p)
 	e.Step()
 	p.priority.Store(priorityTBD)
 
 	// Snapshot the membership of every lock (participating descriptors
 	// only: those at or past their participation reveal).
-	p.localSets = make([][]*Descriptor, len(p.locks))
+	if sc != nil {
+		p.localSets = sc.locals.Make(len(p.locks))
+	} else {
+		p.localSets = make([][]*Descriptor, len(p.locks))
+	}
 	for i, l := range p.locks {
 		p.localSets[i] = s.participatingMembers(e, l)
 	}
@@ -66,7 +79,7 @@ func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
 	// Pad again so the snapshot phase's length is also quantized, then
 	// the priority reveal. The atomic priority store publishes the
 	// local sets to helpers.
-	s.stallToPowerOfTwo(e, p.startStep)
+	s.stallToPowerOfTwo(e, p)
 	pr := env.RandPriority(e)
 	e.Step()
 	p.priority.Store(pr)
@@ -79,7 +92,7 @@ func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
 	for i, l := range p.locks {
 		l.set.Remove(e, slots[i])
 	}
-	s.stallToPowerOfTwo(e, p.startStep)
+	s.stallToPowerOfTwo(e, p)
 
 	won := p.status.Load() == StatusWon
 	if won {
@@ -95,7 +108,10 @@ func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
 // (strictly positive).
 func (s *System) revealedMembers(e env.Env, l *Lock) []*Descriptor {
 	snapshot := l.set.GetSet(e)
-	out := make([]*Descriptor, 0, len(snapshot))
+	if len(snapshot) == 0 {
+		return nil
+	}
+	out := memberBuf(e, len(snapshot))
 	for _, q := range snapshot {
 		e.Step()
 		if q.priority.Load() > 0 {
@@ -109,7 +125,10 @@ func (s *System) revealedMembers(e env.Env, l *Lock) []*Descriptor {
 // participation reveal (priority TBD or revealed).
 func (s *System) participatingMembers(e env.Env, l *Lock) []*Descriptor {
 	snapshot := l.set.GetSet(e)
-	out := make([]*Descriptor, 0, len(snapshot))
+	if len(snapshot) == 0 {
+		return nil
+	}
+	out := memberBuf(e, len(snapshot))
 	for _, q := range snapshot {
 		e.Step()
 		if q.priority.Load() >= priorityTBD {
@@ -119,18 +138,30 @@ func (s *System) participatingMembers(e env.Env, l *Lock) []*Descriptor {
 	return out
 }
 
+// memberBuf returns an empty descriptor slice with capacity n, arena
+// backed when the environment carries scratch state. The filtered
+// snapshots built in it are published via localSets, so the backing
+// memory is never recycled.
+func memberBuf(e env.Env, n int) []*Descriptor {
+	if sc := scratchOf(e); sc != nil {
+		return sc.members.MakeCap(n)
+	}
+	return make([]*Descriptor, 0, n)
+}
+
 // stallToPowerOfTwo pads the attempt's step count (measured from its
-// start) up to the next power of two.
-func (s *System) stallToPowerOfTwo(e env.Env, start uint64) {
-	if s.cfg.DisableDelays {
+// start) up to the next power of two. Skipped entirely on the
+// uncontended fast path.
+func (s *System) stallToPowerOfTwo(e env.Env, p *Descriptor) {
+	if s.cfg.DisableDelays || p.noDelay {
 		return
 	}
-	elapsed := e.Steps() - start
+	elapsed := e.Steps() - p.startStep
 	if elapsed == 0 {
 		elapsed = 1
 	}
 	target := nextPowerOfTwo(elapsed)
-	env.StallUntil(e, start+target)
+	env.StallUntil(e, p.startStep+target)
 }
 
 // nextPowerOfTwo returns the smallest power of two >= n (n > 0).

@@ -7,12 +7,16 @@ package env
 //
 // A Native value must be used by a single goroutine.
 type Native struct {
-	id    int
-	steps uint64
-	rng   RNG
+	id      int
+	steps   uint64
+	rng     RNG
+	scratch [NumScratch]any
 }
 
-var _ Env = (*Native)(nil)
+var (
+	_ Env       = (*Native)(nil)
+	_ Scratcher = (*Native)(nil)
+)
 
 // NewNative returns a native environment for process id with the given
 // random seed.
@@ -31,3 +35,8 @@ func (n *Native) Rand() uint64 { return n.rng.Next() }
 
 // Pid returns the process id.
 func (n *Native) Pid() int { return n.id }
+
+// Scratch returns the process-private scratch slot for key. Native
+// environments carry scratch state so the algorithm packages can
+// amortize hot-path allocations into process-private bump arenas.
+func (n *Native) Scratch(key ScratchKey) *any { return &n.scratch[key] }

@@ -59,8 +59,70 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"wflocks/internal/arena"
 	"wflocks/internal/env"
 )
+
+// arenas is the per-process allocation state for the construction's
+// published objects. Boxes, descriptors, responses, execs and logs are
+// all read by helpers at unbounded staleness, so none of them may ever
+// be recycled — the bump arenas hand out each pointer exactly once and
+// abandon full chunks to the garbage collector, which preserves the
+// freshness invariant (see the ABA discussion above) while amortizing
+// the hot path to ~1/256 of a heap allocation per object.
+type arenas struct {
+	boxes arena.Arena[box]
+	descs arena.Arena[opDesc]
+	resps arena.Arena[response]
+	cells arena.Arena[Cell]
+	execs arena.Arena[Exec]
+	runs  arena.Arena[Run]
+	logs  arena.Slices[atomic.Pointer[response]]
+}
+
+// arenasOf returns e's idem arenas, creating them on first use, or nil
+// when e carries no scratch state (the deterministic simulator). All
+// allocation helpers below tolerate a nil receiver by falling back to
+// plain heap allocation, which is always correct.
+func arenasOf(e env.Env) *arenas {
+	p := env.ScratchOf(e, env.ScratchIdem)
+	if p == nil {
+		return nil
+	}
+	a, ok := (*p).(*arenas)
+	if !ok {
+		a = &arenas{}
+		*p = a
+	}
+	return a
+}
+
+func (a *arenas) newBox(val uint64, desc *opDesc) *box {
+	if a == nil {
+		return &box{val: val, desc: desc}
+	}
+	b := a.boxes.New()
+	b.val, b.desc = val, desc
+	return b
+}
+
+func (a *arenas) newResp(kind opKind, c *Cell, val uint64, by *opDesc) *response {
+	if a == nil {
+		return &response{kind: kind, cell: c, val: val, by: by}
+	}
+	r := a.resps.New()
+	r.kind, r.cell, r.val, r.by = kind, c, val, by
+	return r
+}
+
+func (a *arenas) newDesc(x *Exec, op int, kind opKind, newVal uint64, prev *box) *opDesc {
+	if a == nil {
+		return &opDesc{exec: x, op: op, kind: kind, newVal: newVal, prev: prev}
+	}
+	d := a.descs.New()
+	d.exec, d.op, d.kind, d.newVal, d.prev = x, op, kind, newVal, prev
+	return d
+}
 
 // opKind identifies the kind of a simulated shared-memory operation.
 type opKind int32
@@ -123,6 +185,20 @@ func NewCell(v uint64) *Cell {
 	return c
 }
 
+// NewCellIn returns a cell holding v, allocated from e's process
+// arena when available. Intended for short-lived cells created on hot
+// paths (per-call parameter and result cells); long-lived structural
+// cells should use NewCell.
+func NewCellIn(e env.Env, v uint64) *Cell {
+	a := arenasOf(e)
+	if a == nil {
+		return NewCell(v)
+	}
+	c := a.cells.New()
+	c.p.Store(a.newBox(v, nil))
+	return c
+}
+
 // Load reads the cell from outside any thunk, helping resolve any
 // installed descriptor first.
 func (c *Cell) Load(e env.Env) uint64 {
@@ -139,7 +215,7 @@ func (c *Cell) Load(e env.Env) uint64 {
 // Store writes the cell from outside any thunk. It helps resolve any
 // installed descriptor first so the write cannot bury one.
 func (c *Cell) Store(e env.Env, v uint64) {
-	nb := &box{val: v}
+	nb := arenasOf(e).newBox(v, nil)
 	for {
 		e.Step()
 		b := c.p.Load()
@@ -167,7 +243,7 @@ func (c *Cell) CompareAndSwap(e env.Env, old, new uint64) bool {
 			return false
 		}
 		e.Step()
-		if c.p.CompareAndSwap(b, &box{val: new}) {
+		if c.p.CompareAndSwap(b, arenasOf(e).newBox(new, nil)) {
 			return true
 		}
 	}
@@ -178,13 +254,29 @@ func (c *Cell) CompareAndSwap(e env.Env, old, new uint64) bool {
 // (plus values captured at construction). It must not perform any other
 // shared-memory access, must not block, and must not start nested
 // tryLocks (the paper forbids lock nesting).
+//
+// One relaxation is permitted: because every run derives the same
+// values from the canonical log, a body may publish results through
+// plain atomic stores into per-execution result fields — all runs
+// store the identical value, so the stores are race-free in effect and
+// idempotent by construction.
 type Body func(r *Run)
+
+// Thunk is the allocation-free alternative to Body: a pre-built frame
+// whose RunThunk method is the thunk's code, subject to the same
+// determinism rules. Using a frame object (typically arena-allocated
+// per call) instead of a fresh closure keeps the hot path free of
+// closure captures.
+type Thunk interface {
+	RunThunk(r *Run)
+}
 
 // Exec is one logical execution of a thunk, shared by its initiating
 // process and any helpers. All of them call Execute; the combined
 // effect equals exactly one run of the body.
 type Exec struct {
 	body     Body
+	thunk    Thunk
 	log      []atomic.Pointer[response]
 	finished atomic.Bool
 }
@@ -198,12 +290,43 @@ func NewExec(body Body, maxOps int) *Exec {
 	return &Exec{body: body, log: make([]atomic.Pointer[response], maxOps)}
 }
 
+// NewExecIn creates an execution of frame t performing at most maxOps
+// shared-memory operations, drawing the exec and its response log from
+// e's process arena when available. Exec objects are published to
+// helpers and read at unbounded staleness, so they are never recycled;
+// the arena only amortizes their allocation.
+func NewExecIn(e env.Env, t Thunk, maxOps int) *Exec {
+	if maxOps < 0 {
+		panic("idem: negative maxOps")
+	}
+	a := arenasOf(e)
+	if a == nil {
+		return &Exec{thunk: t, log: make([]atomic.Pointer[response], maxOps)}
+	}
+	x := a.execs.New()
+	x.body, x.thunk = nil, t
+	x.log = a.logs.Make(maxOps)
+	x.finished.Store(false)
+	return x
+}
+
 // Execute runs or helps the thunk to completion. It may be called any
 // number of times by any number of processes; memory effects apply as
 // if the body ran exactly once (Definition 4.1).
 func (x *Exec) Execute(e env.Env) {
-	r := &Run{e: e, x: x}
-	x.body(r)
+	a := arenasOf(e)
+	var r *Run
+	if a == nil {
+		r = &Run{e: e, x: x}
+	} else {
+		r = a.runs.New()
+		*r = Run{e: e, x: x, ar: a}
+	}
+	if x.thunk != nil {
+		x.thunk.RunThunk(r)
+	} else {
+		x.body(r)
+	}
 	x.finished.Store(true)
 }
 
@@ -215,6 +338,7 @@ func (x *Exec) Finished() bool { return x.finished.Load() }
 type Run struct {
 	e    env.Env
 	x    *Exec
+	ar   *arenas
 	next int
 }
 
@@ -264,7 +388,7 @@ func (r *Run) Read(c *Cell) uint64 {
 			continue
 		}
 		r.e.Step()
-		r.x.log[i].CompareAndSwap(nil, &response{kind: opRead, cell: c, val: b.val})
+		r.x.log[i].CompareAndSwap(nil, r.ar.newResp(opRead, c, b.val, nil))
 		resp := r.logged(i)
 		validate(resp, opRead, c, i)
 		return resp.val
@@ -286,8 +410,8 @@ func (r *Run) Write(c *Cell, v uint64) {
 			resolve(r.e, c, b)
 			continue
 		}
-		d := &opDesc{exec: r.x, op: i, kind: opWrite, newVal: v, prev: b}
-		db := &box{desc: d}
+		d := r.ar.newDesc(r.x, i, opWrite, v, b)
+		db := r.ar.newBox(0, d)
 		r.e.Step()
 		if c.p.CompareAndSwap(b, db) {
 			resolve(r.e, c, db)
@@ -316,13 +440,13 @@ func (r *Run) CAS(c *Cell, old, new uint64) bool {
 			// Observed a conflicting value: the op fails, linearized at
 			// this load — unless another run already decided otherwise.
 			r.e.Step()
-			r.x.log[i].CompareAndSwap(nil, &response{kind: opCAS, cell: c, val: 0})
+			r.x.log[i].CompareAndSwap(nil, r.ar.newResp(opCAS, c, 0, nil))
 			resp := r.logged(i)
 			validate(resp, opCAS, c, i)
 			return resp.val == 1
 		}
-		d := &opDesc{exec: r.x, op: i, kind: opCAS, newVal: new, prev: b}
-		db := &box{desc: d}
+		d := r.ar.newDesc(r.x, i, opCAS, new, b)
+		db := r.ar.newBox(0, d)
 		r.e.Step()
 		if c.p.CompareAndSwap(b, db) {
 			resolve(r.e, c, db)
@@ -339,15 +463,16 @@ func (r *Run) CAS(c *Cell, old, new uint64) bool {
 // its installation is the one recorded in its op's log slot; otherwise
 // the displaced box is restored, making the installation a no-op.
 func resolve(e env.Env, c *Cell, db *box) {
+	a := arenasOf(e)
 	d := db.desc
 	slot := &d.exec.log[d.op]
 	e.Step()
-	slot.CompareAndSwap(nil, &response{kind: d.kind, cell: c, val: 1, by: d})
+	slot.CompareAndSwap(nil, a.newResp(d.kind, c, 1, d))
 	e.Step()
 	resp := slot.Load()
 	e.Step()
 	if resp.by == d {
-		c.p.CompareAndSwap(db, &box{val: d.newVal})
+		c.p.CompareAndSwap(db, a.newBox(d.newVal, nil))
 	} else {
 		c.p.CompareAndSwap(db, d.prev)
 	}

@@ -23,9 +23,37 @@
 package multiset
 
 import (
-	"wflocks/internal/activeset"
+	"wflocks/internal/arena"
 	"wflocks/internal/env"
+
+	"wflocks/internal/activeset"
 )
+
+// scratch is the per-process allocation state: bump arenas for the
+// slot-index buffers and filtered snapshots handed out by this
+// package. Returned slices are never recycled (callers may retain
+// them), so abandoning chunks is what keeps this safe; see
+// internal/arena.
+type scratch[T any] struct {
+	slots arena.Slices[int]
+	out   arena.Slices[*T]
+}
+
+// scratchOf returns e's multiset scratch for element type T, or nil
+// when e carries no scratch state; all uses fall back to plain
+// allocation on nil.
+func scratchOf[T any](e env.Env) *scratch[T] {
+	p := env.ScratchOf(e, env.ScratchMultiSet)
+	if p == nil {
+		return nil
+	}
+	s, ok := (*p).(*scratch[T])
+	if !ok {
+		s = &scratch[T]{}
+		*p = s
+	}
+	return s
+}
 
 // Flagged is the interface items must implement (Algorithm 2's type T):
 // a single writable boolean flag. The flag write is the operation's
@@ -52,7 +80,12 @@ func MultiInsert[T any, PT interface {
 	*T
 }](e env.Env, item PT, collection []*activeset.Set[T]) []int {
 	item.ClearFlag(e)
-	slots := make([]int, len(collection))
+	var slots []int
+	if sc := scratchOf[T](e); sc != nil {
+		slots = sc.slots.Make(len(collection))
+	} else {
+		slots = make([]int, len(collection))
+	}
 	for i, set := range collection {
 		slots[i] = set.Insert(e, (*T)(item))
 	}
@@ -83,7 +116,15 @@ func GetSet[T any, PT interface {
 	*T
 }](e env.Env, set *activeset.Set[T]) []*T {
 	snapshot := set.GetSet(e)
-	out := make([]*T, 0, len(snapshot))
+	if len(snapshot) == 0 {
+		return nil
+	}
+	var out []*T
+	if sc := scratchOf[T](e); sc != nil {
+		out = sc.out.MakeCap(len(snapshot))
+	} else {
+		out = make([]*T, 0, len(snapshot))
+	}
 	for _, item := range snapshot {
 		if PT(item).GetFlag(e) {
 			out = append(out, item)

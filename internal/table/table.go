@@ -120,6 +120,13 @@ type Shard struct {
 	Meta []*idem.Cell
 	keys []*idem.Cell // capacity × keyWords, bucket-major
 	vals []*idem.Cell // capacity × valueWords, bucket-major
+
+	// Shards are stored contiguously in Table.Shards and different
+	// shards are touched by different locks; pad each header to 128
+	// bytes (two cache lines, the common prefetch pair) so a probe
+	// walking one shard's Meta slice header never invalidates a
+	// neighbor's. The fields above total 88 bytes.
+	_ [40]byte
 }
 
 // Table is a shard array of open-addressed bucket regions over typed
@@ -320,6 +327,52 @@ func (t *Table[K, V]) ReadStable(e env.Env, sh *Shard, yieldCPU func(), read fun
 			return
 		}
 	}
+}
+
+// FindStable probes for k under sh's seqlock without entering a
+// critical section: the read-only analogue of Find, at the cost of a
+// plain memory scan instead of a lock acquisition. It makes up to
+// tries attempts to complete a probe with the shard version even and
+// unchanged; done=true reports success, with the found value if any.
+// done=false means writers kept the version moving and the caller
+// should fall back to a locked probe (which is wait-free, so the
+// fallback bounds the total work). The same argument that covers
+// ReadStable covers this: a probe bracketed by equal even version
+// reads observed the shard at one consistent instant, so the result
+// linearizes there. Stale helpers cannot disturb it — their writes CAS
+// against boxes that have since been replaced, and boxes are never
+// recycled.
+func (t *Table[K, V]) FindStable(e env.Env, sh *Shard, h uint64, home int, k K, tries int) (v V, ok, done bool) {
+	frag := h &^ StateMask
+	for a := 0; a < tries; a++ {
+		v0 := sh.Ver.Load(e)
+		if v0&1 == 1 {
+			continue
+		}
+		var (
+			val   V
+			found bool
+		)
+	probe:
+		for j := 0; j < t.capacity; j++ {
+			i := (home + j) & int(t.capMask)
+			w := t.LoadMeta(e, sh, i)
+			switch w & StateMask {
+			case Empty:
+				break probe
+			case Tombstone:
+			default: // full
+				if w&^StateMask == frag && t.LoadKey(e, sh, i) == k {
+					val, found = t.LoadVal(e, sh, i), true
+					break probe
+				}
+			}
+		}
+		if sh.Ver.Load(e) == v0 {
+			return val, found, true
+		}
+	}
+	return v, false, false
 }
 
 // LoadMeta reads bucket i's meta word outside any critical section.

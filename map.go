@@ -39,6 +39,12 @@ type Map[K comparable, V any] struct {
 	eng *table.Table[K, V]
 	vc  Codec[V] // result-cell codec
 
+	// scalarV is vc when the value codec is single-word, enabling the
+	// allocation-free Get frame (the found value rides the frame's
+	// atomic result word); nil for multi-word values, which fall back
+	// to result cells.
+	scalarV ScalarCodec[V]
+
 	// locks[s] guards eng.Shards[s]; the engine owns everything the
 	// lock protects, the map owns the locking and the semantics.
 	locks []*Lock
@@ -152,6 +158,7 @@ func NewMapOf[K comparable, V any](m *Manager, kc Codec[K], vc Codec[V], opts ..
 		opBudget:  opBudget,
 		probeCost: table.ProbeSteps(cfg.capacity, kc.Words()),
 	}
+	mp.scalarV, _ = vc.(ScalarCodec[V])
 	mp.locks = make([]*Lock, mp.eng.ShardCount())
 	for s := range mp.locks {
 		mp.locks[s] = m.NewLock()
@@ -177,19 +184,39 @@ func (mp *Map[K, V]) do(p *Process, si int, body func(*Tx)) {
 	}
 }
 
-// Get reports the value stored for k. It runs as a critical section on
-// k's shard lock; the result is routed through fresh cells (not
-// closure captures) because a stalled attempt's body may be re-executed
-// by helpers concurrently.
+// Get reports the value stored for k.
+//
+// It first attempts a lock-free seqlock-stable probe — the same
+// consistent-snapshot mechanism Len and the iterators use, here bounded
+// to a few tries — which makes an uncontended or read-mostly Get a
+// plain memory scan with no lock attempt at all. When writers keep the
+// shard's version moving, Get falls back to a critical section on k's
+// shard lock, which is wait-free, so the fallback bounds the total
+// work. For single-word value codecs the locked path is also
+// allocation-free: the operation runs as a pre-built frame (see
+// mapFrame) and the found value rides the frame's atomic result word.
+// Multi-word values route the locked result through fresh cells
+// instead.
 func (mp *Map[K, V]) Get(k K) (V, bool) {
 	h := mp.eng.Hash(k)
 	si, home := mp.eng.ShardIndex(h), mp.eng.Home(h)
 	sh := &mp.eng.Shards[si]
 	var zero V
-	val := newResultCell(mp.vc)
-	found := NewBoolCell(false)
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
+	if v, ok, done := mp.eng.FindStable(p.env, sh, h, home, k, 4); done {
+		return v, ok
+	}
+	if mp.scalarV != nil {
+		f := mp.frame(p, mopGet, sh, h, home, k)
+		mp.m.lockFrame(p, mp.locks[si], mp.opBudget, f)
+		if f.resBits.Load()&mresFound == 0 {
+			return zero, false
+		}
+		return mp.scalarV.DecodeWord(f.resWord.Load()), true
+	}
+	val := newResultCell(mp.vc)
+	found := NewBoolCell(false)
 	mp.do(p, si, func(tx *Tx) {
 		i, ok, _ := mp.eng.Find(tx.run, sh, h, home, k)
 		if !ok {
@@ -204,12 +231,6 @@ func (mp *Map[K, V]) Get(k K) (V, bool) {
 	return val.Get(p), true
 }
 
-// Put outcomes routed through the result cell.
-const (
-	putStored uint64 = iota
-	putFull
-)
-
 // Put stores v for k, inserting or overwriting. It returns ErrMapFull
 // when k's shard has no free bucket (the map never rehashes; see the
 // type comment).
@@ -217,23 +238,12 @@ func (mp *Map[K, V]) Put(k K, v V) error {
 	h := mp.eng.Hash(k)
 	si, home := mp.eng.ShardIndex(h), mp.eng.Home(h)
 	sh := &mp.eng.Shards[si]
-	res := NewCell(putStored)
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
-	mp.do(p, si, func(tx *Tx) {
-		mp.eng.BumpVer(tx.run, sh)
-		i, ok, free := mp.eng.Find(tx.run, sh, h, home, k)
-		switch {
-		case ok:
-			mp.eng.SetVal(tx.run, sh, i, v)
-		case free < 0:
-			Put(tx, res, putFull)
-		default:
-			mp.eng.Insert(tx.run, sh, free, h, k, v)
-		}
-		mp.eng.BumpVer(tx.run, sh)
-	})
-	if res.Get(p) == putFull {
+	f := mp.frame(p, mopPut, sh, h, home, k)
+	f.v = v
+	mp.m.lockFrame(p, mp.locks[si], mp.opBudget, f)
+	if f.resBits.Load()&mresFull != 0 {
 		return fmt.Errorf("%w: shard %d at capacity %d", ErrMapFull, si, mp.eng.Capacity())
 	}
 	return nil
@@ -246,25 +256,12 @@ func (mp *Map[K, V]) Delete(k K) bool {
 	h := mp.eng.Hash(k)
 	si, home := mp.eng.ShardIndex(h), mp.eng.Home(h)
 	sh := &mp.eng.Shards[si]
-	removed := NewBoolCell(false)
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
-	mp.do(p, si, func(tx *Tx) {
-		mp.eng.BumpVer(tx.run, sh)
-		if i, ok, _ := mp.eng.Find(tx.run, sh, h, home, k); ok {
-			mp.eng.Remove(tx.run, sh, i)
-			Put(tx, removed, true)
-		}
-		mp.eng.BumpVer(tx.run, sh)
-	})
-	return removed.Get(p)
+	f := mp.frame(p, mopDelete, sh, h, home, k)
+	mp.m.lockFrame(p, mp.locks[si], mp.opBudget, f)
+	return f.resBits.Load()&mresFound != 0
 }
-
-// Update outcomes routed through the result cell.
-const (
-	updateOK uint64 = iota
-	updateFull
-)
 
 // Update atomically reads k's value, applies fn, and writes the result
 // back, all in one critical section — the read-modify-write that a
@@ -286,30 +283,12 @@ func (mp *Map[K, V]) Update(k K, fn func(old V, ok bool) (V, bool)) error {
 	h := mp.eng.Hash(k)
 	si, home := mp.eng.ShardIndex(h), mp.eng.Home(h)
 	sh := &mp.eng.Shards[si]
-	res := NewCell(updateOK)
 	p := mp.m.Acquire()
 	defer mp.m.Release(p)
-	mp.do(p, si, func(tx *Tx) {
-		mp.eng.BumpVer(tx.run, sh)
-		i, ok, free := mp.eng.Find(tx.run, sh, h, home, k)
-		var old V
-		if ok {
-			old = mp.eng.Val(tx.run, sh, i)
-		}
-		nv, keep := fn(old, ok)
-		switch {
-		case keep && ok:
-			mp.eng.SetVal(tx.run, sh, i, nv)
-		case keep && free < 0:
-			Put(tx, res, updateFull)
-		case keep:
-			mp.eng.Insert(tx.run, sh, free, h, k, nv)
-		case ok:
-			mp.eng.Remove(tx.run, sh, i)
-		}
-		mp.eng.BumpVer(tx.run, sh)
-	})
-	if res.Get(p) == updateFull {
+	f := mp.frame(p, mopUpdate, sh, h, home, k)
+	f.fn = fn
+	mp.m.lockFrame(p, mp.locks[si], mp.opBudget, f)
+	if f.resBits.Load()&mresFull != 0 {
 		return fmt.Errorf("%w: shard %d at capacity %d", ErrMapFull, si, mp.eng.Capacity())
 	}
 	return nil

@@ -1,0 +1,150 @@
+package wflocks
+
+import (
+	"context"
+	"sync/atomic"
+
+	"wflocks/internal/arena"
+	"wflocks/internal/core"
+	"wflocks/internal/idem"
+	"wflocks/internal/table"
+)
+
+// Allocation-free single-key map operations.
+//
+// The generic Do path builds a closure per call (the captures escape to
+// the heap) and routes results through freshly allocated cells, because
+// a stalled attempt's body may be re-executed by helpers concurrently.
+// The operation frame below removes both costs for the single-key hot
+// path: a frame drawn from the owner's bump arena carries the operation
+// kind and parameters as plain fields — safe precisely because the
+// frame is fresh per call and never recycled, so a straggling helper
+// always reads the parameters its exec was created with — and results
+// are published through atomic fields on the frame. Every run of the
+// body derives identical results from the canonical response log, so
+// the concurrent stores are race-free in effect (see idem.Body).
+
+// mapFrame operation kinds.
+const (
+	mopGet uint8 = iota + 1
+	mopPut
+	mopDelete
+	mopUpdate
+)
+
+// mapFrame result bits.
+const (
+	mresFound uint32 = 1 << iota
+	mresFull
+)
+
+// mapFrame is a single-key critical section in frame form: one
+// arena-allocated object per call, implementing idem.Thunk.
+type mapFrame[K comparable, V any] struct {
+	mp   *Map[K, V]
+	sh   *table.Shard
+	h    uint64
+	home int
+	op   uint8
+	k    K
+	v    V
+	fn   func(old V, ok bool) (V, bool)
+
+	// Results, published by every run with identical derived values.
+	// resWord holds the scalar-encoded found value (Get only).
+	resWord atomic.Uint64
+	resBits atomic.Uint32
+}
+
+// RunThunk implements idem.Thunk: the frame's operation as a
+// deterministic critical-section body.
+func (f *mapFrame[K, V]) RunThunk(r *idem.Run) {
+	eng := f.mp.eng
+	switch f.op {
+	case mopGet:
+		i, ok, _ := eng.Find(r, f.sh, f.h, f.home, f.k)
+		if !ok {
+			return
+		}
+		f.resWord.Store(f.mp.scalarV.EncodeWord(eng.Val(r, f.sh, i)))
+		f.resBits.Store(mresFound)
+	case mopPut:
+		eng.BumpVer(r, f.sh)
+		i, ok, free := eng.Find(r, f.sh, f.h, f.home, f.k)
+		switch {
+		case ok:
+			eng.SetVal(r, f.sh, i, f.v)
+		case free < 0:
+			f.resBits.Store(mresFull)
+		default:
+			eng.Insert(r, f.sh, free, f.h, f.k, f.v)
+		}
+		eng.BumpVer(r, f.sh)
+	case mopDelete:
+		eng.BumpVer(r, f.sh)
+		if i, ok, _ := eng.Find(r, f.sh, f.h, f.home, f.k); ok {
+			eng.Remove(r, f.sh, i)
+			f.resBits.Store(mresFound)
+		}
+		eng.BumpVer(r, f.sh)
+	case mopUpdate:
+		eng.BumpVer(r, f.sh)
+		i, ok, free := eng.Find(r, f.sh, f.h, f.home, f.k)
+		var old V
+		if ok {
+			old = eng.Val(r, f.sh, i)
+		}
+		nv, keep := f.fn(old, ok)
+		switch {
+		case keep && ok:
+			eng.SetVal(r, f.sh, i, nv)
+		case keep && free < 0:
+			f.resBits.Store(mresFull)
+		case keep:
+			eng.Insert(r, f.sh, free, f.h, f.k, nv)
+		case ok:
+			eng.Remove(r, f.sh, i)
+		}
+		eng.BumpVer(r, f.sh)
+	}
+}
+
+// mapFrameFor draws a fresh frame for this map's type from p's
+// per-structure arenas (created on the goroutine's first use).
+func mapFrameFor[K comparable, V any](p *Process) *mapFrame[K, V] {
+	for _, s := range p.structs {
+		if a, ok := s.(*arena.Arena[mapFrame[K, V]]); ok {
+			return a.New()
+		}
+	}
+	a := &arena.Arena[mapFrame[K, V]]{}
+	p.structs = append(p.structs, a)
+	return a.New()
+}
+
+// frame prepares a fresh operation frame for one single-key call.
+func (mp *Map[K, V]) frame(p *Process, op uint8, sh *table.Shard, h uint64, home int, k K) *mapFrame[K, V] {
+	f := mapFrameFor[K, V](p)
+	f.mp, f.sh, f.h, f.home, f.k, f.op = mp, sh, h, home, k, op
+	return f
+}
+
+// lockFrame acquires a single lock and runs frame t to completion,
+// retrying failed attempts under the manager's RetryPolicy. Each retry
+// creates a fresh exec over the same frame, which is safe: a lost
+// exec's body never runs, so only the winning exec's (identical)
+// parameters ever take effect.
+func (m *Manager) lockFrame(p *Process, l *Lock, maxOps int, t idem.Thunk) {
+	if cap(p.lockBuf) < 1 {
+		p.lockBuf = make([]*core.Lock, 1)
+	}
+	locks := p.lockBuf[:1]
+	locks[0] = l.inner
+	for attempt := 1; ; attempt++ {
+		thunk := idem.NewExecIn(p.env, t, maxOps)
+		if m.sys.TryLocks(p.env, locks, thunk) {
+			return
+		}
+		m.retry.Wait(context.Background(), attempt)
+	}
+}

@@ -12,6 +12,7 @@ type config struct {
 	delayC        int
 	delayC1       int
 	unknownBounds bool
+	noFastPath    bool
 	seed          uint64
 	retry         RetryPolicy
 }
@@ -88,6 +89,23 @@ func WithDelayConstants(c0, c1 int) Option {
 		}
 		c.delayC = c0
 		c.delayC1 = c1
+		return nil
+	}
+}
+
+// WithFastPath enables or disables the uncontended fast path (default
+// enabled): an acquisition that observes every requested lock free
+// skips the delay stalls entirely and pays only the protocol itself.
+// Safety — mutual exclusion and wait-freedom — is identical either
+// way; what the skip trades is the paper's adversarial fairness bound
+// in the window where two attempts race from an observed-free lock
+// (that race is settled by random priorities, which is symmetric-fair
+// but not the adversarial guarantee). Disable it only when you need
+// attempt timing to be a pure function of configuration, e.g. to
+// reproduce the paper's fixed-schedule behavior exactly.
+func WithFastPath(enabled bool) Option {
+	return func(c *config) error {
+		c.noFastPath = !enabled
 		return nil
 	}
 }

@@ -1,0 +1,10 @@
+//go:build !race
+
+package wflocks
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-regression tests skip under -race: race instrumentation
+// allocates on paths that are allocation-free in normal builds, so
+// testing.AllocsPerRun counts would pin the instrumentation, not the
+// library.
+const raceEnabled = false

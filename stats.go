@@ -27,6 +27,10 @@ type StatsSnapshot struct {
 	Wins     uint64
 	// Helps is the sum of the per-lock help counters.
 	Helps uint64
+	// FastPath counts the attempts that took the uncontended fast
+	// path: every requested lock was observed free, so the attempt
+	// skipped its delay stalls entirely (see WithFastPath).
+	FastPath uint64
 	// Locks holds one entry per lock, in creation order.
 	Locks []LockStats
 }
@@ -43,8 +47,9 @@ func (s StatsSnapshot) SuccessRate() float64 {
 // manager-wide and per lock.
 func (m *Manager) Stats() StatsSnapshot {
 	snap := StatsSnapshot{
-		Attempts: m.attempts.Load(),
-		Wins:     m.wins.Load(),
+		Attempts: m.sys.Attempts(),
+		Wins:     m.sys.Wins(),
+		FastPath: m.sys.FastPathAttempts(),
 	}
 	m.mu.Lock()
 	locks := m.locks

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wflocks/internal/arena"
 	"wflocks/internal/core"
 	"wflocks/internal/env"
 	"wflocks/internal/idem"
@@ -18,9 +19,7 @@ type Manager struct {
 	cfg   config
 	retry RetryPolicy
 
-	nextPid  atomic.Int64
-	attempts atomic.Uint64
-	wins     atomic.Uint64
+	nextPid atomic.Int64
 
 	// procs is the per-goroutine handle pool backing Acquire/Release
 	// and the implicit Do path.
@@ -56,6 +55,7 @@ func New(opts ...Option) (*Manager, error) {
 		DelayC:        cfg.delayC,
 		DelayC1:       cfg.delayC1,
 		UnknownBounds: cfg.unknownBounds,
+		FastPath:      !cfg.noFastPath,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wflocks: %w", err)
@@ -94,6 +94,21 @@ func (l *Lock) ID() int { return l.inner.ID() }
 // never share it between goroutines.
 type Process struct {
 	env *env.Native
+
+	// frames is the bump arena for per-attempt thunk frames. Frames
+	// are read by helpers at unbounded staleness, so they are never
+	// recycled; the arena abandons full chunks (internal/arena).
+	frames arena.Arena[txFrame]
+
+	// lockBuf is the reusable buffer for unwrapped lock sets. It is
+	// owner-transient — core copies the set into its own attempt
+	// record before publishing — so plain reuse is safe.
+	lockBuf []*core.Lock
+
+	// structs holds per-structure allocation state (e.g. the map's
+	// operation-frame arenas), found by type via a linear scan; the
+	// handful of structure types a goroutine touches keeps it short.
+	structs []any
 }
 
 // NewProcess creates a fresh process handle. Prefer Acquire, which
@@ -116,6 +131,37 @@ type Tx struct {
 	run *idem.Run
 }
 
+// txFrame adapts a user body to idem.Thunk without a per-attempt
+// closure allocation. A fresh frame is drawn from the owner's arena
+// for every attempt — helpers may re-read a frame long after the
+// attempt ended, so frames are never reused (see internal/arena).
+type txFrame struct {
+	body func(*Tx)
+}
+
+// RunThunk implements idem.Thunk. It runs on the owner's and any
+// helper's goroutine; the Tx handle comes from the executing process's
+// own arena.
+func (f *txFrame) RunThunk(r *idem.Run) {
+	f.body(newTx(r))
+}
+
+// newTx returns a Tx for r, drawn from the executing environment's
+// arena when it carries scratch state (always, for native processes).
+func newTx(r *idem.Run) *Tx {
+	if p := env.ScratchOf(r.Env(), env.ScratchTx); p != nil {
+		a, ok := (*p).(*arena.Arena[Tx])
+		if !ok {
+			a = &arena.Arena[Tx]{}
+			*p = a
+		}
+		tx := a.New()
+		tx.run = r
+		return tx
+	}
+	return &Tx{run: r}
+}
+
 // TryLock attempts to acquire all locks and run body atomically. maxOps
 // bounds the number of shared-memory operations body performs (it must
 // be at most the manager's WithMaxCriticalSteps bound). It returns true
@@ -134,19 +180,25 @@ func (m *Manager) TryLock(p *Process, locks []*Lock, maxOps int, body func(*Tx))
 
 // tryLock runs one validated attempt.
 func (m *Manager) tryLock(p *Process, locks []*Lock, maxOps int, body func(*Tx)) bool {
-	thunk := idem.NewExec(func(r *idem.Run) {
-		body(&Tx{run: r})
-	}, maxOps)
-	inner := make([]*core.Lock, len(locks))
+	f := p.frames.New()
+	f.body = body
+	return m.tryLockThunk(p, locks, maxOps, f)
+}
+
+// tryLockThunk runs one validated attempt with a prepared thunk frame.
+// This is the allocation-free core of every acquisition: the exec and
+// its response log come from the process arena, and the unwrapped lock
+// set reuses the handle's buffer (core copies it before publishing).
+func (m *Manager) tryLockThunk(p *Process, locks []*Lock, maxOps int, t idem.Thunk) bool {
+	thunk := idem.NewExecIn(p.env, t, maxOps)
+	if cap(p.lockBuf) < len(locks) {
+		p.lockBuf = make([]*core.Lock, len(locks))
+	}
+	inner := p.lockBuf[:len(locks)]
 	for i, l := range locks {
 		inner[i] = l.inner
 	}
-	m.attempts.Add(1)
-	ok := m.sys.TryLocks(p.env, inner, thunk)
-	if ok {
-		m.wins.Add(1)
-	}
-	return ok
+	return m.sys.TryLocks(p.env, inner, thunk)
 }
 
 // Lock acquires the locks with an explicit process handle, retrying

@@ -2,8 +2,11 @@ package wflocks
 
 import (
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func newManager(t *testing.T, opts ...Option) *Manager {
@@ -267,7 +270,9 @@ func TestCellGetSet(t *testing.T) {
 }
 
 func TestDelayConstantOverride(t *testing.T) {
-	m := newManager(t, WithKappa(2), WithDelayConstants(2, 4), WithSeed(42))
+	// The fast path would skip both configurations' delays entirely on
+	// this uncontended attempt; disable it so the constants are visible.
+	m := newManager(t, WithKappa(2), WithDelayConstants(2, 4), WithSeed(42), WithFastPath(false))
 	p := m.NewProcess()
 	l := m.NewLock()
 	before := p.Steps()
@@ -276,7 +281,7 @@ func TestDelayConstantOverride(t *testing.T) {
 	}
 	small := p.Steps() - before
 
-	m2 := newManager(t, WithKappa(2), WithDelayConstants(16, 32), WithSeed(42))
+	m2 := newManager(t, WithKappa(2), WithDelayConstants(16, 32), WithSeed(42), WithFastPath(false))
 	p2 := m2.NewProcess()
 	l2 := m2.NewLock()
 	before2 := p2.Steps()
@@ -305,4 +310,166 @@ func (a *atomicCounter) get() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.n
+}
+
+// TestFastPathSkipsDelays pins the uncontended fast path: an attempt
+// that observes every requested lock free must skip the delay stalls
+// entirely — its step count stays far below the T0 stall alone — and
+// must be visible in StatsSnapshot.FastPath. The WithFastPath(false)
+// control on the identical configuration pays the full delays.
+func TestFastPathSkipsDelays(t *testing.T) {
+	// T0 = c·κ²L²T with T = maxCritical × the idem step factor; these
+	// constants make it ≥ 100k steps, so the two regimes cannot be
+	// confused by protocol noise.
+	opts := []Option{WithKappa(4), WithMaxLocks(2), WithDelayConstants(4, 4), WithSeed(7)}
+
+	m := newManager(t, opts...)
+	p := m.NewProcess()
+	l := m.NewLock()
+	before := p.Steps()
+	if ok, err := m.TryLock(p, []*Lock{l}, 2, func(tx *Tx) {}); err != nil || !ok {
+		t.Fatalf("TryLock failed: ok=%v err=%v", ok, err)
+	}
+	fast := p.Steps() - before
+	if got := m.Stats().FastPath; got != 1 {
+		t.Fatalf("FastPath counter = %d, want 1", got)
+	}
+	if fast > 5000 {
+		t.Fatalf("fast-path attempt took %d steps; the delay machinery was not skipped", fast)
+	}
+
+	m2 := newManager(t, append(opts, WithFastPath(false))...)
+	p2 := m2.NewProcess()
+	l2 := m2.NewLock()
+	before2 := p2.Steps()
+	if ok, err := m2.TryLock(p2, []*Lock{l2}, 2, func(tx *Tx) {}); err != nil || !ok {
+		t.Fatalf("TryLock failed: ok=%v err=%v", ok, err)
+	}
+	slow := p2.Steps() - before2
+	if got := m2.Stats().FastPath; got != 0 {
+		t.Fatalf("FastPath counter = %d with the fast path disabled", got)
+	}
+	if slow < 10*fast {
+		t.Fatalf("disabled fast path took %d steps vs %d — delays missing from the control", slow, fast)
+	}
+}
+
+// TestFastPathObservesContention pins the other half of the fast-path
+// contract: an attempt that sees another attempt announced on its lock
+// must keep its delays (the skip only ever fires on observed-free
+// locks, where the fairness race is symmetric).
+func TestFastPathObservesContention(t *testing.T) {
+	m := newManager(t, WithKappa(4), WithMaxLocks(2), WithDelayConstants(4, 4), WithSeed(7))
+	l := m.NewLock()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	// The holder sleeps inside its critical section so its announcement
+	// stays visible long enough for the observer's attempt to overlap
+	// it even on one core; the inside flag tells the observer when the
+	// section is live. The body touches no cells, so helper
+	// re-execution is trivially idempotent (flag stores are identical,
+	// helpers just sleep too).
+	var inside atomic.Bool
+	go func() {
+		defer close(done)
+		p := m.NewProcess()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = m.Lock(p, []*Lock{l}, 2, func(tx *Tx) {
+				inside.Store(true)
+				time.Sleep(500 * time.Microsecond)
+			})
+		}
+	}()
+	p := m.NewProcess()
+	delayed := false
+	for i := 0; i < 50 && !delayed; i++ {
+		inside.Store(false)
+		for !inside.Load() {
+			runtime.Gosched()
+		}
+		before := p.Steps()
+		if _, err := m.Lock(p, []*Lock{l}, 2, func(tx *Tx) {}); err != nil {
+			t.Fatal(err)
+		}
+		// Any attempt that paid the ≥100k-step T0 stall saw contention.
+		if p.Steps()-before > 50000 {
+			delayed = true
+		}
+	}
+	close(stop)
+	<-done
+	if !delayed {
+		t.Fatal("no contended attempt ever paid its delays; the fast path is firing under contention")
+	}
+}
+
+// TestDoAllocs pins the allocation-free hot path: after arena and pool
+// warmup, a steady-state single-word Do averages well under one heap
+// allocation per call (the bump arenas allocate one chunk per ~256
+// objects, so the amortized average is a fraction; it can never be
+// exactly zero).
+func TestDoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	m := newManager(t, WithUnknownBounds(4))
+	l := m.NewLock()
+	c := NewCell(uint64(0))
+	locks := []*Lock{l}
+	body := func(tx *Tx) {
+		Put(tx, c, Get(tx, c)+1)
+	}
+	for i := 0; i < 512; i++ {
+		if err := m.Do(locks, 2, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(400, func() {
+		if err := m.Do(locks, 2, body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg >= 0.5 {
+		t.Fatalf("Do averages %.2f allocs/op, want < 0.5", avg)
+	}
+}
+
+// TestMapAllocs pins the map hot paths: a steady-state Get (seqlock
+// fast path) and Put (operation frame) on single-word codecs average
+// well under one allocation per call.
+func TestMapAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	m := newManager(t, WithUnknownBounds(4), WithMaxLocks(1),
+		WithMaxCriticalSteps(MapCriticalSteps(64, 1, 1)))
+	mp, err := NewMap[uint64, uint64](m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		if err := mp.Put(uint64(i%64), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		mp.Get(uint64(i % 64))
+	}
+	avgGet := testing.AllocsPerRun(400, func() {
+		mp.Get(42)
+	})
+	if avgGet >= 0.5 {
+		t.Fatalf("Get averages %.2f allocs/op, want < 0.5", avgGet)
+	}
+	avgPut := testing.AllocsPerRun(400, func() {
+		if err := mp.Put(42, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avgPut >= 0.5 {
+		t.Fatalf("Put averages %.2f allocs/op, want < 0.5", avgPut)
+	}
 }
