@@ -86,17 +86,37 @@ const (
 )
 
 // readLine reads one CRLF-terminated line, excluding the terminator.
+// The maxLineBytes bound is enforced while reading (ReadSlice fills at
+// most one bufio buffer per call), so a peer streaming bytes with no
+// newline cannot grow server memory past the limit.
 func readLine(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return "", err
+	var line []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		if len(line)+len(frag) > maxLineBytes {
+			return "", fmt.Errorf("serve: protocol line exceeds %d bytes", maxLineBytes)
+		}
+		if err == nil {
+			if line == nil {
+				line = frag // common case: whole line in one buffer
+			} else {
+				line = append(line, frag...)
+			}
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			return "", err
+		}
+		line = append(line, frag...)
 	}
-	if len(line) > maxLineBytes {
-		return "", fmt.Errorf("serve: protocol line exceeds %d bytes", maxLineBytes)
+	n := len(line)
+	if n > 0 && line[n-1] == '\n' {
+		n--
 	}
-	line = strings.TrimSuffix(line, "\n")
-	line = strings.TrimSuffix(line, "\r")
-	return line, nil
+	if n > 0 && line[n-1] == '\r' {
+		n--
+	}
+	return string(line[:n]), nil
 }
 
 // ReadCommand reads one command in either accepted form. Errors

@@ -74,6 +74,54 @@ func TestReadCommandErrors(t *testing.T) {
 	}
 }
 
+// endlessReader yields its byte forever without ever producing a
+// newline — the hostile-peer shape readLine's bound must cut off.
+type endlessReader byte
+
+func (e endlessReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(e)
+	}
+	return len(p), nil
+}
+
+func TestReadLineBoundedWithoutNewline(t *testing.T) {
+	// A peer streaming bytes with no newline must hit the limit while
+	// reading, not buffer without bound (this also terminates, which an
+	// unbounded ReadString would not).
+	_, err := readLine(bufio.NewReader(endlessReader('a')))
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("unbounded line: err = %v, want line-exceeds error", err)
+	}
+}
+
+func TestReadLineSpansBufferFills(t *testing.T) {
+	// A legal line longer than the bufio buffer is reassembled across
+	// ReadSlice fills, and the reader stays positioned on the next line.
+	want := strings.Repeat("a", 100)
+	br := bufio.NewReaderSize(strings.NewReader(want+"\r\nnext\r\n"), 16)
+	got, err := readLine(br)
+	if err != nil || got != want {
+		t.Fatalf("long line = %q, %v; want %d a's", got, err, len(want))
+	}
+	if got, err := readLine(br); err != nil || got != "next" {
+		t.Fatalf("following line = %q, %v; want next", got, err)
+	}
+}
+
+func TestReadLineBoundary(t *testing.T) {
+	// Line plus CRLF exactly at maxLineBytes is accepted; one byte more
+	// is rejected.
+	ok := strings.Repeat("a", maxLineBytes-2)
+	if got, err := readLine(bufio.NewReader(strings.NewReader(ok + "\r\n"))); err != nil || got != ok {
+		t.Fatalf("line at bound: len %d, err %v; want %d, nil", len(got), err, len(ok))
+	}
+	over := strings.Repeat("a", maxLineBytes-1)
+	if _, err := readLine(bufio.NewReader(strings.NewReader(over + "\r\n"))); err == nil {
+		t.Fatal("line one byte over bound accepted")
+	}
+}
+
 func TestReplyRoundTrip(t *testing.T) {
 	var wire []byte
 	wire = AppendSimple(wire, "OK")

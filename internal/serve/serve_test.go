@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -192,6 +193,141 @@ func TestServeMaxConns(t *testing.T) {
 	// The first connection is unaffected.
 	if r := c1.do(t, "PING"); r.Str != "PONG" {
 		t.Fatalf("first conn after refusal = %+v", r)
+	}
+}
+
+// TestServeClientVanishesMidPipeline covers the failed-flush path: a
+// client pipelines a command whose worker is still inside the backend,
+// then disconnects. The writer's flush fails while the response is
+// being computed; the slot must not return to the free list until the
+// worker is done with it, or another connection can reacquire it while
+// the worker writes slot.resp and closes slot.done (data race, double
+// close). A tiny slab maximizes reuse pressure; run under -race.
+func TestServeClientVanishesMidPipeline(t *testing.T) {
+	var mu sync.Mutex
+	var gate chan struct{}
+	entered := make(chan struct{}, 64)
+	_, lis := startServer(t, serve.Config{
+		Backend:     serve.BackendMutex,
+		Workers:     4,
+		QueueShards: 1,
+		QueueDepth:  2, // slab of 2 slots: retired-too-early slots get reused immediately
+		Stall: func() {
+			mu.Lock()
+			g := gate
+			mu.Unlock()
+			if g != nil {
+				entered <- struct{}{}
+				<-g
+			}
+		},
+	})
+
+	for i := 0; i < 25; i++ {
+		g := make(chan struct{})
+		mu.Lock()
+		gate = g
+		mu.Unlock()
+
+		conn, err := lis.Dial()
+		if err != nil {
+			t.Fatalf("iter %d: Dial: %v", i, err)
+		}
+		// PING buffers an unflushed PONG ahead of the stalled SET, so
+		// the writer reaches its flush-before-waiting branch with bytes
+		// pending and the connection gone.
+		buf := serve.AppendCommand(nil, "PING")
+		buf = serve.AppendCommand(buf, "SET", fmt.Sprintf("k%d", i), "v")
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatalf("iter %d: write: %v", i, err)
+		}
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iter %d: SET never reached the backend", i)
+		}
+		conn.Close()
+		time.Sleep(time.Millisecond) // let the writer observe the dead connection
+
+		mu.Lock()
+		gate = nil
+		mu.Unlock()
+		close(g)
+
+		// The service must still be intact: fresh connections get sane
+		// replies and the abandoned SET was executed exactly once.
+		c := dial(t, lis)
+		if r := c.do(t, "SET", "probe", "ok"); r.Str != "OK" {
+			t.Fatalf("iter %d: probe SET = %+v", i, r)
+		}
+		if r := c.do(t, "GET", fmt.Sprintf("k%d", i)); r.Kind != serve.ReplyBulk || r.Str != "v" {
+			t.Fatalf("iter %d: abandoned SET lost: GET = %+v", i, r)
+		}
+		c.conn.Close()
+	}
+}
+
+// TestServeForcedShutdownSaturated: a reader parked on slot acquisition
+// (slab exhausted) must be released by a forced Shutdown even though no
+// slot ever frees — otherwise the reader goroutine leaks past Shutdown.
+func TestServeForcedShutdownSaturated(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	s, lis := startServer(t, serve.Config{
+		Backend:     serve.BackendMutex,
+		Workers:     4,
+		QueueShards: 1,
+		QueueDepth:  2, // slab of 2: the third in-flight SET parks its reader on <-free
+		Stall: func() {
+			entered <- struct{}{}
+			<-gate
+		},
+	})
+	t.Cleanup(func() { close(gate) })
+
+	conn, err := lis.Dial()
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		buf = serve.AppendCommand(buf, "SET", fmt.Sprintf("k%d", i), "v")
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatalf("write burst: %v", err)
+	}
+	// Two SETs hold both slots inside the backend; the third leaves the
+	// reader blocked acquiring a slot.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("SETs never reached the backend")
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // let the reader park on the free list
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: force the hard-shutdown path immediately
+	if err := s.Shutdown(ctx); err != context.Canceled {
+		t.Fatalf("forced Shutdown = %v, want context.Canceled", err)
+	}
+
+	// The parked reader must exit even though both slots stay in flight
+	// (the gate is still closed); poll the goroutine dump for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stacks := make([]byte, 1<<20)
+		stacks = stacks[:runtime.Stack(stacks, true)]
+		// Match a live handleConn frame ("handleConn(0x..."), not the
+		// writer goroutine's "created by ...handleConn" ancestry line.
+		if !strings.Contains(string(stacks), "handleConn(") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection reader still parked on slot acquisition after forced shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -363,7 +363,15 @@ func (s *Server) handleConn(conn net.Conn) {
 				<-prev
 				delete(inFlight, req.Key)
 			}
-			idx := <-s.free
+			// Saturated services park readers here; a forced Shutdown
+			// cancels workerCtx, which must also release them (the
+			// graceful path replenishes free as writers drain).
+			var idx int
+			select {
+			case idx = <-s.free:
+			case <-s.workerCtx.Done():
+				return
+			}
 			slot := &s.slab[idx]
 			slot.req = req
 			slot.resp = slot.resp[:0]
@@ -443,6 +451,10 @@ func (s *Server) connWriter(conn net.Conn, pending chan *request) {
 		default:
 			// The response is still being computed: flush before waiting.
 			if !flush() {
+				// The worker still owns the slot; wait for it before the
+				// slot can be handed to another connection (mirrors
+				// discard's contract).
+				<-r.done
 				s.retire(r)
 				s.discard(pending)
 				return
