@@ -608,6 +608,11 @@ type CacheShardStats struct {
 	// Evictions counts LRU-tail displacements by Put into a full shard;
 	// Expirations counts TTL removals observed by reads.
 	Evictions, Expirations uint64
+	// Tombstones, MaxProbe and SumProbe describe the shard's
+	// open-addressed region, as in MapShardStats.
+	Tombstones int
+	MaxProbe   int
+	SumProbe   int
 }
 
 // CacheStats is a point-in-time view of a cache's per-shard traffic,
@@ -629,6 +634,8 @@ type CacheStats struct {
 	Balance float64
 	// MaxOverMean is the hottest shard's accesses over the mean.
 	MaxOverMean float64
+	// MaxProbe is the worst probe displacement across all shards.
+	MaxProbe int
 }
 
 // Stats snapshots per-shard hit/miss/eviction/expiration counters,
@@ -641,6 +648,7 @@ func (c *Cache[K, V]) Stats() CacheStats {
 	for s := range c.eng.Shards {
 		sh := &c.lru[s]
 		a, w, hp := c.locks[s].inner.Counters()
+		ps := c.eng.ProbeStats(p.env, &c.eng.Shards[s])
 		st := CacheShardStats{
 			Lock:        LockStats{ID: c.locks[s].ID(), Attempts: a, Wins: w, Helps: hp},
 			Size:        int(c.eng.LoadSize(p.env, &c.eng.Shards[s])),
@@ -648,8 +656,14 @@ func (c *Cache[K, V]) Stats() CacheStats {
 			Misses:      sh.misses.Get(p),
 			Evictions:   sh.evictions.Get(p),
 			Expirations: sh.expirations.Get(p),
+			Tombstones:  ps.Tombstones,
+			MaxProbe:    ps.MaxProbe,
+			SumProbe:    ps.SumProbe,
 		}
 		cs.Shards[s] = st
+		if ps.MaxProbe > cs.MaxProbe {
+			cs.MaxProbe = ps.MaxProbe
+		}
 		cs.Len += st.Size
 		cs.Hits += st.Hits
 		cs.Misses += st.Misses

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -54,15 +55,33 @@ func run() int {
 		prefill  = flag.Bool("prefill", false, "store every key once before the clock starts")
 		seed     = flag.Uint64("seed", 1, "key/op stream seed")
 		p99max   = flag.Duration("p99max", 0, "fail (exit 1) if aggregate p99 exceeds this (0 = no bound)")
+		metrics  = flag.String("metrics", "", "with -loopback: HTTP listen address serving the in-process server's /metrics and /debug/pprof/ during the run")
+		trace    = flag.Int("trace", 0, "with -loopback: flight-recorder sample rate, 1 in N lock attempts (0 = off; implies latency metrics)")
 	)
 	flag.Parse()
 
-	dial, cleanup, prefilled, err := dialer(*addr, *loopback, *stall, *prefill, *keys, *valBytes)
+	dial, srv, cleanup, prefilled, err := dialer(*addr, *loopback, *stall, *prefill, *keys, *valBytes, *metrics != "" || *trace > 0, *trace)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfload: %v\n", err)
 		return 1
 	}
 	defer cleanup()
+
+	if *metrics != "" {
+		if srv == nil {
+			fmt.Fprintln(os.Stderr, "wfload: -metrics needs -loopback: a remote server exposes its own endpoint")
+			return 1
+		}
+		mlis, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfload: metrics listener: %v\n", err)
+			return 1
+		}
+		msrv := &http.Server{Handler: srv.MetricsMux()}
+		go msrv.Serve(mlis)
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "wfload: metrics on http://%s/metrics\n", mlis.Addr())
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration+60*time.Second)
 	defer cancel()
@@ -84,6 +103,9 @@ func run() int {
 		return 1
 	}
 	report(res)
+	if srv != nil {
+		reportServer(srv)
+	}
 
 	if res.Total.Done == 0 || res.Total.Done != res.Total.Sent {
 		fmt.Fprintf(os.Stderr, "wfload: %d of %d scheduled ops answered\n", res.Total.Done, res.Total.Sent)
@@ -102,13 +124,15 @@ func run() int {
 // server (the CI path — no port is opened). For a loopback server the
 // prefill happens here, directly against the backend, so the armed
 // stall schedule belongs entirely to the measured run; prefilled
-// reports that so the generator skips its own wire prefill.
-func dialer(addr, loopback string, stall, prefill bool, keys, valBytes int) (func() (net.Conn, error), func(), bool, error) {
+// reports that so the generator skips its own wire prefill. The
+// returned server is non-nil only for the loopback path, where the
+// harness can expose and report its observability.
+func dialer(addr, loopback string, stall, prefill bool, keys, valBytes int, withMetrics bool, traceRate int) (func() (net.Conn, error), *serve.Server, func(), bool, error) {
 	if loopback == "" {
 		if stall {
-			return nil, nil, false, fmt.Errorf("-stall needs -loopback: a remote server's stalls are its own")
+			return nil, nil, nil, false, fmt.Errorf("-stall needs -loopback: a remote server's stalls are its own")
 		}
-		return func() (net.Conn, error) { return net.Dial("tcp", addr) }, func() {}, false, nil
+		return func() (net.Conn, error) { return net.Dial("tcp", addr) }, nil, func() {}, false, nil
 	}
 	capacity := 2 * keys
 	if capacity < 256 {
@@ -120,6 +144,8 @@ func dialer(addr, loopback string, stall, prefill bool, keys, valBytes int) (fun
 		Capacity:    capacity,
 		MaxKeyBytes: 16,
 		MaxValBytes: valBytes,
+		Metrics:     withMetrics,
+		TraceSample: traceRate,
 		NewManager:  bench.AdaptiveManager,
 	}
 	var sp *bench.StallPoint
@@ -129,13 +155,13 @@ func dialer(addr, loopback string, stall, prefill bool, keys, valBytes int) (fun
 	}
 	s, err := serve.NewServer(cfg)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, nil, false, err
 	}
 	if prefill {
 		val := loadgen.Val(valBytes)
 		for k := 0; k < keys; k++ {
 			if err := s.Backend().Set(loadgen.Key(k), val, 0); err != nil {
-				return nil, nil, false, fmt.Errorf("prefill key %d: %w", k, err)
+				return nil, nil, nil, false, fmt.Errorf("prefill key %d: %w", k, err)
 			}
 		}
 	}
@@ -151,7 +177,26 @@ func dialer(addr, loopback string, stall, prefill bool, keys, valBytes int) (fun
 		}
 		<-serveDone
 	}
-	return lis.Dial, cleanup, prefill, nil
+	return lis.Dial, s, cleanup, prefill, nil
+}
+
+// reportServer prints the loopback server's lock-manager view of the
+// run: how often attempts helped, how many skipped the delay schedule,
+// and — with metrics on — where the delay budget and help time went.
+func reportServer(s *serve.Server) {
+	ms := s.Manager().Stats()
+	fmt.Printf("server: attempts %d  help-rate %.4f  fast-path %.4f",
+		ms.Attempts, ms.HelpRate(), ms.FastPathRate())
+	if os := s.Manager().Observe(); os.Enabled {
+		fmt.Printf("  delay-share %.4f  help-run p50/p99 %v/%v",
+			os.DelayShare(),
+			time.Duration(os.HelpRun.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(os.HelpRun.Quantile(0.99)).Round(time.Microsecond))
+		if os.Events != nil {
+			fmt.Printf("  traced-events %d", len(os.Events))
+		}
+	}
+	fmt.Println()
 }
 
 // report prints the run summary: aggregate percentiles, then the

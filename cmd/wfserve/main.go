@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +43,8 @@ func run() int {
 		maxKey   = flag.Int("max-key-bytes", 64, "key size bound (sizes the fixed-width codec)")
 		maxVal   = flag.Int("max-val-bytes", 128, "value size bound (sizes the fixed-width codec)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM")
+		metrics  = flag.String("metrics", "", "HTTP listen address for /metrics, /debug/vars and /debug/pprof/ (empty = no endpoint)")
+		trace    = flag.Int("trace", 0, "flight-recorder sample rate: trace 1 in N lock attempts (0 = off; implies latency metrics)")
 	)
 	flag.Parse()
 
@@ -54,6 +57,8 @@ func run() int {
 		MaxConns:    *maxConns,
 		MaxKeyBytes: *maxKey,
 		MaxValBytes: *maxVal,
+		Metrics:     *metrics != "",
+		TraceSample: *trace,
 		// The paper's §6.2 unknown-bounds adaptive-delay configuration:
 		// per-shard contention in a server is far below the connection
 		// bound, and the adaptive delays track what actually contends.
@@ -62,6 +67,18 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
 		return 1
+	}
+
+	if *metrics != "" {
+		mlis, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfserve: metrics listener: %v\n", err)
+			return 1
+		}
+		msrv := &http.Server{Handler: s.MetricsMux()}
+		go msrv.Serve(mlis)
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "wfserve: metrics on http://%s/metrics\n", mlis.Addr())
 	}
 
 	lis, err := net.Listen("tcp", *addr)

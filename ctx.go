@@ -103,11 +103,18 @@ func (m *Manager) DoCtx(ctx context.Context, locks []*Lock, maxOps int, body fun
 // failed attempt count wrapped in an ErrCanceled error. The caller has
 // already validated the arguments.
 func (m *Manager) retryLoop(ctx context.Context, p *Process, locks []*Lock, maxOps int, body func(*Tx)) (int, error) {
+	var t0 time.Time
+	if m.rec != nil {
+		t0 = time.Now()
+	}
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return attempt - 1, fmt.Errorf("%w after %d attempts: %w", ErrCanceled, attempt-1, err)
 		}
 		if m.tryLock(p, locks, maxOps, body) {
+			if m.rec != nil {
+				m.rec.RecAcquire(p.Pid(), uint64(time.Since(t0)))
+			}
 			return attempt, nil
 		}
 		m.retry.Wait(ctx, attempt)

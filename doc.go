@@ -326,4 +326,52 @@
 // that can contend on any one lock (and P the total concurrent
 // attempters, in unknown-bounds mode). Exceeding them panics once a
 // lock's announcement capacity overflows.
+//
+// # Observing helping in production
+//
+// The algorithm's distinguishing behavior — competitors re-executing a
+// stalled winner's critical section — is invisible to ordinary latency
+// monitoring: the stalled goroutine's operation completes on time
+// because someone else ran it. Three layers of instrumentation make
+// the machinery visible, each off (and free) by default.
+//
+// Stats is always on: cheap per-lock and manager-wide counters
+// (attempts, wins, helps, fast-path skips) whose derived
+// StatsSnapshot.HelpRate is the first number to watch — near 0 the
+// locks are behaving like uncontended mutexes, rising it means helpers
+// are carrying stalled winners' work. Read the three rates against the
+// benchmarks' two regimes: in the raw regime FastPathRate sits near 1,
+// HelpRate near 0, and the delay share near 0 — the machinery is idle
+// and the locks cost their constant factors. Under stalls FastPathRate
+// falls (attempts observe competitors), HelpRate climbs (it can exceed
+// 1: one attempt may run several stalled descriptors), and the delay
+// share reports how much of the attempts' own step budget the paper's
+// dispersal delays consumed. StatsSnapshot.Sub turns two snapshots
+// into a per-interval delta for dashboards and benchmarks.
+//
+// WithMetrics adds latency distributions: per-P sharded HDR-style
+// histograms (relative error ≤ 3.1%) of acquisition latency,
+// delay-schedule steps charged per attempt, and help-run wall
+// durations, plus the delay share — the fraction of all attempt steps
+// burned in the paper's delay schedule. Recording is a handful of
+// atomic adds into cache-line-padded shards; the hot paths stay
+// allocation-free (pinned by the same AllocsPerRun regression tests),
+// and a manager without metrics pays exactly one nil check per
+// attempt. Manager.Observe merges the shards into an ObsSnapshot at
+// scrape time.
+//
+// WithTracing(rate) additionally samples one attempt in rate through a
+// fixed-size lock-free flight recorder: the sampled attempt emits its
+// lifecycle — start, fast-path, each delay point with its computed
+// bound, each descriptor it helped (lock ID and wall duration), and
+// the final win or lose — into a ring whose Append never blocks,
+// allocates, or grows. ObsSnapshot.Events returns the current window;
+// sequence numbers are gap-free at the writer, so gaps in a snapshot
+// reveal exactly how much the ring evicted.
+//
+// The serve tier exposes all of it live: wfserve -metrics ADDR serves
+// a Prometheus-style /metrics (lock counters, latency quantiles,
+// delay share, per-op service times, dispatch-pool and backend-table
+// shape), expvar at /debug/vars, and pprof at /debug/pprof/; the RESP
+// STATS command reports the same numbers in-band.
 package wflocks

@@ -51,24 +51,29 @@ func ParseVariants(s string) ([]Variant, error) {
 // procs must be a true upper bound on concurrently contending
 // goroutines: exceeding it voids the fairness bound under known bounds
 // and is a hard error in the adaptive core, so callers size it from
-// their worker and connection limits, not from typical load.
-func NewManager(v Variant, procs, maxLocks, maxCritical int) (*wflocks.Manager, error) {
+// their worker and connection limits, not from typical load. extra
+// options (WithMetrics, WithTracing, ...) are appended after the
+// regime's own, so they can refine but not override it.
+func NewManager(v Variant, procs, maxLocks, maxCritical int, extra ...wflocks.Option) (*wflocks.Manager, error) {
+	var opts []wflocks.Option
 	switch v {
 	case VariantAdaptive:
-		return wflocks.New(
+		opts = []wflocks.Option{
 			wflocks.WithUnknownBounds(procs),
 			wflocks.WithMaxLocks(maxLocks),
 			wflocks.WithMaxCriticalSteps(maxCritical),
-		)
+		}
 	case VariantKnown:
-		return wflocks.New(
+		opts = []wflocks.Option{
 			wflocks.WithKappa(procs),
 			wflocks.WithMaxLocks(maxLocks),
 			wflocks.WithMaxCriticalSteps(maxCritical),
 			wflocks.WithDelayConstants(1, 1),
-		)
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown variant %q", v)
 	}
-	return nil, fmt.Errorf("bench: unknown variant %q", v)
+	return wflocks.New(append(opts, extra...)...)
 }
 
 // AdaptiveManager builds a manager in the unknown-bounds adaptive-delay
@@ -76,6 +81,6 @@ func NewManager(v Variant, procs, maxLocks, maxCritical int) (*wflocks.Manager, 
 // service tiers use it directly: their per-lock contention after
 // sharding is far below the process count, which is exactly the regime
 // the adaptive delays exploit.
-func AdaptiveManager(procs, maxLocks, maxCritical int) (*wflocks.Manager, error) {
-	return NewManager(VariantAdaptive, procs, maxLocks, maxCritical)
+func AdaptiveManager(procs, maxLocks, maxCritical int, extra ...wflocks.Option) (*wflocks.Manager, error) {
+	return NewManager(VariantAdaptive, procs, maxLocks, maxCritical, extra...)
 }

@@ -158,7 +158,7 @@ func RunCacheScenarioVariants(sc *workload.CacheScenario, scale Scale, variants 
 	t := &Table{
 		Title: fmt.Sprintf("%s: %d%%/%d%%/%d%% get/put/delete, %d keys, cap %d, skew %.1f, %d workers × %d ops",
 			sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Keys, sc.Capacity, sc.Skew, workers, opsPer),
-		Header: []string{"impl", "shards", "stall", "ops/sec", "hit%", "evict", "success", "attempts/op", "balance"},
+		Header: append([]string{"impl", "shards", "stall", "ops/sec", "hit%", "evict", "success", "attempts/op", "balance"}, ObsHeader...),
 	}
 	for _, stalled := range []bool{false, true} {
 		// Each run gets its own stall point so the regime's rows do not
@@ -194,7 +194,7 @@ func runWfcacheScenario(sc *workload.CacheScenario, v Variant, shards, workers, 
 	// CacheCriticalSteps pow2-rounds its per-shard argument exactly as
 	// the constructor does, so the raw quotient is the right input.
 	perShard := (sc.Capacity + shards - 1) / shards
-	m, err := NewManager(v, workers, 1, wflocks.CacheCriticalSteps(perShard, 1, 1))
+	m, err := NewManager(v, workers, 1, wflocks.CacheCriticalSteps(perShard, 1, 1), wflocks.WithMetrics())
 	if err != nil {
 		return nil, err
 	}
@@ -240,33 +240,27 @@ func runWfcacheScenario(sc *workload.CacheScenario, v Variant, shards, workers, 
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	snap := m.Stats()
+	delta := m.Stats().Sub(base)
 	cs := cache.Stats()
 	totalOps := workers * opsPer
-	attempts := snap.Attempts - base.Attempts
-	wins := snap.Wins - base.Wins
 	hits := cs.Hits - baseCache.Hits
 	misses := cs.Misses - baseCache.Misses
 	evictions := cs.Evictions - baseCache.Evictions
-	success := 0.0
-	if attempts > 0 {
-		success = float64(wins) / float64(attempts)
-	}
 	hitPct := 0.0
 	if hits+misses > 0 {
 		hitPct = 100 * float64(hits) / float64(hits+misses)
 	}
-	return []string{
+	return append([]string{
 		"wfcache/" + string(v),
 		fmt.Sprint(shards),
 		stallLabel,
 		fmt.Sprintf("%.0f", float64(totalOps)/elapsed.Seconds()),
 		fmt.Sprintf("%.1f", hitPct),
 		fmt.Sprint(evictions),
-		fmt.Sprintf("%.3f", success),
-		fmt.Sprintf("%.2f", float64(attempts)/float64(totalOps)),
+		fmt.Sprintf("%.3f", delta.SuccessRate()),
+		fmt.Sprintf("%.2f", float64(delta.Attempts)/float64(totalOps)),
 		fmt.Sprintf("%.3f", cs.Balance),
-	}, nil
+	}, ObsCols(m, delta)...), nil
 }
 
 // runMutexLRUScenario measures the baseline. It has one lock, so the
@@ -312,7 +306,7 @@ func runMutexLRUScenario(sc *workload.CacheScenario, workers, opsPer int, stallL
 	if hits+misses > 0 {
 		hitPct = 100 * float64(hits) / float64(hits+misses)
 	}
-	return []string{
+	return append([]string{
 		"mutexlru",
 		"1",
 		stallLabel,
@@ -322,5 +316,5 @@ func runMutexLRUScenario(sc *workload.CacheScenario, workers, opsPer int, stallL
 		"-",
 		"-",
 		"-",
-	}
+	}, ObsBlank()...)
 }

@@ -130,7 +130,7 @@ func RunMapScenarioVariants(sc *workload.MapScenario, scale Scale, variants []Va
 	t := &Table{
 		Title: fmt.Sprintf("%s: %d%%/%d%%/%d%% get/put/delete, %d keys, skew %.1f, %d workers × %d ops",
 			sc.Name, sc.GetPct, sc.PutPct, sc.DeletePct, sc.Keys, sc.Skew, workers, opsPer),
-		Header: []string{"impl", "shards", "ops/sec", "success", "attempts/op", "balance", "max/mean"},
+		Header: append([]string{"impl", "shards", "ops/sec", "success", "attempts/op", "balance", "max/mean"}, ObsHeader...),
 	}
 	for _, v := range variants {
 		for _, shards := range mapShardCounts {
@@ -158,7 +158,7 @@ func runWfmapScenario(sc *workload.MapScenario, v Variant, shards, workers, opsP
 	// sweep holds the aggregate structure constant while the per-shard
 	// region (and hence T) shrinks as shards grow.
 	capPerShard := nextPow2(2 * sc.Keys / shards)
-	m, err := NewManager(v, workers, 1, wflocks.MapCriticalSteps(capPerShard, 1, 1))
+	m, err := NewManager(v, workers, 1, wflocks.MapCriticalSteps(capPerShard, 1, 1), wflocks.WithMetrics())
 	if err != nil {
 		return nil, err
 	}
@@ -199,25 +199,19 @@ func runWfmapScenario(sc *workload.MapScenario, v Variant, shards, workers, opsP
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	snap := m.Stats()
+	delta := m.Stats().Sub(base)
 	totalOps := workers * opsPer
-	attempts := snap.Attempts - base.Attempts
-	wins := snap.Wins - base.Wins
 	ms := mp.Stats()
 	opsPerSec := float64(totalOps) / elapsed.Seconds()
-	success := 0.0
-	if attempts > 0 {
-		success = float64(wins) / float64(attempts)
-	}
-	return []string{
+	return append([]string{
 		"wfmap/" + string(v),
 		fmt.Sprint(shards),
 		fmt.Sprintf("%.0f", opsPerSec),
-		fmt.Sprintf("%.3f", success),
-		fmt.Sprintf("%.2f", float64(attempts)/float64(totalOps)),
+		fmt.Sprintf("%.3f", delta.SuccessRate()),
+		fmt.Sprintf("%.2f", float64(delta.Attempts)/float64(totalOps)),
 		fmt.Sprintf("%.3f", ms.Balance),
 		fmt.Sprintf("%.2f", ms.MaxOverMean),
-	}, nil
+	}, ObsCols(m, delta)...), nil
 }
 
 // runMutexScenario measures one baseline configuration. Per-shard
@@ -264,7 +258,7 @@ func runMutexScenario(sc *workload.MapScenario, shards, workers, opsPer int) []s
 		}
 	}
 	d := stats.NewShardDist(counts)
-	return []string{
+	return append([]string{
 		"mutex",
 		fmt.Sprint(shards),
 		fmt.Sprintf("%.0f", float64(totalOps)/elapsed.Seconds()),
@@ -272,7 +266,7 @@ func runMutexScenario(sc *workload.MapScenario, shards, workers, opsPer int) []s
 		"-",
 		fmt.Sprintf("%.3f", d.Jain),
 		fmt.Sprintf("%.2f", d.MaxOverMean),
-	}
+	}, ObsBlank()...)
 }
 
 // nextPow2 rounds n up to a power of two, minimum 1.

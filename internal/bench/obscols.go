@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"wflocks"
+)
+
+// ObsHeader is the shared tail of every wait-free runner's table
+// header: the helping-machinery columns ObsCols fills.
+var ObsHeader = []string{"help/op", "fastpath", "delayshare"}
+
+// ObsCols renders the shared observability columns for one wf run:
+// help rate and fast-path rate over the run's counter delta, and —
+// when the manager records metrics — the delay share of its attempt
+// steps. Baseline (mutex/channel) rows use ObsBlank instead.
+func ObsCols(m *wflocks.Manager, delta wflocks.StatsSnapshot) []string {
+	cols := []string{
+		fmt.Sprintf("%.3f", delta.HelpRate()),
+		fmt.Sprintf("%.3f", delta.FastPathRate()),
+	}
+	if os := m.Observe(); os.Enabled {
+		cols = append(cols, fmt.Sprintf("%.3f", os.DelayShare()))
+	} else {
+		cols = append(cols, "-")
+	}
+	return cols
+}
+
+// ObsBlank is the baseline rows' placeholder for ObsHeader's columns.
+func ObsBlank() []string { return []string{"-", "-", "-"} }
+
+// fillObsCols fills a row's trailing ObsHeader columns from one or more
+// managers' cumulative counters — the multi-manager shape the queue
+// pipeline runs use (one fresh manager per stage, so cumulative equals
+// the run's totals).
+func fillObsCols(row []string, mgrs []*wflocks.Manager) {
+	var agg wflocks.StatsSnapshot
+	var attemptSteps, delaySteps uint64
+	metered := false
+	for _, m := range mgrs {
+		s := m.Stats()
+		agg.Attempts += s.Attempts
+		agg.Wins += s.Wins
+		agg.Helps += s.Helps
+		agg.FastPath += s.FastPath
+		if os := m.Observe(); os.Enabled {
+			metered = true
+			attemptSteps += os.AttemptSteps
+			delaySteps += os.DelaySteps
+		}
+	}
+	i := len(row) - len(ObsHeader)
+	row[i] = fmt.Sprintf("%.3f", agg.HelpRate())
+	row[i+1] = fmt.Sprintf("%.3f", agg.FastPathRate())
+	if metered && attemptSteps > 0 {
+		row[i+2] = fmt.Sprintf("%.3f", float64(delaySteps)/float64(attemptSteps))
+	}
+}

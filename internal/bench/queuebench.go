@@ -158,35 +158,38 @@ func (q *MutexRing) Len() int {
 // factor in the success bound. The map/cache/txn runners keep the
 // known-bounds variant, so both modes stay covered end to end.
 
-// newWfQueue builds a single-ring Queue sized for the scenario.
-func newWfQueue(sc *workload.QueueScenario, workers int, sp *StallPoint) (*wflocks.Queue[uint64], error) {
-	m, err := AdaptiveManager(workers+2, 1, wflocks.QueueCriticalSteps(1, 1))
+// newWfQueue builds a single-ring Queue sized for the scenario,
+// returning the manager alongside for the run's observability columns.
+func newWfQueue(sc *workload.QueueScenario, workers int, sp *StallPoint) (*wflocks.Queue[uint64], *wflocks.Manager, error) {
+	m, err := AdaptiveManager(workers+2, 1, wflocks.QueueCriticalSteps(1, 1), wflocks.WithMetrics())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	vc := wflocks.Codec[uint64](wflocks.IntegerCodec[uint64]())
 	if sp != nil {
 		vc = StallValueCodec(sp)
 	}
-	return wflocks.NewQueueOf[uint64](m, vc,
+	q, err := wflocks.NewQueueOf[uint64](m, vc,
 		wflocks.WithQueueCapacity(sc.Capacity), wflocks.WithQueueBatch(1))
+	return q, m, err
 }
 
 // newWfPool builds a WorkPool with the given shard count; the
 // scenario's capacity is the pool total, so the sweep holds aggregate
 // capacity constant while per-shard contention shrinks.
-func newWfPool(sc *workload.QueueScenario, shards, workers int, sp *StallPoint) (*wflocks.WorkPool[uint64], error) {
-	m, err := AdaptiveManager(workers+2, 2, wflocks.WorkPoolCriticalSteps(1, 1))
+func newWfPool(sc *workload.QueueScenario, shards, workers int, sp *StallPoint) (*wflocks.WorkPool[uint64], *wflocks.Manager, error) {
+	m, err := AdaptiveManager(workers+2, 2, wflocks.WorkPoolCriticalSteps(1, 1), wflocks.WithMetrics())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	vc := wflocks.Codec[uint64](wflocks.IntegerCodec[uint64]())
 	if sp != nil {
 		vc = StallValueCodec(sp)
 	}
-	return wflocks.NewWorkPoolOf[uint64](m, vc,
+	wp, err := wflocks.NewWorkPoolOf[uint64](m, vc,
 		wflocks.WithPoolShards(shards), wflocks.WithPoolCapacity(sc.Capacity),
 		wflocks.WithPoolBatch(1))
+	return wp, m, err
 }
 
 // RunQueueScenario drives sc against wfqueue, the WorkPool shard
@@ -206,7 +209,7 @@ func RunQueueScenario(sc *workload.QueueScenario, scale Scale) (*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("%s: %d stage(s), cap %d, %d producers × %d items, %d consumers",
 			sc.Name, sc.Stages, sc.Capacity, producers, itemsPer, consumers),
-		Header: []string{"impl", "shards", "stall", "items/sec", "steals", "success", "attempts/item", "balance"},
+		Header: append([]string{"impl", "shards", "stall", "items/sec", "steals", "success", "attempts/item", "balance"}, ObsHeader...),
 	}
 	for _, stalled := range []bool{false, true} {
 		// Each run gets its own stall point so the regime's rows do not
@@ -220,13 +223,15 @@ func RunQueueScenario(sc *workload.QueueScenario, scale Scale) (*Table, error) {
 		{
 			sp := newSP()
 			var qs []*wflocks.Queue[uint64]
+			var mgrs []*wflocks.Manager
 			row, err := runQueueImpl(sc, "wfqueue", "1", label, sp, producers, consumers, moversPer, itemsPer,
 				func() (benchQueue, error) {
-					q, err := newWfQueue(sc, workers, sp)
+					q, m, err := newWfQueue(sc, workers, sp)
 					if err != nil {
 						return nil, err
 					}
 					qs = append(qs, q)
+					mgrs = append(mgrs, m)
 					return q, nil
 				},
 				func(row []string) {
@@ -237,6 +242,7 @@ func RunQueueScenario(sc *workload.QueueScenario, scale Scale) (*Table, error) {
 						wins += s.Lock.Wins
 					}
 					fillAttemptCols(row, attempts, wins, uint64(producers*itemsPer))
+					fillObsCols(row, mgrs)
 				})
 			if err != nil {
 				return nil, err
@@ -246,13 +252,15 @@ func RunQueueScenario(sc *workload.QueueScenario, scale Scale) (*Table, error) {
 		for _, shards := range queueShardCounts {
 			sp := newSP()
 			var pools []*wflocks.WorkPool[uint64]
+			var mgrs []*wflocks.Manager
 			row, err := runQueueImpl(sc, "workpool", fmt.Sprint(shards), label, sp, producers, consumers, moversPer, itemsPer,
 				func() (benchQueue, error) {
-					wp, err := newWfPool(sc, shards, workers, sp)
+					wp, m, err := newWfPool(sc, shards, workers, sp)
 					if err != nil {
 						return nil, err
 					}
 					pools = append(pools, wp)
+					mgrs = append(mgrs, m)
 					return wp, nil
 				},
 				func(row []string) {
@@ -272,6 +280,7 @@ func RunQueueScenario(sc *workload.QueueScenario, scale Scale) (*Table, error) {
 					row[4] = fmt.Sprint(steals)
 					fillAttemptCols(row, attempts, wins, uint64(producers*itemsPer))
 					row[7] = fmt.Sprintf("%.3f", balance)
+					fillObsCols(row, mgrs)
 				})
 			if err != nil {
 				return nil, err
@@ -405,7 +414,7 @@ func runQueueImpl(sc *workload.QueueScenario, impl, shards, stallLabel string, s
 		shards,
 		stallLabel,
 		fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
-		"-", "-", "-", "-",
+		"-", "-", "-", "-", "-", "-", "-",
 	}
 	if finish != nil {
 		finish(row)

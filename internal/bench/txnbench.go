@@ -155,7 +155,7 @@ func RunTxnScenarioVariants(sc *workload.TxnScenario, scale Scale, variants []Va
 	t := &Table{
 		Title: fmt.Sprintf("%s: %d%%/%d%% transfer/read, %d keys, skew %.1f, %d workers × %d txns, L swept",
 			sc.Name, sc.TransferPct, 100-sc.TransferPct, sc.Keys, sc.Skew, txnWorkers, opsPer),
-		Header: []string{"impl", "L", "stall", "txns/sec", "success", "attempts/txn", "conserved"},
+		Header: append([]string{"impl", "L", "stall", "txns/sec", "success", "attempts/txn", "conserved"}, ObsHeader...),
 	}
 	for _, stalled := range []bool{false, true} {
 		label := "none"
@@ -194,7 +194,7 @@ const txnMapShards = 8
 // one delay variant.
 func runWfmapTxn(sc *workload.TxnScenario, v Variant, l, opsPer int, stallLabel string, sp *StallPoint) ([]string, error) {
 	capPerShard := nextPow2(2 * sc.Keys / txnMapShards)
-	m, err := NewManager(v, txnWorkers, l, wflocks.MapAtomicSteps(capPerShard, 1, 1, l))
+	m, err := NewManager(v, txnWorkers, l, wflocks.MapAtomicSteps(capPerShard, 1, 1, l), wflocks.WithMetrics())
 	if err != nil {
 		return nil, err
 	}
@@ -279,23 +279,17 @@ func runWfmapTxn(sc *workload.TxnScenario, v Variant, l, opsPer int, stallLabel 
 		return nil, fmt.Errorf("wfmap L=%d: conservation violated: sum %d, want %d",
 			l, total, sc.Keys*txnInitial)
 	}
-	snap := m.Stats()
+	delta := m.Stats().Sub(base)
 	totalOps := txnWorkers * opsPer
-	attempts := snap.Attempts - base.Attempts
-	wins := snap.Wins - base.Wins
-	success := 0.0
-	if attempts > 0 {
-		success = float64(wins) / float64(attempts)
-	}
-	return []string{
+	return append([]string{
 		"wfmap/" + string(v),
 		fmt.Sprint(l),
 		stallLabel,
 		fmt.Sprintf("%.0f", float64(totalOps)/elapsed.Seconds()),
-		fmt.Sprintf("%.3f", success),
-		fmt.Sprintf("%.2f", float64(attempts)/float64(totalOps)),
+		fmt.Sprintf("%.3f", delta.SuccessRate()),
+		fmt.Sprintf("%.2f", float64(delta.Attempts)/float64(totalOps)),
 		conserved,
-	}, nil
+	}, ObsCols(m, delta)...), nil
 }
 
 // runMultiMutexTxn measures the baseline at keys-per-txn l.
@@ -348,7 +342,7 @@ func runMultiMutexTxn(sc *workload.TxnScenario, l, opsPer int, stallLabel string
 		conserved = "NO"
 	}
 	totalOps := txnWorkers * opsPer
-	return []string{
+	return append([]string{
 		"multimutex",
 		fmt.Sprint(l),
 		stallLabel,
@@ -356,5 +350,5 @@ func runMultiMutexTxn(sc *workload.TxnScenario, l, opsPer int, stallLabel string
 		"-",
 		"-",
 		conserved,
-	}
+	}, ObsBlank()...)
 }

@@ -33,12 +33,14 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"wflocks/internal/activeset"
 	"wflocks/internal/arena"
 	"wflocks/internal/env"
 	"wflocks/internal/idem"
 	"wflocks/internal/multiset"
+	"wflocks/internal/obs"
 )
 
 // padCounter is an atomic counter padded out to its own cache line so
@@ -151,6 +153,16 @@ type Config struct {
 	// copies for comparisons, and delay-to-power-of-two instead of
 	// fixed delays.
 	UnknownBounds bool
+
+	// Obs, when non-nil, attaches the observability recorder: delay
+	// and help-run histograms are recorded on every attempt, and — if
+	// the recorder carries a flight-recorder ring — sampled attempts
+	// emit lifecycle events. Nil (the default, and always the case for
+	// the simulator and the paper experiments) keeps the hot path to a
+	// single branch per hook site. Recording never consumes Env steps,
+	// so simulated schedules and the paper's step bounds are unchanged
+	// by its presence.
+	Obs *obs.Recorder
 }
 
 // Default delay constants. They are calibrated so that the help phase
@@ -310,6 +322,13 @@ type Descriptor struct {
 	// stalls are skipped. Owner-only — written before announcement,
 	// read only by the owner's own delay points.
 	noDelay bool
+
+	// traced marks an attempt sampled into the flight recorder; like
+	// noDelay it is owner-only (helpers never read it). delayIters
+	// accumulates the delay-schedule steps charged to this attempt
+	// across its delay points, recorded once at attempt end.
+	traced     bool
+	delayIters uint64
 }
 
 // Status returns the descriptor's current status.
@@ -338,12 +357,67 @@ func (p *Descriptor) SetFlag(e env.Env) {
 		if e.Steps() > target {
 			p.sys.delayOverruns.Add(1)
 		}
-		env.StallUntil(e, target)
+		p.stallTo(e, target)
 	}
 	pr := env.RandPriority(e)
 	e.Step()
 	p.priority.Store(pr) // reveal step
 	p.revealStep = e.Steps()
+}
+
+// stallTo is env.StallUntil with delay accounting: when a recorder is
+// attached, the steps about to be burned are charged to the attempt
+// (owner-only field) and, on sampled attempts, emitted as an EvDelay
+// event carrying the computed bound. Only the owner reaches delay
+// points, so the accounting needs no synchronization.
+func (p *Descriptor) stallTo(e env.Env, target uint64) {
+	if rec := p.sys.cfg.Obs; rec != nil {
+		if now := e.Steps(); target > now {
+			iters := target - now
+			p.delayIters += iters
+			if p.traced {
+				rec.TraceEvent(obs.EvDelay, e.Pid(), p.locks[0].id, iters)
+			}
+		}
+	}
+	env.StallUntil(e, target)
+}
+
+// endAttempt closes the attempt's observability window: total steps and
+// charged delay steps land in the histograms, and sampled attempts emit
+// their decision event.
+func (s *System) endAttempt(e env.Env, p *Descriptor, won bool) {
+	rec := s.cfg.Obs
+	if rec == nil {
+		return
+	}
+	rec.EndAttempt(e.Pid(), e.Steps()-p.startStep, p.delayIters)
+	if p.traced {
+		kind := obs.EvLose
+		if won {
+			kind = obs.EvWin
+		}
+		rec.TraceEvent(kind, e.Pid(), p.locks[0].id, 0)
+	}
+}
+
+// helpOne runs descriptor q to a decision on l's behalf, timing the run
+// when a recorder is attached. active reports whether q was still
+// undecided (the condition under which the help counters were bumped —
+// only those runs are real helps worth timing).
+func (s *System) helpOne(e env.Env, p *Descriptor, l *Lock, q *Descriptor, active bool) {
+	rec := s.cfg.Obs
+	if rec == nil || !active {
+		s.run(e, q)
+		return
+	}
+	start := time.Now()
+	s.run(e, q)
+	ns := uint64(time.Since(start))
+	rec.RecHelp(e.Pid(), ns)
+	if p.traced {
+		rec.TraceEvent(obs.EvHelp, e.Pid(), l.id, ns)
+	}
 }
 
 // ClearFlag resets the priority to pending.
@@ -393,6 +467,11 @@ func (s *System) TryLocks(e env.Env, locks []*Lock, thunk *idem.Exec) bool {
 	p.status.Store(StatusActive)
 	s.attempts.Add(1)
 	p.startStep = e.Steps()
+	if rec := s.cfg.Obs; rec != nil {
+		if p.traced = rec.SampleAttempt(); p.traced {
+			rec.TraceEvent(obs.EvStart, e.Pid(), p.locks[0].id, uint64(len(p.locks)))
+		}
+	}
 	if s.cfg.UnknownBounds {
 		return s.tryLocksUnknown(e, p)
 	}
@@ -458,10 +537,11 @@ func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
 	// the set until their owner removes them.
 	for _, l := range p.locks {
 		for _, q := range multiset.GetSet[Descriptor, *Descriptor](e, l.set) {
-			if q.Status() == StatusActive {
+			active := q.Status() == StatusActive
+			if active {
 				l.helps.Add(1)
 			}
-			s.run(e, q)
+			s.helpOne(e, p, l, q, active)
 		}
 	}
 
@@ -483,7 +563,7 @@ func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
 		if e.Steps() > target {
 			s.delayOverruns.Add(1)
 		}
-		env.StallUntil(e, target)
+		p.stallTo(e, target)
 	}
 
 	won := p.status.Load() == StatusWon
@@ -493,6 +573,7 @@ func (s *System) tryLocksKnown(e env.Env, p *Descriptor) bool {
 			l.wins.Add(1)
 		}
 	}
+	s.endAttempt(e, p, won)
 	return won
 }
 
@@ -511,6 +592,9 @@ func (s *System) observeFree(e env.Env, p *Descriptor) {
 	}
 	p.noDelay = true
 	s.fastPath.Add(1)
+	if p.traced {
+		s.cfg.Obs.TraceEvent(obs.EvFastPath, e.Pid(), p.locks[0].id, 0)
+	}
 }
 
 // lockSets projects the descriptor's locks to their active sets.

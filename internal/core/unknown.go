@@ -38,10 +38,11 @@ func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
 		for _, q := range s.revealedMembers(e, l) {
 			// As in the known-bounds variant, only still-undecided
 			// descriptors count toward the helps counter.
-			if q.Status() == StatusActive {
+			active := q.Status() == StatusActive
+			if active {
 				l.helps.Add(1)
 			}
-			s.run(e, q)
+			s.helpOne(e, p, l, q, active)
 		}
 	}
 
@@ -101,6 +102,7 @@ func (s *System) tryLocksUnknown(e env.Env, p *Descriptor) bool {
 			l.wins.Add(1)
 		}
 	}
+	s.endAttempt(e, p, won)
 	return won
 }
 
@@ -161,7 +163,7 @@ func (s *System) stallToPowerOfTwo(e env.Env, p *Descriptor) {
 		elapsed = 1
 	}
 	target := nextPowerOfTwo(elapsed)
-	env.StallUntil(e, p.startStep+target)
+	p.stallTo(e, p.startStep+target)
 }
 
 // nextPowerOfTwo returns the smallest power of two >= n (n > 0).

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"wflocks/internal/stats"
+)
+
+// TestPHistMergeOracle drives the same observation stream through a
+// sharded PHist (spread across writer shards) and a single-goroutine
+// LogHist and demands bucket-exact agreement on every summary the
+// snapshot exposes.
+func TestPHistMergeOracle(t *testing.T) {
+	ph := NewPHist(8)
+	oracle := stats.NewLogHist(HistSubBits)
+	v := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		v = v*6364136223846793005 + 1442695040888963407
+		obs := v >> 34 // spread over ~2^30
+		ph.Record(i&7, obs)
+		oracle.Record(obs)
+	}
+	snap := ph.Snapshot()
+	if snap.Count() != oracle.Count() {
+		t.Fatalf("count: sharded %d, oracle %d", snap.Count(), oracle.Count())
+	}
+	if snap.Max() != oracle.Max() {
+		t.Fatalf("max: sharded %d, oracle %d", snap.Max(), oracle.Max())
+	}
+	if snap.Mean() != oracle.Mean() {
+		t.Fatalf("mean: sharded %v, oracle %v", snap.Mean(), oracle.Mean())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := snap.Quantile(q), oracle.Quantile(q); got != want {
+			t.Fatalf("q%v: sharded %d, oracle %d", q, got, want)
+		}
+	}
+}
+
+// TestPHistConcurrent hammers one histogram from many goroutines (run
+// under -race this is also the data-race proof) and checks no
+// observation is lost.
+func TestPHistConcurrent(t *testing.T) {
+	ph := NewPHist(4)
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ph.Record(w, uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ph.Count(); got != writers*perWriter {
+		t.Fatalf("lost observations: %d of %d", got, writers*perWriter)
+	}
+	snap := ph.Snapshot()
+	if snap.Count() != writers*perWriter {
+		t.Fatalf("snapshot count %d, want %d", snap.Count(), writers*perWriter)
+	}
+	if snap.Max() != perWriter-1 {
+		t.Fatalf("snapshot max %d, want %d", snap.Max(), perWriter-1)
+	}
+}
+
+// TestRingConcurrent appends from many goroutines while snapshotting
+// concurrently: under -race this proves the slot discipline; the final
+// quiescent snapshot must hold exactly the last window in sequence
+// order with consistent payloads.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(256)
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot() // racing reads must never tear or fault
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Append(EvDelay, w, w+100, uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	evs := r.Snapshot()
+	if len(evs) != r.Cap() {
+		t.Fatalf("quiescent snapshot has %d events, want full ring %d", len(evs), r.Cap())
+	}
+	for i, ev := range evs {
+		if i > 0 && evs[i-1].Seq >= ev.Seq {
+			t.Fatalf("snapshot out of order at %d: %d then %d", i, evs[i-1].Seq, ev.Seq)
+		}
+		// Payload consistency: pid and lockID were written from the same
+		// writer, so they must agree.
+		if ev.LockID != ev.Pid+100 {
+			t.Fatalf("torn event: pid %d with lockID %d", ev.Pid, ev.LockID)
+		}
+		if ev.Kind != EvDelay {
+			t.Fatalf("event %d has kind %v", i, ev.Kind)
+		}
+	}
+	// The retained window is (approximately — a stalled writer can
+	// re-expose an older lap) the highest Cap() sequence numbers.
+	total := uint64(writers * perWriter)
+	if last := evs[len(evs)-1].Seq; last > total || last < total-uint64(2*r.Cap()) {
+		t.Fatalf("newest seq %d, want near %d", last, total)
+	}
+}
+
+// TestSamplingDeterminism pins the recorder's sampling contract: with
+// rate R (a power of two) exactly every R-th SampleAttempt call returns
+// true, independent of which goroutine asks — the counter is shared.
+func TestSamplingDeterminism(t *testing.T) {
+	r := NewRecorder(1, 4, 64)
+	var picks []int
+	for i := 1; i <= 16; i++ {
+		if r.SampleAttempt() {
+			picks = append(picks, i)
+		}
+	}
+	want := []int{4, 8, 12, 16}
+	if len(picks) != len(want) {
+		t.Fatalf("sampled calls %v, want %v", picks, want)
+	}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("sampled calls %v, want %v", picks, want)
+		}
+	}
+
+	// Rate 1 samples everything; no recorder traces nothing.
+	all := NewRecorder(1, 1, 64)
+	for i := 0; i < 10; i++ {
+		if !all.SampleAttempt() {
+			t.Fatal("rate 1 must sample every attempt")
+		}
+	}
+	off := NewRecorder(1, 0, 64)
+	if off.Tracing() {
+		t.Fatal("rate 0 must not attach a ring")
+	}
+	for i := 0; i < 10; i++ {
+		if off.SampleAttempt() {
+			t.Fatal("rate 0 must never sample")
+		}
+	}
+}
+
+// TestRecorderCounters checks the attempt-step accounting that feeds
+// the delay-share metric.
+func TestRecorderCounters(t *testing.T) {
+	r := NewRecorder(2, 0, 0)
+	r.EndAttempt(0, 100, 30)
+	r.EndAttempt(1, 50, 0)
+	r.RecHelp(0, 700)
+	if r.AttemptSteps() != 150 || r.DelaySteps() != 30 {
+		t.Fatalf("steps %d/%d, want 150/30", r.AttemptSteps(), r.DelaySteps())
+	}
+	if r.HelpNanos() != 700 {
+		t.Fatalf("help nanos %d, want 700", r.HelpNanos())
+	}
+	if n := r.Delay.Count(); n != 2 {
+		t.Fatalf("delay hist count %d, want 2", n)
+	}
+	if r.Events() != nil {
+		t.Fatal("no tracing: Events must be nil")
+	}
+}

@@ -1,0 +1,105 @@
+// Package obs is the runtime observability layer behind the public
+// wflocks instrumentation: concurrent per-P latency histograms, a
+// sampled lock-free flight recorder for attempt lifecycle events, and
+// the Recorder that ties them to the lock core's event hooks.
+//
+// Everything here is built for the hot path's constraints: recording is
+// allocation-free, sharded so concurrent writers do not contend, and
+// entirely absent (one nil check) when observability is disabled. The
+// package deliberately depends only on internal/stats — the lock core
+// imports obs, never the reverse — so the hooks can live at the lowest
+// layer without a cycle.
+package obs
+
+import (
+	"sync/atomic"
+
+	"wflocks/internal/stats"
+)
+
+// HistSubBits is the shared histogram resolution: 32 sub-buckets per
+// octave, ≤ 3.1% relative quantization error — the same shape the load
+// harness uses, so merged views stay bucket-exact.
+const HistSubBits = 5
+
+// phistShard is one writer shard of a PHist. The scalar tallies are
+// padded apart from the neighboring shard's; the bucket array is a
+// separate allocation written almost exclusively by one P, so it needs
+// no internal padding.
+type phistShard struct {
+	counts []atomic.Uint64
+	n      atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+	_      [88]byte // counts(24)+n+sum+max(24) = 48; pad to two cache lines
+}
+
+// PHist is a concurrent log-linear histogram: a padded per-P array of
+// LogHist-shaped bucket counters, written with atomic adds and merged
+// lazily into a plain stats.LogHist on Snapshot. Writers pick a shard
+// by a cheap process index (pid & mask), so concurrent recorders land
+// on distinct cache lines in the common case; the occasional collision
+// costs a contended atomic add, never a lost update.
+type PHist struct {
+	shards []phistShard
+	mask   uint64
+}
+
+// NewPHist creates a histogram with the given writer shard count,
+// rounded up to a power of two (minimum 1).
+func NewPHist(shards int) *PHist {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	h := &PHist{shards: make([]phistShard, n), mask: uint64(n - 1)}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, stats.NumBuckets(HistSubBits))
+	}
+	return h
+}
+
+// Record adds one observation on the shard selected by pid. It is
+// allocation-free and safe for concurrent use from any number of
+// goroutines.
+func (h *PHist) Record(pid int, v uint64) {
+	sh := &h.shards[uint64(pid)&h.mask]
+	sh.counts[stats.BucketIndexOf(HistSubBits, len(sh.counts), v)].Add(1)
+	sh.n.Add(1)
+	sh.sum.Add(v)
+	for {
+		cur := sh.max.Load()
+		if v <= cur || sh.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count reports the total observations across all shards.
+func (h *PHist) Count() uint64 {
+	var n uint64
+	for i := range h.shards {
+		n += h.shards[i].n.Load()
+	}
+	return n
+}
+
+// Snapshot merges the shards into a point-in-time LogHist. Shards are
+// read without stopping writers, so a snapshot under live traffic can
+// be momentarily skewed exactly like StatsSnapshot; at quiescence it is
+// exact.
+func (h *PHist) Snapshot() *stats.LogHist {
+	counts := make([]uint64, stats.NumBuckets(HistSubBits))
+	var sum, max uint64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.counts {
+			counts[b] += sh.counts[b].Load()
+		}
+		sum += sh.sum.Load()
+		if m := sh.max.Load(); m > max {
+			max = m
+		}
+	}
+	return stats.NewLogHistFromCounts(HistSubBits, counts, sum, max)
+}

@@ -1,0 +1,118 @@
+package obs
+
+import "sync/atomic"
+
+// padUint64 is an atomic counter padded to its own cache line, matching
+// the core package's counter discipline: these are bumped on every
+// attempt when metrics are on, and must not false-share.
+type padUint64 struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// Recorder is the per-manager observability hub. The lock core and the
+// public API layer call its recording methods on their hot paths; all
+// of them are allocation-free, and every one is guarded by the caller's
+// single "is a recorder attached" nil check, so a manager without
+// observability pays exactly one branch per attempt.
+//
+// The histograms are always live once a Recorder exists (WithMetrics);
+// the flight recorder ring is present only when tracing was requested
+// (WithTracing), and even then only the sampled 1/rate attempts emit
+// events.
+type Recorder struct {
+	// Acquire records Do/Lock/Atomic acquisition latency in nanoseconds
+	// (call start to winning attempt, retries included). Delay records
+	// the delay-schedule steps charged to each attempt (its stall
+	// iterations). Help records help-run wall durations in nanoseconds.
+	Acquire *PHist
+	Delay   *PHist
+	Help    *PHist
+
+	ring       *Ring
+	sampleMask uint64
+	ctr        atomic.Uint64
+
+	_            [48]byte
+	attemptSteps padUint64
+	delaySteps   padUint64
+	helpNanos    padUint64
+}
+
+// NewRecorder creates a recorder with the given histogram shard count.
+// sampleRate > 0 additionally attaches a flight recorder of ringCap
+// events sampling one attempt in sampleRate (rounded up to a power of
+// two); sampleRate 0 records histograms only.
+func NewRecorder(histShards, sampleRate, ringCap int) *Recorder {
+	r := &Recorder{
+		Acquire: NewPHist(histShards),
+		Delay:   NewPHist(histShards),
+		Help:    NewPHist(histShards),
+	}
+	if sampleRate > 0 {
+		n := 1
+		for n < sampleRate {
+			n <<= 1
+		}
+		r.sampleMask = uint64(n - 1)
+		r.ring = NewRing(ringCap)
+	}
+	return r
+}
+
+// Tracing reports whether a flight recorder is attached.
+func (r *Recorder) Tracing() bool { return r.ring != nil }
+
+// SampleAttempt decides whether the next attempt is traced: every
+// sampleRate-th call returns true (deterministic given call order,
+// which is what the sampling-determinism test pins). Always false
+// without tracing.
+func (r *Recorder) SampleAttempt() bool {
+	if r.ring == nil {
+		return false
+	}
+	return r.ctr.Add(1)&r.sampleMask == 0
+}
+
+// TraceEvent appends one event for a sampled attempt. Callers guard
+// with the attempt's sampling decision; the ring itself never blocks.
+func (r *Recorder) TraceEvent(kind EventKind, pid, lockID int, value uint64) {
+	r.ring.Append(kind, pid, lockID, value)
+}
+
+// RecAcquire records one winning acquisition's latency.
+func (r *Recorder) RecAcquire(pid int, ns uint64) { r.Acquire.Record(pid, ns) }
+
+// RecHelp records one help-run's wall duration.
+func (r *Recorder) RecHelp(pid int, ns uint64) {
+	r.Help.Record(pid, ns)
+	r.helpNanos.Add(ns)
+}
+
+// EndAttempt records one finished attempt: its total step count and the
+// delay-schedule steps charged to it.
+func (r *Recorder) EndAttempt(pid int, steps, delaySteps uint64) {
+	r.attemptSteps.Add(steps)
+	r.delaySteps.Add(delaySteps)
+	r.Delay.Record(pid, delaySteps)
+}
+
+// AttemptSteps reports the total steps taken by finished attempts.
+func (r *Recorder) AttemptSteps() uint64 { return r.attemptSteps.Load() }
+
+// DelaySteps reports the steps burned in delay stalls — the numerator
+// of the delay-time share.
+func (r *Recorder) DelaySteps() uint64 { return r.delaySteps.Load() }
+
+// HelpNanos reports the total wall time spent running other attempts'
+// descriptors to a decision.
+func (r *Recorder) HelpNanos() uint64 { return r.helpNanos.Load() }
+
+// Events snapshots the flight recorder, oldest first; nil without
+// tracing.
+func (r *Recorder) Events() []Event {
+	if r.ring == nil {
+		return nil
+	}
+	return r.ring.Snapshot()
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies a flight-recorder event.
+type EventKind uint8
+
+// Attempt lifecycle events. A sampled attempt emits EvStart when its
+// descriptor is published, EvFastPath if it observed every lock free
+// and skipped the delay schedule, one EvDelay per delay point with the
+// computed stall bound it was charged, one EvHelp per descriptor it ran
+// to a decision during its helping phase (lock ID and wall duration in
+// Value), and finally EvWin or EvLose.
+const (
+	EvStart EventKind = iota + 1
+	EvFastPath
+	EvDelay
+	EvHelp
+	EvWin
+	EvLose
+)
+
+// String renders the kind for diagnostics.
+func (k EventKind) String() string {
+	switch k {
+	case EvStart:
+		return "start"
+	case EvFastPath:
+		return "fastpath"
+	case EvDelay:
+		return "delay"
+	case EvHelp:
+		return "help"
+	case EvWin:
+		return "win"
+	case EvLose:
+		return "lose"
+	}
+	return "event(?)"
+}
+
+// Event is one decoded flight-recorder entry.
+type Event struct {
+	// Seq is the event's global sequence number (1-based, gap-free at
+	// the writer; a snapshot sees the most recent window of them).
+	Seq uint64
+	// Kind is the lifecycle event.
+	Kind EventKind
+	// Pid is the emitting process (the attempt's owner).
+	Pid int
+	// LockID is the lock involved where one is (EvHelp: the helped
+	// descriptor's first lock; EvStart: the attempt's first lock).
+	LockID int
+	// Value is the kind-specific payload: lock-set size for EvStart,
+	// charged stall steps for EvDelay, help wall-duration nanoseconds
+	// for EvHelp.
+	Value uint64
+	// UnixNano is the wall-clock timestamp.
+	UnixNano int64
+}
+
+// slot is one ring entry: four atomic words, so concurrent append and
+// snapshot are race-free by construction. seq doubles as the validity
+// and consistency marker — a writer zeroes it, stores the payload
+// words, then stores the claim number; a reader accepts a slot only
+// when seq is nonzero and unchanged across its payload reads.
+type slot struct {
+	seq  atomic.Uint64
+	meta atomic.Uint64 // kind | pid<<8 | lockID<<32
+	val  atomic.Uint64
+	ts   atomic.Int64
+}
+
+// Ring is the fixed-size lock-free flight recorder. Appends claim a
+// global sequence number with one atomic add and overwrite the slot it
+// maps to, so the ring always holds the most recent events and an
+// append never blocks, allocates, or grows. A reader that races a
+// writer on the same slot simply skips that slot (detected by the seq
+// marker), and a slot being overwritten twice within one read is the
+// only way to observe a torn event — which would need the ring to be
+// lapped entirely mid-read; size the ring generously.
+type Ring struct {
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewRing creates a recorder with the given capacity, rounded up to a
+// power of two (minimum 64).
+func NewRing(capacity int) *Ring {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Append records one event. Safe for concurrent use; never blocks.
+func (r *Ring) Append(kind EventKind, pid, lockID int, value uint64) {
+	seq := r.next.Add(1)
+	s := &r.slots[seq&r.mask]
+	s.seq.Store(0)
+	s.meta.Store(uint64(kind) | uint64(uint32(pid))<<8&0xffffff00 | uint64(uint32(lockID))<<32)
+	s.val.Store(value)
+	s.ts.Store(time.Now().UnixNano())
+	s.seq.Store(seq)
+}
+
+// Snapshot decodes the ring's current contents in sequence order,
+// oldest first. Slots mid-write are skipped, so a snapshot under live
+// traffic returns slightly fewer than Cap events.
+func (r *Ring) Snapshot() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		meta, val, ts := s.meta.Load(), s.val.Load(), s.ts.Load()
+		if s.seq.Load() != seq {
+			continue // torn by a concurrent writer
+		}
+		out = append(out, Event{
+			Seq:      seq,
+			Kind:     EventKind(meta & 0xff),
+			Pid:      int(meta >> 8 & 0xffffff),
+			LockID:   int(meta >> 32),
+			Value:    val,
+			UnixNano: ts,
+		})
+	}
+	// Insertion sort by seq: snapshots are small and nearly ordered
+	// (slot order is sequence order modulo one wrap boundary).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq > out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

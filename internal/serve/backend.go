@@ -31,6 +31,20 @@ type Backend interface {
 // backend without expiry.
 var errNoTTL = protoErrorf("backend does not support PX")
 
+// TableShardInfo is one backend shard's occupancy and probe shape, for
+// the metrics exposition. Tombstones/MaxProbe/SumProbe are zero for
+// backends without an open-addressed region (mutex).
+type TableShardInfo struct {
+	Size, Capacity                 int
+	Tombstones, MaxProbe, SumProbe int
+}
+
+// tableStatser is the optional Backend extension feeding the /metrics
+// per-shard table series.
+type tableStatser interface {
+	TableShards() []TableShardInfo
+}
+
 // hookCodec wraps a value codec so every Encode first calls hook — the
 // generic form of the benchmark harness's stall-injection codec. Value
 // encodes happen inside the structures' critical sections (bucket and
@@ -86,6 +100,18 @@ func (b *mapBackend) Set(key, val string, ttl time.Duration) error {
 
 func (b *mapBackend) Del(key string) bool { return b.m.Delete(key) }
 
+func (b *mapBackend) TableShards() []TableShardInfo {
+	st := b.m.Stats()
+	out := make([]TableShardInfo, len(st.Shards))
+	for i, sh := range st.Shards {
+		out[i] = TableShardInfo{
+			Size: sh.Size, Capacity: b.m.ShardCapacity(),
+			Tombstones: sh.Tombstones, MaxProbe: sh.MaxProbe, SumProbe: sh.SumProbe,
+		}
+	}
+	return out
+}
+
 // cacheBackend serves from a wait-free Cache: Set never fails (full
 // evicts LRU) and PX maps to PutTTL.
 type cacheBackend struct {
@@ -121,6 +147,19 @@ func (b *cacheBackend) Set(key, val string, ttl time.Duration) error {
 }
 
 func (b *cacheBackend) Del(key string) bool { return b.c.Delete(key) }
+
+func (b *cacheBackend) TableShards() []TableShardInfo {
+	st := b.c.Stats()
+	per := b.c.Capacity() / b.c.Shards()
+	out := make([]TableShardInfo, len(st.Shards))
+	for i, sh := range st.Shards {
+		out[i] = TableShardInfo{
+			Size: sh.Size, Capacity: per,
+			Tombstones: sh.Tombstones, MaxProbe: sh.MaxProbe, SumProbe: sh.SumProbe,
+		}
+	}
+	return out
+}
 
 // mutexBackend is the blocking baseline: the conventional sharded
 // map[string]entry design with one sync.Mutex per shard and per-entry

@@ -1,0 +1,163 @@
+package serve_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"wflocks/internal/serve"
+)
+
+// metricsServer runs a metrics-enabled server plus an httptest front for
+// its MetricsMux, and pushes a little traffic through so every series
+// has data.
+func metricsServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, lis := startServer(t, cfg)
+	c := dial(t, lis)
+	for i := 0; i < 64; i++ {
+		k := "k" + string(rune('a'+i%16))
+		if r := c.do(t, "SET", k, "v"); r.Str != "OK" {
+			t.Fatalf("SET = %+v", r)
+		}
+		c.do(t, "GET", k)
+	}
+	c.do(t, "DEL", "ka")
+	h := httptest.NewServer(s.MetricsMux())
+	t.Cleanup(h.Close)
+	return s, h
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, h := metricsServer(t, serve.Config{Workers: 4, TraceSample: 1})
+	resp, err := http.Get(h.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	resp.Body.Close()
+	code, body := get(t, h.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	// Counter series fed by the traffic above must be nonzero.
+	for _, re := range []string{
+		`(?m)^wfserve_gets_total [1-9]\d*$`,
+		`(?m)^wfserve_sets_total [1-9]\d*$`,
+		`(?m)^wfserve_dels_total [1-9]\d*$`,
+		`(?m)^wfserve_slab_free \d+$`,
+		`(?m)^wfserve_slab_cap [1-9]\d*$`,
+		`(?m)^wflocks_attempts_total [1-9]\d*$`,
+		`(?m)^wflocks_wins_total [1-9]\d*$`,
+		`(?m)^wflocks_help_rate \d`,
+		`(?m)^wflocks_fastpath_rate \d`,
+		// TraceSample implies metrics, so the latency summaries render.
+		`(?m)^wflocks_delay_share \d`,
+		`(?m)^wflocks_attempt_steps_total [1-9]\d*$`,
+		`(?m)^wflocks_acquire_ns\{quantile="0\.99"\} [1-9]\d*$`,
+		`(?m)^wflocks_acquire_ns_count [1-9]\d*$`,
+		`(?m)^wflocks_delay_iters\{quantile="0\.5"\} \d+$`,
+		`(?m)^wflocks_help_run_ns\{quantile="0\.5"\} \d+$`,
+		`(?m)^wfserve_op_ns\{op="get",quantile="0\.99"\} [1-9]\d*$`,
+		`(?m)^wfserve_op_ns_count\{op="set"\} [1-9]\d*$`,
+		`(?m)^wfserve_pool_enqueues_total [1-9]\d*$`,
+		`(?m)^wfserve_pool_shard_len\{shard="0"\} \d+$`,
+		// Default backend is the wf map, which exposes table shape.
+		`(?m)^wfserve_table_shard_size\{shard="0"\} [1-9]\d*$`,
+		`(?m)^wfserve_table_shard_capacity\{shard="0"\} [1-9]\d*$`,
+		`(?m)^wfserve_table_shard_max_probe\{shard="0"\} \d+$`,
+	} {
+		if !regexp.MustCompile(re).MatchString(body) {
+			t.Errorf("/metrics missing series %s\n%s", re, body)
+		}
+	}
+	if !strings.Contains(body, "wfserve_workers 4") {
+		t.Errorf("worker count not exported:\n%s", body)
+	}
+}
+
+func TestMetricsEndpointWithoutMetrics(t *testing.T) {
+	// MetricsMux works on a plain server too: counters render, latency
+	// summaries are simply absent.
+	_, h := metricsServer(t, serve.Config{Workers: 2})
+	code, body := get(t, h.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "wflocks_attempts_total") {
+		t.Fatalf("lock counters must render without Config.Metrics:\n%s", body)
+	}
+	if strings.Contains(body, "wflocks_delay_share") || strings.Contains(body, "wfserve_op_ns") {
+		t.Fatalf("latency series must be absent without Config.Metrics:\n%s", body)
+	}
+}
+
+func TestMetricsDebugHandlers(t *testing.T) {
+	_, h := metricsServer(t, serve.Config{Workers: 2, Metrics: true})
+	if code, body := get(t, h.URL+"/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars status %d body %.80s", code, body)
+	}
+	if code, body := get(t, h.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %.80s", code, body)
+	}
+}
+
+func TestStatsObservability(t *testing.T) {
+	for _, backend := range []string{serve.BackendMap, serve.BackendCache} {
+		t.Run(backend, func(t *testing.T) {
+			_, lis := startServer(t, serve.Config{Backend: backend, Workers: 4, Metrics: true})
+			c := dial(t, lis)
+			for i := 0; i < 32; i++ {
+				c.do(t, "SET", "k"+string(rune('a'+i%8)), "v")
+				c.do(t, "GET", "k"+string(rune('a'+i%8)))
+			}
+			r := c.do(t, "STATS")
+			if r.Kind != serve.ReplyBulk {
+				t.Fatalf("STATS = %+v", r)
+			}
+			for _, want := range []string{
+				"slab_free:", "slab_cap:",
+				"lock_attempts:", "lock_helps:", "help_rate:", "fastpath_rate:",
+				"pool_steals:", "pool_shard0:len=",
+				"delay_share:", "acquire_ns_p50:", "acquire_ns_p99:",
+				"help_run_ns_p50:", "get_ns_p50:", "set_ns_p99:",
+			} {
+				if !strings.Contains(r.Str, want) {
+					t.Errorf("STATS missing %q:\n%s", want, r.Str)
+				}
+			}
+		})
+	}
+}
+
+func TestStatsWithoutMetrics(t *testing.T) {
+	_, lis := startServer(t, serve.Config{Workers: 2})
+	c := dial(t, lis)
+	c.do(t, "SET", "k", "v")
+	r := c.do(t, "STATS")
+	if !strings.Contains(r.Str, "lock_attempts:") || !strings.Contains(r.Str, "pool_steals:") {
+		t.Fatalf("counter lines must render without metrics:\n%s", r.Str)
+	}
+	if strings.Contains(r.Str, "delay_share:") || strings.Contains(r.Str, "acquire_ns_p50:") {
+		t.Fatalf("latency lines must be absent without metrics:\n%s", r.Str)
+	}
+}

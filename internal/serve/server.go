@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wflocks"
+	"wflocks/internal/obs"
 )
 
 // Backend selectors for Config.Backend.
@@ -64,14 +65,22 @@ type Config struct {
 	// the protecting lock (or mutex) is held — the benchmark harness's
 	// holder-stall injection point. Production servers leave it nil.
 	Stall func()
+	// Metrics enables the manager's latency histograms
+	// (wflocks.WithMetrics) plus the server's own per-op latency
+	// histograms, feeding the extended STATS fields and the /metrics
+	// exposition (MetricsMux). TraceSample > 0 additionally attaches the
+	// sampled flight recorder (wflocks.WithTracing, implying Metrics).
+	Metrics     bool
+	TraceSample int
 	// NewManager builds the wait-free lock manager hosting the backend
 	// and the dispatch pool. procs is the peak number of goroutines
 	// that may contend (workers + connections + headroom), maxLocks and
-	// maxCritical the bounds the structures need. Nil selects the
-	// paper's §6.2 unknown-bounds adaptive-delay configuration — the
-	// variant the queue benchmarks proved out (internal/bench's
-	// AdaptiveManager is the same shape).
-	NewManager func(procs, maxLocks, maxCritical int) (*wflocks.Manager, error)
+	// maxCritical the bounds the structures need; extra carries the
+	// observability options the Metrics/TraceSample fields selected.
+	// Nil selects the paper's §6.2 unknown-bounds adaptive-delay
+	// configuration — the variant the queue benchmarks proved out
+	// (internal/bench's AdaptiveManager is the same shape).
+	NewManager func(procs, maxLocks, maxCritical int, extra ...wflocks.Option) (*wflocks.Manager, error)
 }
 
 // withDefaults fills unset fields.
@@ -115,13 +124,17 @@ func (cfg Config) withDefaults() Config {
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = 10 * time.Second
 	}
+	if cfg.TraceSample > 0 {
+		cfg.Metrics = true
+	}
 	if cfg.NewManager == nil {
-		cfg.NewManager = func(procs, maxLocks, maxCritical int) (*wflocks.Manager, error) {
-			return wflocks.New(
+		cfg.NewManager = func(procs, maxLocks, maxCritical int, extra ...wflocks.Option) (*wflocks.Manager, error) {
+			opts := []wflocks.Option{
 				wflocks.WithUnknownBounds(procs),
 				wflocks.WithMaxLocks(maxLocks),
 				wflocks.WithMaxCriticalSteps(maxCritical),
-			)
+			}
+			return wflocks.New(append(opts, extra...)...)
 		}
 	}
 	return cfg
@@ -145,7 +158,12 @@ type request struct {
 type Server struct {
 	cfg     Config
 	backend Backend
+	mgr     *wflocks.Manager
 	pool    *wflocks.WorkPool[uint64]
+
+	// opHists are the per-op service-time histograms (request dequeue to
+	// response ready), sharded by worker index; nil without Config.Metrics.
+	opGets, opSets, opDels *obs.PHist
 
 	// slab holds in-flight requests; the pool carries slab indices
 	// (single-word elements keep the pool's critical sections O(1)).
@@ -197,7 +215,13 @@ func NewServer(cfg Config) (*Server, error) {
 		maxCritical = b
 	}
 	procs := cfg.Workers + cfg.MaxConns + 4
-	mgr, err := cfg.NewManager(procs, 2, maxCritical)
+	var extra []wflocks.Option
+	if cfg.TraceSample > 0 {
+		extra = append(extra, wflocks.WithTracing(cfg.TraceSample))
+	} else if cfg.Metrics {
+		extra = append(extra, wflocks.WithMetrics())
+	}
+	mgr, err := cfg.NewManager(procs, 2, maxCritical, extra...)
 	if err != nil {
 		return nil, fmt.Errorf("serve: building manager: %w", err)
 	}
@@ -220,12 +244,18 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		backend:   backend,
+		mgr:       mgr,
 		pool:      pool,
 		slab:      make([]request, pool.Cap()),
 		free:      make(chan int, pool.Cap()),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		start:     time.Now(),
+	}
+	if cfg.Metrics {
+		s.opGets = obs.NewPHist(cfg.Workers)
+		s.opSets = obs.NewPHist(cfg.Workers)
+		s.opDels = obs.NewPHist(cfg.Workers)
 	}
 	for i := range s.slab {
 		s.slab[i].idx = i
@@ -234,7 +264,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.workerCtx, s.workerCancel = context.WithCancel(context.Background())
 	for w := 0; w < cfg.Workers; w++ {
 		s.workersWG.Add(1)
-		go s.worker()
+		go s.worker(w)
 	}
 	return s, nil
 }
@@ -250,6 +280,10 @@ func nextPow2(n int) int {
 
 // Backend exposes the storage for tests and harnesses.
 func (s *Server) Backend() Backend { return s.backend }
+
+// Manager exposes the wait-free lock manager hosting the backend and
+// dispatch pool, for harnesses reporting its Stats/Observe snapshots.
+func (s *Server) Manager() *wflocks.Manager { return s.mgr }
 
 // Serve accepts connections on lis until Shutdown (or a listener
 // error). Several Serve calls may run on distinct listeners. Serve
@@ -491,8 +525,9 @@ func (s *Server) discard(pending chan *request) {
 }
 
 // worker executes requests against the backend until Shutdown cancels
-// the worker context.
-func (s *Server) worker() {
+// the worker context. id shards the per-op latency histograms: one
+// writer per worker, so recording never contends.
+func (s *Server) worker(id int) {
 	defer s.workersWG.Done()
 	for {
 		idx, err := s.pool.Dequeue(s.workerCtx)
@@ -500,9 +535,30 @@ func (s *Server) worker() {
 			return
 		}
 		slot := &s.slab[idx]
-		slot.resp = s.execute(slot.resp[:0], &slot.req)
+		if s.opGets != nil {
+			t0 := time.Now()
+			slot.resp = s.execute(slot.resp[:0], &slot.req)
+			if h := s.opHist(slot.req.Op); h != nil {
+				h.Record(id, uint64(time.Since(t0)))
+			}
+		} else {
+			slot.resp = s.execute(slot.resp[:0], &slot.req)
+		}
 		close(slot.done)
 	}
+}
+
+// opHist picks the per-op latency histogram (nil for ops not measured).
+func (s *Server) opHist(op Op) *obs.PHist {
+	switch op {
+	case OpGet:
+		return s.opGets
+	case OpSet:
+		return s.opSets
+	case OpDel:
+		return s.opDels
+	}
+	return nil
 }
 
 // execute runs one command against the backend, appending the RESP
@@ -569,6 +625,43 @@ func (s *Server) statsText() string {
 		fmt.Sprintf("errors:%d", s.stats.errs.Load()),
 		fmt.Sprintf("queue_len:%d", s.pool.Len()),
 		fmt.Sprintf("workers:%d", s.cfg.Workers),
+		fmt.Sprintf("slab_free:%d", len(s.free)),
+		fmt.Sprintf("slab_cap:%d", cap(s.free)),
+	}
+	ms := s.mgr.Stats()
+	lines = append(lines,
+		fmt.Sprintf("lock_attempts:%d", ms.Attempts),
+		fmt.Sprintf("lock_helps:%d", ms.Helps),
+		fmt.Sprintf("help_rate:%.4f", ms.HelpRate()),
+		fmt.Sprintf("fastpath_rate:%.4f", ms.FastPathRate()),
+	)
+	ps := s.pool.Stats()
+	lines = append(lines, fmt.Sprintf("pool_steals:%d", ps.Steals))
+	for i, sh := range ps.Shards {
+		lines = append(lines, fmt.Sprintf("pool_shard%d:len=%d steals=%d enq=%d deq=%d", i, sh.Len, sh.Steals, sh.Enqueues, sh.Dequeues))
+	}
+	if os := s.mgr.Observe(); os.Enabled {
+		lines = append(lines,
+			fmt.Sprintf("delay_share:%.4f", os.DelayShare()),
+			fmt.Sprintf("acquire_ns_p50:%d", os.Acquire.Quantile(0.50)),
+			fmt.Sprintf("acquire_ns_p99:%d", os.Acquire.Quantile(0.99)),
+			fmt.Sprintf("help_run_ns_p50:%d", os.HelpRun.Quantile(0.50)),
+			fmt.Sprintf("help_run_ns_p99:%d", os.HelpRun.Quantile(0.99)),
+		)
+		for _, oh := range []struct {
+			name string
+			h    *obs.PHist
+		}{{"get", s.opGets}, {"set", s.opSets}, {"del", s.opDels}} {
+			if oh.h == nil {
+				continue
+			}
+			hist := oh.h.Snapshot()
+			if hist.Count() == 0 {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s_ns_p50:%d", oh.name, hist.Quantile(0.50)),
+				fmt.Sprintf("%s_ns_p99:%d", oh.name, hist.Quantile(0.99)))
+		}
 	}
 	sort.Strings(lines)
 	out := ""

@@ -46,16 +46,47 @@ func NewLogHist(subBits uint) *LogHist {
 // own bucket; a value in octave o (v in [sub<<o-1, sub<<o)) maps to
 // sub-bucket (v >> (o-1)) - sub of that octave.
 func (h *LogHist) bucketIndex(v uint64) int {
-	sub := uint64(1) << h.subBits
+	return BucketIndexOf(h.subBits, len(h.counts), v)
+}
+
+// BucketIndexOf is the bucket math of LogHist as a standalone function,
+// for callers (internal/obs's concurrent per-P histogram) that keep
+// their own bucket arrays but must stay merge-compatible with LogHist.
+// n is the bucket count, NumBuckets(subBits).
+func BucketIndexOf(subBits uint, n int, v uint64) int {
+	sub := uint64(1) << subBits
 	if v < sub {
 		return int(v)
 	}
-	o := uint(bits.Len64(v)) - h.subBits // octave ≥ 1
-	i := int(uint64(o)<<h.subBits) + int(v>>(o-1)-sub)
-	if i >= len(h.counts) {
-		i = len(h.counts) - 1
+	o := uint(bits.Len64(v)) - subBits // octave ≥ 1
+	i := int(uint64(o)<<subBits) + int(v>>(o-1)-sub)
+	if i >= n {
+		i = n - 1
 	}
 	return i
+}
+
+// NumBuckets reports the bucket-array length a LogHist with the given
+// shape uses.
+func NumBuckets(subBits uint) int {
+	return (logHistOctaves + 1) * (1 << subBits)
+}
+
+// NewLogHistFromCounts reconstructs a LogHist from an externally
+// maintained bucket array (laid out by BucketIndexOf) plus the exact
+// sum and max. The counts slice is copied; n is derived from it.
+func NewLogHistFromCounts(subBits uint, counts []uint64, sum, max uint64) *LogHist {
+	h := NewLogHist(subBits)
+	if len(counts) != len(h.counts) {
+		panic("stats: NewLogHistFromCounts: bucket shapes differ")
+	}
+	copy(h.counts, counts)
+	for _, c := range counts {
+		h.n += c
+	}
+	h.sum = sum
+	h.max = max
+	return h
 }
 
 // BucketBounds reports bucket i's half-open value range [lo, hi): every

@@ -406,3 +406,44 @@ func (t *Table[K, V]) LoadVal(e env.Env, sh *Shard, i int) V {
 func (t *Table[K, V]) LoadSize(e env.Env, sh *Shard) uint64 {
 	return sh.Size.Load(e)
 }
+
+// ShardProbeStats summarizes one shard's occupancy and probe-chain
+// shape, recovered from the meta words alone.
+type ShardProbeStats struct {
+	// Full and Tombstones count buckets in each non-empty state;
+	// Capacity is the region size, so Full/Capacity is the load factor.
+	Full       int
+	Tombstones int
+	Capacity   int
+	// MaxProbe and SumProbe describe the displacement of full buckets
+	// from their home position — how long probes for present keys run.
+	// SumProbe/Full is the mean lookup probe length minus one.
+	MaxProbe int
+	SumProbe int
+}
+
+// ProbeStats scans sh's meta words outside any critical section and
+// reports its occupancy and probe displacements. Each full bucket's
+// home position is recovered from the hash fragment stored in its meta
+// word (Home uses bits ≥ 32, which the state bits never touch), so the
+// scan needs no key decoding and no lock. Like the manager's counters
+// it is exact at quiescence and momentarily skewed under live traffic —
+// a mid-scan mutation can double-count or miss a bucket, never fault.
+func (t *Table[K, V]) ProbeStats(e env.Env, sh *Shard) ShardProbeStats {
+	st := ShardProbeStats{Capacity: t.capacity}
+	for i := 0; i < t.capacity; i++ {
+		w := sh.Meta[i].Load(e)
+		switch w & StateMask {
+		case Full:
+			st.Full++
+			d := (i - t.Home(w)) & int(t.capMask)
+			st.SumProbe += d
+			if d > st.MaxProbe {
+				st.MaxProbe = d
+			}
+		case Tombstone:
+			st.Tombstones++
+		}
+	}
+	return st
+}

@@ -170,3 +170,64 @@ func TestHashShardHomeIndependence(t *testing.T) {
 		t.Errorf("200 same-shard keys hit only %d distinct home buckets", len(homes))
 	}
 }
+
+// TestProbeStats checks the metrics scan against a brute-force oracle:
+// insert a batch of keys, remove some (leaving tombstones), and compare
+// ProbeStats with displacements recomputed per key from Find's slot and
+// the key's own home bucket.
+func TestProbeStats(t *testing.T) {
+	tb := newUintTable(1, 32)
+	e := env.NewNative(0, 1)
+	sh := &tb.Shards[0]
+	budget := table.Budget(32, 1, 1, 2, 10)
+
+	const n = 20
+	for k := uint64(0); k < n; k++ {
+		k := k
+		h := tb.Hash(k)
+		run(t, e, budget, func(r *idem.Run) {
+			_, _, free := tb.Find(r, sh, h, tb.Home(h), k)
+			tb.Insert(r, sh, free, h, k, k*7)
+		})
+	}
+	// Remove every fourth key; Remove leaves a tombstone.
+	removed := 0
+	for k := uint64(0); k < n; k += 4 {
+		k := k
+		h := tb.Hash(k)
+		run(t, e, budget, func(r *idem.Run) {
+			i, found, _ := tb.Find(r, sh, h, tb.Home(h), k)
+			if !found {
+				t.Fatalf("key %d vanished", k)
+			}
+			tb.Remove(r, sh, i)
+		})
+		removed++
+	}
+
+	// Oracle: displacement of each surviving key from its own hash.
+	want := table.ShardProbeStats{Capacity: tb.Capacity(), Tombstones: removed}
+	for k := uint64(0); k < n; k++ {
+		if k%4 == 0 {
+			continue
+		}
+		k := k
+		h := tb.Hash(k)
+		run(t, e, budget, func(r *idem.Run) {
+			i, found, _ := tb.Find(r, sh, h, tb.Home(h), k)
+			if !found {
+				t.Fatalf("key %d vanished", k)
+			}
+			d := (i - tb.Home(h)) & (tb.Capacity() - 1)
+			want.Full++
+			want.SumProbe += d
+			if d > want.MaxProbe {
+				want.MaxProbe = d
+			}
+		})
+	}
+
+	if got := tb.ProbeStats(e, sh); got != want {
+		t.Errorf("ProbeStats = %+v, want %+v", got, want)
+	}
+}

@@ -426,6 +426,13 @@ type MapShardStats struct {
 	Lock LockStats
 	// Size is the shard's entry count.
 	Size int
+	// Tombstones, MaxProbe and SumProbe describe the shard's
+	// open-addressed region: buckets left by deletions, and the worst and
+	// summed displacement of live entries from their home bucket
+	// (SumProbe/Size is the mean extra probe length per present key).
+	Tombstones int
+	MaxProbe   int
+	SumProbe   int
 }
 
 // MapStats is a point-in-time view of a map's per-shard contention and
@@ -442,6 +449,8 @@ type MapStats struct {
 	// MaxOverMean is the hottest shard's attempts over the mean — the
 	// headline "how skewed is my keyspace" number.
 	MaxOverMean float64
+	// MaxProbe is the worst probe displacement across all shards.
+	MaxProbe int
 }
 
 // Stats snapshots per-shard contention counters and sizes.
@@ -453,12 +462,19 @@ func (mp *Map[K, V]) Stats() MapStats {
 	for s := range mp.eng.Shards {
 		a, w, h := mp.locks[s].inner.Counters()
 		size := int(mp.eng.LoadSize(p.env, &mp.eng.Shards[s]))
+		ps := mp.eng.ProbeStats(p.env, &mp.eng.Shards[s])
 		ms.Shards[s] = MapShardStats{
-			Lock: LockStats{ID: mp.locks[s].ID(), Attempts: a, Wins: w, Helps: h},
-			Size: size,
+			Lock:       LockStats{ID: mp.locks[s].ID(), Attempts: a, Wins: w, Helps: h},
+			Size:       size,
+			Tombstones: ps.Tombstones,
+			MaxProbe:   ps.MaxProbe,
+			SumProbe:   ps.SumProbe,
 		}
 		ms.Len += size
 		attempts[s] = a
+		if ps.MaxProbe > ms.MaxProbe {
+			ms.MaxProbe = ps.MaxProbe
+		}
 	}
 	d := stats.NewShardDist(attempts)
 	ms.Balance = d.Jain

@@ -3,6 +3,7 @@ package wflocks
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"wflocks/internal/arena"
 	"wflocks/internal/core"
@@ -140,9 +141,16 @@ func (m *Manager) lockFrame(p *Process, l *Lock, maxOps int, t idem.Thunk) {
 	}
 	locks := p.lockBuf[:1]
 	locks[0] = l.inner
+	var t0 time.Time
+	if m.rec != nil {
+		t0 = time.Now()
+	}
 	for attempt := 1; ; attempt++ {
 		thunk := idem.NewExecIn(p.env, t, maxOps)
 		if m.sys.TryLocks(p.env, locks, thunk) {
+			if m.rec != nil {
+				m.rec.RecAcquire(p.Pid(), uint64(time.Since(t0)))
+			}
 			return
 		}
 		m.retry.Wait(context.Background(), attempt)

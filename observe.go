@@ -1,0 +1,145 @@
+package wflocks
+
+import (
+	"time"
+
+	"wflocks/internal/stats"
+)
+
+// HistStats summarizes one of the manager's latency histograms. The
+// underlying histogram is HDR-style log-linear (relative quantization
+// error ≤ 3.1%), merged from per-P shards at snapshot time, so a
+// HistStats is a consistent point-in-time view that cost the hot path
+// nothing to produce.
+type HistStats struct {
+	// Count is the number of observations recorded.
+	Count uint64
+	// Mean is the exact arithmetic mean (0 when empty).
+	Mean float64
+	// Max is the exact maximum observation (0 when empty).
+	Max uint64
+
+	h *stats.LogHist
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) of the distribution,
+// within the histogram's relative quantization error of the true order
+// statistic. An empty histogram reports 0.
+func (s HistStats) Quantile(q float64) uint64 {
+	if s.h == nil {
+		return 0
+	}
+	return s.h.Quantile(q)
+}
+
+func histStatsOf(h *stats.LogHist) HistStats {
+	return HistStats{Count: h.Count(), Mean: h.Mean(), Max: h.Max(), h: h}
+}
+
+// TraceEvent is one decoded flight-recorder entry (see WithTracing).
+type TraceEvent struct {
+	// Seq is the event's global sequence number: gap-free at the writer,
+	// so gaps in a snapshot reveal exactly how many events the ring
+	// evicted between the ones retained.
+	Seq uint64
+	// Kind names the lifecycle point: "start", "fastpath", "delay",
+	// "help", "win" or "lose".
+	Kind string
+	// Pid is the emitting process (the attempt's owner).
+	Pid int
+	// LockID is the lock involved where one is: the attempt's first
+	// lock for "start", the helped descriptor's first lock for "help".
+	LockID int
+	// Value is the kind-specific payload: lock-set size for "start",
+	// charged stall steps for "delay", help wall-duration nanoseconds
+	// for "help".
+	Value uint64
+	// Time is the event's wall-clock timestamp.
+	Time time.Time
+}
+
+// ObsSnapshot is a point-in-time view of a manager's latency metrics
+// and flight recorder (see WithMetrics and WithTracing). Like Stats, it
+// is taken without stopping the world: under live traffic the counters
+// can be mutually skewed by in-flight attempts, at quiescence they are
+// exact.
+type ObsSnapshot struct {
+	// Enabled reports whether the manager records metrics at all; the
+	// zero snapshot (metrics off) has it false and everything else empty.
+	Enabled bool
+
+	// Acquire is the distribution of acquisition latencies in
+	// nanoseconds: Do/DoCtx/Lock/LockCtx call start to winning attempt,
+	// retries included, plus the structures' single-key operations and
+	// Atomic transactions.
+	Acquire HistStats
+	// DelayIters is the distribution of delay-schedule steps charged per
+	// attempt — how much of the paper's fixed-delay (or power-of-two
+	// padding) budget attempts actually burn. Fast-path attempts record
+	// 0 here.
+	DelayIters HistStats
+	// HelpRun is the distribution of help-run wall durations in
+	// nanoseconds: the time an attempt's helping phase spent running one
+	// other descriptor to a decision.
+	HelpRun HistStats
+
+	// AttemptSteps is the total simulated steps taken by finished
+	// attempts; DelaySteps is the portion burned in delay stalls.
+	// DelaySteps/AttemptSteps is the delay share (see DelayShare).
+	AttemptSteps uint64
+	DelaySteps   uint64
+	// HelpNanos is the total wall time spent helping — running other
+	// attempts' descriptors to a decision.
+	HelpNanos uint64
+
+	// Events is the flight recorder's current window, oldest first; nil
+	// unless WithTracing was configured.
+	Events []TraceEvent
+}
+
+// DelayShare is DelaySteps/AttemptSteps — the fraction of all attempt
+// steps burned in the delay schedule — or 0 before any attempt.
+func (o ObsSnapshot) DelayShare() float64 {
+	if o.AttemptSteps == 0 {
+		return 0
+	}
+	return float64(o.DelaySteps) / float64(o.AttemptSteps)
+}
+
+// Observe snapshots the manager's latency histograms, step accounting
+// and (when tracing) flight-recorder window. Without WithMetrics it
+// returns the zero snapshot with Enabled false. Snapshotting merges the
+// per-P histogram shards, so it costs O(shards × buckets) — cheap, but
+// meant for scrape intervals, not per-operation calls.
+func (m *Manager) Observe() ObsSnapshot {
+	if m.rec == nil {
+		return ObsSnapshot{}
+	}
+	snap := ObsSnapshot{
+		Enabled:      true,
+		Acquire:      histStatsOf(m.rec.Acquire.Snapshot()),
+		DelayIters:   histStatsOf(m.rec.Delay.Snapshot()),
+		HelpRun:      histStatsOf(m.rec.Help.Snapshot()),
+		AttemptSteps: m.rec.AttemptSteps(),
+		DelaySteps:   m.rec.DelaySteps(),
+		HelpNanos:    m.rec.HelpNanos(),
+	}
+	if evs := m.rec.Events(); len(evs) > 0 {
+		snap.Events = make([]TraceEvent, len(evs))
+		for i, ev := range evs {
+			snap.Events[i] = TraceEvent{
+				Seq:    ev.Seq,
+				Kind:   ev.Kind.String(),
+				Pid:    ev.Pid,
+				LockID: ev.LockID,
+				Value:  ev.Value,
+				Time:   time.Unix(0, ev.UnixNano),
+			}
+		}
+	}
+	return snap
+}
+
+// Tracing reports whether the manager's flight recorder is attached
+// (WithTracing).
+func (m *Manager) Tracing() bool { return m.rec != nil && m.rec.Tracing() }

@@ -1,0 +1,220 @@
+package wflocks
+
+import (
+	"sync"
+	"testing"
+)
+
+// obsWorkload hammers one lock from several goroutines so attempts
+// contend, pay delays, and occasionally help.
+func obsWorkload(t *testing.T, m *Manager, workers, opsPer int) {
+	t.Helper()
+	l := m.NewLock()
+	c := NewCell(uint64(0))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			locks := []*Lock{l}
+			for i := 0; i < opsPer; i++ {
+				if err := m.Do(locks, 2, func(tx *Tx) {
+					Put(tx, c, Get(tx, c)+1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(m.NewProcess()); got != uint64(workers*opsPer) {
+		t.Fatalf("counter %d, want %d", got, workers*opsPer)
+	}
+}
+
+func TestObserveDisabled(t *testing.T) {
+	m := newManager(t, WithUnknownBounds(4))
+	obsWorkload(t, m, 2, 50)
+	os := m.Observe()
+	if os.Enabled {
+		t.Fatal("Observe on a metrics-off manager must report Enabled=false")
+	}
+	if os.Acquire.Count != 0 || os.Events != nil || os.AttemptSteps != 0 {
+		t.Fatalf("metrics-off snapshot must be zero, got %+v", os)
+	}
+	if m.Tracing() {
+		t.Fatal("metrics-off manager must not report tracing")
+	}
+	if os.Acquire.Quantile(0.5) != 0 || os.DelayShare() != 0 {
+		t.Fatal("zero snapshot accessors must report 0")
+	}
+}
+
+// TestObserveHistograms pins the metrics contract: one acquisition
+// latency observation per successful Do, one delay-iterations
+// observation per attempt, coherent step accounting, monotone
+// quantiles.
+func TestObserveHistograms(t *testing.T) {
+	m := newManager(t, WithUnknownBounds(4), WithMetrics())
+	const workers, opsPer = 4, 200
+	obsWorkload(t, m, workers, opsPer)
+	st := m.Stats()
+	os := m.Observe()
+	if !os.Enabled {
+		t.Fatal("WithMetrics manager must report Enabled")
+	}
+	if os.Acquire.Count != uint64(workers*opsPer) {
+		t.Fatalf("acquire observations %d, want one per Do = %d", os.Acquire.Count, workers*opsPer)
+	}
+	if os.DelayIters.Count != st.Attempts {
+		t.Fatalf("delay-iter observations %d, want one per attempt = %d", os.DelayIters.Count, st.Attempts)
+	}
+	if os.Acquire.Mean <= 0 || os.Acquire.Max == 0 {
+		t.Fatalf("acquire summary degenerate: mean %v max %d", os.Acquire.Mean, os.Acquire.Max)
+	}
+	q50, q99 := os.Acquire.Quantile(0.5), os.Acquire.Quantile(0.99)
+	if q50 > q99 || q99 > os.Acquire.Max {
+		t.Fatalf("quantiles not monotone: p50 %d p99 %d max %d", q50, q99, os.Acquire.Max)
+	}
+	if os.AttemptSteps == 0 {
+		t.Fatal("no attempt steps accounted")
+	}
+	if os.DelaySteps > os.AttemptSteps {
+		t.Fatalf("delay steps %d exceed attempt steps %d", os.DelaySteps, os.AttemptSteps)
+	}
+	if share := os.DelayShare(); share < 0 || share > 1 {
+		t.Fatalf("delay share %v outside [0,1]", share)
+	}
+	if os.Events != nil {
+		t.Fatal("WithMetrics alone must not attach a flight recorder")
+	}
+	if m.Tracing() {
+		t.Fatal("WithMetrics alone must not report tracing")
+	}
+}
+
+// TestTracingEvents runs every attempt through the flight recorder
+// (sample rate 1) and checks the lifecycle shows up: starts, decisions,
+// ordered sequence numbers, well-formed payloads.
+func TestTracingEvents(t *testing.T) {
+	m := newManager(t, WithUnknownBounds(4), WithTracing(1))
+	if !m.Tracing() {
+		t.Fatal("WithTracing manager must report tracing")
+	}
+	obsWorkload(t, m, 4, 100)
+	os := m.Observe()
+	if len(os.Events) == 0 {
+		t.Fatal("sample rate 1 produced no events")
+	}
+	kinds := make(map[string]int)
+	for i, ev := range os.Events {
+		kinds[ev.Kind]++
+		if i > 0 && os.Events[i-1].Seq >= ev.Seq {
+			t.Fatalf("events out of order at %d: %d then %d", i, os.Events[i-1].Seq, ev.Seq)
+		}
+		switch ev.Kind {
+		case "start", "fastpath", "delay", "help", "win", "lose":
+		default:
+			t.Fatalf("unknown event kind %q", ev.Kind)
+		}
+		if ev.Time.IsZero() {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+	if kinds["start"] == 0 {
+		t.Fatal("no start events recorded")
+	}
+	if kinds["win"]+kinds["fastpath"] == 0 {
+		t.Fatal("no winning attempts recorded")
+	}
+	// "start" events carry the lock-set size.
+	for _, ev := range os.Events {
+		if ev.Kind == "start" && ev.Value != 1 {
+			t.Fatalf("start event carries lock-set size %d, want 1", ev.Value)
+		}
+	}
+}
+
+func TestWithTracingValidation(t *testing.T) {
+	if _, err := New(WithTracing(0)); err == nil {
+		t.Fatal("WithTracing(0) must be rejected")
+	}
+	if _, err := New(WithTracing(-4)); err == nil {
+		t.Fatal("WithTracing(-4) must be rejected")
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	prev := StatsSnapshot{
+		Attempts: 100, Wins: 90, Helps: 10, FastPath: 50,
+		Locks: []LockStats{{ID: 0, Attempts: 60, Wins: 55, Helps: 4}},
+	}
+	cur := StatsSnapshot{
+		Attempts: 250, Wins: 220, Helps: 35, FastPath: 120,
+		Locks: []LockStats{
+			{ID: 0, Attempts: 150, Wins: 140, Helps: 9},
+			{ID: 1, Attempts: 40, Wins: 38, Helps: 2}, // created after prev
+		},
+	}
+	d := cur.Sub(prev)
+	if d.Attempts != 150 || d.Wins != 130 || d.Helps != 25 || d.FastPath != 70 {
+		t.Fatalf("manager-wide delta wrong: %+v", d)
+	}
+	if d.Locks[0].Attempts != 90 || d.Locks[0].Wins != 85 || d.Locks[0].Helps != 5 {
+		t.Fatalf("matched lock delta wrong: %+v", d.Locks[0])
+	}
+	if d.Locks[1] != cur.Locks[1] {
+		t.Fatalf("new lock must keep absolute counts, got %+v", d.Locks[1])
+	}
+	if r := d.HelpRate(); r != 25.0/150.0 {
+		t.Fatalf("delta help rate %v", r)
+	}
+	if r := d.FastPathRate(); r != 70.0/150.0 {
+		t.Fatalf("delta fast-path rate %v", r)
+	}
+
+	// A skewed pair (prev ahead of cur on one counter) saturates at zero
+	// instead of wrapping.
+	skew := StatsSnapshot{Attempts: 5}.Sub(StatsSnapshot{Attempts: 9, Wins: 1})
+	if skew.Attempts != 0 || skew.Wins != 0 {
+		t.Fatalf("skewed delta must saturate, got %+v", skew)
+	}
+
+	// Rates on the zero snapshot are defined as 0.
+	var zero StatsSnapshot
+	if zero.HelpRate() != 0 || zero.FastPathRate() != 0 || zero.SuccessRate() != 0 {
+		t.Fatal("zero-snapshot rates must be 0")
+	}
+}
+
+// TestDoAllocsMetrics pins that turning the full observability stack on
+// (histograms + flight recorder) keeps the steady-state Do path
+// amortized allocation-free: recording is atomic adds into
+// preallocated shards and ring slots. The 'Allocs' name keeps it under
+// the CI allocation gate next to TestDoAllocs (the tracing-off case).
+func TestDoAllocsMetrics(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	m := newManager(t, WithUnknownBounds(4), WithTracing(8))
+	l := m.NewLock()
+	c := NewCell(uint64(0))
+	locks := []*Lock{l}
+	body := func(tx *Tx) {
+		Put(tx, c, Get(tx, c)+1)
+	}
+	for i := 0; i < 512; i++ {
+		if err := m.Do(locks, 2, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(400, func() {
+		if err := m.Do(locks, 2, body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg >= 0.5 {
+		t.Fatalf("traced Do averages %.2f allocs/op, want < 0.5", avg)
+	}
+}

@@ -13,6 +13,9 @@ type config struct {
 	delayC1       int
 	unknownBounds bool
 	noFastPath    bool
+	metrics       bool
+	traceRate     int
+	traceRing     int
 	seed          uint64
 	retry         RetryPolicy
 }
@@ -106,6 +109,54 @@ func WithDelayConstants(c0, c1 int) Option {
 func WithFastPath(enabled bool) Option {
 	return func(c *config) error {
 		c.noFastPath = !enabled
+		return nil
+	}
+}
+
+// WithMetrics enables the manager's latency metrics: per-P sharded
+// histograms of acquisition latency (Do/DoCtx/Lock/LockCtx and the
+// structures' operations, Atomic transactions included), of the
+// delay-schedule steps charged per attempt, and of help-run wall
+// durations, all exposed through Manager.Observe. Recording is
+// allocation-free and sharded by process, so the cost is two clock
+// reads and a handful of uncontended atomic adds per acquisition;
+// disabled (the default), the hot path pays a single nil check.
+func WithMetrics() Option {
+	return func(c *config) error {
+		c.metrics = true
+		return nil
+	}
+}
+
+// WithTracing enables the sampled flight recorder (implying
+// WithMetrics): one attempt in sampleRate (rounded up to a power of
+// two) records its lifecycle — start, fast path, each delay point with
+// its computed bound, each descriptor it helped with lock ID and wall
+// duration, win or lose — into a fixed-size lock-free event ring read
+// by Manager.Observe. Unsampled attempts pay one atomic increment and
+// a branch; sampled attempts pay one ring write per event, never an
+// allocation or a lock. sampleRate 1 traces every attempt (tests and
+// offline debugging); production services run 1/64 or sparser.
+func WithTracing(sampleRate int) Option {
+	return func(c *config) error {
+		if sampleRate <= 0 {
+			return fmt.Errorf("wflocks: WithTracing: sample rate must be positive, got %d", sampleRate)
+		}
+		c.metrics = true
+		c.traceRate = sampleRate
+		return nil
+	}
+}
+
+// WithTraceRing overrides the flight recorder's event capacity
+// (default 4096, rounded up to a power of two). Only meaningful with
+// WithTracing.
+func WithTraceRing(events int) Option {
+	return func(c *config) error {
+		if events <= 0 {
+			return fmt.Errorf("wflocks: WithTraceRing: capacity must be positive, got %d", events)
+		}
+		c.traceRing = events
 		return nil
 	}
 }

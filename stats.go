@@ -43,6 +43,64 @@ func (s StatsSnapshot) SuccessRate() float64 {
 	return float64(s.Wins) / float64(s.Attempts)
 }
 
+// HelpRate is Helps/Attempts — how many descriptors the average attempt
+// ran to a decision on behalf of others — or 0 before any attempt. It
+// can exceed 1 under heavy stalling: that is the helping machinery
+// carrying the load, not an error.
+func (s StatsSnapshot) HelpRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Helps) / float64(s.Attempts)
+}
+
+// FastPathRate is FastPath/Attempts — the fraction of attempts that
+// observed every requested lock free and skipped the delay schedule —
+// or 0 before any attempt.
+func (s StatsSnapshot) FastPathRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.FastPath) / float64(s.Attempts)
+}
+
+// Sub returns the delta s − prev: each counter minus prev's, saturating
+// at zero so a snapshot pair skewed by in-flight attempts never yields
+// a wrapped counter. Per-lock entries are matched by lock ID; locks
+// created after prev keep their absolute counts. Benchmarks use it to
+// report per-phase rates from before/after snapshots.
+func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
+	d := StatsSnapshot{
+		Attempts: subSat(s.Attempts, prev.Attempts),
+		Wins:     subSat(s.Wins, prev.Wins),
+		Helps:    subSat(s.Helps, prev.Helps),
+		FastPath: subSat(s.FastPath, prev.FastPath),
+	}
+	base := make(map[int]LockStats, len(prev.Locks))
+	for _, l := range prev.Locks {
+		base[l.ID] = l
+	}
+	d.Locks = make([]LockStats, len(s.Locks))
+	for i, l := range s.Locks {
+		b := base[l.ID]
+		d.Locks[i] = LockStats{
+			ID:       l.ID,
+			Attempts: subSat(l.Attempts, b.Attempts),
+			Wins:     subSat(l.Wins, b.Wins),
+			Helps:    subSat(l.Helps, b.Helps),
+		}
+	}
+	return d
+}
+
+// subSat is a − b saturating at zero.
+func subSat(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
 // Stats snapshots the manager's attempt, win and help counters,
 // manager-wide and per lock.
 func (m *Manager) Stats() StatsSnapshot {

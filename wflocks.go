@@ -3,6 +3,7 @@ package wflocks
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -10,6 +11,7 @@ import (
 	"wflocks/internal/core"
 	"wflocks/internal/env"
 	"wflocks/internal/idem"
+	"wflocks/internal/obs"
 )
 
 // Manager is a family of locks sharing one configuration. Create one
@@ -18,6 +20,10 @@ type Manager struct {
 	sys   *core.System
 	cfg   config
 	retry RetryPolicy
+
+	// rec is the observability recorder (WithMetrics/WithTracing); nil
+	// keeps every hot-path hook to a single branch.
+	rec *obs.Recorder
 
 	nextPid atomic.Int64
 
@@ -47,6 +53,20 @@ func New(opts ...Option) (*Manager, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	var rec *obs.Recorder
+	if cfg.metrics {
+		// Histogram writer shards track the number of Ps that can be
+		// recording at once; pids index into them modulo the count.
+		shards := runtime.GOMAXPROCS(0)
+		if shards < 8 {
+			shards = 8
+		}
+		ring := cfg.traceRing
+		if ring == 0 {
+			ring = 4096
+		}
+		rec = obs.NewRecorder(shards, cfg.traceRate, ring)
+	}
 	sys, err := core.NewSystem(core.Config{
 		Kappa:         cfg.kappa,
 		MaxLocks:      cfg.maxLocks,
@@ -56,11 +76,12 @@ func New(opts ...Option) (*Manager, error) {
 		DelayC1:       cfg.delayC1,
 		UnknownBounds: cfg.unknownBounds,
 		FastPath:      !cfg.noFastPath,
+		Obs:           rec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wflocks: %w", err)
 	}
-	m := &Manager{sys: sys, cfg: cfg, retry: cfg.retry}
+	m := &Manager{sys: sys, cfg: cfg, retry: cfg.retry, rec: rec}
 	m.procs.New = func() any { return m.NewProcess() }
 	return m, nil
 }
