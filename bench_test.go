@@ -817,3 +817,113 @@ func benchServe(b *testing.B, backend string) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkLog sweeps the wflog shard count against the mutex+slice
+// broadcast baseline on a balanced fan-out shape: every worker owns a
+// cursor, appends one entry per iteration and drains its own cursor,
+// so each entry is delivered to every worker and retention stays near
+// the worker count. The holder-stall regime rides the value-write path
+// on both sides (see BenchmarkCache for the regime rationale): wflog
+// encodes stall inside append and cursor-advance critical sections,
+// the mutex+slice log stalls while holding its one mutex on appends
+// and reads. The channel fan-out baseline is covered by the scenario
+// runner (`wfbench -workload log:fanout`) — its broadcaster goroutine
+// does not fit the per-iteration lifecycle here. Expect the 8-shard
+// wflog to beat the mutex+slice log well beyond 2× under stalls, and
+// the nostall group to show the raw regime where the blocking
+// baseline wins on constant factors. Compare with:
+//
+//	go test -bench=Log -benchtime=200x -cpu 8
+const (
+	benchLogCapacity = 1024
+	benchLogSegment  = 64
+)
+
+func BenchmarkLog(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("wflog/shards=%d", shards), func(b *testing.B) {
+			benchWfLog(b, shards, bench.NewStallPoint(benchStallPeriod, benchStallDur))
+		})
+	}
+	b.Run("mutexslice", func(b *testing.B) {
+		benchMutexSliceLog(b, bench.NewStallPoint(benchStallPeriod, benchStallDur))
+	})
+	b.Run("nostall/wflog/shards=8", func(b *testing.B) { benchWfLog(b, 8, nil) })
+	b.Run("nostall/mutexslice", func(b *testing.B) { benchMutexSliceLog(b, nil) })
+}
+
+// benchLogRound runs the balanced broadcast iteration: append one,
+// drain the worker's own cursor. The append retry loop also drains, so
+// a full ring pinned by the spinning worker's own backlog always makes
+// progress; workers detach their cursors on exit so finished workers
+// stop pinning reclamation for the rest.
+func benchLogRound(b *testing.B, append func(uint64) bool,
+	newReader func() (func() (uint64, bool), func(), error)) {
+	par, _ := benchCacheWorkers()
+	b.SetParallelism(par)
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		read, detach, err := newReader()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer detach()
+		v := seed.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			v++
+			for !append(v) {
+				if _, ok := read(); !ok {
+					runtime.Gosched()
+				}
+			}
+			for {
+				if _, ok := read(); !ok {
+					break
+				}
+			}
+		}
+	})
+}
+
+func benchWfLog(b *testing.B, shards int, sp *bench.StallPoint) {
+	_, workers := benchCacheWorkers()
+	m, err := wflocks.New(
+		wflocks.WithUnknownBounds(workers+2),
+		wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(wflocks.LogCriticalSteps(1, 1, workers, benchLogSegment)),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vc := wflocks.Codec[uint64](wflocks.IntegerCodec[uint64]())
+	if sp != nil {
+		vc = bench.StallValueCodec(sp)
+	}
+	lg, err := wflocks.NewLogOf[uint64](m, vc,
+		wflocks.WithLogShards(shards), wflocks.WithLogCapacity(benchLogCapacity),
+		wflocks.WithLogSegment(benchLogSegment), wflocks.WithLogBatch(1),
+		wflocks.WithLogConsumers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp.Arm()
+	benchLogRound(b, lg.TryAppend, func() (func() (uint64, bool), func(), error) {
+		cur, err := lg.NewCursor()
+		if err != nil {
+			return nil, nil, err
+		}
+		return cur.TryNext, cur.Close, nil
+	})
+}
+
+func benchMutexSliceLog(b *testing.B, sp *bench.StallPoint) {
+	l := bench.NewMutexSliceLog(benchLogCapacity, sp)
+	sp.Arm()
+	benchLogRound(b, func(v uint64) bool { return l.TryAppend(0, v) },
+		func() (func() (uint64, bool), func(), error) {
+			r := l.NewReader()
+			return r.TryNext, r.Close, nil
+		})
+}

@@ -12,6 +12,7 @@
 //	wfbench -workload cache:zipf   # wfcache vs mutex-LRU, raw + holder-stall regimes
 //	wfbench -workload txn:transfer # wfmap Atomic vs sorted-multi-mutex, L = 1..8
 //	wfbench -workload queue:mpmc   # wfqueue/WorkPool vs channel + mutex-ring
+//	wfbench -workload log:lagging  # wflog vs mutex+slice + channel fan-out broadcast
 //	wfbench -workload service:read # wfserve vs mutex baseline, open-loop tail latency
 package main
 
@@ -39,7 +40,7 @@ func run() int {
 			"data-structure workload instead of an experiment (see -list for the registry)")
 		variant = flag.String("variant", "both",
 			"delay variant for map/cache/txn workloads: known, adaptive, or both "+
-				"(queue and service workloads always run adaptive)")
+				"(queue, log and service workloads always run adaptive)")
 	)
 	flag.Parse()
 
@@ -116,7 +117,7 @@ func printScenarios(w *os.File) {
 // runWorkload dispatches a data-structure workload by name; every
 // scenario family shares the flag and the central registry describes
 // the options. vs restricts the map/cache/txn delay-variant sweep; the
-// queue and service tiers are adaptive-only by construction.
+// queue, log and service tiers are adaptive-only by construction.
 func runWorkload(name string, s bench.Scale, vs []bench.Variant) int {
 	var run func() (*bench.Table, error)
 	if sc := workload.LookupMapScenario(name); sc != nil {
@@ -127,6 +128,8 @@ func runWorkload(name string, s bench.Scale, vs []bench.Variant) int {
 		run = func() (*bench.Table, error) { return bench.RunTxnScenarioVariants(sc, s, vs) }
 	} else if sc := workload.LookupQueueScenario(name); sc != nil {
 		run = func() (*bench.Table, error) { return bench.RunQueueScenario(sc, s) }
+	} else if sc := workload.LookupLogScenario(name); sc != nil {
+		run = func() (*bench.Table, error) { return bench.RunLogScenario(sc, s) }
 	} else if sc := workload.LookupServiceScenario(name); sc != nil {
 		run = func() (*bench.Table, error) { return bench.RunServiceScenario(sc, s) }
 	} else {

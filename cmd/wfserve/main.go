@@ -40,6 +40,7 @@ func run() int {
 		ttl      = flag.Duration("ttl", 0, "cache default TTL (0 = entries never expire)")
 		workers  = flag.Int("workers", 0, "backend worker goroutines (0 = GOMAXPROCS)")
 		maxConns = flag.Int("max-conns", 256, "concurrent connection limit")
+		journal  = flag.Int("journal", 0, "change-journal capacity in events (0 = no journal); SET/DEL append key-hash events readable via Server.Journal cursors, reported under journal_* in STATS")
 		maxKey   = flag.Int("max-key-bytes", 64, "key size bound (sizes the fixed-width codec)")
 		maxVal   = flag.Int("max-val-bytes", 128, "value size bound (sizes the fixed-width codec)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM")
@@ -54,6 +55,7 @@ func run() int {
 		Capacity:    *capacity,
 		TTL:         *ttl,
 		Workers:     *workers,
+		JournalCap:  *journal,
 		MaxConns:    *maxConns,
 		MaxKeyBytes: *maxKey,
 		MaxValBytes: *maxVal,

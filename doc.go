@@ -155,10 +155,36 @@
 // one shard. Queue is for order-bearing streams, WorkPool for
 // pipelines (see examples/pipeline).
 //
+// # Broadcast logs and fan-out
+//
+// Log (NewLog, NewLogOf) is the fan-out shape: producers append once,
+// every attached Cursor replays the full stream independently, and
+// fully-consumed segments are reclaimed by trim — pub/sub, replay,
+// pipeline broadcast. It reuses the queue's cell layout (each shard
+// is a ticket ring guarded by one lock; appends are single-lock
+// sections, batched by WithLogBatch), and adds per-consumer read
+// positions that live in typed cells themselves: every cursor write —
+// a Next/NextBatch advance, attach, Close, a TrimTo clamp — is a
+// two-lock {shard lock, cursor lock} critical section, the paper's
+// multi-lock acquisition at L=2. That placement is the point of the
+// structure. Reclamation reads the minimum cursor position under the
+// shard lock, and since positions only move under that lock, a
+// consumer stalled mid-advance is helped past its advance rather than
+// waited on — a lagging subscriber holds retention back (the
+// contract), but a stalled one can never wedge trim, appends, or
+// other readers. Capacity is fixed; a full shard's append reclaims up
+// to one fully-consumed segment in-section, so steady-state producers
+// ride behind the slowest cursor as backpressure, and TrimTo bounds
+// retention by force, advancing laggards and counting what they
+// missed as drops. Entries are totally ordered within a shard only;
+// AppendKeyed pins a key to one shard as a hard per-key ordering
+// guarantee, not a locality hint (see examples/pubsub).
+//
 // # Sizing critical-section budgets
 //
 // The budget helpers (MapCriticalSteps, CacheCriticalSteps,
-// QueueCriticalSteps, WorkPoolCriticalSteps) show how T is engineered
+// QueueCriticalSteps, WorkPoolCriticalSteps, LogCriticalSteps) show
+// how T is engineered
 // as structures grow richer. Every cell word read or written inside a
 // body costs one operation, so a budget is just an audit of the
 // worst-case body. For the map that is a full-region probe —
@@ -174,7 +200,12 @@
 // constant), times the batch size, plus fixed routing overhead.
 // WorkPoolCriticalSteps is the same formula with the batch floored at
 // the steal section's cost (one dequeue plus stealBatch
-// dequeue/enqueue migration pairs). The pattern generalizes:
+// dequeue/enqueue migration pairs). LogCriticalSteps carries two new
+// terms the log's shape forces in: the in-section reclaim scans every
+// consumer slot's position for the minimum (a `consumers` term — the
+// slot pool is fixed at construction precisely so that scan is
+// bounded) and then clears one segment (a `segment` term), so both
+// knobs price directly into T. The pattern generalizes:
 // bounded-degree surgery adds O(1) per operation, and only region
 // scans contribute linear terms — which is why no structure here
 // rehashes or grows, and why each bounds T by construction rather

@@ -38,4 +38,14 @@ var (
 	// its own probes, so overlapping views could write the same bucket;
 	// merge the keys into one Region per structure instead.
 	ErrOverlappingRegions = errors.New("wflocks: transaction regions overlap a shard")
+
+	// ErrLogConsumers is returned by Log.NewCursor when every consumer
+	// slot is attached. The slot pool is fixed (WithLogConsumers) so
+	// trim critical sections stay within their step budget; Close a
+	// cursor to release its slot.
+	ErrLogConsumers = errors.New("wflocks: log consumer slots exhausted")
+
+	// ErrCursorClosed is returned by Cursor.Next and Cursor.NextBatch
+	// on a cursor that has been closed.
+	ErrCursorClosed = errors.New("wflocks: log cursor closed")
 )

@@ -1,0 +1,195 @@
+// Pubsub: keyed publishers broadcasting to independent subscribers
+// through the Log — the fan-out shape where every cursor replays the
+// full stream, unlike the consume-once Queue.
+//
+// Each publisher appends with AppendKeyed, pinning its events to one
+// shard so per-publisher order is a hard guarantee, and every
+// subscriber audits exactly that: events from publisher p must arrive
+// as seq 1, 2, 3, ... with no gaps. The ring is deliberately far
+// smaller than the run, so publishers ride reclamation: a full
+// shard's append critical section trims the fully-consumed segment
+// behind the slowest cursor, and nobody ever calls Trim during the
+// run. One subscriber naps every few reads to make that visible —
+// its lag is what bounds retention, and the trimmed count shows
+// reclamation happening in-line.
+//
+// The closing act bounds retention by force. A subscriber that never
+// reads pins the ring (Trim reclaims nothing), so TrimTo clamps its
+// cursor forward and counts what it lost as drops. Note the
+// distinction the structure is built around: a *lagging* subscriber
+// holds retention back by contract, but a *stalled* one — preempted
+// mid-advance — cannot wedge trim, because cursor writes are
+// two-lock critical sections that the next acquirer helps to
+// completion (see TestLogTrimNotBlockedByStalledConsumer).
+//
+// Run with: go run ./examples/pubsub
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wflocks"
+)
+
+const (
+	publishers   = 4
+	subscribers  = 3
+	perPublisher = 300
+
+	logShards   = 4
+	logCapacity = 256 // 64 per shard: ~1/5 of the 1200-event run
+	logSegment  = 32
+	logBatch    = 8
+	// Slots for the run's subscribers plus the closing act's idle one.
+	logConsumers = subscribers + 1
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	// Appends take one shard lock; every cursor write (advance, attach,
+	// close, TrimTo clamp) takes {shard, cursor} — so L=2, and T must
+	// cover the worst body, which LogCriticalSteps audits: a
+	// batch-of-logBatch append plus the in-section segment reclaim that
+	// scans all logConsumers cursor positions.
+	m, err := wflocks.New(
+		wflocks.WithKappa(publishers+subscribers),
+		wflocks.WithMaxLocks(2),
+		wflocks.WithMaxCriticalSteps(wflocks.LogCriticalSteps(1, logBatch, logConsumers, logSegment)),
+		wflocks.WithSeed(2022),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pubsub:", err)
+		return 1
+	}
+	lg, err := wflocks.NewLog[uint64](m,
+		wflocks.WithLogShards(logShards),
+		wflocks.WithLogCapacity(logCapacity),
+		wflocks.WithLogSegment(logSegment),
+		wflocks.WithLogBatch(logBatch),
+		wflocks.WithLogConsumers(logConsumers),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pubsub:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Subscribers attach before any event is published so each sees the
+	// stream from the start. Cursor i is one logical subscriber.
+	curs := make([]*wflocks.Cursor[uint64], subscribers)
+	for i := range curs {
+		if curs[i], err = lg.NewCursor(); err != nil {
+			fmt.Fprintln(os.Stderr, "pubsub:", err)
+			return 1
+		}
+	}
+
+	total := publishers * perPublisher
+	var audit atomic.Uint64 // per-publisher order violations across all subscribers
+	var wg sync.WaitGroup
+
+	for i, cur := range curs {
+		i, cur := i, cur
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Events carry publisher id and sequence; the audit demands
+			// gap-free per-publisher delivery — the keyed-shard contract.
+			var last [publishers]uint64
+			for n := 0; n < total; n++ {
+				v, err := cur.Next(ctx)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "pubsub: subscriber:", err)
+					audit.Add(1)
+					return
+				}
+				pid, seq := v>>32, v&0xffffffff
+				if pid >= publishers || seq != last[pid]+1 {
+					audit.Add(1)
+				}
+				last[pid] = seq
+				// Subscriber 0 is the laggard: its naps are what every
+				// publisher ends up waiting behind once the ring fills.
+				if i == 0 && n%32 == 0 {
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	for p := 0; p < publishers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := uint64(1); seq <= perPublisher; seq++ {
+				// Keyed by publisher: all of p's events share a shard, so
+				// their relative order survives fan-out. A full shard makes
+				// AppendKeyed wait for in-section reclamation behind the
+				// slowest cursor — backpressure, not loss.
+				if err := lg.AppendKeyed(ctx, uint64(p), uint64(p)<<32|seq); err != nil {
+					fmt.Fprintln(os.Stderr, "pubsub: publisher:", err)
+					audit.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := lg.Stats()
+	fmt.Printf("%d publishers × %d keyed events fanned out to %d subscribers (ring holds %d)\n",
+		publishers, perPublisher, subscribers, lg.Cap())
+	fmt.Printf("appends: %d, delivered: %d (%d × %d), trimmed in-line by full appends: %d\n",
+		st.Appends, st.Reads, subscribers, total, st.Trimmed)
+	for _, c := range st.Consumers {
+		if c.Attached {
+			fmt.Printf("  subscriber %d: %d reads, lag %d\n", c.Slot, c.Reads, c.Lag)
+		}
+	}
+	if v := audit.Load(); v != 0 {
+		fmt.Fprintf(os.Stderr, "pubsub: %d per-publisher order violations!\n", v)
+		return 1
+	}
+	fmt.Println("per-publisher order: intact at every subscriber")
+
+	// Closing act: an idle subscriber pins retention; TrimTo bounds it.
+	// Retire the run's subscribers first (an unsubscribed log retains
+	// nothing, so this Trim empties it), then attach one cursor that
+	// never reads and publish into its pinned shard until the ring says
+	// no: TryAppendKeyed rejects once in-section reclamation can no
+	// longer pass the idle cursor — backpressure again, never loss.
+	for _, cur := range curs {
+		cur.Close()
+	}
+	lg.Trim()
+	idle, err := lg.NewCursor()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pubsub:", err)
+		return 1
+	}
+	pinned := 0
+	for lg.TryAppendKeyed(0, uint64(pinned+1)) {
+		pinned++
+	}
+	fmt.Printf("idle subscriber pins its shard after %d events: Trim reclaims %d, Len %d\n",
+		pinned, lg.Trim(), lg.Len())
+	reclaimed := lg.TrimTo(logSegment / 2)
+	fmt.Printf("TrimTo(%d) reclaims %d by clamping it forward: lag %d, dropped %d, Len %d\n",
+		logSegment/2, reclaimed, idle.Lag(), lg.Stats().Consumers[idle.Slot()].Drops, lg.Len())
+	idle.Close()
+
+	s := m.Stats()
+	fmt.Printf("attempts: %d, wins: %d (success rate %.2f)\n", s.Attempts, s.Wins, s.SuccessRate())
+	return 0
+}

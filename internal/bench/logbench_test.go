@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"runtime"
+	"strconv"
+	"testing"
+
+	"wflocks/internal/workload"
+)
+
+func TestMutexSliceLogBasic(t *testing.T) {
+	l := NewMutexSliceLog(4, nil)
+	r1 := l.NewReader()
+	for v := uint64(1); v <= 4; v++ {
+		if !l.TryAppend(0, v) {
+			t.Fatalf("append %d failed below capacity", v)
+		}
+	}
+	// r1 pins the whole window: compaction has nothing to drop.
+	if l.TryAppend(0, 99) {
+		t.Fatal("append succeeded with a reader pinning the full window")
+	}
+	for v := uint64(1); v <= 2; v++ {
+		got, ok := r1.TryNext()
+		if !ok || got != v {
+			t.Fatalf("r1 next = (%d, %v), want (%d, true)", got, ok, v)
+		}
+	}
+	// Two entries consumed: the next append compacts them away.
+	if !l.TryAppend(0, 5) {
+		t.Fatal("append failed after the reader advanced")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d after compaction, want 3", l.Len())
+	}
+	// A late reader attaches at the compacted head, not the origin.
+	r2 := l.NewReader()
+	got, ok := r2.TryNext()
+	if !ok || got != 3 {
+		t.Fatalf("late reader next = (%d, %v), want (3, true)", got, ok)
+	}
+}
+
+func TestChanFanLogBasic(t *testing.T) {
+	l := NewChanFanLog(8, 2, nil)
+	defer l.Close()
+	r0, r1 := l.Reader(0), l.Reader(1)
+	for v := uint64(1); v <= 3; v++ {
+		if !l.TryAppend(0, v) {
+			t.Fatalf("append %d failed", v)
+		}
+	}
+	for l.Distributed() < 3 {
+		runtime.Gosched()
+	}
+	for _, r := range []func() (uint64, bool){r0, r1} {
+		for v := uint64(1); v <= 3; v++ {
+			got, ok := r()
+			if !ok || got != v {
+				t.Fatalf("next = (%d, %v), want (%d, true)", got, ok, v)
+			}
+		}
+		if _, ok := r(); ok {
+			t.Fatal("read past the broadcast tail succeeded")
+		}
+	}
+}
+
+// TestRunLogScenario runs the quick-scale log tables end to end —
+// fanout for the live topology, replay for the prefilled one — and
+// sanity-checks their shape. The stall regime sleeps for real, so this
+// is skipped in -short.
+func TestRunLogScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stall-regime rows sleep for real; skip in -short")
+	}
+	for _, name := range []string{"log:fanout", "log:replay"} {
+		sc := workload.LookupLogScenario(name)
+		if sc == nil {
+			t.Fatalf("%s missing", name)
+		}
+		tab, err := RunLogScenario(sc, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 4 wflog shard counts + mutexslice + chanfan, in 2 regimes.
+		if len(tab.Rows) != 12 {
+			t.Fatalf("%s: table has %d rows, want 12", name, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			ops, err := strconv.ParseFloat(row[3], 64)
+			if err != nil || ops <= 0 {
+				t.Fatalf("%s row %v: bad deliv/sec %q", name, row, row[3])
+			}
+			if row[0] == "wflog" {
+				succ, err := strconv.ParseFloat(row[6], 64)
+				if err != nil || succ <= 0 || succ > 1 {
+					t.Fatalf("%s row %v: bad success %q", name, row, row[6])
+				}
+				if _, err := strconv.ParseUint(row[4], 10, 64); err != nil {
+					t.Fatalf("%s row %v: bad trimmed %q", name, row, row[4])
+				}
+			}
+		}
+	}
+	bad := workload.LogScenario{Name: "bad", Producers: 1, Consumers: 1, Capacity: 0, Segment: 1}
+	if _, err := RunLogScenario(&bad, Quick); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}

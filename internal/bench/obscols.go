@@ -30,6 +30,18 @@ func ObsCols(m *wflocks.Manager, delta wflocks.StatsSnapshot) []string {
 // ObsBlank is the baseline rows' placeholder for ObsHeader's columns.
 func ObsBlank() []string { return []string{"-", "-", "-"} }
 
+// LogColsHeader is the wflog runners' retention columns: entries
+// reclaimed over the run and the attached-cursor backlog sampled at
+// producer completion (the retention high-water mark).
+var LogColsHeader = []string{"trimmed", "lagmax"}
+
+// fillLogCols fills a log row's LogColsHeader columns; they sit
+// immediately after the throughput column in the log tables.
+func fillLogCols(row []string, trimmed uint64, lagPeak int) {
+	row[4] = fmt.Sprint(trimmed)
+	row[5] = fmt.Sprint(lagPeak)
+}
+
 // fillObsCols fills a row's trailing ObsHeader columns from one or more
 // managers' cumulative counters — the multi-manager shape the queue
 // pipeline runs use (one fresh manager per stage, so cumulative equals

@@ -390,3 +390,78 @@ func TestServeGracefulDrain(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 }
+
+func TestServeJournal(t *testing.T) {
+	s, lis := startServer(t, serve.Config{Backend: serve.BackendMap, Workers: 4, JournalCap: 256})
+	jr := s.Journal()
+	if jr == nil {
+		t.Fatal("Journal() = nil with JournalCap set")
+	}
+	cur, err := jr.NewCursor()
+	if err != nil {
+		t.Fatalf("NewCursor: %v", err)
+	}
+	defer cur.Close()
+	c := dial(t, lis)
+
+	c.do(t, "SET", "a", "1")
+	c.do(t, "SET", "b", "2")
+	c.do(t, "DEL", "a")
+	// A miss journals nothing: nothing was written.
+	if r := c.do(t, "DEL", "nope"); r.Int != 0 {
+		t.Fatalf("DEL miss = %+v", r)
+	}
+
+	// Three events, delivered as a set (distinct keys may land on
+	// distinct shards, and the cursor interleaves shards)...
+	var got []uint64
+	for i := 0; i < 3; i++ {
+		v, ok := cur.TryNext()
+		if !ok {
+			t.Fatalf("journal delivered only %d of 3 events", i)
+		}
+		got = append(got, v)
+	}
+	if _, ok := cur.TryNext(); ok {
+		t.Fatal("journal delivered a fourth event")
+	}
+	want := map[uint64]int{
+		serve.JournalEntry("a", true):  1,
+		serve.JournalEntry("b", true):  1,
+		serve.JournalEntry("a", false): 1,
+	}
+	for _, v := range got {
+		if want[v] == 0 {
+			t.Fatalf("unexpected journal event %#x", v)
+		}
+		want[v]--
+	}
+	// ...but one key's events stay in order: keyed appends pin "a" to
+	// one shard, and shards deliver FIFO.
+	var aEvents []uint64
+	for _, v := range got {
+		if v == serve.JournalEntry("a", true) || v == serve.JournalEntry("a", false) {
+			aEvents = append(aEvents, v)
+		}
+	}
+	if len(aEvents) != 2 || aEvents[0] != serve.JournalEntry("a", true) {
+		t.Fatalf("key a's events out of order: %#x", aEvents)
+	}
+
+	r := c.do(t, "STATS")
+	if !strings.Contains(r.Str, "journal_appends:3") || !strings.Contains(r.Str, "journal_dropped:0") {
+		t.Fatalf("STATS missing journal lines:\n%s", r.Str)
+	}
+}
+
+func TestServeJournalOff(t *testing.T) {
+	s, lis := startServer(t, serve.Config{Backend: serve.BackendMap, Workers: 4})
+	if s.Journal() != nil {
+		t.Fatal("Journal() non-nil without JournalCap")
+	}
+	c := dial(t, lis)
+	c.do(t, "SET", "a", "1")
+	if r := c.do(t, "STATS"); strings.Contains(r.Str, "journal_") {
+		t.Fatalf("STATS carries journal lines without a journal:\n%s", r.Str)
+	}
+}

@@ -50,6 +50,14 @@ type Config struct {
 	// one key's requests drain through one home shard while the steal
 	// path rebalances uneven traffic.
 	QueueShards, QueueDepth int
+	// JournalCap, when positive, attaches a wflog change journal of
+	// that capacity: every successful SET and DEL appends a key-hash
+	// event, and subscribers attach cursors through Server.Journal.
+	// Appends are keyed by the hash, so one key's events stay in shard
+	// order. The journal is lossy by design: a subscriber that pins
+	// retention makes further appends drop (counted in STATS as
+	// journal_dropped) rather than ever blocking request execution.
+	JournalCap int
 	// PipelineDepth bounds how many responses one connection may have
 	// in flight before its reader stops reading new requests (default
 	// 128). This is per-connection backpressure, not admission control.
@@ -160,6 +168,7 @@ type Server struct {
 	backend Backend
 	mgr     *wflocks.Manager
 	pool    *wflocks.WorkPool[uint64]
+	journal *wflocks.Log[uint64]
 
 	// opHists are the per-op service-time histograms (request dequeue to
 	// response ready), sharded by worker index; nil without Config.Metrics.
@@ -192,7 +201,18 @@ type serverStats struct {
 	gets, sets, dels, pings     atomic.Uint64
 	hits                        atomic.Uint64
 	errs                        atomic.Uint64
+	journalDrops                atomic.Uint64
 }
+
+// Journal shape: the segment is the reclamation granularity, the batch
+// bounds subscriber NextBatch chunks, and the consumer pool caps
+// concurrently attached subscribers. Fixed rather than configured —
+// they size critical-section budgets, not semantics.
+const (
+	journalSegment   = 64
+	journalBatch     = 8
+	journalConsumers = 8
+)
 
 // NewServer builds the service: manager, backend, dispatch pool and
 // worker goroutines (workers start immediately; connections arrive via
@@ -213,6 +233,11 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if b := wflocks.WorkPoolCriticalSteps(1, 1); b > maxCritical {
 		maxCritical = b
+	}
+	if cfg.JournalCap > 0 {
+		if b := wflocks.LogCriticalSteps(1, journalBatch, journalConsumers, journalSegment); b > maxCritical {
+			maxCritical = b
+		}
 	}
 	procs := cfg.Workers + cfg.MaxConns + 4
 	var extra []wflocks.Option
@@ -240,12 +265,28 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: building dispatch pool: %w", err)
 	}
+	var journal *wflocks.Log[uint64]
+	if cfg.JournalCap > 0 {
+		// Small journals get a proportionally finer reclamation grain:
+		// the segment cannot exceed one shard's ring.
+		seg := journalSegment
+		if per := nextPow2((cfg.JournalCap + 7) / 8); per < seg {
+			seg = per
+		}
+		journal, err = wflocks.NewLog[uint64](mgr,
+			wflocks.WithLogCapacity(cfg.JournalCap), wflocks.WithLogSegment(seg),
+			wflocks.WithLogBatch(journalBatch), wflocks.WithLogConsumers(journalConsumers))
+		if err != nil {
+			return nil, fmt.Errorf("serve: building journal: %w", err)
+		}
+	}
 
 	s := &Server{
 		cfg:       cfg,
 		backend:   backend,
 		mgr:       mgr,
 		pool:      pool,
+		journal:   journal,
 		slab:      make([]request, pool.Cap()),
 		free:      make(chan int, pool.Cap()),
 		listeners: make(map[net.Listener]struct{}),
@@ -284,6 +325,35 @@ func (s *Server) Backend() Backend { return s.backend }
 // Manager exposes the wait-free lock manager hosting the backend and
 // dispatch pool, for harnesses reporting its Stats/Observe snapshots.
 func (s *Server) Manager() *wflocks.Manager { return s.mgr }
+
+// Journal exposes the change journal (nil unless Config.JournalCap is
+// set). Subscribers attach cursors with NewCursor/NewTailCursor and
+// read JournalEntry-encoded events; a subscriber that falls behind
+// pins retention only until the log fills, after which new events are
+// dropped (see Config.JournalCap).
+func (s *Server) Journal() *wflocks.Log[uint64] { return s.journal }
+
+// JournalEntry encodes the journal event for key: the key's FNV-1a
+// hash with the low bit replaced by the op (1 = SET, 0 = DEL).
+func JournalEntry(key string, set bool) uint64 {
+	e := fnv1a(key) &^ 1
+	if set {
+		e |= 1
+	}
+	return e
+}
+
+// journalAppend records a successful write. Keyed by the hash so one
+// key's events stay in per-shard append order; never blocks — a full
+// journal drops the event and counts it.
+func (s *Server) journalAppend(key string, set bool) {
+	if s.journal == nil {
+		return
+	}
+	if !s.journal.TryAppendKeyed(fnv1a(key), JournalEntry(key, set)) {
+		s.stats.journalDrops.Add(1)
+	}
+}
 
 // Serve accepts connections on lis until Shutdown (or a listener
 // error). Several Serve calls may run on distinct listeners. Serve
@@ -578,10 +648,12 @@ func (s *Server) execute(dst []byte, req *Request) []byte {
 			s.stats.errs.Add(1)
 			return AppendError(dst, err.Error())
 		}
+		s.journalAppend(req.Key, true)
 		return AppendSimple(dst, "OK")
 	case OpDel:
 		s.stats.dels.Add(1)
 		if s.backend.Del(req.Key) {
+			s.journalAppend(req.Key, false)
 			return AppendInt(dst, 1)
 		}
 		return AppendInt(dst, 0)
@@ -635,6 +707,17 @@ func (s *Server) statsText() string {
 		fmt.Sprintf("help_rate:%.4f", ms.HelpRate()),
 		fmt.Sprintf("fastpath_rate:%.4f", ms.FastPathRate()),
 	)
+	if s.journal != nil {
+		js := s.journal.Stats()
+		lines = append(lines,
+			fmt.Sprintf("journal_appends:%d", js.Appends),
+			fmt.Sprintf("journal_trimmed:%d", js.Trimmed),
+			fmt.Sprintf("journal_retained:%d", js.Len),
+			fmt.Sprintf("journal_lag_max:%d", js.MaxLag),
+			fmt.Sprintf("journal_reads:%d", js.Reads),
+			fmt.Sprintf("journal_dropped:%d", s.stats.journalDrops.Load()),
+		)
+	}
 	ps := s.pool.Stats()
 	lines = append(lines, fmt.Sprintf("pool_steals:%d", ps.Steals))
 	for i, sh := range ps.Shards {

@@ -1,0 +1,79 @@
+package workload
+
+import "fmt"
+
+// Log workloads. Where QueueScenario describes consume-once
+// producer/consumer traffic, LogScenario describes broadcast fan-out
+// against the wflog subsystem: every consumer independently reads the
+// whole stream through its own cursor. The three canonical shapes are
+// live fan-out (log:fanout), replay of a pre-filled window
+// (log:replay), and the lagging-subscriber shape (log:lagging) where
+// one consumer periodically falls behind — the adversary the log's
+// helped cursor-advance and min-cursor trim exist for.
+type LogScenario struct {
+	// Name identifies the scenario (the cmd/wfbench -workload flag
+	// matches it, e.g. "log:fanout").
+	Name string
+	// Producers and Consumers fix the goroutine counts: broadcast
+	// delivery cost scales with Consumers, so the topology is pinned
+	// rather than split from the host's parallelism.
+	Producers, Consumers int
+	// Capacity is the log's total slot count; it bounds how far
+	// producers run ahead of the slowest cursor.
+	Capacity int
+	// Segment is the reclamation granularity in entries.
+	Segment int
+	// Replay, when set, appends the whole stream before any consumer
+	// starts: consumers then drain a retained window rather than racing
+	// the producers (Capacity must cover Producers*items).
+	Replay bool
+	// Laggards is the number of consumers that periodically sleep
+	// mid-stream, forcing retention to stretch and trims to wait on
+	// them.
+	Laggards int
+}
+
+// Validate checks the scenario's internal consistency.
+func (s *LogScenario) Validate() error {
+	if s.Producers < 1 || s.Consumers < 1 {
+		return fmt.Errorf("log scenario %q: producers/consumers must be positive, got %d/%d",
+			s.Name, s.Producers, s.Consumers)
+	}
+	if s.Capacity <= 0 {
+		return fmt.Errorf("log scenario %q: capacity must be positive, got %d", s.Name, s.Capacity)
+	}
+	if s.Segment <= 0 || s.Segment > s.Capacity {
+		return fmt.Errorf("log scenario %q: segment must be in 1..capacity, got %d", s.Name, s.Segment)
+	}
+	if s.Laggards < 0 || s.Laggards > s.Consumers {
+		return fmt.Errorf("log scenario %q: laggards must be in 0..consumers, got %d", s.Name, s.Laggards)
+	}
+	return nil
+}
+
+// LogScenarios lists the built-in scenario family.
+func LogScenarios() []LogScenario {
+	return []LogScenario{
+		// Balanced live fan-out: producers and consumers race, every
+		// consumer sees every entry — the pub/sub steady state.
+		{Name: "log:fanout", Producers: 4, Consumers: 4, Capacity: 1024, Segment: 64},
+		// Replay: the stream is appended first, then many consumers drain
+		// the retained window concurrently — the catch-up/bootstrap shape.
+		// Capacity covers a full-scale prefill per shard even at the
+		// widest shard sweep (keyed appends pin a producer to one shard).
+		{Name: "log:replay", Producers: 2, Consumers: 8, Capacity: 16384, Segment: 64, Replay: true},
+		// One consumer periodically stalls mid-stream: retention stretches
+		// behind it and the other consumers must stay unaffected.
+		{Name: "log:lagging", Producers: 8, Consumers: 4, Capacity: 1024, Segment: 64, Laggards: 1},
+	}
+}
+
+// LookupLogScenario finds a built-in scenario by name, or nil.
+func LookupLogScenario(name string) *LogScenario {
+	for _, s := range LogScenarios() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	return nil
+}

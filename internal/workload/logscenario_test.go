@@ -1,0 +1,34 @@
+package workload
+
+import "testing"
+
+func TestLogScenarioValidate(t *testing.T) {
+	for _, sc := range LogScenarios() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("built-in %s invalid: %v", sc.Name, err)
+		}
+	}
+	bad := []LogScenario{
+		{Name: "bad:roles", Producers: 0, Consumers: 1, Capacity: 8, Segment: 4},
+		{Name: "bad:cap", Producers: 1, Consumers: 1, Capacity: 0, Segment: 4},
+		{Name: "bad:segment", Producers: 1, Consumers: 1, Capacity: 8, Segment: 16},
+		{Name: "bad:laggards", Producers: 1, Consumers: 2, Capacity: 8, Segment: 4, Laggards: 3},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s validated", sc.Name)
+		}
+	}
+}
+
+func TestLogScenarioLookup(t *testing.T) {
+	if sc := LookupLogScenario("log:lagging"); sc == nil || sc.Laggards != 1 {
+		t.Fatalf("log:lagging lookup = %+v", sc)
+	}
+	if sc := LookupLogScenario("log:replay"); sc == nil || !sc.Replay {
+		t.Fatalf("log:replay lookup = %+v", sc)
+	}
+	if sc := LookupLogScenario("log:nope"); sc != nil {
+		t.Fatalf("bogus lookup found %+v", sc)
+	}
+}

@@ -83,6 +83,8 @@ func TestScenarioRegistry(t *testing.T) {
 			found = LookupTxnScenario(in.Name) != nil
 		case "queue":
 			found = LookupQueueScenario(in.Name) != nil
+		case "log":
+			found = LookupLogScenario(in.Name) != nil
 		case "service":
 			found = LookupServiceScenario(in.Name) != nil
 		default:
@@ -93,7 +95,7 @@ func TestScenarioRegistry(t *testing.T) {
 			t.Errorf("%s not resolvable via its family lookup", in.Name)
 		}
 	}
-	for _, kind := range []string{"map", "cache", "txn", "queue", "service"} {
+	for _, kind := range []string{"map", "cache", "txn", "queue", "log", "service"} {
 		if kinds[kind] == 0 {
 			t.Errorf("registry missing the %s family", kind)
 		}

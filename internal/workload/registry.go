@@ -3,7 +3,7 @@ package workload
 import "fmt"
 
 // Central scenario registry. Every workload family (map, cache, txn,
-// queue, service) registers its built-in scenarios here, so
+// queue, log, service) registers its built-in scenarios here, so
 // the tools have one place to enumerate them: cmd/wfbench's -list
 // prints this registry and an unknown -workload suggests it. Adding a
 // scenario to a family's *Scenarios() function is all it takes to
@@ -15,7 +15,7 @@ type ScenarioInfo struct {
 	// Name is the scenario's registry key (the cmd/wfbench -workload
 	// flag matches it, e.g. "queue:mpmc").
 	Name string
-	// Kind names the family: "map", "cache", "txn", "queue" or
+	// Kind names the family: "map", "cache", "txn", "queue", "log" or
 	// "service". By convention Kind is also the scenario name's prefix
 	// before the colon.
 	Kind string
@@ -24,8 +24,8 @@ type ScenarioInfo struct {
 }
 
 // Scenarios enumerates every built-in scenario across all families, in
-// family order (map, cache, txn, queue, service) and declaration order
-// within a family.
+// family order (map, cache, txn, queue, log, service) and declaration
+// order within a family.
 func Scenarios() []ScenarioInfo {
 	var out []ScenarioInfo
 	for _, s := range MapScenarios() {
@@ -62,6 +62,21 @@ func Scenarios() []ScenarioInfo {
 			Kind: "queue",
 			Summary: fmt.Sprintf("queue workload: %d stage(s), cap %d per queue, %s",
 				s.Stages, s.Capacity, role),
+		})
+	}
+	for _, s := range LogScenarios() {
+		shape := "live fan-out"
+		if s.Replay {
+			shape = "replay of a pre-filled window"
+		}
+		if s.Laggards > 0 {
+			shape = fmt.Sprintf("%d lagging consumer(s)", s.Laggards)
+		}
+		out = append(out, ScenarioInfo{
+			Name: s.Name,
+			Kind: "log",
+			Summary: fmt.Sprintf("log workload: %d producer(s) broadcast to %d consumer(s), cap %d, segment %d, %s",
+				s.Producers, s.Consumers, s.Capacity, s.Segment, shape),
 		})
 	}
 	for _, s := range ServiceScenarios() {

@@ -25,7 +25,7 @@ func TestRegistryNamesUniqueAndPrefixed(t *testing.T) {
 }
 
 func TestRegistryFamilies(t *testing.T) {
-	want := []string{"map", "cache", "txn", "queue", "service"}
+	want := []string{"map", "cache", "txn", "queue", "log", "service"}
 	got := Families()
 	if len(got) != len(want) {
 		t.Fatalf("Families() = %v, want %v", got, want)

@@ -1,0 +1,299 @@
+package wflocks
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// FuzzLogOps drives one small single-shard log through an arbitrary
+// append/read/trim/attach sequence decoded from the fuzz input and
+// checks it against a slice model after every operation, mirroring
+// FuzzQueueOps:
+//
+//   - the full append history is the model; every value a cursor
+//     delivers must equal the history at that cursor's position — the
+//     per-consumer prefix-order invariant (each subscriber replays the
+//     append order from its attach point, gapless except where a
+//     TrimTo clamp skipped it forward, and the model tracks the skip);
+//   - trim never reclaims past the minimum attached cursor position,
+//     and the head ticket stays segment-aligned;
+//   - TryAppend fails exactly when the model says the slowest cursor
+//     pins the segment an in-section reclaim would need;
+//   - Len, per-slot reads/drops and the Stats counters track the model
+//     exactly;
+//   - the per-slot sequence cells satisfy the qring occupancy protocol
+//     at every step, across trim-driven wraparound.
+//
+// The log is tiny (16 slots, 4-entry segments, 2 consumer slots) so
+// short inputs wrap and trim repeatedly; the seed corpus keeps
+// `go test` (including -short) exercising attach/clamp/wrap paths
+// without the fuzz engine.
+func FuzzLogOps(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x05, 0x00, 0x00, 0x01, 0x01, 0x03})                        // attach, append, read, trim
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // fill past capacity unsubscribed
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // pin, fill, clamp
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x01})
+	f.Add([]byte{0x05, 0x07, 0x00, 0x08, 0x01, 0x02, 0x09, 0x06, 0x05, 0x00}) // both slots, batches, close/reattach
+	f.Add([]byte{0x05, 0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 0x00,  // lap the ring with lag 1
+		0x01, 0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 0x03, 0x00, 0x01,
+		0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 0x03})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const (
+			capacity = 16
+			segment  = 4
+			batch    = 3
+			nslots   = 2
+			retain   = 5
+		)
+		m, err := New(
+			WithKappa(2),
+			WithMaxLocks(2),
+			WithMaxCriticalSteps(LogCriticalSteps(1, batch, nslots, segment)),
+			WithDelayConstants(1, 1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg, err := NewLog[uint64](m, WithLogShards(1), WithLogCapacity(capacity),
+			WithLogSegment(segment), WithLogConsumers(nslots), WithLogBatch(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		ctx := context.Background()
+
+		var history []uint64 // the full append order; ticket i holds history[i]
+		var mHead, mTail int // trim/append tickets
+		var fulls int
+		type slotModel struct {
+			attached     bool
+			pos          int
+			reads, drops int
+		}
+		var slots [nslots]slotModel
+		var curs [nslots]*Cursor[uint64]
+
+		minPos := func() int {
+			min := mTail
+			for i := range slots {
+				if slots[i].attached && slots[i].pos < min {
+					min = slots[i].pos
+				}
+			}
+			return min
+		}
+		// One in-section segment reclaim, as appendOne performs when
+		// full: toward the aligned minimum, at most one segment.
+		reclaimOnce := func() {
+			aligned := minPos() &^ (segment - 1)
+			freed := aligned - mHead
+			if freed > segment {
+				freed = segment
+			}
+			if freed > 0 {
+				mHead += freed
+			}
+		}
+		readOne := func(step int, ci int) {
+			c := curs[ci]
+			v, ok := c.TryNext()
+			sm := &slots[ci]
+			wantOK := sm.attached && sm.pos < mTail
+			if ok != wantOK {
+				t.Fatalf("step %d: cursor %d TryNext = %v, model pos %d tail %d attached %v",
+					step, ci, ok, sm.pos, mTail, sm.attached)
+			}
+			if !ok {
+				return
+			}
+			if v != history[sm.pos] {
+				t.Fatalf("step %d: cursor %d read %d at position %d, history %d (prefix order broken)",
+					step, ci, v, sm.pos, history[sm.pos])
+			}
+			sm.pos++
+			sm.reads++
+		}
+
+		for step, op := range ops {
+			v := uint64(step) + 1000
+			switch op % 10 {
+			case 0: // TryAppend
+				ok := lg.TryAppend(v)
+				wantOK := true
+				if mTail-mHead >= capacity {
+					reclaimOnce()
+					wantOK = mTail-mHead < capacity
+				}
+				if ok != wantOK {
+					t.Fatalf("step %d: TryAppend = %v with %d retained (head %d, min %d)",
+						step, ok, mTail-mHead, mHead, minPos())
+				}
+				if ok {
+					history = append(history, v)
+					mTail++
+				} else {
+					fulls++
+				}
+			case 1: // TryNext on slot 0's cursor
+				if curs[0] != nil {
+					readOne(step, 0)
+				}
+			case 2: // TryNext on slot 1's cursor
+				if curs[1] != nil {
+					readOne(step, 1)
+				}
+			case 3: // Trim
+				aligned := minPos() &^ (segment - 1)
+				want := aligned - mHead
+				if freed := lg.Trim(); freed != want {
+					t.Fatalf("step %d: Trim freed %d, model %d (head %d, min %d)",
+						step, freed, want, mHead, minPos())
+				}
+				mHead = aligned
+			case 4: // TrimTo(retain): clamp laggards, then free
+				target := mTail - retain
+				if target < 0 {
+					target = 0
+				}
+				for i := range slots {
+					if slots[i].attached && slots[i].pos < target {
+						slots[i].drops += target - slots[i].pos
+						slots[i].pos = target
+					}
+				}
+				min := target
+				for i := range slots {
+					if slots[i].attached && slots[i].pos < min {
+						min = slots[i].pos
+					}
+				}
+				aligned := min &^ (segment - 1)
+				want := 0
+				if aligned > mHead {
+					want = aligned - mHead
+				}
+				if freed := lg.TrimTo(retain); freed != want {
+					t.Fatalf("step %d: TrimTo freed %d, model %d", step, freed, want)
+				}
+				if aligned > mHead {
+					mHead = aligned
+				}
+			case 5, 7: // NewCursor (head) / NewTailCursor
+				atTail := op%10 == 7
+				free := -1
+				for i := range slots {
+					if !slots[i].attached {
+						free = i
+						break
+					}
+				}
+				var c *Cursor[uint64]
+				if atTail {
+					c, err = lg.NewTailCursor()
+				} else {
+					c, err = lg.NewCursor()
+				}
+				if free < 0 {
+					if !errors.Is(err, ErrLogConsumers) {
+						t.Fatalf("step %d: attach with full pool: err = %v, want ErrLogConsumers", step, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("step %d: attach: %v", step, err)
+				}
+				if c.Slot() != free {
+					t.Fatalf("step %d: attached slot %d, model %d", step, c.Slot(), free)
+				}
+				sm := &slots[free]
+				sm.attached, sm.reads, sm.drops = true, 0, 0
+				sm.pos = mHead
+				if atTail {
+					sm.pos = mTail
+				}
+				curs[free] = c
+			case 6: // Close slot 0's cursor (re-Close is a no-op)
+				if curs[0] != nil {
+					curs[0].Close()
+					curs[0] = nil
+					slots[0].attached = false
+				}
+			case 8: // AppendBatch of 3, only when it fits without reclaim
+				if capacity-(mTail-mHead) < batch {
+					continue
+				}
+				vs := []uint64{v, v + 7, v + 14}
+				moved, err := lg.AppendBatch(ctx, vs)
+				if err != nil || moved != batch {
+					t.Fatalf("step %d: AppendBatch = (%d, %v), want (%d, nil)", step, moved, err, batch)
+				}
+				history = append(history, vs...)
+				mTail += batch
+			case 9: // NextBatch of up to 3 on slot 0 (skip when it would block)
+				if curs[0] == nil || !slots[0].attached || slots[0].pos >= mTail {
+					continue
+				}
+				got, err := curs[0].NextBatch(ctx, batch)
+				if err != nil {
+					t.Fatalf("step %d: NextBatch: %v", step, err)
+				}
+				sm := &slots[0]
+				want := mTail - sm.pos
+				if want > batch {
+					want = batch
+				}
+				if len(got) != want {
+					t.Fatalf("step %d: NextBatch moved %d, want %d", step, len(got), want)
+				}
+				for i, g := range got {
+					if g != history[sm.pos+i] {
+						t.Fatalf("step %d: batch[%d] = %d, history %d (prefix order broken)",
+							step, i, g, history[sm.pos+i])
+					}
+				}
+				sm.pos += want
+				sm.reads += want
+			}
+
+			// Invariants after every operation.
+			if mHead%segment != 0 {
+				t.Fatalf("step %d: model head %d not segment-aligned", step, mHead)
+			}
+			if min := minPos(); mHead > min {
+				t.Fatalf("step %d: trim passed the minimum cursor: head %d, min %d", step, mHead, min)
+			}
+			if got := lg.Len(); got != mTail-mHead {
+				t.Fatalf("step %d: Len = %d, model %d", step, got, mTail-mHead)
+			}
+			auditRing(t, m, &lg.rings[0], mHead, mTail, history[mHead:mTail])
+			st := lg.Stats()
+			if int(st.Appends) != mTail || int(st.Trimmed) != mHead {
+				t.Fatalf("step %d: appends/trimmed = %d/%d, model %d/%d",
+					step, st.Appends, st.Trimmed, mTail, mHead)
+			}
+			if int(st.FullRejects) != fulls {
+				t.Fatalf("step %d: full rejects = %d, model %d", step, st.FullRejects, fulls)
+			}
+			for i := range slots {
+				cs := st.Consumers[i]
+				if cs.Attached != slots[i].attached {
+					t.Fatalf("step %d: slot %d attached = %v, model %v", step, i, cs.Attached, slots[i].attached)
+				}
+				if slots[i].attached {
+					if int(cs.Reads) != slots[i].reads || int(cs.Drops) != slots[i].drops {
+						t.Fatalf("step %d: slot %d reads/drops = %d/%d, model %d/%d",
+							step, i, cs.Reads, cs.Drops, slots[i].reads, slots[i].drops)
+					}
+					if wantLag := mTail - slots[i].pos; cs.Lag != wantLag {
+						t.Fatalf("step %d: slot %d lag = %d, model %d", step, i, cs.Lag, wantLag)
+					}
+				}
+			}
+		}
+	})
+}

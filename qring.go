@@ -1,0 +1,163 @@
+package wflocks
+
+// This file holds the shared bounded-ring protocol: the cell-resident
+// state and step helpers that Queue (one ring, one lock), WorkPool (one
+// ring per shard, two-lock steals) and Log (one ring per shard,
+// broadcast cursors) all build on. The ring owns everything a lock
+// protects; the owner brings the locking.
+
+// qring is the cell-resident state of one bounded ring: monotone
+// head/tail tickets, per-slot sequence numbers and elements, and the
+// traffic counters. All mutation happens inside critical sections
+// through the enqOne/deqOne/moveOne/reclaim step helpers, whose
+// operation sequences are deterministic given cell reads — the
+// idempotence contract for helper re-execution.
+//
+// Head and tail are monotone tickets: enqueue number t writes slot
+// t mod capacity, dequeue number h reads slot h mod capacity. Each slot
+// carries a sequence cell following the classic bounded-MPMC protocol —
+// seq == t while the slot awaits enqueue ticket t, t+1 while it holds
+// that ticket's element, and t+capacity once dequeue t's lap frees it.
+// Under the owner's lock the sequence numbers are not needed for mutual
+// exclusion; they are the occupancy audit that makes the ring's index
+// arithmetic checkable (the model-based fuzz tests verify them across
+// wraparound), exactly the role the engine's meta words play for the
+// shard table.
+type qring[T any] struct {
+	vc       Codec[T] // result-cell codec
+	capacity int
+	mask     uint64
+
+	head *Cell[uint64] // next dequeue ticket
+	tail *Cell[uint64] // next enqueue ticket
+	seq  []*Cell[uint64]
+	vals []*Cell[T]
+
+	// Counters, bumped inside critical sections: exact at quiescence.
+	enqs    *Cell[uint64] // completed enqueues
+	deqs    *Cell[uint64] // completed dequeues
+	fulls   *Cell[uint64] // attempts that observed a full ring
+	empties *Cell[uint64] // attempts that observed an empty ring
+}
+
+// newQring builds a ring with the given power-of-two capacity. Slot i
+// starts with sequence number i — "awaiting enqueue ticket i" — and a
+// zeroed element (never decoded before an enqueue writes it, so no
+// codec invocation happens at construction).
+func newQring[T any](vc Codec[T], capacity int) qring[T] {
+	r := qring[T]{
+		vc:       vc,
+		capacity: capacity,
+		mask:     uint64(capacity - 1),
+		head:     NewCell(uint64(0)),
+		tail:     NewCell(uint64(0)),
+		seq:      make([]*Cell[uint64], capacity),
+		vals:     make([]*Cell[T], capacity),
+		enqs:     NewCell(uint64(0)),
+		deqs:     NewCell(uint64(0)),
+		fulls:    NewCell(uint64(0)),
+		empties:  NewCell(uint64(0)),
+	}
+	for i := 0; i < capacity; i++ {
+		r.seq[i] = NewCell(uint64(i))
+		r.vals[i] = newResultCell(vc)
+	}
+	return r
+}
+
+// enqOne appends v inside a critical section, reporting false when the
+// ring is full. Reads-then-writes on the ticket cells are
+// read-your-writes, so batch bodies can call it repeatedly.
+func (r *qring[T]) enqOne(tx *Tx, v T) bool {
+	h := Get(tx, r.head)
+	t := Get(tx, r.tail)
+	if t-h >= uint64(r.capacity) {
+		return false
+	}
+	i := int(t & r.mask)
+	Put(tx, r.vals[i], v)
+	Put(tx, r.seq[i], t+1)
+	Put(tx, r.tail, t+1)
+	Put(tx, r.enqs, Get(tx, r.enqs)+1)
+	return true
+}
+
+// deqOne pops the oldest element into out inside a critical section,
+// reporting false when the ring is empty. The freed slot's sequence
+// advances a full lap (h+capacity): it now awaits the enqueue ticket
+// that will next land on it.
+func (r *qring[T]) deqOne(tx *Tx, out *Cell[T]) bool {
+	h := Get(tx, r.head)
+	t := Get(tx, r.tail)
+	if h == t {
+		return false
+	}
+	i := int(h & r.mask)
+	Put(tx, out, Get(tx, r.vals[i]))
+	Put(tx, r.seq[i], h+uint64(r.capacity))
+	Put(tx, r.head, h+1)
+	Put(tx, r.deqs, Get(tx, r.deqs)+1)
+	return true
+}
+
+// moveOne migrates one element from the head of `from` to the tail of
+// `to` inside a critical section, reporting false when from is empty
+// or to is full. Migration preserves the moved elements' relative
+// order and does not touch the enqueue/dequeue counters — the element
+// was already counted when it entered the pool.
+func moveOne[T any](tx *Tx, from, to *qring[T]) bool {
+	h := Get(tx, from.head)
+	t := Get(tx, from.tail)
+	if h == t {
+		return false
+	}
+	th := Get(tx, to.head)
+	tt := Get(tx, to.tail)
+	if tt-th >= uint64(to.capacity) {
+		return false
+	}
+	i := int(h & from.mask)
+	j := int(tt & to.mask)
+	Put(tx, to.vals[j], Get(tx, from.vals[i]))
+	Put(tx, to.seq[j], tt+1)
+	Put(tx, to.tail, tt+1)
+	Put(tx, from.seq[i], h+uint64(from.capacity))
+	Put(tx, from.head, h+1)
+	return true
+}
+
+// reclaim frees up to max slots from the head without reading their
+// elements, stopping at ticket upto: the bulk variant of deqOne's
+// slot-freeing half, used by Log trim (the elements were broadcast, not
+// consumed-once, so nothing is popped). Freed slots advance their
+// sequence a full lap and count as dequeues. Returns the number freed.
+func (r *qring[T]) reclaim(tx *Tx, upto uint64, max int) int {
+	h := Get(tx, r.head)
+	n := 0
+	for h < upto && n < max {
+		i := int(h & r.mask)
+		Put(tx, r.seq[i], h+uint64(r.capacity))
+		h++
+		n++
+	}
+	if n > 0 {
+		Put(tx, r.head, h)
+		Put(tx, r.deqs, Get(tx, r.deqs)+uint64(n))
+	}
+	return n
+}
+
+// lenWith reads the ring's occupancy lock-free under an existing
+// process handle (see Queue.Len for the consistency caveat).
+func (r *qring[T]) lenWith(p *Process) int {
+	t := r.tail.Get(p)
+	h := r.head.Get(p)
+	n := int(t - h)
+	if n < 0 {
+		n = 0
+	}
+	if n > r.capacity {
+		n = r.capacity
+	}
+	return n
+}

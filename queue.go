@@ -48,106 +48,6 @@ type Queue[T any] struct {
 	batchBudget int // batch-of-`batch` critical section
 }
 
-// qring is the cell-resident state of one bounded ring: monotone
-// head/tail tickets, per-slot sequence numbers and elements, and the
-// traffic counters. It is shared by Queue (one ring, one lock) and
-// WorkPool (one ring per shard); the owner brings the locking, the ring
-// owns everything a lock protects. All mutation happens inside critical
-// sections through the enqOne/deqOne step helpers, whose operation
-// sequences are deterministic given cell reads — the idempotence
-// contract for helper re-execution.
-type qring[T any] struct {
-	vc       Codec[T] // result-cell codec
-	capacity int
-	mask     uint64
-
-	head *Cell[uint64] // next dequeue ticket
-	tail *Cell[uint64] // next enqueue ticket
-	seq  []*Cell[uint64]
-	vals []*Cell[T]
-
-	// Counters, bumped inside critical sections: exact at quiescence.
-	enqs    *Cell[uint64] // completed enqueues
-	deqs    *Cell[uint64] // completed dequeues
-	fulls   *Cell[uint64] // attempts that observed a full ring
-	empties *Cell[uint64] // attempts that observed an empty ring
-}
-
-// newQring builds a ring with the given power-of-two capacity. Slot i
-// starts with sequence number i — "awaiting enqueue ticket i" — and a
-// zeroed element (never decoded before an enqueue writes it, so no
-// codec invocation happens at construction).
-func newQring[T any](vc Codec[T], capacity int) qring[T] {
-	r := qring[T]{
-		vc:       vc,
-		capacity: capacity,
-		mask:     uint64(capacity - 1),
-		head:     NewCell(uint64(0)),
-		tail:     NewCell(uint64(0)),
-		seq:      make([]*Cell[uint64], capacity),
-		vals:     make([]*Cell[T], capacity),
-		enqs:     NewCell(uint64(0)),
-		deqs:     NewCell(uint64(0)),
-		fulls:    NewCell(uint64(0)),
-		empties:  NewCell(uint64(0)),
-	}
-	for i := 0; i < capacity; i++ {
-		r.seq[i] = NewCell(uint64(i))
-		r.vals[i] = newResultCell(vc)
-	}
-	return r
-}
-
-// enqOne appends v inside a critical section, reporting false when the
-// ring is full. Reads-then-writes on the ticket cells are
-// read-your-writes, so batch bodies can call it repeatedly.
-func (r *qring[T]) enqOne(tx *Tx, v T) bool {
-	h := Get(tx, r.head)
-	t := Get(tx, r.tail)
-	if t-h >= uint64(r.capacity) {
-		return false
-	}
-	i := int(t & r.mask)
-	Put(tx, r.vals[i], v)
-	Put(tx, r.seq[i], t+1)
-	Put(tx, r.tail, t+1)
-	Put(tx, r.enqs, Get(tx, r.enqs)+1)
-	return true
-}
-
-// deqOne pops the oldest element into out inside a critical section,
-// reporting false when the ring is empty. The freed slot's sequence
-// advances a full lap (h+capacity): it now awaits the enqueue ticket
-// that will next land on it.
-func (r *qring[T]) deqOne(tx *Tx, out *Cell[T]) bool {
-	h := Get(tx, r.head)
-	t := Get(tx, r.tail)
-	if h == t {
-		return false
-	}
-	i := int(h & r.mask)
-	Put(tx, out, Get(tx, r.vals[i]))
-	Put(tx, r.seq[i], h+uint64(r.capacity))
-	Put(tx, r.head, h+1)
-	Put(tx, r.deqs, Get(tx, r.deqs)+1)
-	return true
-}
-
-// lenWith reads the ring's occupancy lock-free under an existing
-// process handle (see Queue.Len for the consistency caveat).
-func (r *qring[T]) lenWith(p *Process) int {
-	t := r.tail.Get(p)
-	h := r.head.Get(p)
-	n := int(t - h)
-	if n < 0 {
-		n = 0
-	}
-	if n > r.capacity {
-		n = r.capacity
-	}
-	return n
-}
-
 // Default queue shape: 1024 slots, batches of 8 items per critical
 // section.
 const (

@@ -210,32 +210,6 @@ func (wp *WorkPool[T]) doSteal(p *Process, home, victim int, body func(*Tx)) {
 	}
 }
 
-// moveOne migrates one element from the head of `from` to the tail of
-// `to` inside a critical section, reporting false when from is empty
-// or to is full. Migration preserves the moved elements' relative
-// order and does not touch the enqueue/dequeue counters — the element
-// was already counted when it entered the pool.
-func moveOne[T any](tx *Tx, from, to *qring[T]) bool {
-	h := Get(tx, from.head)
-	t := Get(tx, from.tail)
-	if h == t {
-		return false
-	}
-	th := Get(tx, to.head)
-	tt := Get(tx, to.tail)
-	if tt-th >= uint64(to.capacity) {
-		return false
-	}
-	i := int(h & from.mask)
-	j := int(tt & to.mask)
-	Put(tx, to.vals[j], Get(tx, from.vals[i]))
-	Put(tx, to.seq[j], tt+1)
-	Put(tx, to.tail, tt+1)
-	Put(tx, from.seq[i], h+uint64(from.capacity))
-	Put(tx, from.head, h+1)
-	return true
-}
-
 // TryEnqueue submits v to the next shard in round-robin order, probing
 // each shard at most once; it reports false only when every shard is
 // full.
