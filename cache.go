@@ -638,6 +638,15 @@ type CacheStats struct {
 	MaxProbe int
 }
 
+// ShardLockID reports the ID of the shard lock covering key k — the
+// LockID that k's operations carry in Stats().Shards, ObsSnapshot.Locks
+// and the flight recorder's events. It is a pure hash computation (no
+// lock is taken), so callers can correlate request-level traces with
+// lock-level events without perturbing either.
+func (c *Cache[K, V]) ShardLockID(k K) int {
+	return c.locks[c.eng.ShardIndex(c.eng.Hash(k))].ID()
+}
+
 // Stats snapshots per-shard hit/miss/eviction/expiration counters,
 // sizes, and the shard lock's contention counters.
 func (c *Cache[K, V]) Stats() CacheStats {

@@ -57,15 +57,30 @@ func run() int {
 		p99max   = flag.Duration("p99max", 0, "fail (exit 1) if aggregate p99 exceeds this (0 = no bound)")
 		metrics  = flag.String("metrics", "", "with -loopback: HTTP listen address serving the in-process server's /metrics and /debug/pprof/ during the run")
 		trace    = flag.Int("trace", 0, "with -loopback: flight-recorder sample rate, 1 in N lock attempts (0 = off; implies latency metrics)")
+		tracefl  = flag.String("tracefile", "", "with -loopback: write the run's Chrome trace-event JSON (Perfetto-loadable, see /debug/wftrace) here after the run; implies -trace 1 unless -trace is set")
+		wdSteps  = flag.Uint64("wdsteps", 0, "with -loopback: stall-watchdog bound on delay steps charged to one attempt (0 = off)")
+		wdHelp   = flag.Duration("wdhelp", 0, "with -loopback: stall-watchdog bound on a single help run's wall time (0 = off)")
+		maxAl    = flag.Int("maxalerts", -1, "with -loopback: fail (exit 1) if stall alerts exceed this; needs -wdsteps or -wdhelp (-1 = no bound)")
 	)
 	flag.Parse()
 
-	dial, srv, cleanup, prefilled, err := dialer(*addr, *loopback, *stall, *prefill, *keys, *valBytes, *metrics != "" || *trace > 0, *trace)
+	if *tracefl != "" && *trace == 0 {
+		*trace = 1
+	}
+	if *maxAl >= 0 && *wdSteps == 0 && *wdHelp == 0 {
+		fmt.Fprintln(os.Stderr, "wfload: -maxalerts needs a watchdog bound: set -wdsteps or -wdhelp")
+		return 1
+	}
+	dial, srv, cleanup, prefilled, err := dialer(*addr, *loopback, *stall, *prefill, *keys, *valBytes, *metrics != "" || *trace > 0, *trace, *wdSteps, *wdHelp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfload: %v\n", err)
 		return 1
 	}
 	defer cleanup()
+	if srv == nil && (*tracefl != "" || *maxAl >= 0 || *wdSteps > 0 || *wdHelp > 0) {
+		fmt.Fprintln(os.Stderr, "wfload: -tracefile, -maxalerts, -wdsteps and -wdhelp need -loopback: they read the in-process server")
+		return 1
+	}
 
 	if *metrics != "" {
 		if srv == nil {
@@ -106,6 +121,15 @@ func run() int {
 	if srv != nil {
 		reportServer(srv)
 	}
+	// The trace artifact is written before the pass/fail checks so a
+	// failing run still leaves the evidence behind.
+	if *tracefl != "" {
+		if err := writeTraceFile(srv, *tracefl); err != nil {
+			fmt.Fprintf(os.Stderr, "wfload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wfload: trace written to %s (load in ui.perfetto.dev)\n", *tracefl)
+	}
 
 	if res.Total.Done == 0 || res.Total.Done != res.Total.Sent {
 		fmt.Fprintf(os.Stderr, "wfload: %d of %d scheduled ops answered\n", res.Total.Done, res.Total.Sent)
@@ -117,7 +141,27 @@ func run() int {
 			return 1
 		}
 	}
+	if *maxAl >= 0 {
+		if alerts := srv.Manager().Observe().StallAlerts; alerts > uint64(*maxAl) {
+			fmt.Fprintf(os.Stderr, "wfload: %d stall alerts exceed bound %d\n", alerts, *maxAl)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeTraceFile exports the loopback server's request spans joined
+// with its lock-level flight recorder as Chrome trace-event JSON.
+func writeTraceFile(srv *serve.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace file: %w", err)
+	}
+	if err := srv.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
 }
 
 // dialer picks the transport: TCP to -addr, or an in-process loopback
@@ -127,7 +171,7 @@ func run() int {
 // reports that so the generator skips its own wire prefill. The
 // returned server is non-nil only for the loopback path, where the
 // harness can expose and report its observability.
-func dialer(addr, loopback string, stall, prefill bool, keys, valBytes int, withMetrics bool, traceRate int) (func() (net.Conn, error), *serve.Server, func(), bool, error) {
+func dialer(addr, loopback string, stall, prefill bool, keys, valBytes int, withMetrics bool, traceRate int, wdSteps uint64, wdHelp time.Duration) (func() (net.Conn, error), *serve.Server, func(), bool, error) {
 	if loopback == "" {
 		if stall {
 			return nil, nil, nil, false, fmt.Errorf("-stall needs -loopback: a remote server's stalls are its own")
@@ -139,14 +183,16 @@ func dialer(addr, loopback string, stall, prefill bool, keys, valBytes int, with
 		capacity = 256
 	}
 	cfg := serve.Config{
-		Backend:     loopback,
-		Shards:      16,
-		Capacity:    capacity,
-		MaxKeyBytes: 16,
-		MaxValBytes: valBytes,
-		Metrics:     withMetrics,
-		TraceSample: traceRate,
-		NewManager:  bench.AdaptiveManager,
+		Backend:            loopback,
+		Shards:             16,
+		Capacity:           capacity,
+		MaxKeyBytes:        16,
+		MaxValBytes:        valBytes,
+		Metrics:            withMetrics,
+		TraceSample:        traceRate,
+		WatchdogDelaySteps: wdSteps,
+		WatchdogHelpRun:    wdHelp,
+		NewManager:         bench.AdaptiveManager,
 	}
 	var sp *bench.StallPoint
 	if stall {
@@ -194,6 +240,9 @@ func reportServer(s *serve.Server) {
 			time.Duration(os.HelpRun.Quantile(0.99)).Round(time.Microsecond))
 		if os.Events != nil {
 			fmt.Printf("  traced-events %d", len(os.Events))
+		}
+		if os.StallAlerts > 0 {
+			fmt.Printf("  stall-alerts %d", os.StallAlerts)
 		}
 	}
 	fmt.Println()

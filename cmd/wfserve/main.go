@@ -46,21 +46,25 @@ func run() int {
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM")
 		metrics  = flag.String("metrics", "", "HTTP listen address for /metrics, /debug/vars and /debug/pprof/ (empty = no endpoint)")
 		trace    = flag.Int("trace", 0, "flight-recorder sample rate: trace 1 in N lock attempts (0 = off; implies latency metrics)")
+		wdSteps  = flag.Uint64("wdsteps", 0, "stall-watchdog bound on delay steps charged to one attempt; excessions count stall alerts in STATS and /metrics (0 = off)")
+		wdHelp   = flag.Duration("wdhelp", 0, "stall-watchdog bound on a single help run's wall time (0 = off)")
 	)
 	flag.Parse()
 
 	s, err := serve.NewServer(serve.Config{
-		Backend:     *backend,
-		Shards:      *shards,
-		Capacity:    *capacity,
-		TTL:         *ttl,
-		Workers:     *workers,
-		JournalCap:  *journal,
-		MaxConns:    *maxConns,
-		MaxKeyBytes: *maxKey,
-		MaxValBytes: *maxVal,
-		Metrics:     *metrics != "",
-		TraceSample: *trace,
+		Backend:            *backend,
+		Shards:             *shards,
+		Capacity:           *capacity,
+		TTL:                *ttl,
+		Workers:            *workers,
+		JournalCap:         *journal,
+		MaxConns:           *maxConns,
+		MaxKeyBytes:        *maxKey,
+		MaxValBytes:        *maxVal,
+		Metrics:            *metrics != "",
+		TraceSample:        *trace,
+		WatchdogDelaySteps: *wdSteps,
+		WatchdogHelpRun:    *wdHelp,
 		// The paper's §6.2 unknown-bounds adaptive-delay configuration:
 		// per-shard contention in a server is far below the connection
 		// bound, and the adaptive delays track what actually contends.

@@ -405,4 +405,42 @@
 // delay share, per-op service times, dispatch-pool and backend-table
 // shape), expvar at /debug/vars, and pprof at /debug/pprof/; the RESP
 // STATS command reports the same numbers in-band.
+//
+// # Tracing a request end to end
+//
+// The counters above say how much helping happened; the causal layer
+// says to whom. Three pieces join a slow request to the lock-level
+// stall that explains it.
+//
+// Stall attribution charges every help run and delay step to the lock
+// it happened on: ObsSnapshot.Locks lists per-lock rows (helps, help
+// nanoseconds, delay steps, alerts), and Map.ShardLockID /
+// Cache.ShardLockID report which shard lock a given key's operations
+// run under, so "which keys pay for that lock" is a pure hash
+// computation away. WithStallWatchdog arms bounds on top: an attempt
+// charged more delay steps than one bound, or a single help run
+// longer than the other, counts ObsSnapshot.StallAlerts, attributes
+// the excession to its lock, and lands in a small alert ring
+// (ObsSnapshot.Alerts) — every excession alerts, not just sampled
+// ones, so the watchdog is production alerting, not debugging.
+// ObsSnapshot.Sub turns two snapshots into the interval delta the
+// benchmark tables and dashboards print (histograms subtract
+// bucket-wise; Events/Alerts windows pass through).
+//
+// The serve tier stamps a request span — read, admit, queue, execute,
+// flush, each a timestamp in the request's slab slot — for every
+// request when tracing is on, tagged with the shard lock ID its key
+// hashes to. /debug/wftrace (and wfload -tracefile) export the span
+// ring joined with the lock-level flight recorder as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev): process 1
+// shows requests by slab slot, process 2 shows lock attempts by pid,
+// and "why did this GET take 3ms" becomes visually finding the help
+// slice on lock N under the GET's span that names lock N.
+//
+// cmd/wftop watches the same numbers live: it polls /metrics or RESP
+// STATS every interval into a short time-series window and redraws
+// ops/s, help rate, fast-path rate, delay share, stall alerts and
+// per-shard occupancy; wftop -once prints a single report, and with
+// -minhelp fails unless the help rate reaches a bound — the CI shape
+// of "helping actually happened under the stall regime".
 package wflocks

@@ -214,6 +214,7 @@ func runWfcacheScenario(sc *workload.CacheScenario, v Variant, shards, workers, 
 	}
 	sp.Arm()
 	base := m.Stats()
+	obsBase := m.Observe()
 	baseCache := cache.Stats()
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -260,7 +261,7 @@ func runWfcacheScenario(sc *workload.CacheScenario, v Variant, shards, workers, 
 		fmt.Sprintf("%.3f", delta.SuccessRate()),
 		fmt.Sprintf("%.2f", float64(delta.Attempts)/float64(totalOps)),
 		fmt.Sprintf("%.3f", cs.Balance),
-	}, ObsCols(m, delta)...), nil
+	}, ObsCols(m, delta, obsBase)...), nil
 }
 
 // runMutexLRUScenario measures the baseline. It has one lock, so the

@@ -173,6 +173,7 @@ func runWfmapScenario(sc *workload.MapScenario, v Variant, shards, workers, opsP
 		}
 	}
 	base := m.Stats()
+	obsBase := m.Observe()
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -211,7 +212,7 @@ func runWfmapScenario(sc *workload.MapScenario, v Variant, shards, workers, opsP
 		fmt.Sprintf("%.2f", float64(delta.Attempts)/float64(totalOps)),
 		fmt.Sprintf("%.3f", ms.Balance),
 		fmt.Sprintf("%.2f", ms.MaxOverMean),
-	}, ObsCols(m, delta)...), nil
+	}, ObsCols(m, delta, obsBase)...), nil
 }
 
 // runMutexScenario measures one baseline configuration. Per-shard

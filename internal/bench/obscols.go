@@ -12,15 +12,18 @@ var ObsHeader = []string{"help/op", "fastpath", "delayshare"}
 
 // ObsCols renders the shared observability columns for one wf run:
 // help rate and fast-path rate over the run's counter delta, and —
-// when the manager records metrics — the delay share of its attempt
-// steps. Baseline (mutex/channel) rows use ObsBlank instead.
-func ObsCols(m *wflocks.Manager, delta wflocks.StatsSnapshot) []string {
+// when the manager records metrics — the delay share over the run's
+// step delta (obsBase is the ObsSnapshot taken before the run; with
+// ObsSnapshot.Sub the column reports this run, not the manager's
+// lifetime — warmup and prefill no longer dilute it). Baseline
+// (mutex/channel) rows use ObsBlank instead.
+func ObsCols(m *wflocks.Manager, delta wflocks.StatsSnapshot, obsBase wflocks.ObsSnapshot) []string {
 	cols := []string{
 		fmt.Sprintf("%.3f", delta.HelpRate()),
 		fmt.Sprintf("%.3f", delta.FastPathRate()),
 	}
-	if os := m.Observe(); os.Enabled {
-		cols = append(cols, fmt.Sprintf("%.3f", os.DelayShare()))
+	if od := m.Observe().Sub(obsBase); od.Enabled {
+		cols = append(cols, fmt.Sprintf("%.3f", od.DelayShare()))
 	} else {
 		cols = append(cols, "-")
 	}

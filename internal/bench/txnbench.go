@@ -214,6 +214,7 @@ func runWfmapTxn(sc *workload.TxnScenario, v Variant, l, opsPer int, stallLabel 
 	}
 	sp.Arm()
 	base := m.Stats()
+	obsBase := m.Observe()
 	var wg sync.WaitGroup
 	errc := make(chan error, txnWorkers)
 	start := time.Now()
@@ -289,7 +290,7 @@ func runWfmapTxn(sc *workload.TxnScenario, v Variant, l, opsPer int, stallLabel 
 		fmt.Sprintf("%.3f", delta.SuccessRate()),
 		fmt.Sprintf("%.2f", float64(delta.Attempts)/float64(totalOps)),
 		conserved,
-	}, ObsCols(m, delta)...), nil
+	}, ObsCols(m, delta, obsBase)...), nil
 }
 
 // runMultiMutexTxn measures the baseline at keys-per-txn l.

@@ -375,6 +375,7 @@ func (p *Descriptor) stallTo(e env.Env, target uint64) {
 		if now := e.Steps(); target > now {
 			iters := target - now
 			p.delayIters += iters
+			rec.RecDelay(p.locks[0].id, iters)
 			if p.traced {
 				rec.TraceEvent(obs.EvDelay, e.Pid(), p.locks[0].id, iters)
 			}
@@ -391,7 +392,7 @@ func (s *System) endAttempt(e env.Env, p *Descriptor, won bool) {
 	if rec == nil {
 		return
 	}
-	rec.EndAttempt(e.Pid(), e.Steps()-p.startStep, p.delayIters)
+	rec.EndAttempt(e.Pid(), p.locks[0].id, e.Steps()-p.startStep, p.delayIters)
 	if p.traced {
 		kind := obs.EvLose
 		if won {
@@ -414,7 +415,7 @@ func (s *System) helpOne(e env.Env, p *Descriptor, l *Lock, q *Descriptor, activ
 	start := time.Now()
 	s.run(e, q)
 	ns := uint64(time.Since(start))
-	rec.RecHelp(e.Pid(), ns)
+	rec.RecHelp(e.Pid(), l.id, ns)
 	if p.traced {
 		rec.TraceEvent(obs.EvHelp, e.Pid(), l.id, ns)
 	}

@@ -1,0 +1,125 @@
+package obs
+
+import "sync/atomic"
+
+// attribSlots is the size of the per-lock attribution table. Lock IDs
+// hash in by low bits; two locks whose IDs collide modulo the table
+// size share a slot (the slot remembers the most recent ID it saw, so
+// a collision is visible as a changing id label, not silent). 512
+// covers every realistic shard count — a 16-shard server uses 16 IDs.
+const attribSlots = 512
+
+// attribSlot accumulates the stall-attribution counters for one lock:
+// how often attempts helped past a (possibly stalled) holder on it, how
+// much wall time those help runs burned, how many delay-schedule steps
+// it charged to bystanders, and how many watchdog alerts it triggered.
+// Plain atomics, unpadded: these are keyed by lock, so contention on a
+// slot mirrors contention on the lock itself and stays off the
+// uncontended path entirely.
+type attribSlot struct {
+	id         atomic.Int64 // lockID+1; 0 = never written
+	helps      atomic.Uint64
+	helpNanos  atomic.Uint64
+	delaySteps atomic.Uint64
+	alerts     atomic.Uint64
+}
+
+// LockAttrib is one lock's decoded attribution counters.
+type LockAttrib struct {
+	// LockID is the lock the counters are attributed to (the most
+	// recent ID to land in this table slot, see attribSlots).
+	LockID int
+	// Helps counts help runs that ran a still-undecided descriptor on
+	// this lock to a decision — attempts pushed past a holder.
+	Helps uint64
+	// HelpNanos is the total wall time of those help runs: the
+	// collateral cost the lock's holders imposed on bystanders.
+	HelpNanos uint64
+	// DelaySteps is the total delay-schedule steps attempts burned at
+	// delay points while this was their first lock.
+	DelaySteps uint64
+	// Alerts counts watchdog excessions attributed to this lock.
+	Alerts uint64
+}
+
+// attrib maps a lock ID to its table slot.
+func (r *Recorder) attrib(lockID int) *attribSlot {
+	s := &r.attribs[uint(lockID)%attribSlots]
+	if s.id.Load() != int64(lockID)+1 {
+		s.id.Store(int64(lockID) + 1)
+	}
+	return s
+}
+
+// Attrib snapshots the nonzero per-lock attribution rows, ordered by
+// lock ID. Nil when no lock has been charged anything yet.
+func (r *Recorder) Attrib() []LockAttrib {
+	var out []LockAttrib
+	for i := range r.attribs {
+		s := &r.attribs[i]
+		id := s.id.Load()
+		if id == 0 {
+			continue
+		}
+		a := LockAttrib{
+			LockID:     int(id - 1),
+			Helps:      s.helps.Load(),
+			HelpNanos:  s.helpNanos.Load(),
+			DelaySteps: s.delaySteps.Load(),
+			Alerts:     s.alerts.Load(),
+		}
+		if a.Helps == 0 && a.DelaySteps == 0 && a.Alerts == 0 {
+			continue
+		}
+		out = append(out, a)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].LockID > out[j].LockID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// SetWatchdog arms the stall watchdog: any attempt charged more than
+// maxDelaySteps delay-schedule steps, or any single help run longer
+// than maxHelpNanos wall nanoseconds, increments StallAlerts, the
+// offending lock's attribution row, and lands in the alert ring (last
+// alertCap alerts, minimum ring granularity applies). A zero bound
+// disables that check; calling with both bounds zero disarms the
+// watchdog. Not safe to call concurrently with recording — arm it at
+// configuration time.
+func (r *Recorder) SetWatchdog(maxDelaySteps, maxHelpNanos uint64, alertCap int) {
+	r.wdDelaySteps = maxDelaySteps
+	r.wdHelpNanos = maxHelpNanos
+	if (maxDelaySteps > 0 || maxHelpNanos > 0) && r.alertRing == nil {
+		if alertCap <= 0 {
+			alertCap = 64
+		}
+		r.alertRing = NewRing(alertCap)
+	}
+}
+
+// Watchdog reports the armed bounds (zero = that check is off).
+func (r *Recorder) Watchdog() (maxDelaySteps, maxHelpNanos uint64) {
+	return r.wdDelaySteps, r.wdHelpNanos
+}
+
+// StallAlerts reports the total watchdog excessions recorded.
+func (r *Recorder) StallAlerts() uint64 { return r.stallAlerts.Load() }
+
+// Alerts snapshots the alert ring, oldest first; nil when the watchdog
+// never fired or is disarmed.
+func (r *Recorder) Alerts() []Event {
+	if r.alertRing == nil {
+		return nil
+	}
+	return r.alertRing.Snapshot()
+}
+
+// alert records one watchdog excession.
+func (r *Recorder) alert(kind EventKind, pid, lockID int, value uint64) {
+	r.stallAlerts.Add(1)
+	r.attrib(lockID).alerts.Add(1)
+	r.alertRing.Append(kind, pid, lockID, value)
+}

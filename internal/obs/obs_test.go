@@ -3,6 +3,7 @@ package obs
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"wflocks/internal/stats"
 )
@@ -166,9 +167,9 @@ func TestSamplingDeterminism(t *testing.T) {
 // the delay-share metric.
 func TestRecorderCounters(t *testing.T) {
 	r := NewRecorder(2, 0, 0)
-	r.EndAttempt(0, 100, 30)
-	r.EndAttempt(1, 50, 0)
-	r.RecHelp(0, 700)
+	r.EndAttempt(0, 7, 100, 30)
+	r.EndAttempt(1, 7, 50, 0)
+	r.RecHelp(0, 7, 700)
 	if r.AttemptSteps() != 150 || r.DelaySteps() != 30 {
 		t.Fatalf("steps %d/%d, want 150/30", r.AttemptSteps(), r.DelaySteps())
 	}
@@ -182,3 +183,133 @@ func TestRecorderCounters(t *testing.T) {
 		t.Fatal("no tracing: Events must be nil")
 	}
 }
+
+// TestAttribution checks the per-lock stall-attribution rows: helps and
+// their wall time key by the helped lock, delay steps by the charged
+// attempt's first lock, and rows come back sorted by lock ID.
+func TestAttribution(t *testing.T) {
+	r := NewRecorder(2, 0, 0)
+	r.RecHelp(0, 5, 1000)
+	r.RecHelp(1, 5, 500)
+	r.RecHelp(2, 3, 200)
+	r.RecDelay(5, 40)
+	r.RecDelay(9, 8)
+	rows := r.Attrib()
+	if len(rows) != 3 {
+		t.Fatalf("attribution rows %v, want 3", rows)
+	}
+	if rows[0].LockID != 3 || rows[0].Helps != 1 || rows[0].HelpNanos != 200 {
+		t.Fatalf("lock 3 row %+v", rows[0])
+	}
+	if rows[1].LockID != 5 || rows[1].Helps != 2 || rows[1].HelpNanos != 1500 || rows[1].DelaySteps != 40 {
+		t.Fatalf("lock 5 row %+v", rows[1])
+	}
+	if rows[2].LockID != 9 || rows[2].DelaySteps != 8 {
+		t.Fatalf("lock 9 row %+v", rows[2])
+	}
+}
+
+// TestWatchdog checks both watchdog checks: a help run over the wall
+// bound and an attempt over the delay-step bound each raise exactly one
+// alert, land in the alert ring with the offending lock and value, and
+// below-bound activity stays silent.
+func TestWatchdog(t *testing.T) {
+	r := NewRecorder(2, 0, 0)
+	r.SetWatchdog(100, 1000, 16)
+
+	r.RecHelp(0, 4, 999) // at/below bound: silent
+	r.EndAttempt(0, 4, 500, 100)
+	if r.StallAlerts() != 0 {
+		t.Fatalf("below-bound activity raised %d alerts", r.StallAlerts())
+	}
+
+	r.RecHelp(1, 4, 5000)
+	r.EndAttempt(2, 6, 900, 333)
+	if r.StallAlerts() != 2 {
+		t.Fatalf("alerts %d, want 2", r.StallAlerts())
+	}
+	evs := r.Alerts()
+	if len(evs) != 2 {
+		t.Fatalf("alert ring has %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != EvAlertHelp || evs[0].LockID != 4 || evs[0].Value != 5000 {
+		t.Fatalf("first alert %+v", evs[0])
+	}
+	if evs[1].Kind != EvAlertDelay || evs[1].LockID != 6 || evs[1].Value != 333 {
+		t.Fatalf("second alert %+v", evs[1])
+	}
+	rows := r.Attrib()
+	var found bool
+	for _, a := range rows {
+		if a.LockID == 4 && a.Alerts == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lock 4 alert not attributed: %+v", rows)
+	}
+
+	// Disarmed recorder never alerts.
+	off := NewRecorder(1, 0, 0)
+	off.RecHelp(0, 1, 1<<40)
+	off.EndAttempt(0, 1, 1<<40, 1<<40)
+	if off.StallAlerts() != 0 || off.Alerts() != nil {
+		t.Fatal("disarmed watchdog fired")
+	}
+}
+
+// TestSpanRing checks publish/snapshot ordering and the ring's
+// overwrite behaviour at capacity.
+func TestSpanRing(t *testing.T) {
+	r := NewSpanRing(0) // rounds up to the 64 minimum
+	if r.Cap() != 64 {
+		t.Fatalf("cap %d, want 64", r.Cap())
+	}
+	for i := 1; i <= 100; i++ {
+		r.Publish(&Span{ID: uint64(i), Op: "GET", LockID: i % 4, ReadNS: int64(i)})
+	}
+	spans := r.Snapshot()
+	if len(spans) != 64 {
+		t.Fatalf("snapshot %d spans, want 64", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(37 + i); s.ID != want {
+			t.Fatalf("span %d has ID %d, want %d (oldest surviving = 37)", i, s.ID, want)
+		}
+	}
+}
+
+// TestWindow checks the trailing-window sample lookup feeding rate
+// computations.
+func TestWindow(t *testing.T) {
+	w := NewWindow[uint64](4)
+	if _, ok := w.Latest(); ok {
+		t.Fatal("empty window returned a sample")
+	}
+	base := timeAt(0)
+	for i := 1; i <= 6; i++ {
+		w.Add(timeAt(i), uint64(i*10))
+	}
+	if w.Len() != 4 {
+		t.Fatalf("len %d, want 4", w.Len())
+	}
+	if s, _ := w.Latest(); s.Val != 60 {
+		t.Fatalf("latest %d, want 60", s.Val)
+	}
+	if s, _ := w.Oldest(); s.Val != 30 {
+		t.Fatalf("oldest %d, want 30 (1, 2 evicted)", s.Val)
+	}
+	// Exact hit, between-samples hit, and before-all fallback.
+	if s, _ := w.At(timeAt(5)); s.Val != 50 {
+		t.Fatalf("At(5) = %d, want 50", s.Val)
+	}
+	if s, _ := w.At(timeAt(4).Add(500)); s.Val != 40 {
+		t.Fatalf("At(4.5) = %d, want 40", s.Val)
+	}
+	if s, _ := w.At(base); s.Val != 30 {
+		t.Fatalf("At(0) fallback = %d, want oldest 30", s.Val)
+	}
+}
+
+// timeAt builds deterministic test timestamps i seconds apart.
+func timeAt(i int) time.Time { return time.Unix(1700000000+int64(i), 0) }

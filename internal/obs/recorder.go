@@ -33,10 +33,23 @@ type Recorder struct {
 	sampleMask uint64
 	ctr        atomic.Uint64
 
+	// Stall watchdog (SetWatchdog): plain-word bounds armed at
+	// configuration time, an excession counter, and a small dedicated
+	// ring holding the last alerts. Zero bounds compile to two loads
+	// and two never-taken branches on the recording paths.
+	wdDelaySteps uint64
+	wdHelpNanos  uint64
+	alertRing    *Ring
+
+	// Per-lock stall attribution, keyed by lockID modulo the table
+	// size (see attribSlot).
+	attribs [attribSlots]attribSlot
+
 	_            [48]byte
 	attemptSteps padUint64
 	delaySteps   padUint64
 	helpNanos    padUint64
+	stallAlerts  padUint64
 }
 
 // NewRecorder creates a recorder with the given histogram shard count.
@@ -83,18 +96,37 @@ func (r *Recorder) TraceEvent(kind EventKind, pid, lockID int, value uint64) {
 // RecAcquire records one winning acquisition's latency.
 func (r *Recorder) RecAcquire(pid int, ns uint64) { r.Acquire.Record(pid, ns) }
 
-// RecHelp records one help-run's wall duration.
-func (r *Recorder) RecHelp(pid int, ns uint64) {
+// RecHelp records one help-run's wall duration, attributes it to the
+// lock whose descriptor was helped, and fires the watchdog when the
+// run exceeded the armed bound.
+func (r *Recorder) RecHelp(pid, lockID int, ns uint64) {
 	r.Help.Record(pid, ns)
 	r.helpNanos.Add(ns)
+	a := r.attrib(lockID)
+	a.helps.Add(1)
+	a.helpNanos.Add(ns)
+	if bound := r.wdHelpNanos; bound > 0 && ns > bound {
+		r.alert(EvAlertHelp, pid, lockID, ns)
+	}
+}
+
+// RecDelay attributes delay-schedule steps burned at one delay point to
+// the attempt's first lock. The per-attempt total still lands in the
+// Delay histogram via EndAttempt.
+func (r *Recorder) RecDelay(lockID int, steps uint64) {
+	r.attrib(lockID).delaySteps.Add(steps)
 }
 
 // EndAttempt records one finished attempt: its total step count and the
-// delay-schedule steps charged to it.
-func (r *Recorder) EndAttempt(pid int, steps, delaySteps uint64) {
+// delay-schedule steps charged to it, firing the watchdog when the
+// delay charge exceeded the armed bound.
+func (r *Recorder) EndAttempt(pid, lockID int, steps, delaySteps uint64) {
 	r.attemptSteps.Add(steps)
 	r.delaySteps.Add(delaySteps)
 	r.Delay.Record(pid, delaySteps)
+	if bound := r.wdDelaySteps; bound > 0 && delaySteps > bound {
+		r.alert(EvAlertDelay, pid, lockID, delaySteps)
+	}
 }
 
 // AttemptSteps reports the total steps taken by finished attempts.

@@ -21,6 +21,13 @@ const (
 	EvHelp
 	EvWin
 	EvLose
+	// Watchdog alerts: emitted (into the separate alert ring) when an
+	// attempt's charged delay steps (EvAlertDelay, Value = steps) or a
+	// single help run's wall time (EvAlertHelp, Value = nanoseconds)
+	// exceeded the configured watchdog bound. Unlike lifecycle events
+	// these are not sampled — every excession alerts.
+	EvAlertDelay
+	EvAlertHelp
 )
 
 // String renders the kind for diagnostics.
@@ -38,6 +45,10 @@ func (k EventKind) String() string {
 		return "win"
 	case EvLose:
 		return "lose"
+	case EvAlertDelay:
+		return "alert-delay"
+	case EvAlertHelp:
+		return "alert-help"
 	}
 	return "event(?)"
 }

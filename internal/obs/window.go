@@ -1,0 +1,79 @@
+package obs
+
+import "time"
+
+// Sample is one timestamped observation in a Window.
+type Sample[T any] struct {
+	At  time.Time
+	Val T
+}
+
+// Window is a fixed-size ring of timestamped samples — the time-series
+// layer under rate displays: poll a cumulative snapshot every interval,
+// Add it, and the rate over the last N seconds is the delta between
+// Latest and At(now - N) divided by their timestamp gap. Not safe for
+// concurrent use; it belongs to one polling loop.
+type Window[T any] struct {
+	buf   []Sample[T]
+	next  int
+	count int
+}
+
+// NewWindow creates a window retaining the most recent capacity
+// samples (minimum 2 — a rate needs two points).
+func NewWindow[T any](capacity int) *Window[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Window[T]{buf: make([]Sample[T], capacity)}
+}
+
+// Add appends one sample, evicting the oldest when full.
+func (w *Window[T]) Add(at time.Time, v T) {
+	w.buf[w.next] = Sample[T]{At: at, Val: v}
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+}
+
+// Len reports the number of retained samples.
+func (w *Window[T]) Len() int { return w.count }
+
+// Latest returns the most recent sample; ok is false when empty.
+func (w *Window[T]) Latest() (s Sample[T], ok bool) {
+	if w.count == 0 {
+		return s, false
+	}
+	return w.buf[(w.next-1+len(w.buf))%len(w.buf)], true
+}
+
+// Oldest returns the oldest retained sample; ok is false when empty.
+func (w *Window[T]) Oldest() (s Sample[T], ok bool) {
+	if w.count == 0 {
+		return s, false
+	}
+	if w.count < len(w.buf) {
+		return w.buf[0], true
+	}
+	return w.buf[w.next], true
+}
+
+// At returns the newest retained sample whose timestamp is not after
+// t — the far endpoint for a rate over the trailing window ending now.
+// Falls back to the oldest sample when every retained sample is newer
+// than t; ok is false only when the window is empty.
+func (w *Window[T]) At(t time.Time) (s Sample[T], ok bool) {
+	if w.count == 0 {
+		return s, false
+	}
+	best, found := Sample[T]{}, false
+	for i := 0; i < w.count; i++ {
+		c := w.buf[(w.next-1-i+2*len(w.buf))%len(w.buf)]
+		if !c.At.After(t) {
+			return c, true
+		}
+		best, found = c, true
+	}
+	return best, found
+}

@@ -23,6 +23,11 @@ type Backend interface {
 	Set(key, val string, ttl time.Duration) error
 	// Del removes key, reporting whether it was present.
 	Del(key string) bool
+	// LockID reports the ID of the shard lock key's operations run
+	// under — the correlation key joining request spans to the flight
+	// recorder's lock events — or -1 for backends without lock IDs
+	// (mutex). A pure hash computation; no lock is taken.
+	LockID(key string) int
 	// Name identifies the backend in STATS output.
 	Name() string
 }
@@ -100,6 +105,8 @@ func (b *mapBackend) Set(key, val string, ttl time.Duration) error {
 
 func (b *mapBackend) Del(key string) bool { return b.m.Delete(key) }
 
+func (b *mapBackend) LockID(key string) int { return b.m.ShardLockID(key) }
+
 func (b *mapBackend) TableShards() []TableShardInfo {
 	st := b.m.Stats()
 	out := make([]TableShardInfo, len(st.Shards))
@@ -147,6 +154,8 @@ func (b *cacheBackend) Set(key, val string, ttl time.Duration) error {
 }
 
 func (b *cacheBackend) Del(key string) bool { return b.c.Delete(key) }
+
+func (b *cacheBackend) LockID(key string) int { return b.c.ShardLockID(key) }
 
 func (b *cacheBackend) TableShards() []TableShardInfo {
 	st := b.c.Stats()
@@ -201,6 +210,10 @@ func newMutexBackend(cfg *Config, hook func()) Backend {
 }
 
 func (b *mutexBackend) Name() string { return "mutex" }
+
+// LockID reports -1: mutex shards have no wait-free lock IDs to
+// correlate against.
+func (b *mutexBackend) LockID(string) int { return -1 }
 
 // fnv1a hashes key for shard selection (the same job the wait-free
 // backends' codec-word hash does).

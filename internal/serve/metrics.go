@@ -29,6 +29,13 @@ func (s *Server) MetricsMux() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprint(w, s.metricsText())
 	})
+	mux.HandleFunc("/debug/wftrace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="wftrace.json"`)
+		if err := s.WriteTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -74,9 +81,30 @@ func (s *Server) metricsText() string {
 		fmt.Fprintf(&b, "wflocks_attempt_steps_total %d\n", os.AttemptSteps)
 		fmt.Fprintf(&b, "wflocks_delay_steps_total %d\n", os.DelaySteps)
 		fmt.Fprintf(&b, "wflocks_help_nanos_total %d\n", os.HelpNanos)
+		fmt.Fprintf(&b, "wflocks_stall_alerts_total %d\n", os.StallAlerts)
 		writeQuantiles(&b, "wflocks_acquire_ns", os.Acquire)
 		writeQuantiles(&b, "wflocks_delay_iters", os.DelayIters)
 		writeQuantiles(&b, "wflocks_help_run_ns", os.HelpRun)
+
+		// Per-lock stall attribution: which shard lock charged whom.
+		for _, l := range os.Locks {
+			fmt.Fprintf(&b, "wflocks_lock_helps_total{lock=\"%d\"} %d\n", l.LockID, l.Helps)
+			fmt.Fprintf(&b, "wflocks_lock_help_nanos_total{lock=\"%d\"} %d\n", l.LockID, l.HelpNanos)
+			fmt.Fprintf(&b, "wflocks_lock_delay_steps_total{lock=\"%d\"} %d\n", l.LockID, l.DelaySteps)
+			fmt.Fprintf(&b, "wflocks_lock_alerts_total{lock=\"%d\"} %d\n", l.LockID, l.Alerts)
+		}
+	}
+
+	// Change journal: append/trim/retention/lag gauges (the STATS
+	// journal_* block as Prometheus series).
+	if s.journal != nil {
+		js := s.journal.Stats()
+		fmt.Fprintf(&b, "wfserve_journal_appends_total %d\n", js.Appends)
+		fmt.Fprintf(&b, "wfserve_journal_trimmed_total %d\n", js.Trimmed)
+		fmt.Fprintf(&b, "wfserve_journal_retained %d\n", js.Len)
+		fmt.Fprintf(&b, "wfserve_journal_lag_max %d\n", js.MaxLag)
+		fmt.Fprintf(&b, "wfserve_journal_reads_total %d\n", js.Reads)
+		fmt.Fprintf(&b, "wfserve_journal_dropped_total %d\n", s.stats.journalDrops.Load())
 	}
 
 	// Per-op service-time summaries (dequeue to response ready).

@@ -1,12 +1,14 @@
 package serve_test
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"wflocks/internal/serve"
 )
@@ -92,6 +94,104 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(body, "wfserve_workers 4") {
 		t.Errorf("worker count not exported:\n%s", body)
+	}
+	// TraceSample implies metrics, so the stall-alert counter renders
+	// (zero here: no watchdog bound is armed).
+	if !regexp.MustCompile(`(?m)^wflocks_stall_alerts_total \d+$`).MatchString(body) {
+		t.Errorf("/metrics missing wflocks_stall_alerts_total:\n%s", body)
+	}
+	// No journal configured, so no journal series.
+	if strings.Contains(body, "wfserve_journal_") {
+		t.Errorf("journal series must be absent without Config.JournalCap:\n%s", body)
+	}
+}
+
+func TestMetricsJournalSeries(t *testing.T) {
+	_, h := metricsServer(t, serve.Config{Workers: 4, JournalCap: 1024})
+	code, body := get(t, h.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	// The 64 SETs and the DEL pushed by metricsServer are all appends.
+	for _, re := range []string{
+		`(?m)^wfserve_journal_appends_total [1-9]\d*$`,
+		`(?m)^wfserve_journal_trimmed_total \d+$`,
+		`(?m)^wfserve_journal_retained [1-9]\d*$`,
+		`(?m)^wfserve_journal_lag_max \d+$`,
+		`(?m)^wfserve_journal_reads_total \d+$`,
+		`(?m)^wfserve_journal_dropped_total \d+$`,
+	} {
+		if !regexp.MustCompile(re).MatchString(body) {
+			t.Errorf("/metrics missing journal series %s\n%s", re, body)
+		}
+	}
+}
+
+// TestStatsStallAlerts drives the stall regime until the help-run
+// watchdog fires, then checks the alerts surface everywhere they
+// should: the STATS stall_alerts line and alert ring, the /metrics
+// stall-alert counter, and the per-lock attribution series.
+func TestStatsStallAlerts(t *testing.T) {
+	srv, lis := startServer(t, serve.Config{
+		Backend:         serve.BackendCache,
+		Shards:          1,
+		Workers:         8,
+		WatchdogHelpRun: 50 * time.Microsecond,
+		Stall:           func() { time.Sleep(200 * time.Microsecond) },
+	})
+	conns := make([]*client, 4)
+	for i := range conns {
+		conns[i] = dial(t, lis)
+	}
+	const per = 16
+	deadline := time.Now().Add(20 * time.Second)
+	for round := 0; srv.Manager().Observe().StallAlerts == 0; round++ {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never fired under the stall regime")
+		}
+		for ci, c := range conns {
+			var buf []byte
+			for j := 0; j < per; j++ {
+				buf = serve.AppendCommand(buf, "SET", fmt.Sprintf("k%d-%d-%d", ci, round, j), "v")
+			}
+			if _, err := c.conn.Write(buf); err != nil {
+				t.Fatalf("round %d: write burst: %v", round, err)
+			}
+		}
+		for ci, c := range conns {
+			for j := 0; j < per; j++ {
+				if r, err := serve.ReadReply(c.br); err != nil || r.Str != "OK" {
+					t.Fatalf("round %d conn %d SET %d reply = %+v, %v", round, ci, j, r, err)
+				}
+			}
+		}
+	}
+
+	c := dial(t, lis)
+	r := c.do(t, "STATS")
+	if !regexp.MustCompile(`stall_alerts:[1-9]\d*`).MatchString(r.Str) {
+		t.Errorf("STATS missing nonzero stall_alerts:\n%s", r.Str)
+	}
+	if !regexp.MustCompile(`alert0:alert-(help|delay) lock=\d+ pid=\d+ value=[1-9]\d*`).MatchString(r.Str) {
+		t.Errorf("STATS missing alert ring lines:\n%s", r.Str)
+	}
+
+	h := httptest.NewServer(srv.MetricsMux())
+	t.Cleanup(h.Close)
+	code, body := get(t, h.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, re := range []string{
+		`(?m)^wflocks_stall_alerts_total [1-9]\d*$`,
+		// Watchdog alerts imply help runs, attributed to the shard lock.
+		`(?m)^wflocks_lock_helps_total\{lock="\d+"\} [1-9]\d*$`,
+		`(?m)^wflocks_lock_help_nanos_total\{lock="\d+"\} [1-9]\d*$`,
+		`(?m)^wflocks_lock_alerts_total\{lock="\d+"\} [1-9]\d*$`,
+	} {
+		if !regexp.MustCompile(re).MatchString(body) {
+			t.Errorf("/metrics missing series %s\n%s", re, body)
+		}
 	}
 }
 

@@ -80,6 +80,29 @@ type Config struct {
 	// sampled flight recorder (wflocks.WithTracing, implying Metrics).
 	Metrics     bool
 	TraceSample int
+	// TraceRing is the lock-level flight recorder's event capacity
+	// (default 65536 here, not the library's 4096: the server shares
+	// one manager between the backend and the dispatch pool, and idle
+	// workers polling empty queue shards append fast-path attempts
+	// continuously — a small ring would evict the interesting backend
+	// events within milliseconds of a burst).
+	TraceRing int
+	// SpanRing is the capacity of the request-span flight recorder
+	// (default 2048). Spans are recorded whenever TraceSample > 0: every
+	// request's trip through the pipeline — read, admit, queue, execute,
+	// flush — is stamped in its slab slot and published on completion,
+	// joinable against the lock-level flight recorder by lock ID (see
+	// WriteTrace and /debug/wftrace on MetricsMux).
+	SpanRing int
+	// WatchdogDelaySteps and WatchdogHelpRun arm the lock manager's
+	// stall watchdog (wflocks.WithStallWatchdog, implying Metrics): an
+	// attempt charged more delay-schedule steps than the former, or a
+	// single help run longer than the latter, counts a stall alert —
+	// exposed as wflocks_stall_alerts_total on /metrics and as
+	// stall_alerts plus an alert ring in STATS. Zero disables that
+	// bound.
+	WatchdogDelaySteps uint64
+	WatchdogHelpRun    time.Duration
 	// NewManager builds the wait-free lock manager hosting the backend
 	// and the dispatch pool. procs is the peak number of goroutines
 	// that may contend (workers + connections + headroom), maxLocks and
@@ -135,6 +158,15 @@ func (cfg Config) withDefaults() Config {
 	if cfg.TraceSample > 0 {
 		cfg.Metrics = true
 	}
+	if cfg.WatchdogDelaySteps > 0 || cfg.WatchdogHelpRun > 0 {
+		cfg.Metrics = true
+	}
+	if cfg.SpanRing <= 0 {
+		cfg.SpanRing = 2048
+	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 65536
+	}
 	if cfg.NewManager == nil {
 		cfg.NewManager = func(procs, maxLocks, maxCritical int, extra ...wflocks.Option) (*wflocks.Manager, error) {
 			opts := []wflocks.Option{
@@ -157,6 +189,14 @@ type request struct {
 	req  Request
 	resp []byte
 	done chan struct{}
+
+	// span is the request's causal trace, stamped in place as the slot
+	// moves through the pipeline (reader → worker → writer). Plain
+	// stores: each stage's writes are ordered by the pipeline's own
+	// happens-before edges (free-list receive, queue hand-off, done
+	// close), so no stage races another. Only populated when the
+	// server records spans (Config.TraceSample > 0).
+	span obs.Span
 }
 
 // Server is the KV/cache service: an accept loop feeding per-connection
@@ -173,6 +213,13 @@ type Server struct {
 	// opHists are the per-op service-time histograms (request dequeue to
 	// response ready), sharded by worker index; nil without Config.Metrics.
 	opGets, opSets, opDels *obs.PHist
+
+	// spans is the request-span flight recorder; nil unless
+	// Config.TraceSample > 0, and every span-stamping site is guarded
+	// by that one nil check. reqID and connID label spans.
+	spans  *obs.SpanRing
+	reqID  atomic.Uint64
+	connID atomic.Uint64
 
 	// slab holds in-flight requests; the pool carries slab indices
 	// (single-word elements keep the pool's critical sections O(1)).
@@ -242,9 +289,13 @@ func NewServer(cfg Config) (*Server, error) {
 	procs := cfg.Workers + cfg.MaxConns + 4
 	var extra []wflocks.Option
 	if cfg.TraceSample > 0 {
-		extra = append(extra, wflocks.WithTracing(cfg.TraceSample))
+		extra = append(extra, wflocks.WithTracing(cfg.TraceSample),
+			wflocks.WithTraceRing(cfg.TraceRing))
 	} else if cfg.Metrics {
 		extra = append(extra, wflocks.WithMetrics())
+	}
+	if cfg.WatchdogDelaySteps > 0 || cfg.WatchdogHelpRun > 0 {
+		extra = append(extra, wflocks.WithStallWatchdog(cfg.WatchdogDelaySteps, cfg.WatchdogHelpRun))
 	}
 	mgr, err := cfg.NewManager(procs, 2, maxCritical, extra...)
 	if err != nil {
@@ -297,6 +348,9 @@ func NewServer(cfg Config) (*Server, error) {
 		s.opGets = obs.NewPHist(cfg.Workers)
 		s.opSets = obs.NewPHist(cfg.Workers)
 		s.opDels = obs.NewPHist(cfg.Workers)
+	}
+	if cfg.TraceSample > 0 {
+		s.spans = obs.NewSpanRing(cfg.SpanRing)
 	}
 	for i := range s.slab {
 		s.slab[i].idx = i
@@ -423,6 +477,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.connsWG.Done()
 	defer close(pending)
 
+	var connID uint64
+	if s.spans != nil {
+		connID = s.connID.Add(1)
+	}
+
 	// inFlight tracks the last dispatched request per key, so pipelined
 	// commands on one connection read their own writes: a request waits
 	// for its same-key predecessor to execute before dispatching.
@@ -463,6 +522,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		case OpStats:
 			pending <- &request{idx: -1, resp: AppendBulk(nil, s.statsText()), done: closedChan}
 		default:
+			var readNS int64
+			if s.spans != nil {
+				readNS = time.Now().UnixNano()
+			}
 			if prev, ok := inFlight[req.Key]; ok {
 				<-prev
 				delete(inFlight, req.Key)
@@ -480,6 +543,25 @@ func (s *Server) handleConn(conn net.Conn) {
 			slot.req = req
 			slot.resp = slot.resp[:0]
 			slot.done = make(chan struct{})
+			if s.spans != nil {
+				// A whole-struct store resets every later stage stamp
+				// along with filling the identity fields.
+				slot.span = obs.Span{
+					ID:      s.reqID.Add(1),
+					Conn:    connID,
+					Slot:    idx,
+					Worker:  -1,
+					Op:      req.Op.String(),
+					LockID:  s.backend.LockID(req.Key),
+					KeyHash: fnv1a(req.Key),
+					ReadNS:  readNS,
+					AdmitNS: time.Now().UnixNano(),
+				}
+				// Stamped before the enqueue: the instant the call
+				// returns a worker may own the slot, and a blocked
+				// enqueue (queue backpressure) is queue wait too.
+				slot.span.EnqNS = slot.span.AdmitNS
+			}
 			if err := s.pool.EnqueueKeyed(s.workerCtx, fnv1a(req.Key), uint64(idx)); err != nil {
 				// Only Shutdown cancels the pool; answer and retire.
 				slot.resp = AppendError(slot.resp, "server shutting down")
@@ -566,6 +648,12 @@ func (s *Server) connWriter(conn net.Conn, pending chan *request) {
 			<-r.done
 		}
 		_, err := bw.Write(r.resp)
+		if s.spans != nil && r.idx >= 0 && r.span.ReadNS != 0 {
+			// Publish the completed span before the slot can be handed
+			// to another connection; the ring copies it by value.
+			r.span.WriteNS = time.Now().UnixNano()
+			s.spans.Publish(&r.span)
+		}
 		s.retire(r)
 		if err != nil {
 			s.discard(pending)
@@ -605,14 +693,24 @@ func (s *Server) worker(id int) {
 			return
 		}
 		slot := &s.slab[idx]
+		if s.spans != nil {
+			slot.span.DeqNS = time.Now().UnixNano()
+			slot.span.Worker = id
+		}
 		if s.opGets != nil {
 			t0 := time.Now()
+			if s.spans != nil {
+				slot.span.ExecNS = t0.UnixNano()
+			}
 			slot.resp = s.execute(slot.resp[:0], &slot.req)
 			if h := s.opHist(slot.req.Op); h != nil {
 				h.Record(id, uint64(time.Since(t0)))
 			}
 		} else {
 			slot.resp = s.execute(slot.resp[:0], &slot.req)
+		}
+		if s.spans != nil {
+			slot.span.DoneNS = time.Now().UnixNano()
 		}
 		close(slot.done)
 	}
@@ -681,6 +779,19 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
+// statsAlerts bounds the alert lines STATS renders (single digits keep
+// the lexicographically sorted output in ring order).
+const statsAlerts = 8
+
+// Spans snapshots the request-span flight recorder, ordered by request
+// ID; nil unless Config.TraceSample > 0.
+func (s *Server) Spans() []obs.Span {
+	if s.spans == nil {
+		return nil
+	}
+	return s.spans.Snapshot()
+}
+
 // statsText renders the STATS reply.
 func (s *Server) statsText() string {
 	lines := []string{
@@ -730,7 +841,18 @@ func (s *Server) statsText() string {
 			fmt.Sprintf("acquire_ns_p99:%d", os.Acquire.Quantile(0.99)),
 			fmt.Sprintf("help_run_ns_p50:%d", os.HelpRun.Quantile(0.50)),
 			fmt.Sprintf("help_run_ns_p99:%d", os.HelpRun.Quantile(0.99)),
+			fmt.Sprintf("stall_alerts:%d", os.StallAlerts),
 		)
+		// The watchdog's last alerts, newest last (at most statsAlerts
+		// so the zero-padded index keeps the sorted output in order).
+		alerts := os.Alerts
+		if len(alerts) > statsAlerts {
+			alerts = alerts[len(alerts)-statsAlerts:]
+		}
+		for i, ev := range alerts {
+			lines = append(lines, fmt.Sprintf("alert%d:%s lock=%d pid=%d value=%d",
+				i, ev.Kind, ev.LockID, ev.Pid, ev.Value))
+		}
 		for _, oh := range []struct {
 			name string
 			h    *obs.PHist

@@ -173,6 +173,37 @@ func (h *LogHist) Quantile(q float64) uint64 {
 	return h.max
 }
 
+// Sub returns a new histogram holding h minus o, bucket-wise — the
+// distribution of observations recorded after the snapshot o was taken,
+// assuming o is an earlier snapshot of the same stream (both must share
+// subBits, or Sub panics). Buckets, count and sum subtract saturating
+// at zero, so a slightly skewed pair of live snapshots degrades rather
+// than wraps. Max cannot be subtracted and is kept from h: it is the
+// lifetime maximum, an upper bound for the interval (quantiles clamp to
+// it, so interval quantiles remain valid upper estimates). Both inputs
+// are unchanged.
+func (h *LogHist) Sub(o *LogHist) *LogHist {
+	d := NewLogHist(h.subBits)
+	if o == nil || o.n == 0 {
+		d.Merge(h)
+		return d
+	}
+	if o.subBits != h.subBits {
+		panic("stats: LogHist.Sub: sub-bucket shapes differ")
+	}
+	for i, c := range h.counts {
+		if prev := o.counts[i]; c > prev {
+			d.counts[i] = c - prev
+			d.n += c - prev
+		}
+	}
+	if h.sum > o.sum {
+		d.sum = h.sum - o.sum
+	}
+	d.max = h.max
+	return d
+}
+
 // Merge folds o into h (bucket-exact: both histograms must share
 // subBits, or Merge panics). o is unchanged.
 func (h *LogHist) Merge(o *LogHist) {

@@ -453,6 +453,15 @@ type MapStats struct {
 	MaxProbe int
 }
 
+// ShardLockID reports the ID of the shard lock covering key k — the
+// LockID that k's operations carry in Stats().Shards, ObsSnapshot.Locks
+// and the flight recorder's events. It is a pure hash computation
+// (no lock is taken), so callers can correlate request-level traces
+// with lock-level events without perturbing either.
+func (mp *Map[K, V]) ShardLockID(k K) int {
+	return mp.locks[mp.eng.ShardIndex(mp.eng.Hash(k))].ID()
+}
+
 // Stats snapshots per-shard contention counters and sizes.
 func (mp *Map[K, V]) Stats() MapStats {
 	p := mp.m.Acquire()

@@ -3,6 +3,7 @@ package wflocks
 import (
 	"time"
 
+	"wflocks/internal/obs"
 	"wflocks/internal/stats"
 )
 
@@ -34,6 +35,18 @@ func (s HistStats) Quantile(q float64) uint64 {
 
 func histStatsOf(h *stats.LogHist) HistStats {
 	return HistStats{Count: h.Count(), Mean: h.Mean(), Max: h.Max(), h: h}
+}
+
+// Sub returns the distribution of observations recorded after prev was
+// taken, assuming prev is an earlier snapshot of the same histogram.
+// Counts subtract bucket-wise saturating at zero; Max is the lifetime
+// maximum (an upper bound for the interval — exact interval maxima are
+// not recoverable from two snapshots), and quantiles clamp to it.
+func (s HistStats) Sub(prev HistStats) HistStats {
+	if s.h == nil {
+		return HistStats{}
+	}
+	return histStatsOf(s.h.Sub(prev.h))
 }
 
 // TraceEvent is one decoded flight-recorder entry (see WithTracing).
@@ -92,9 +105,43 @@ type ObsSnapshot struct {
 	// attempts' descriptors to a decision.
 	HelpNanos uint64
 
+	// StallAlerts is the total number of watchdog excessions recorded
+	// (see WithStallWatchdog); 0 when the watchdog is disarmed.
+	StallAlerts uint64
+
 	// Events is the flight recorder's current window, oldest first; nil
 	// unless WithTracing was configured.
 	Events []TraceEvent
+	// Alerts is the watchdog's alert ring, oldest first: the last
+	// excessions with kind "alert-delay" (Value = charged delay steps)
+	// or "alert-help" (Value = help-run nanoseconds) and the offending
+	// lock. Nil unless WithStallWatchdog fired at least once.
+	Alerts []TraceEvent
+	// Locks is the per-lock stall attribution, ordered by lock ID: for
+	// each lock that charged anyone anything, how many help runs pushed
+	// attempts past its holders (and their total wall time), how many
+	// delay-schedule steps it charged to bystanders, and how many
+	// watchdog alerts it triggered. Nil without such activity. Lock IDs
+	// match Stats().Locks and the flight recorder's events.
+	Locks []LockAttrib
+}
+
+// LockAttrib is one lock's stall-attribution counters (see
+// ObsSnapshot.Locks).
+type LockAttrib struct {
+	// LockID identifies the lock (matching LockStats.ID).
+	LockID int
+	// Helps counts help runs that ran a still-undecided descriptor on
+	// this lock to a decision — attempts pushed past a holder.
+	Helps uint64
+	// HelpNanos is the total wall time of those help runs: what the
+	// lock's (possibly stalled) holders cost bystanders.
+	HelpNanos uint64
+	// DelaySteps is the total delay-schedule steps burned by attempts
+	// whose first lock this was.
+	DelaySteps uint64
+	// Alerts counts watchdog excessions attributed to this lock.
+	Alerts uint64
 }
 
 // DelayShare is DelaySteps/AttemptSteps — the fraction of all attempt
@@ -106,11 +153,81 @@ func (o ObsSnapshot) DelayShare() float64 {
 	return float64(o.DelaySteps) / float64(o.AttemptSteps)
 }
 
-// Observe snapshots the manager's latency histograms, step accounting
-// and (when tracing) flight-recorder window. Without WithMetrics it
-// returns the zero snapshot with Enabled false. Snapshotting merges the
-// per-P histogram shards, so it costs O(shards × buckets) — cheap, but
-// meant for scrape intervals, not per-operation calls.
+// Sub returns the activity recorded after prev was taken, assuming
+// prev is an earlier Observe() of the same manager — the counterpart to
+// StatsSnapshot.Sub for interval (rather than lifetime) views. Counters
+// subtract saturating at zero; the histograms subtract bucket-wise (see
+// HistStats.Sub — interval maxima are upper bounds). Per-lock rows are
+// matched by ID; a lock absent from prev keeps its absolute counters.
+// Events and Alerts are already windows, not cumulative — Sub keeps the
+// current window as-is.
+func (o ObsSnapshot) Sub(prev ObsSnapshot) ObsSnapshot {
+	if !o.Enabled {
+		return o
+	}
+	d := o
+	d.Acquire = o.Acquire.Sub(prev.Acquire)
+	d.DelayIters = o.DelayIters.Sub(prev.DelayIters)
+	d.HelpRun = o.HelpRun.Sub(prev.HelpRun)
+	d.AttemptSteps = subSatObs(o.AttemptSteps, prev.AttemptSteps)
+	d.DelaySteps = subSatObs(o.DelaySteps, prev.DelaySteps)
+	d.HelpNanos = subSatObs(o.HelpNanos, prev.HelpNanos)
+	d.StallAlerts = subSatObs(o.StallAlerts, prev.StallAlerts)
+	if len(o.Locks) > 0 {
+		prevByID := make(map[int]LockAttrib, len(prev.Locks))
+		for _, p := range prev.Locks {
+			prevByID[p.LockID] = p
+		}
+		d.Locks = make([]LockAttrib, len(o.Locks))
+		for i, l := range o.Locks {
+			p := prevByID[l.LockID]
+			d.Locks[i] = LockAttrib{
+				LockID:     l.LockID,
+				Helps:      subSatObs(l.Helps, p.Helps),
+				HelpNanos:  subSatObs(l.HelpNanos, p.HelpNanos),
+				DelaySteps: subSatObs(l.DelaySteps, p.DelaySteps),
+				Alerts:     subSatObs(l.Alerts, p.Alerts),
+			}
+		}
+	}
+	return d
+}
+
+// subSatObs is saturating uint64 subtraction: mutually skewed live
+// snapshots degrade to 0 instead of wrapping.
+func subSatObs(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// decodeEvents converts raw flight-recorder entries to their public
+// form; nil in, nil out.
+func decodeEvents(evs []obs.Event) []TraceEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = TraceEvent{
+			Seq:    ev.Seq,
+			Kind:   ev.Kind.String(),
+			Pid:    ev.Pid,
+			LockID: ev.LockID,
+			Value:  ev.Value,
+			Time:   time.Unix(0, ev.UnixNano),
+		}
+	}
+	return out
+}
+
+// Observe snapshots the manager's latency histograms, step accounting,
+// stall attribution and (when tracing) flight-recorder window. Without
+// WithMetrics it returns the zero snapshot with Enabled false.
+// Snapshotting merges the per-P histogram shards, so it costs
+// O(shards × buckets) — cheap, but meant for scrape intervals, not
+// per-operation calls.
 func (m *Manager) Observe() ObsSnapshot {
 	if m.rec == nil {
 		return ObsSnapshot{}
@@ -123,17 +240,19 @@ func (m *Manager) Observe() ObsSnapshot {
 		AttemptSteps: m.rec.AttemptSteps(),
 		DelaySteps:   m.rec.DelaySteps(),
 		HelpNanos:    m.rec.HelpNanos(),
+		StallAlerts:  m.rec.StallAlerts(),
+		Events:       decodeEvents(m.rec.Events()),
+		Alerts:       decodeEvents(m.rec.Alerts()),
 	}
-	if evs := m.rec.Events(); len(evs) > 0 {
-		snap.Events = make([]TraceEvent, len(evs))
-		for i, ev := range evs {
-			snap.Events[i] = TraceEvent{
-				Seq:    ev.Seq,
-				Kind:   ev.Kind.String(),
-				Pid:    ev.Pid,
-				LockID: ev.LockID,
-				Value:  ev.Value,
-				Time:   time.Unix(0, ev.UnixNano),
+	if rows := m.rec.Attrib(); len(rows) > 0 {
+		snap.Locks = make([]LockAttrib, len(rows))
+		for i, a := range rows {
+			snap.Locks[i] = LockAttrib{
+				LockID:     a.LockID,
+				Helps:      a.Helps,
+				HelpNanos:  a.HelpNanos,
+				DelaySteps: a.DelaySteps,
+				Alerts:     a.Alerts,
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package wflocks
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 // obsWorkload hammers one lock from several goroutines so attempts
@@ -185,6 +186,110 @@ func TestStatsSub(t *testing.T) {
 	var zero StatsSnapshot
 	if zero.HelpRate() != 0 || zero.FastPathRate() != 0 || zero.SuccessRate() != 0 {
 		t.Fatal("zero-snapshot rates must be 0")
+	}
+}
+
+// TestObsSub pins the interval-view contract of ObsSnapshot.Sub, the
+// counterpart to StatsSnapshot.Sub: two live snapshots of the same
+// manager subtract to exactly the activity between them.
+func TestObsSub(t *testing.T) {
+	m := newManager(t, WithUnknownBounds(4), WithMetrics())
+	obsWorkload(t, m, 4, 100)
+	base := m.Observe()
+	obsWorkload(t, m, 4, 100)
+	cur := m.Observe()
+	d := cur.Sub(base)
+
+	if !d.Enabled {
+		t.Fatal("delta of enabled snapshots must stay enabled")
+	}
+	if want := cur.Acquire.Count - base.Acquire.Count; d.Acquire.Count != want {
+		t.Fatalf("acquire delta count %d, want %d", d.Acquire.Count, want)
+	}
+	if want := cur.DelayIters.Count - base.DelayIters.Count; d.DelayIters.Count != want {
+		t.Fatalf("delay-iters delta count %d, want %d", d.DelayIters.Count, want)
+	}
+	if want := cur.AttemptSteps - base.AttemptSteps; d.AttemptSteps != want {
+		t.Fatalf("attempt-steps delta %d, want %d", d.AttemptSteps, want)
+	}
+	if want := cur.DelaySteps - base.DelaySteps; d.DelaySteps != want {
+		t.Fatalf("delay-steps delta %d, want %d", d.DelaySteps, want)
+	}
+	if want := cur.HelpNanos - base.HelpNanos; d.HelpNanos != want {
+		t.Fatalf("help-nanos delta %d, want %d", d.HelpNanos, want)
+	}
+	if s := d.DelayShare(); s < 0 || s > 1 {
+		t.Fatalf("delta delay share %v outside [0,1]", s)
+	}
+	// The interval histogram's quantiles stay within the lifetime max.
+	if q := d.Acquire.Quantile(0.99); q > cur.Acquire.Max {
+		t.Fatalf("delta p99 %d exceeds lifetime max %d", q, cur.Acquire.Max)
+	}
+	// Per-lock rows are matched by ID and never exceed the absolutes.
+	baseByID := make(map[int]LockAttrib)
+	for _, l := range base.Locks {
+		baseByID[l.LockID] = l
+	}
+	for i, l := range d.Locks {
+		abs := cur.Locks[i]
+		if l.LockID != abs.LockID {
+			t.Fatalf("delta lock order diverged: %d vs %d", l.LockID, abs.LockID)
+		}
+		if want := abs.DelaySteps - baseByID[l.LockID].DelaySteps; l.DelaySteps != want {
+			t.Fatalf("lock %d delay-steps delta %d, want %d", l.LockID, l.DelaySteps, want)
+		}
+	}
+
+	// Disabled snapshots pass through unchanged.
+	if z := (ObsSnapshot{}).Sub(base); z.Enabled || z.AttemptSteps != 0 {
+		t.Fatalf("disabled delta must stay zero, got %+v", z)
+	}
+}
+
+// TestStallWatchdogOption drives a contended workload with the fast
+// path off and a 1-step delay bound, so delay-point charges must trip
+// the watchdog: alerts count, land in the ring with well-formed
+// payloads, and attribute to real locks.
+func TestStallWatchdogOption(t *testing.T) {
+	m := newManager(t, WithUnknownBounds(4), WithFastPath(false),
+		WithStallWatchdog(1, 0))
+	obsWorkload(t, m, 4, 200)
+	os := m.Observe()
+	if !os.Enabled {
+		t.Fatal("WithStallWatchdog must imply metrics")
+	}
+	if os.StallAlerts == 0 {
+		t.Fatal("1-step delay bound with delays on recorded no alerts")
+	}
+	if len(os.Alerts) == 0 {
+		t.Fatal("alert ring empty despite alerts")
+	}
+	for _, ev := range os.Alerts {
+		if ev.Kind != "alert-delay" && ev.Kind != "alert-help" {
+			t.Fatalf("alert with kind %q", ev.Kind)
+		}
+		if ev.Kind == "alert-delay" && ev.Value <= 1 {
+			t.Fatalf("alert-delay carries %d steps, want > bound 1", ev.Value)
+		}
+		if ev.Time.IsZero() {
+			t.Fatal("alert without timestamp")
+		}
+	}
+	var attributed uint64
+	for _, l := range os.Locks {
+		attributed += l.Alerts
+	}
+	if attributed != os.StallAlerts {
+		t.Fatalf("attributed alerts %d, total %d", attributed, os.StallAlerts)
+	}
+}
+
+func TestWithStallWatchdogValidation(t *testing.T) {
+	if _, err := New(WithUnknownBounds(2), WithStallWatchdog(0, 0)); err == nil {
+		t.Fatal("WithStallWatchdog(0, 0) must be rejected")
+	}
+	if _, err := New(WithUnknownBounds(2), WithStallWatchdog(0, -time.Second)); err == nil {
+		t.Fatal("negative help-run bound must be rejected")
 	}
 }
 

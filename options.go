@@ -1,6 +1,9 @@
 package wflocks
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // config collects the Manager options before validation.
 type config struct {
@@ -16,6 +19,9 @@ type config struct {
 	metrics       bool
 	traceRate     int
 	traceRing     int
+	wdDelaySteps  uint64
+	wdHelpNanos   uint64
+	wdAlertCap    int
 	seed          uint64
 	retry         RetryPolicy
 }
@@ -157,6 +163,36 @@ func WithTraceRing(events int) Option {
 			return fmt.Errorf("wflocks: WithTraceRing: capacity must be positive, got %d", events)
 		}
 		c.traceRing = events
+		return nil
+	}
+}
+
+// WithStallWatchdog arms the stall watchdog (implying WithMetrics): an
+// attempt charged more than maxDelaySteps delay-schedule steps, or a
+// single help run longer than maxHelpRun wall time, counts a stall
+// alert, attributes it to the offending lock, and lands in a small
+// alert ring — all readable through Manager.Observe (StallAlerts,
+// Alerts, Locks). Either bound may be zero to disable that check;
+// delay-step excessions typically mean the delay schedule is charging
+// bystanders for a stalled holder, help-run excessions mean helpers
+// are executing a critical section whose owner stopped mid-way. The
+// checks ride the recording paths already guarded by the metrics nil
+// check, so an armed watchdog costs two predictable branches per
+// attempt.
+func WithStallWatchdog(maxDelaySteps uint64, maxHelpRun time.Duration) Option {
+	return func(c *config) error {
+		if maxDelaySteps == 0 && maxHelpRun <= 0 {
+			return fmt.Errorf("wflocks: WithStallWatchdog: at least one bound must be positive")
+		}
+		if maxHelpRun < 0 {
+			return fmt.Errorf("wflocks: WithStallWatchdog: help-run bound must not be negative, got %v", maxHelpRun)
+		}
+		c.metrics = true
+		c.wdDelaySteps = maxDelaySteps
+		c.wdHelpNanos = uint64(maxHelpRun)
+		if c.wdAlertCap == 0 {
+			c.wdAlertCap = 64
+		}
 		return nil
 	}
 }

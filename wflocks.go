@@ -66,6 +66,9 @@ func New(opts ...Option) (*Manager, error) {
 			ring = 4096
 		}
 		rec = obs.NewRecorder(shards, cfg.traceRate, ring)
+		if cfg.wdDelaySteps > 0 || cfg.wdHelpNanos > 0 {
+			rec.SetWatchdog(cfg.wdDelaySteps, cfg.wdHelpNanos, cfg.wdAlertCap)
+		}
 	}
 	sys, err := core.NewSystem(core.Config{
 		Kappa:         cfg.kappa,
